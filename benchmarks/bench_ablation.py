@@ -1,0 +1,65 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Four studies: the critical-subtask pick metric, the inter-task optimization,
+the replacement policy and the design-time prefetch engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.critical import PICK_STRATEGIES
+from repro.experiments.ablation import (
+    run_engine_ablation,
+    run_intertask_ablation,
+    run_pick_metric_ablation,
+    run_replacement_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_pick_metric_ablation(benchmark):
+    result = benchmark.pedantic(run_pick_metric_ablation, rounds=1,
+                                iterations=1)
+    print()
+    print(result.format_table())
+    totals = {strategy: result.total(strategy) for strategy in PICK_STRATEGIES}
+    assert totals["max-weight"] <= min(totals.values()) + 1
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_intertask_ablation(benchmark, iterations):
+    result = benchmark.pedantic(
+        run_intertask_ablation,
+        kwargs=dict(iterations=min(iterations, 300), seed=2005),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format_table())
+    assert result.overhead_with_intertask <= result.overhead_without_intertask
+    assert result.improvement_percent_points > 0.5
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_replacement_ablation(benchmark, iterations):
+    result = benchmark.pedantic(
+        run_replacement_ablation,
+        kwargs=dict(iterations=min(iterations, 300), seed=2005),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format_table())
+    assert set(result.overhead_by_policy) == {"lru", "lfu", "fifo",
+                                              "randomlike", "weight-aware"}
+    for value in result.overhead_by_policy.values():
+        assert 0.0 <= value < 25.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_engine_ablation(benchmark):
+    result = benchmark.pedantic(run_engine_ablation, rounds=1, iterations=1)
+    print()
+    print(result.format_table())
+    for row in result.rows:
+        assert row.optimality_gap_percent_points >= -1e-9
+    assert result.maximum_gap <= 5.0

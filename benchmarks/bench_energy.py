@@ -1,0 +1,33 @@
+"""Benchmark of the energy/load-cancellation study (Section 6 claim).
+
+Quantifies the "unnecessary waste of energy" avoided by cancelling the
+scheduled loads of reusable non-critical subtasks: the hybrid heuristic and
+the run-time heuristic perform markedly fewer loads per iteration than the
+design-time baseline, which reloads every configuration on every execution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.energy import run_energy_study
+
+
+@pytest.mark.benchmark(group="energy")
+def test_energy_study(benchmark, iterations):
+    result = benchmark.pedantic(
+        run_energy_study,
+        kwargs=dict(tile_count=12, iterations=min(iterations, 300), seed=2005),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format_table())
+    print(f"hybrid performs {result.load_savings_percent('hybrid'):.0f}% fewer "
+          "loads than the design-time baseline")
+
+    design_time = result.row("design-time")
+    hybrid = result.row("hybrid")
+    assert hybrid.loads_per_iteration < design_time.loads_per_iteration
+    assert hybrid.energy_per_iteration < design_time.energy_per_iteration
+    assert hybrid.cancelled_per_iteration > 0.0
+    assert design_time.reuse_rate == 0.0

@@ -1,0 +1,26 @@
+"""Benchmark of the load-hiding rate (Section 5: >= 75 % hidden, no reuse)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.hide_rate import PAPER_MINIMUM_HIDE_RATE, run_hide_rate
+
+
+@pytest.mark.benchmark(group="hide-rate")
+def test_hide_rate_table(benchmark):
+    result = benchmark.pedantic(
+        run_hide_rate,
+        kwargs=dict(extra_sizes=(10, 16, 24), seed=23),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    benchmark_rows = [row for row in result.rows
+                      if not row.graph_name.startswith("scal_")]
+    average = sum(row.list_hidden_fraction for row in benchmark_rows) \
+        / len(benchmark_rows)
+    assert average >= PAPER_MINIMUM_HIDE_RATE - 0.05
+    for row in result.rows:
+        assert row.optimal_hidden_fraction >= row.list_hidden_fraction - 1e-9

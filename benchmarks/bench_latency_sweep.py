@@ -1,0 +1,33 @@
+"""Benchmark of the reconfiguration-latency sweep (Section 4 motivation).
+
+Sweeps the reconfiguration latency from coarse-grain-array values to the
+paper's 4 ms FPGA tiles and prints how the overhead and the critical-subtask
+fraction react for the no-prefetch, run-time and hybrid approaches.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.latency_sweep import DEFAULT_LATENCIES, run_latency_sweep
+
+
+@pytest.mark.benchmark(group="latency-sweep")
+def test_latency_sweep(benchmark, iterations):
+    result = benchmark.pedantic(
+        run_latency_sweep,
+        kwargs=dict(latencies=DEFAULT_LATENCIES, tile_count=8,
+                    iterations=min(iterations, 150), seed=2005),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(result.format_table())
+
+    ordered = [result.row(latency) for latency in DEFAULT_LATENCIES]
+    # Overhead and criticality both grow with the reconfiguration latency.
+    assert ordered[0].hybrid_percent <= ordered[-1].hybrid_percent + 1e-9
+    assert ordered[0].critical_fraction <= ordered[-1].critical_fraction + 1e-9
+    # The hybrid heuristic is never worse than the baselines.
+    for row in ordered:
+        assert row.hybrid_percent <= row.no_prefetch_percent + 1e-9
+        assert row.hybrid_percent <= row.run_time_percent + 1e-9

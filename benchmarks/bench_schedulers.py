@@ -1,0 +1,83 @@
+"""Micro-benchmarks of the individual scheduler building blocks.
+
+These are not tied to a specific table or figure; they document the cost of
+the substrate operations (initial list scheduling, schedule replay, the
+optimal branch-and-bound search and the reuse analysis) so regressions in
+the simulator's throughput are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.description import Platform
+from repro.reuse.reuse import ReuseModule
+from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.evaluator import replay_schedule
+from repro.scheduling.list_scheduler import ListScheduler
+from repro.scheduling.prefetch_bb import OptimalPrefetchScheduler
+from repro.sim.approaches import HybridApproach
+from repro.sim.simulator import SimulationConfig, SystemSimulator
+from repro.workloads.multimedia import (
+    MultimediaWorkload,
+    parallel_jpeg_graph,
+    pattern_recognition_graph,
+)
+
+LATENCY = 4.0
+PLATFORM = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_initial_list_scheduling(benchmark):
+    graph = parallel_jpeg_graph()
+    scheduler = ListScheduler(PLATFORM)
+    placed = benchmark(scheduler.schedule, graph)
+    assert placed.makespan == pytest.approx(57.0)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_schedule_replay(benchmark):
+    graph = parallel_jpeg_graph()
+    placed = ListScheduler(PLATFORM).schedule(graph)
+    loads = placed.drhw_names
+    timed = benchmark(replay_schedule, placed, LATENCY, loads)
+    assert timed.load_count == len(loads)
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_branch_and_bound_search(benchmark):
+    graph = pattern_recognition_graph()
+    placed = ListScheduler(PLATFORM).schedule(graph)
+    problem = PrefetchProblem(placed, LATENCY)
+    scheduler = OptimalPrefetchScheduler()
+    result = benchmark(scheduler.schedule, problem)
+    assert result.overhead >= 0.0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_reuse_analysis(benchmark):
+    graph = pattern_recognition_graph()
+    placed = ListScheduler(PLATFORM).schedule(graph)
+    module = ReuseModule()
+    tiles = PLATFORM.new_tile_states()
+    decision = benchmark(module.analyze, placed, tiles)
+    assert decision.reuse_count == 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_simulator_iteration_throughput(benchmark):
+    """Cost of simulating 20 iterations of the multimedia mix (hybrid)."""
+    workload = MultimediaWorkload()
+    platform = Platform(tile_count=8,
+                        reconfiguration_latency=workload.reconfiguration_latency)
+
+    def run_once():
+        simulator = SystemSimulator(
+            workload, platform, HybridApproach(),
+            SimulationConfig(iterations=20, seed=1),
+        )
+        return simulator.run()
+
+    result = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert result.metrics.task_executions > 0

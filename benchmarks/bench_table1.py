@@ -1,0 +1,32 @@
+"""Benchmark regenerating Table 1 (multimedia benchmark characteristics).
+
+Prints, for every benchmark task, the measured ideal execution time, the
+no-prefetch overhead and the optimal-prefetch overhead next to the values
+published in the paper, and verifies that the reproduction stays within the
+documented tolerances.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import Table1Result, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_regeneration(benchmark):
+    result: Table1Result = benchmark.pedantic(run_table1, rounds=1,
+                                              iterations=1)
+    print()
+    print(result.format_table())
+
+    assert {row.task_name for row in result.rows} == {
+        "pattern_recognition", "jpeg_decoder", "parallel_jpeg", "mpeg_encoder",
+    }
+    for row in result.rows:
+        assert row.subtasks == row.reference.subtasks
+        assert row.ideal_time_ms == pytest.approx(row.reference.ideal_time_ms,
+                                                  rel=0.08)
+        assert row.overhead_error <= 8.0
+        assert row.prefetch_error <= 4.0
+        assert row.prefetch_percent < row.overhead_percent

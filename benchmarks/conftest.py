@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+the resulting rows/series so the harness output can be compared directly
+with the publication.  The simulated iteration count defaults to a value
+that keeps a full benchmark run in the range of a few minutes; set the
+``REPRO_BENCH_ITERATIONS`` environment variable to 1000 to reproduce the
+paper's exact setup.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_iterations(default: int = 200) -> int:
+    """Number of simulated iterations used by the figure benchmarks."""
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_ITERATIONS", default)))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def iterations() -> int:
+    """Session-wide iteration count for simulation-based benchmarks."""
+    return bench_iterations()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Reproduce the illustrative schedules of Figures 3 and 5 of the paper.
+
+The running example is a four-subtask graph (subtask 1 feeds 2 and 3, which
+feed 4) mapped onto three DRHW tiles with a 4 ms reconfiguration latency.
+The script prints ASCII Gantt charts for:
+
+* Figure 3a — the initial schedule without any reconfiguration overhead;
+* Figure 3b — the same schedule once every load is performed on demand;
+* Figure 3c — the schedule with configuration prefetching (only the first
+  load remains exposed);
+* Figure 5  — the hybrid flow: subtask 1 is the only critical subtask, so
+  when it can be reused the task runs with zero overhead, a reusable
+  non-critical load is cancelled, and the idle tail of the reconfiguration
+  circuitry prefetches a critical subtask of the next task.
+
+Run it with ``python examples/paper_figures.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    HybridPrefetchHeuristic,
+    PrefetchRequest,
+    TileWindow,
+    plan_intertask_prefetch,
+)
+from repro.graphs import Subtask, TaskGraph
+from repro.platform import Platform
+from repro.scheduling import (
+    OnDemandScheduler,
+    OptimalPrefetchScheduler,
+    PrefetchProblem,
+    build_initial_schedule,
+    replay_schedule,
+)
+from repro.sim.trace import render_gantt
+
+LATENCY = 4.0
+
+
+def example_graph() -> TaskGraph:
+    """The four-subtask example used throughout the paper."""
+    graph = TaskGraph("figure3")
+    graph.add_subtask(Subtask("t1", 12.0))
+    graph.add_subtask(Subtask("t2", 10.0))
+    graph.add_subtask(Subtask("t3", 14.0))
+    graph.add_subtask(Subtask("t4", 10.0))
+    graph.add_dependency("t1", "t2")
+    graph.add_dependency("t1", "t3")
+    graph.add_dependency("t2", "t4")
+    graph.add_dependency("t3", "t4")
+    return graph
+
+
+def main() -> None:
+    graph = example_graph()
+    platform = Platform(tile_count=3, reconfiguration_latency=LATENCY)
+    placed = build_initial_schedule(graph, platform)
+    problem = PrefetchProblem(placed, LATENCY)
+
+    print("=== Figure 3a: initial schedule, reconfiguration ignored ===")
+    ideal = replay_schedule(placed, LATENCY, loads_needed=[])
+    print(render_gantt(ideal))
+    print()
+
+    print("=== Figure 3b: loads performed on demand (no prefetch) ===")
+    on_demand = OnDemandScheduler().schedule(problem)
+    print(render_gantt(on_demand.timed))
+    print(f"overhead: {on_demand.overhead:.1f} ms "
+          f"({on_demand.overhead_percent:.1f}%)")
+    print()
+
+    print("=== Figure 3c: configuration prefetching ===")
+    prefetched = OptimalPrefetchScheduler().schedule(problem)
+    print(render_gantt(prefetched.timed))
+    print(f"overhead: {prefetched.overhead:.1f} ms "
+          f"({prefetched.overhead_percent:.1f}%) — only the load of "
+          f"{prefetched.delay_generating_subtasks()} remains exposed")
+    print()
+
+    print("=== Figure 5: hybrid heuristic at run-time ===")
+    heuristic = HybridPrefetchHeuristic(LATENCY)
+    entry = heuristic.design_time(placed, "figure5")
+    print(f"critical subtasks: {list(entry.critical_subtasks)}")
+
+    execution = heuristic.run_time(entry, reusable=["t1", "t3"])
+    print("run-time situation: t1 (critical) and t3 are already resident")
+    print(f"  initialization loads : {list(execution.decision.initialization_loads)}")
+    print(f"  cancelled loads      : {list(execution.decision.cancelled_loads)}")
+    print(f"  overhead             : {execution.overhead:.1f} ms")
+    print(render_gantt(execution.timed))
+
+    # Figure 5 b.3: the idle tail prefetches a critical subtask of the next
+    # task (called "subtask 5" in the paper).
+    plan = plan_intertask_prefetch(
+        [PrefetchRequest(subtask="t5_next_task", configuration="t5_next_task")],
+        [TileWindow(tile=0, available_from=execution.timed.executions["t1"].finish)],
+        controller_free=execution.controller_free,
+        task_finish=execution.makespan,
+        reconfiguration_latency=LATENCY,
+    )
+    if plan.loads:
+        load = plan.loads[0]
+        print(f"idle tail prefetch (b.3): load of {load.subtask!r} on tile "
+              f"{load.tile} from {load.start:.1f} to {load.finish:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

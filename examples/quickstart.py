@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Quickstart: schedule the reconfigurations of one small task.
+
+The script walks through the library's core flow on a five-subtask video
+filter:
+
+1. describe the task as a subtask graph;
+2. build the initial schedule that neglects reconfiguration;
+3. compare the no-prefetch baseline with the optimal prefetch schedule;
+4. run the hybrid heuristic's design-time phase (critical-subtask selection)
+   and its run-time phase for two different reuse situations.
+
+Run it with ``python examples/quickstart.py``.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    HybridPrefetchHeuristic,
+    OnDemandScheduler,
+    OptimalPrefetchScheduler,
+    PrefetchProblem,
+    Subtask,
+    TaskGraph,
+    build_initial_schedule,
+    virtex2_platform,
+)
+from repro.sim.trace import render_gantt
+
+RECONFIGURATION_LATENCY_MS = 4.0
+
+
+def build_video_filter() -> TaskGraph:
+    """A small video-filter task: parse, two parallel filters, merge, emit."""
+    graph = TaskGraph("video_filter")
+    graph.add_subtask(Subtask("parse", 9.0))
+    graph.add_subtask(Subtask("denoise", 14.0))
+    graph.add_subtask(Subtask("sharpen", 12.0))
+    graph.add_subtask(Subtask("merge", 7.0))
+    graph.add_subtask(Subtask("emit", 6.0))
+    graph.add_dependency("parse", "denoise")
+    graph.add_dependency("parse", "sharpen")
+    graph.add_dependency("denoise", "merge")
+    graph.add_dependency("sharpen", "merge")
+    graph.add_dependency("merge", "emit")
+    return graph
+
+
+def main() -> None:
+    graph = build_video_filter()
+    platform = virtex2_platform(tile_count=8)
+
+    # 1. Initial schedule, ignoring the reconfiguration overhead entirely.
+    placed = build_initial_schedule(graph, platform)
+    print(f"task {graph.name!r}: {len(graph)} subtasks, ideal makespan "
+          f"{placed.makespan:.1f} ms")
+
+    # 2. What happens once the 4 ms loads are accounted for?
+    problem = PrefetchProblem(placed, RECONFIGURATION_LATENCY_MS)
+    no_prefetch = OnDemandScheduler().schedule(problem)
+    optimal = OptimalPrefetchScheduler().schedule(problem)
+    print(f"  without prefetching : +{no_prefetch.overhead:.1f} ms "
+          f"({no_prefetch.overhead_percent:.1f}% overhead)")
+    print(f"  optimal prefetching : +{optimal.overhead:.1f} ms "
+          f"({optimal.overhead_percent:.1f}% overhead)")
+    print()
+    print(render_gantt(optimal.timed))
+    print()
+
+    # 3. Hybrid heuristic: design-time phase.
+    heuristic = HybridPrefetchHeuristic(RECONFIGURATION_LATENCY_MS)
+    entry = heuristic.design_time(placed, task_name=graph.name)
+    print(f"critical subtasks (design-time): {list(entry.critical_subtasks)}")
+    print(f"design-time schedule hides every non-critical load "
+          f"(overhead {entry.critical.schedule.overhead:.1f} ms)")
+    print()
+
+    # 4. Run-time phase under two reuse situations.
+    cold = heuristic.run_time(entry, reusable=())
+    print(f"cold platform  : initialization loads "
+          f"{list(cold.decision.initialization_loads)} -> overhead "
+          f"{cold.overhead:.1f} ms ({cold.overhead_percent:.1f}%)")
+
+    warm = heuristic.run_time(entry, reusable=entry.critical_subtasks)
+    print(f"critical reused: initialization loads "
+          f"{list(warm.decision.initialization_loads)} -> overhead "
+          f"{warm.overhead:.1f} ms ({warm.overhead_percent:.1f}%)")
+    print()
+    print("run-time scheduling work of the hybrid heuristic: "
+          f"{cold.runtime_operations} set-membership checks")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Synthetic sensitivity study: granularity, tiles and energy-aware selection.
+
+The paper motivates the hybrid heuristic with coarse-grain reconfigurable
+arrays whose smaller reconfiguration latency lets finer-grained subtasks be
+mapped to hardware.  This example uses the synthetic workload generator to
+explore that space:
+
+1. sweep the *granularity* (mean subtask execution time expressed in
+   multiples of the reconfiguration latency) and report how the overhead of
+   the no-prefetch, run-time and hybrid approaches reacts;
+2. show the TCM energy-aware run-time selection in action by scheduling one
+   task mix against a range of deadlines.
+
+Run it with ``python examples/synthetic_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+
+from repro.experiments.common import format_table
+from repro.platform import Platform
+from repro.sim import HybridApproach, NoPrefetchApproach, RunTimeApproach, simulate
+from repro.tcm import TcmDesignTimeScheduler, TcmRunTimeScheduler
+from repro.workloads import SyntheticSpec, SyntheticWorkload
+
+
+def granularity_sweep(iterations: int, seed: int) -> None:
+    """Overhead versus subtask granularity for three approaches."""
+    rows = []
+    for granularity in (0.5, 1.0, 2.0, 4.0, 8.0):
+        spec = SyntheticSpec(task_count=4, subtasks_per_task=6,
+                             scenarios_per_task=2, granularity=granularity,
+                             seed=seed)
+        workload = SyntheticWorkload(spec)
+        row = [granularity]
+        for factory in (NoPrefetchApproach, RunTimeApproach, HybridApproach):
+            result = simulate(workload, tile_count=8, approach=factory(),
+                              iterations=iterations, seed=seed)
+            row.append(result.overhead_percent)
+        rows.append(row)
+    print(format_table(
+        ["granularity (exec/latency)", "no-prefetch (%)", "run-time (%)",
+         "hybrid (%)"],
+        rows,
+        title="Overhead vs subtask granularity (8 tiles)",
+    ))
+    print()
+    print("Finer subtasks (granularity < 1) make loads dominate and are hard")
+    print("to hide even for the hybrid heuristic; coarse subtasks hide almost")
+    print("everything — the trend the paper uses to motivate run-time support")
+    print("for coarse-grain architectures.")
+    print()
+
+
+def deadline_study(seed: int) -> None:
+    """Energy-aware Pareto-point selection under different deadlines."""
+    spec = SyntheticSpec(task_count=3, subtasks_per_task=6,
+                         scenarios_per_task=2, granularity=3.0, seed=seed)
+    workload = SyntheticWorkload(spec)
+    platform = Platform(tile_count=8,
+                        reconfiguration_latency=workload.reconfiguration_latency)
+    design = TcmDesignTimeScheduler(platform).explore(workload.task_set)
+    runtime = TcmRunTimeScheduler(design)
+    instances = runtime.identify_scenarios(workload.task_set, random.Random(seed))
+
+    relaxed = runtime.select(instances, deadline=None)
+    rows = []
+    for factor in (1.0, 0.8, 0.6, 0.45):
+        deadline = relaxed.total_execution_time * factor
+        selection = runtime.select(instances, deadline=deadline)
+        rows.append((
+            f"{factor:.2f} x relaxed",
+            deadline,
+            selection.total_execution_time,
+            selection.total_energy,
+            "yes" if selection.meets_deadline else "NO",
+            " ".join(f"{item.task_name}:{item.point_key}"
+                     for item in selection.scheduled),
+        ))
+    print(format_table(
+        ["deadline", "deadline (ms)", "time (ms)", "energy", "feasible",
+         "selected Pareto points"],
+        rows,
+        title="TCM run-time scheduler: energy-minimal points under a deadline",
+    ))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--iterations", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    granularity_sweep(args.iterations, args.seed)
+    deadline_study(args.seed)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""Command-line interface.
+
+``python -m repro`` (or the ``repro-drhw`` console script) regenerates the
+paper's tables and figures from the terminal::
+
+    repro-drhw table1
+    repro-drhw figure6 --iterations 1000
+    repro-drhw figure7 --iterations 1000
+    repro-drhw scalability
+    repro-drhw hide-rate
+    repro-drhw ablation --study replacement
+    repro-drhw demo --task jpeg_decoder
+
+Every sub-command prints a plain-text table; the underlying data is
+available programmatically through :mod:`repro.experiments`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .core.hybrid import HybridPrefetchHeuristic
+from .experiments.ablation import (
+    run_engine_ablation,
+    run_intertask_ablation,
+    run_pick_metric_ablation,
+    run_replacement_ablation,
+)
+from .experiments.figure6 import FIGURE6_TILE_COUNTS, run_figure6
+from .experiments.figure7 import FIGURE7_TILE_COUNTS, run_figure7
+from .experiments.hide_rate import run_hide_rate
+from .experiments.scalability import run_scalability
+from .experiments.table1 import run_table1
+from .platform.description import Platform
+from .scheduling.base import PrefetchProblem
+from .scheduling.list_scheduler import build_initial_schedule
+from .scheduling.noprefetch import OnDemandScheduler
+from .scheduling.prefetch_bb import OptimalPrefetchScheduler
+from .sim.trace import render_gantt
+from .workloads.multimedia import (
+    jpeg_decoder_graph,
+    mpeg_encoder_graph,
+    parallel_jpeg_graph,
+    pattern_recognition_graph,
+)
+
+_DEMO_GRAPHS = {
+    "pattern_recognition": pattern_recognition_graph,
+    "jpeg_decoder": jpeg_decoder_graph,
+    "parallel_jpeg": parallel_jpeg_graph,
+    "mpeg_encoder_b": lambda: mpeg_encoder_graph("B"),
+    "mpeg_encoder_p": lambda: mpeg_encoder_graph("P"),
+    "mpeg_encoder_i": lambda: mpeg_encoder_graph("I"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the command-line argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-drhw",
+        description="Reproduction of the DATE'05 hybrid prefetch scheduling "
+                    "heuristic for dynamically reconfigurable hardware.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="Regenerate Table 1")
+
+    figure6 = subparsers.add_parser("figure6", help="Regenerate Figure 6")
+    figure6.add_argument("--iterations", type=int, default=300,
+                         help="simulated iterations (paper: 1000)")
+    figure6.add_argument("--seed", type=int, default=2005)
+    figure6.add_argument("--tiles", type=int, nargs="*",
+                         default=list(FIGURE6_TILE_COUNTS))
+
+    figure7 = subparsers.add_parser("figure7", help="Regenerate Figure 7")
+    figure7.add_argument("--iterations", type=int, default=300,
+                         help="simulated iterations (paper: 1000)")
+    figure7.add_argument("--seed", type=int, default=2005)
+    figure7.add_argument("--tiles", type=int, nargs="*",
+                         default=list(FIGURE7_TILE_COUNTS))
+
+    scalability = subparsers.add_parser(
+        "scalability", help="Run-time scheduling cost vs graph size"
+    )
+    scalability.add_argument("--sizes", type=int, nargs="*",
+                             default=[7, 14, 28, 56, 112])
+
+    subparsers.add_parser("hide-rate",
+                          help="Fraction of load latencies hidden (no reuse)")
+
+    ablation = subparsers.add_parser("ablation", help="Run an ablation study")
+    ablation.add_argument("--study",
+                          choices=["pick-metric", "inter-task", "replacement",
+                                   "engine", "all"],
+                          default="all")
+    ablation.add_argument("--iterations", type=int, default=200)
+
+    demo = subparsers.add_parser(
+        "demo", help="Show the prefetch schedules of one benchmark task"
+    )
+    demo.add_argument("--task", choices=sorted(_DEMO_GRAPHS),
+                      default="jpeg_decoder")
+    demo.add_argument("--tiles", type=int, default=8)
+    demo.add_argument("--latency", type=float, default=4.0)
+    return parser
+
+
+def _run_demo(task: str, tiles: int, latency: float) -> str:
+    """Render the no-prefetch / optimal / hybrid schedules of one task."""
+    graph = _DEMO_GRAPHS[task]()
+    platform = Platform(tile_count=tiles, reconfiguration_latency=latency)
+    placed = build_initial_schedule(graph, platform)
+    problem = PrefetchProblem(placed, latency)
+    lines: List[str] = [f"Task {graph.name}: {len(graph)} subtasks, ideal "
+                        f"makespan {placed.makespan:.1f} ms"]
+
+    no_prefetch = OnDemandScheduler().schedule(problem)
+    lines.append("")
+    lines.append(f"-- without prefetch (overhead "
+                 f"{no_prefetch.overhead_percent:.1f}%)")
+    lines.append(render_gantt(no_prefetch.timed))
+
+    optimal = OptimalPrefetchScheduler().schedule(problem)
+    lines.append("")
+    lines.append(f"-- optimal prefetch, no reuse (overhead "
+                 f"{optimal.overhead_percent:.1f}%)")
+    lines.append(render_gantt(optimal.timed))
+
+    hybrid = HybridPrefetchHeuristic(latency)
+    entry = hybrid.design_time(placed, graph.name)
+    execution = hybrid.run_time(entry, reusable=entry.critical_subtasks)
+    lines.append("")
+    lines.append(f"-- hybrid heuristic with critical subtasks "
+                 f"{list(entry.critical_subtasks)} reused (overhead "
+                 f"{execution.overhead_percent:.1f}%)")
+    lines.append(render_gantt(execution.timed))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        print(run_table1().format_table())
+    elif args.command == "figure6":
+        result = run_figure6(tile_counts=tuple(args.tiles),
+                             iterations=args.iterations, seed=args.seed)
+        print(result.format_table())
+    elif args.command == "figure7":
+        result = run_figure7(tile_counts=tuple(args.tiles),
+                             iterations=args.iterations, seed=args.seed)
+        print(result.format_table())
+    elif args.command == "scalability":
+        print(run_scalability(sizes=tuple(args.sizes)).format_table())
+    elif args.command == "hide-rate":
+        print(run_hide_rate().format_table())
+    elif args.command == "ablation":
+        outputs = []
+        if args.study in ("pick-metric", "all"):
+            outputs.append(run_pick_metric_ablation().format_table())
+        if args.study in ("inter-task", "all"):
+            outputs.append(
+                run_intertask_ablation(iterations=args.iterations).format_table()
+            )
+        if args.study in ("replacement", "all"):
+            outputs.append(
+                run_replacement_ablation(iterations=args.iterations).format_table()
+            )
+        if args.study in ("engine", "all"):
+            outputs.append(run_engine_ablation().format_table())
+        print("\n\n".join(outputs))
+    elif args.command == "demo":
+        print(_run_demo(args.task, args.tiles, args.latency))
+    else:  # pragma: no cover - argparse enforces the choices
+        parser.error(f"unknown command {args.command!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

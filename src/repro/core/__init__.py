@@ -1,0 +1,57 @@
+"""The hybrid design-time/run-time prefetch heuristic (paper core)."""
+
+from .critical import (
+    CriticalSelectionStep,
+    CriticalSubtaskResult,
+    CriticalSubtaskSelector,
+    DEFAULT_PENALTY_TOLERANCE,
+    select_critical_subtasks,
+)
+from .hybrid import HybridExecution, HybridPrefetchHeuristic
+from .intertask import (
+    InterTaskPlan,
+    PlannedPrefetch,
+    PrefetchRequest,
+    TileWindow,
+    plan_intertask_prefetch,
+)
+from .runtime_phase import RuntimeDecision, run_time_phase
+from .serialization import (
+    entry_from_dict,
+    entry_to_dict,
+    load_store,
+    save_store,
+    store_from_dict,
+    store_from_json,
+    store_to_dict,
+    store_to_json,
+)
+from .store import DesignTimeEntry, DesignTimeStore, EntryKey
+
+__all__ = [
+    "CriticalSelectionStep",
+    "CriticalSubtaskResult",
+    "CriticalSubtaskSelector",
+    "DEFAULT_PENALTY_TOLERANCE",
+    "DesignTimeEntry",
+    "DesignTimeStore",
+    "EntryKey",
+    "HybridExecution",
+    "HybridPrefetchHeuristic",
+    "InterTaskPlan",
+    "PlannedPrefetch",
+    "PrefetchRequest",
+    "RuntimeDecision",
+    "TileWindow",
+    "entry_from_dict",
+    "entry_to_dict",
+    "load_store",
+    "plan_intertask_prefetch",
+    "run_time_phase",
+    "save_store",
+    "select_critical_subtasks",
+    "store_from_dict",
+    "store_from_json",
+    "store_to_dict",
+    "store_to_json",
+]

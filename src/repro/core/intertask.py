@@ -1,0 +1,157 @@
+"""Inter-task prefetch optimization.
+
+Prefetch decisions are normally confined to one task because the actual task
+sequence is only known at run-time.  Section 6 of the paper observes that
+the TCM run-time scheduler outputs the sequence of scheduled tasks, so the
+final idle period of the reconfiguration circuitry of the current task can
+be used to start the *initialization phase of the subsequent task*: loading
+its critical subtasks while the current task is still computing.  When the
+whole initialization phase fits in that window, the next task starts with
+zero reconfiguration overhead.
+
+The planner below is pure: it receives the idle window, the prioritized
+configuration requests of the next task and the tiles that may be
+overwritten, and returns which loads to issue and when.  The system
+simulator applies the plan to the shared controller/tile state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class PrefetchRequest:
+    """One configuration the next task would like to have resident."""
+
+    subtask: str
+    configuration: str
+
+
+@dataclass(frozen=True)
+class TileWindow:
+    """A tile that may receive an inter-task prefetch load.
+
+    ``available_from`` is the time from which the current task no longer
+    uses the tile (so it may be reconfigured without disturbing it).
+    """
+
+    tile: int
+    available_from: float
+    resident_configuration: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class PlannedPrefetch:
+    """One inter-task prefetch load decided by the planner."""
+
+    subtask: str
+    configuration: str
+    tile: int
+    start: float
+    finish: float
+
+
+@dataclass(frozen=True)
+class InterTaskPlan:
+    """Set of inter-task prefetch loads issued in the current task's tail."""
+
+    loads: Tuple[PlannedPrefetch, ...]
+    controller_free: float
+
+    @property
+    def prefetched_configurations(self) -> Tuple[str, ...]:
+        """Configurations that will be resident thanks to this plan."""
+        return tuple(load.configuration for load in self.loads)
+
+    @property
+    def prefetched_subtasks(self) -> Tuple[str, ...]:
+        """Subtasks of the next task covered by this plan."""
+        return tuple(load.subtask for load in self.loads)
+
+
+def plan_intertask_prefetch(requests: Sequence[PrefetchRequest],
+                            tiles: Sequence[TileWindow],
+                            controller_free: float,
+                            task_finish: float,
+                            reconfiguration_latency: float,
+                            allow_overrun: bool = True) -> InterTaskPlan:
+    """Plan which critical subtasks of the next task to prefetch.
+
+    Parameters
+    ----------
+    requests:
+        Configurations the next task needs, highest priority first (the
+        design-time initialization order for the hybrid heuristic).
+    tiles:
+        Tiles that may be overwritten, with the time each becomes free.
+        Tiles already holding a requested configuration are skipped as load
+        destinations for *other* requests only after that request is
+        satisfied by reuse (handled by the caller); here a request whose
+        configuration is already resident on one of the offered tiles is
+        simply dropped (nothing to load).
+    controller_free:
+        Time the reconfiguration port becomes idle for the rest of the task.
+    task_finish:
+        Completion time of the current task; only loads that *start* before
+        it belong to the idle tail.
+    reconfiguration_latency:
+        Duration of one load.
+    allow_overrun:
+        When true (default) a load may finish after ``task_finish`` — the
+        remaining part simply delays the next task's own loads; when false,
+        only loads that complete inside the window are planned.
+
+    Returns
+    -------
+    InterTaskPlan
+        The planned loads (possibly empty) and the controller availability
+        after executing them.
+    """
+    if reconfiguration_latency < 0:
+        raise SchedulingError("reconfiguration latency must be non-negative")
+    if task_finish < controller_free:
+        # No idle tail at all: the controller is still busy when the task
+        # ends, so nothing can be prefetched "for free".
+        return InterTaskPlan(loads=(), controller_free=controller_free)
+
+    available: Dict[int, TileWindow] = {window.tile: window for window in tiles}
+    resident = {window.resident_configuration
+                for window in tiles if window.resident_configuration}
+    planned: List[PlannedPrefetch] = []
+    planned_configurations = set()
+    free_at = controller_free
+
+    for request in requests:
+        if request.configuration in planned_configurations:
+            continue
+        if request.configuration in resident:
+            # Already resident on a tile we control — no load needed.
+            continue
+        if not available:
+            break
+        # Choose the tile that allows the earliest start.
+        tile = min(available.values(),
+                   key=lambda window: (max(free_at, window.available_from),
+                                       window.tile))
+        start = max(free_at, tile.available_from)
+        finish = start + reconfiguration_latency
+        if start >= task_finish:
+            break
+        if not allow_overrun and finish > task_finish:
+            break
+        planned.append(PlannedPrefetch(
+            subtask=request.subtask,
+            configuration=request.configuration,
+            tile=tile.tile,
+            start=start,
+            finish=finish,
+        ))
+        planned_configurations.add(request.configuration)
+        del available[tile.tile]
+        free_at = finish
+
+    return InterTaskPlan(loads=tuple(planned), controller_free=free_at)

@@ -1,0 +1,102 @@
+"""Run-time phase of the hybrid prefetch heuristic.
+
+At run-time the hybrid heuristic performs only two cheap steps per task
+(Section 6 of the paper):
+
+1. **Initialization phase** — every critical subtask whose configuration is
+   not already resident is loaded *before* the design-time schedule starts.
+   The loading order was fixed at design-time (heaviest subtask first), so
+   the run-time work is a set-membership check per critical subtask.
+2. **Load cancellation** — non-critical subtasks whose configuration happens
+   to be resident do not need their scheduled load; the load is cancelled
+   without modifying the rest of the design-time schedule (this only saves
+   energy, the timing was already overhead-free).
+
+The decisions are pure data (no timing); the actual timing of the resulting
+execution is produced by :class:`repro.core.hybrid.HybridPrefetchHeuristic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+from .store import DesignTimeEntry
+
+
+@dataclass(frozen=True)
+class RuntimeDecision:
+    """Output of the hybrid heuristic's run-time phase for one task."""
+
+    entry_key: Tuple[str, str, str]
+    initialization_loads: Tuple[str, ...]
+    reused_critical: Tuple[str, ...]
+    cancelled_loads: Tuple[str, ...]
+    performed_loads: Tuple[str, ...]
+    operations: int
+
+    @property
+    def initialization_count(self) -> int:
+        """Number of loads the initialization phase must perform."""
+        return len(self.initialization_loads)
+
+    @property
+    def total_loads(self) -> int:
+        """Total number of loads this task execution will perform."""
+        return len(self.initialization_loads) + len(self.performed_loads)
+
+    @property
+    def cancelled_count(self) -> int:
+        """Number of design-time loads cancelled thanks to reuse."""
+        return len(self.cancelled_loads)
+
+
+def run_time_phase(entry: DesignTimeEntry,
+                   reusable: Iterable[str]) -> RuntimeDecision:
+    """Apply the run-time phase of the hybrid heuristic.
+
+    Parameters
+    ----------
+    entry:
+        Design-time entry of the scenario about to execute.
+    reusable:
+        Subtasks whose configuration the reuse module found resident on the
+        tile they will run on.
+
+    Returns
+    -------
+    RuntimeDecision
+        Which critical subtasks must be loaded during the initialization
+        phase, which design-time loads are cancelled and which are kept.
+        ``operations`` counts the set-membership checks performed, i.e. the
+        entire run-time cost of the hybrid heuristic.
+    """
+    reusable_set: FrozenSet[str] = frozenset(reusable)
+    operations = 0
+
+    initialization = []
+    reused_critical = []
+    for name in entry.critical_subtasks:
+        operations += 1
+        if name in reusable_set:
+            reused_critical.append(name)
+        else:
+            initialization.append(name)
+
+    cancelled = []
+    performed = []
+    for name in entry.non_critical_loads:
+        operations += 1
+        if name in reusable_set:
+            cancelled.append(name)
+        else:
+            performed.append(name)
+
+    return RuntimeDecision(
+        entry_key=entry.key,
+        initialization_loads=tuple(initialization),
+        reused_critical=tuple(reused_critical),
+        cancelled_loads=tuple(cancelled),
+        performed_loads=tuple(performed),
+        operations=operations,
+    )

@@ -1,0 +1,158 @@
+"""Design-time schedule store.
+
+The design-time phase of the hybrid heuristic runs once per (task, scenario,
+Pareto point) combination the TCM design-time scheduler can select, and
+stores everything the run-time phase needs:
+
+* the initial (reconfiguration-free) schedule,
+* the Critical Subtask subset and its weight-ordered load order,
+* the design-time prefetch schedule of the non-critical loads (which hides
+  all of them by construction).
+
+At run-time the store is a read-only lookup table: the run-time scheduler
+identifies the scenario and the Pareto point of every running task, fetches
+the matching :class:`DesignTimeEntry` and only has to decide which critical
+subtasks still need loading — a handful of set-membership checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import ConfigurationError
+from ..scheduling.schedule import PlacedSchedule
+from .critical import CriticalSubtaskResult
+
+#: Key identifying one design-time entry: (task name, scenario name, point key).
+EntryKey = Tuple[str, str, str]
+
+
+@dataclass(frozen=True)
+class DesignTimeEntry:
+    """Everything the run-time phase needs about one schedulable scenario."""
+
+    task_name: str
+    scenario_name: str
+    point_key: str
+    placed: PlacedSchedule
+    critical: CriticalSubtaskResult
+    reconfiguration_latency: float
+
+    @property
+    def key(self) -> EntryKey:
+        """Lookup key of this entry."""
+        return (self.task_name, self.scenario_name, self.point_key)
+
+    @property
+    def ideal_makespan(self) -> float:
+        """Makespan of the reconfiguration-free schedule."""
+        return self.placed.makespan
+
+    @property
+    def critical_subtasks(self) -> Tuple[str, ...]:
+        """The CS subset in the order the initialization phase loads it."""
+        return self.critical.load_order
+
+    @property
+    def critical_configurations(self) -> Tuple[str, ...]:
+        """Configurations of the critical subtasks (initialization order)."""
+        graph = self.placed.graph
+        return tuple(graph.subtask(name).configuration
+                     for name in self.critical.load_order)
+
+    @property
+    def non_critical_loads(self) -> Tuple[str, ...]:
+        """Non-critical loads in design-time prefetch order."""
+        return self.critical.non_critical_loads
+
+    @property
+    def weights(self) -> Dict[str, float]:
+        """Subtask weights (longest path to the end of the graph)."""
+        return dict(self.critical.weights)
+
+    @property
+    def all_configurations(self) -> Tuple[str, ...]:
+        """Configurations of every DRHW subtask of the scenario."""
+        graph = self.placed.graph
+        return tuple(graph.subtask(name).configuration
+                     for name in self.placed.drhw_names)
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by the CLI and reports)."""
+        return (
+            f"{self.task_name}/{self.scenario_name}@{self.point_key}: "
+            f"{len(self.placed.drhw_names)} DRHW subtasks, "
+            f"{len(self.critical.critical)} critical, ideal "
+            f"{self.ideal_makespan:.2f} ms"
+        )
+
+
+class DesignTimeStore:
+    """Container for the design-time entries of a whole application."""
+
+    def __init__(self, entries: Iterable[DesignTimeEntry] = ()) -> None:
+        self._entries: Dict[EntryKey, DesignTimeEntry] = {}
+        for entry in entries:
+            self.add(entry)
+
+    def add(self, entry: DesignTimeEntry) -> None:
+        """Add ``entry``; duplicate keys are rejected."""
+        if entry.key in self._entries:
+            raise ConfigurationError(
+                f"design-time store already contains an entry for {entry.key}"
+            )
+        self._entries[entry.key] = entry
+
+    def get(self, task_name: str, scenario_name: str,
+            point_key: str) -> DesignTimeEntry:
+        """Fetch the entry for one (task, scenario, point) combination."""
+        key = (task_name, scenario_name, point_key)
+        try:
+            return self._entries[key]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no design-time entry for {key}; available keys: "
+                f"{sorted(self._entries)}"
+            ) from exc
+
+    def entries_for_task(self, task_name: str) -> List[DesignTimeEntry]:
+        """All entries of one task (any scenario, any point)."""
+        return [entry for entry in self._entries.values()
+                if entry.task_name == task_name]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[DesignTimeEntry]:
+        return iter(self._entries.values())
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._entries
+
+    @property
+    def keys(self) -> List[EntryKey]:
+        """All entry keys, sorted."""
+        return sorted(self._entries)
+
+    def critical_fraction(self) -> float:
+        """Share of DRHW subtasks that are critical, over the whole store.
+
+        The paper reports this statistic for the 3D-rendering application
+        ("In this experiment 62% of the subtasks are critical").
+        """
+        total = 0
+        critical = 0
+        for entry in self._entries.values():
+            total += len(entry.placed.drhw_names)
+            critical += len(entry.critical.critical)
+        if total == 0:
+            return 0.0
+        return critical / total
+
+    def summary(self) -> str:
+        """Multi-line description of the store contents."""
+        lines = [f"design-time store with {len(self._entries)} entries"]
+        for key in sorted(self._entries):
+            lines.append("  " + self._entries[key].describe())
+        return "\n".join(lines)

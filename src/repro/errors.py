@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch any failure originating in this package with a single ``except``
+clause while still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised when a subtask graph is malformed or used inconsistently."""
+
+
+class CycleError(GraphError):
+    """Raised when a subtask graph contains a dependency cycle."""
+
+
+class UnknownSubtaskError(GraphError):
+    """Raised when an operation references a subtask that is not in the graph."""
+
+
+class DuplicateSubtaskError(GraphError):
+    """Raised when a subtask identifier is added to a graph twice."""
+
+
+class PlatformError(ReproError):
+    """Raised when a platform description is invalid."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler cannot produce a feasible schedule."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """Raised when scheduling constraints cannot all be satisfied."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when simulation or experiment configuration is inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload definition is invalid."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a task scenario is undefined or inconsistent."""

@@ -1,0 +1,52 @@
+"""Experiment drivers: one module per table/figure plus ablations."""
+
+from .ablation import (
+    EngineAblationResult,
+    InterTaskAblationResult,
+    PickMetricResult,
+    ReplacementAblationResult,
+    run_engine_ablation,
+    run_intertask_ablation,
+    run_pick_metric_ablation,
+    run_replacement_ablation,
+)
+from .common import Series, SeriesPoint, format_table, series_from_mapping
+from .energy import EnergyStudyResult, run_energy_study
+from .figure6 import FIGURE6_TILE_COUNTS, Figure6Result, run_figure6
+from .figure7 import FIGURE7_TILE_COUNTS, Figure7Result, run_figure7
+from .hide_rate import HideRateResult, PAPER_MINIMUM_HIDE_RATE, run_hide_rate
+from .latency_sweep import LatencySweepResult, run_latency_sweep
+from .scalability import ScalabilityResult, run_scalability
+from .table1 import Table1Result, run_table1
+
+__all__ = [
+    "EnergyStudyResult",
+    "EngineAblationResult",
+    "FIGURE6_TILE_COUNTS",
+    "FIGURE7_TILE_COUNTS",
+    "Figure6Result",
+    "Figure7Result",
+    "HideRateResult",
+    "InterTaskAblationResult",
+    "LatencySweepResult",
+    "PAPER_MINIMUM_HIDE_RATE",
+    "PickMetricResult",
+    "ReplacementAblationResult",
+    "ScalabilityResult",
+    "Series",
+    "SeriesPoint",
+    "Table1Result",
+    "format_table",
+    "run_energy_study",
+    "run_engine_ablation",
+    "run_figure6",
+    "run_figure7",
+    "run_hide_rate",
+    "run_intertask_ablation",
+    "run_latency_sweep",
+    "run_pick_metric_ablation",
+    "run_replacement_ablation",
+    "run_scalability",
+    "run_table1",
+    "series_from_mapping",
+]

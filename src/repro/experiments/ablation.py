@@ -1,0 +1,300 @@
+"""Ablation studies of the design choices the paper calls out.
+
+Four design decisions of the hybrid heuristic are isolated and measured:
+
+* **Critical-subtask pick metric** — the paper adds the heaviest (longest
+  remaining path) delay-generating subtask to the CS subset; the ablation
+  compares the resulting CS sizes against picking the lightest or the
+  earliest delay generator.
+* **Inter-task optimization** — the run-time improvement of Section 6 is
+  switched off to quantify how much of the hybrid heuristic's quality comes
+  from covering the initialization phase with the previous task's idle tail.
+* **Replacement policy** — LRU (the default) against FIFO, LFU, a
+  deterministic pseudo-random policy and the weight-aware policy.
+* **Design-time prefetch engine** — the branch-and-bound scheduler against
+  the list heuristic of ref. [7] as the engine used during critical-subtask
+  selection (the paper uses branch and bound for small graphs and the
+  heuristic for large ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.critical import CriticalSubtaskSelector, PICK_STRATEGIES
+from ..platform.description import Platform
+from ..reuse.replacement import (
+    FifoReplacement,
+    LfuReplacement,
+    LruReplacement,
+    RandomlikeReplacement,
+    ReplacementPolicy,
+    WeightAwareReplacement,
+)
+from ..scheduling.list_scheduler import build_initial_schedule
+from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
+from ..scheduling.prefetch_list import ListPrefetchScheduler
+from ..sim.approaches import HybridApproach
+from ..sim.simulator import SimulationConfig, SystemSimulator
+from ..workloads.multimedia import (
+    MultimediaWorkload,
+    jpeg_decoder_graph,
+    mpeg_encoder_graph,
+    parallel_jpeg_graph,
+    pattern_recognition_graph,
+)
+from .common import format_table
+
+#: Reconfiguration latency shared by every ablation (ms).
+LATENCY_MS = 4.0
+
+
+# ---------------------------------------------------------------------- #
+# 1. Critical-subtask pick metric
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class PickMetricRow:
+    """CS subset sizes of one graph under different pick strategies."""
+
+    graph_name: str
+    critical_by_strategy: Dict[str, int]
+
+
+@dataclass(frozen=True)
+class PickMetricResult:
+    """CS sizes per pick strategy over the multimedia graphs."""
+
+    rows: Tuple[PickMetricRow, ...]
+
+    def total(self, strategy: str) -> int:
+        """Total CS subtasks over all graphs for one strategy."""
+        return sum(row.critical_by_strategy[strategy] for row in self.rows)
+
+    def format_table(self) -> str:
+        """Render the pick-metric ablation."""
+        headers = ["graph"] + list(PICK_STRATEGIES)
+        rows = [
+            [row.graph_name] + [row.critical_by_strategy[s]
+                                for s in PICK_STRATEGIES]
+            for row in self.rows
+        ]
+        rows.append(["TOTAL"] + [self.total(s) for s in PICK_STRATEGIES])
+        return format_table(headers, rows,
+                            title="Ablation — critical subtasks selected per "
+                                  "pick strategy (fewer is better)")
+
+
+def run_pick_metric_ablation(tile_count: int = 8) -> PickMetricResult:
+    """Compare CS subset sizes for the different pick strategies."""
+    platform = Platform(tile_count=tile_count,
+                        reconfiguration_latency=LATENCY_MS)
+    graphs = [
+        pattern_recognition_graph(),
+        jpeg_decoder_graph(),
+        parallel_jpeg_graph(),
+        mpeg_encoder_graph("B"),
+        mpeg_encoder_graph("P"),
+        mpeg_encoder_graph("I"),
+    ]
+    rows: List[PickMetricRow] = []
+    for graph in graphs:
+        placed = build_initial_schedule(graph, platform)
+        sizes: Dict[str, int] = {}
+        for strategy in PICK_STRATEGIES:
+            selector = CriticalSubtaskSelector(pick=strategy)
+            sizes[strategy] = len(selector.select(placed, LATENCY_MS).critical)
+        rows.append(PickMetricRow(graph_name=graph.name,
+                                  critical_by_strategy=sizes))
+    return PickMetricResult(rows=tuple(rows))
+
+
+# ---------------------------------------------------------------------- #
+# 2. Inter-task optimization on/off
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InterTaskAblationResult:
+    """Hybrid overhead with and without the inter-task optimization."""
+
+    tile_count: int
+    iterations: int
+    overhead_with_intertask: float
+    overhead_without_intertask: float
+
+    @property
+    def improvement_percent_points(self) -> float:
+        """Overhead reduction achieved by the inter-task optimization."""
+        return self.overhead_without_intertask - self.overhead_with_intertask
+
+    def format_table(self) -> str:
+        """Render the inter-task ablation."""
+        headers = ["configuration", "overhead (%)"]
+        rows = [
+            ("hybrid with inter-task prefetch", self.overhead_with_intertask),
+            ("hybrid without inter-task prefetch",
+             self.overhead_without_intertask),
+        ]
+        return format_table(headers, rows,
+                            title=f"Ablation — inter-task optimization "
+                                  f"({self.tile_count} tiles, "
+                                  f"{self.iterations} iterations)")
+
+
+def run_intertask_ablation(tile_count: int = 8, iterations: int = 200,
+                           seed: int = 2005) -> InterTaskAblationResult:
+    """Measure the contribution of the Section 6 inter-task optimization."""
+    workload = MultimediaWorkload()
+    platform = Platform(tile_count=tile_count,
+                        reconfiguration_latency=workload.reconfiguration_latency)
+    config = SimulationConfig(iterations=iterations, seed=seed)
+    results = {}
+    for use_intertask in (True, False):
+        approach = HybridApproach(use_intertask=use_intertask)
+        simulator = SystemSimulator(workload=workload, platform=platform,
+                                    approach=approach, config=config)
+        results[use_intertask] = simulator.run().metrics.overhead_percent
+    return InterTaskAblationResult(
+        tile_count=tile_count,
+        iterations=iterations,
+        overhead_with_intertask=results[True],
+        overhead_without_intertask=results[False],
+    )
+
+
+# ---------------------------------------------------------------------- #
+# 3. Replacement policy
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ReplacementAblationResult:
+    """Hybrid overhead and reuse rate per replacement policy."""
+
+    tile_count: int
+    iterations: int
+    overhead_by_policy: Dict[str, float]
+    reuse_by_policy: Dict[str, float]
+
+    def format_table(self) -> str:
+        """Render the replacement-policy ablation."""
+        headers = ["policy", "overhead (%)", "reuse rate"]
+        rows = [
+            (name, self.overhead_by_policy[name], self.reuse_by_policy[name])
+            for name in sorted(self.overhead_by_policy)
+        ]
+        return format_table(headers, rows,
+                            title=f"Ablation — replacement policy "
+                                  f"({self.tile_count} tiles, "
+                                  f"{self.iterations} iterations)")
+
+
+def run_replacement_ablation(tile_count: int = 8, iterations: int = 200,
+                             seed: int = 2005,
+                             policies: Optional[Sequence[ReplacementPolicy]] = None
+                             ) -> ReplacementAblationResult:
+    """Compare replacement policies under the hybrid approach."""
+    workload = MultimediaWorkload()
+    platform = Platform(tile_count=tile_count,
+                        reconfiguration_latency=workload.reconfiguration_latency)
+    config = SimulationConfig(iterations=iterations, seed=seed)
+    if policies is None:
+        policies = (LruReplacement(), FifoReplacement(), LfuReplacement(),
+                    RandomlikeReplacement(), WeightAwareReplacement())
+    overhead: Dict[str, float] = {}
+    reuse: Dict[str, float] = {}
+    for policy in policies:
+        simulator = SystemSimulator(workload=workload, platform=platform,
+                                    approach=HybridApproach(), config=config,
+                                    replacement=policy)
+        metrics = simulator.run().metrics
+        overhead[policy.name] = metrics.overhead_percent
+        reuse[policy.name] = metrics.reuse_rate
+    return ReplacementAblationResult(
+        tile_count=tile_count,
+        iterations=iterations,
+        overhead_by_policy=overhead,
+        reuse_by_policy=reuse,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# 4. Design-time prefetch engine
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class EngineAblationRow:
+    """Design-time engine comparison for one graph."""
+
+    graph_name: str
+    loads: int
+    optimal_overhead_percent: float
+    heuristic_overhead_percent: float
+    optimal_critical: int
+    heuristic_critical: int
+
+    @property
+    def optimality_gap_percent_points(self) -> float:
+        """Overhead gap between the heuristic and the optimal engine."""
+        return (self.heuristic_overhead_percent
+                - self.optimal_overhead_percent)
+
+
+@dataclass(frozen=True)
+class EngineAblationResult:
+    """Branch-and-bound versus list heuristic as the design-time engine."""
+
+    rows: Tuple[EngineAblationRow, ...]
+
+    @property
+    def maximum_gap(self) -> float:
+        """Worst optimality gap over the studied graphs."""
+        return max(row.optimality_gap_percent_points for row in self.rows)
+
+    def format_table(self) -> str:
+        """Render the engine ablation."""
+        headers = ["graph", "loads", "overhead B&B (%)",
+                   "overhead heuristic (%)", "critical B&B",
+                   "critical heuristic"]
+        rows = [
+            (row.graph_name, row.loads, row.optimal_overhead_percent,
+             row.heuristic_overhead_percent, row.optimal_critical,
+             row.heuristic_critical)
+            for row in self.rows
+        ]
+        return format_table(headers, rows,
+                            title="Ablation — design-time prefetch engine "
+                                  "(branch & bound vs list heuristic)")
+
+
+def run_engine_ablation(tile_count: int = 8) -> EngineAblationResult:
+    """Compare the two design-time prefetch engines on the benchmarks."""
+    platform = Platform(tile_count=tile_count,
+                        reconfiguration_latency=LATENCY_MS)
+    graphs = [
+        pattern_recognition_graph(),
+        jpeg_decoder_graph(),
+        parallel_jpeg_graph(),
+        mpeg_encoder_graph("B"),
+        mpeg_encoder_graph("P"),
+        mpeg_encoder_graph("I"),
+    ]
+    from ..scheduling.base import PrefetchProblem  # local import to avoid cycle
+
+    rows: List[EngineAblationRow] = []
+    for graph in graphs:
+        placed = build_initial_schedule(graph, platform)
+        problem = PrefetchProblem(placed, LATENCY_MS)
+        optimal = OptimalPrefetchScheduler().schedule(problem)
+        heuristic = ListPrefetchScheduler("ideal-start").schedule(problem)
+        optimal_cs = CriticalSubtaskSelector(
+            scheduler=OptimalPrefetchScheduler()
+        ).select(placed, LATENCY_MS)
+        heuristic_cs = CriticalSubtaskSelector(
+            scheduler=ListPrefetchScheduler("ideal-start")
+        ).select(placed, LATENCY_MS)
+        rows.append(EngineAblationRow(
+            graph_name=graph.name,
+            loads=problem.load_count,
+            optimal_overhead_percent=optimal.overhead_percent,
+            heuristic_overhead_percent=heuristic.overhead_percent,
+            optimal_critical=len(optimal_cs.critical),
+            heuristic_critical=len(heuristic_cs.critical),
+        ))
+    return EngineAblationResult(rows=tuple(rows))

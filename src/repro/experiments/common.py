@@ -1,0 +1,96 @@
+"""Shared helpers for the experiment drivers.
+
+Every experiment module produces a result object that knows how to render
+itself as a plain-text table (the same rows/series the paper reports) and
+exposes the underlying numbers so tests and benchmarks can assert on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render a list of rows as a fixed-width text table."""
+    materialized: List[List[str]] = [[_cell(value) for value in row]
+                                     for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(header.ljust(width)
+                            for header, width in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in materialized:
+        lines.append("  ".join(value.ljust(width)
+                               for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    """Format one table cell."""
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent_error(measured: float, reference: float) -> float:
+    """Absolute difference in percentage points between two percentages."""
+    return abs(measured - reference)
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One (x, y) point of an experiment series (e.g. tiles vs overhead)."""
+
+    x: float
+    y: float
+
+
+@dataclass(frozen=True)
+class Series:
+    """A named series of points, e.g. one curve of Figure 6."""
+
+    name: str
+    points: Tuple[SeriesPoint, ...]
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        """The x coordinates of the series."""
+        return tuple(point.x for point in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        """The y coordinates of the series."""
+        return tuple(point.y for point in self.points)
+
+    def value_at(self, x: float) -> float:
+        """The y value at a given x (exact match required)."""
+        for point in self.points:
+            if point.x == x:
+                return point.y
+        raise KeyError(f"series {self.name!r} has no point at x={x}")
+
+    @property
+    def maximum(self) -> float:
+        """Largest y value of the series."""
+        return max(point.y for point in self.points)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest y value of the series."""
+        return min(point.y for point in self.points)
+
+
+def series_from_mapping(name: str, mapping: Mapping[float, float]) -> Series:
+    """Build a :class:`Series` from an ``{x: y}`` mapping."""
+    points = tuple(SeriesPoint(x=float(x), y=float(y))
+                   for x, y in sorted(mapping.items()))
+    return Series(name=name, points=points)

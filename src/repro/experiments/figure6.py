@@ -1,0 +1,141 @@
+"""Figure 6 — overhead of the multimedia mix versus the number of tiles.
+
+The paper simulates 1000 iterations of the four multimedia benchmarks with
+randomly varying task mixes and a 4 ms reconfiguration latency, for tile
+pools between 8 and 16 tiles, under five prefetch approaches:
+
+* no prefetch module at all (23 % overhead, quoted in the text);
+* an optimal design-time prefetch without reuse (7 %, quoted in the text);
+* the fully run-time heuristic of ref. [7] with reuse (about 3 % at 8 tiles);
+* the run-time heuristic plus the inter-task optimization;
+* the hybrid heuristic (both at most 1.3 %, hiding at least 95 % of the
+  original overhead).
+
+This driver reruns that experiment with the reproduction's simulator and
+returns one series per approach (overhead % versus tile count) plus the two
+single-number baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.approaches import (
+    DesignTimePrefetchApproach,
+    HybridApproach,
+    NoPrefetchApproach,
+    RunTimeApproach,
+    RunTimeInterTaskApproach,
+)
+from ..sim.metrics import SimulationMetrics
+from ..sim.simulator import simulate
+from ..workloads.multimedia import MultimediaWorkload, SECTION7_REFERENCE
+from .common import Series, format_table, series_from_mapping
+
+#: Default tile sweep of Figure 6.
+FIGURE6_TILE_COUNTS: Tuple[int, ...] = tuple(range(8, 17))
+#: Approaches whose curves appear in Figure 6.
+FIGURE6_CURVES = ("run-time", "run-time+inter-task", "hybrid")
+
+
+@dataclass(frozen=True)
+class Figure6Result:
+    """Measured Figure 6 series plus the text-quoted baselines."""
+
+    tile_counts: Tuple[int, ...]
+    series: Dict[str, Series]
+    baselines: Dict[str, float]
+    metrics: Dict[Tuple[str, int], SimulationMetrics]
+    iterations: int
+
+    def curve(self, approach: str) -> Series:
+        """Overhead-vs-tiles series of one approach."""
+        return self.series[approach]
+
+    def hidden_fraction(self, approach: str, tile_count: int) -> float:
+        """Share of the no-prefetch overhead hidden by ``approach``."""
+        baseline = self.metrics[("no-prefetch", tile_count)]
+        candidate = self.metrics[(approach, tile_count)]
+        return candidate.hidden_fraction(baseline.total_overhead)
+
+    def format_table(self) -> str:
+        """Render the figure as a table (one row per tile count)."""
+        headers = ["tiles"] + list(FIGURE6_CURVES) + ["no-prefetch",
+                                                      "design-time"]
+        rows = []
+        for tiles in self.tile_counts:
+            row: List[object] = [tiles]
+            for approach in FIGURE6_CURVES:
+                row.append(self.series[approach].value_at(tiles))
+            row.append(self.metrics[("no-prefetch", tiles)].overhead_percent)
+            row.append(self.metrics[("design-time", tiles)].overhead_percent)
+            rows.append(row)
+        table = format_table(
+            headers, rows,
+            title="Figure 6 — reconfiguration overhead (%) vs number of "
+                  "DRHW tiles (multimedia mix)",
+        )
+        reference = (
+            "paper: no-prefetch 23%, design-time 7%, run-time ~3% @8 tiles, "
+            "hybrid and run-time+inter-task <= 1.3% (>= 95% hidden)"
+        )
+        return f"{table}\n{reference}"
+
+
+def run_figure6(tile_counts: Sequence[int] = FIGURE6_TILE_COUNTS,
+                iterations: int = 300, seed: int = 2005,
+                include_baselines: bool = True) -> Figure6Result:
+    """Rerun the Figure 6 sweep.
+
+    ``iterations`` defaults to 300 to keep the harness fast; the paper uses
+    1000, which the CLI and the benchmark accept as an option.
+    """
+    workload = MultimediaWorkload()
+    approach_factories = {
+        "no-prefetch": NoPrefetchApproach,
+        "design-time": DesignTimePrefetchApproach,
+        "run-time": RunTimeApproach,
+        "run-time+inter-task": RunTimeInterTaskApproach,
+        "hybrid": HybridApproach,
+    }
+    if not include_baselines:
+        approach_factories = {name: factory
+                              for name, factory in approach_factories.items()
+                              if name in FIGURE6_CURVES}
+
+    metrics: Dict[Tuple[str, int], SimulationMetrics] = {}
+    for name, factory in approach_factories.items():
+        for tiles in tile_counts:
+            result = simulate(workload, tiles, factory(),
+                              iterations=iterations, seed=seed)
+            metrics[(name, tiles)] = result.metrics
+
+    series = {
+        name: series_from_mapping(
+            name,
+            {tiles: metrics[(name, tiles)].overhead_percent
+             for tiles in tile_counts},
+        )
+        for name in approach_factories
+        if name in FIGURE6_CURVES
+    }
+    baselines = {}
+    if include_baselines:
+        reference_tiles = tile_counts[0]
+        baselines = {
+            "no-prefetch": metrics[("no-prefetch", reference_tiles)].overhead_percent,
+            "design-time": metrics[("design-time", reference_tiles)].overhead_percent,
+        }
+    return Figure6Result(
+        tile_counts=tuple(tile_counts),
+        series=series,
+        baselines=baselines,
+        metrics=metrics,
+        iterations=iterations,
+    )
+
+
+def reference_values() -> Dict[str, float]:
+    """The Section 7 numbers the measured series are compared against."""
+    return dict(SECTION7_REFERENCE)

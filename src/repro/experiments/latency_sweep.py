@@ -1,0 +1,111 @@
+"""Overhead versus reconfiguration latency (the Section 4 motivation).
+
+Section 4 motivates the hybrid heuristic with the arrival of coarse-grain
+reconfigurable arrays: their reconfiguration latency is much smaller than an
+FPGA's, which makes finer-grained subtasks attractive and multiplies the
+number of reconfigurations the scheduler has to handle.  This study sweeps
+the reconfiguration latency from coarse-grain-like values (a fraction of a
+millisecond) up to the paper's 4 ms FPGA value and reports the overhead of
+the no-prefetch baseline, the run-time heuristic and the hybrid heuristic on
+the multimedia mix, plus the fraction of subtasks that become critical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..core.hybrid import HybridPrefetchHeuristic
+from ..platform.description import Platform
+from ..sim.approaches import HybridApproach, NoPrefetchApproach, RunTimeApproach
+from ..sim.simulator import SimulationConfig, SystemSimulator
+from ..tcm.design_time import TcmDesignTimeScheduler
+from ..workloads.multimedia import MultimediaWorkload, multimedia_task_set
+from .common import format_table
+
+#: Latencies swept by default (ms): coarse-grain arrays to Virtex-II tiles.
+DEFAULT_LATENCIES: Tuple[float, ...] = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+@dataclass(frozen=True)
+class LatencyRow:
+    """Overheads measured for one reconfiguration latency."""
+
+    latency_ms: float
+    no_prefetch_percent: float
+    run_time_percent: float
+    hybrid_percent: float
+    critical_fraction: float
+
+
+@dataclass(frozen=True)
+class LatencySweepResult:
+    """Overhead as a function of the reconfiguration latency."""
+
+    tile_count: int
+    iterations: int
+    rows: Tuple[LatencyRow, ...]
+
+    def row(self, latency_ms: float) -> LatencyRow:
+        """The row measured for one latency value."""
+        for candidate in self.rows:
+            if candidate.latency_ms == latency_ms:
+                return candidate
+        raise KeyError(f"no latency row for {latency_ms} ms")
+
+    def format_table(self) -> str:
+        """Render the latency sweep."""
+        headers = ["latency (ms)", "no-prefetch (%)", "run-time (%)",
+                   "hybrid (%)", "critical fraction"]
+        body = [
+            (row.latency_ms, row.no_prefetch_percent, row.run_time_percent,
+             row.hybrid_percent, row.critical_fraction)
+            for row in self.rows
+        ]
+        table = format_table(
+            headers, body,
+            title=f"Overhead vs reconfiguration latency (multimedia mix, "
+                  f"{self.tile_count} tiles, {self.iterations} iterations)",
+        )
+        note = ("smaller latencies (coarse-grain arrays) shrink both the "
+                "overhead and the critical-subtask fraction; larger "
+                "latencies make active prefetch scheduling indispensable")
+        return f"{table}\n{note}"
+
+
+def _critical_fraction(latency: float, tile_count: int) -> float:
+    """Fraction of critical subtasks for the executed (fastest) schedules."""
+    platform = Platform(tile_count=tile_count, reconfiguration_latency=latency)
+    design = TcmDesignTimeScheduler(platform).explore(multimedia_task_set())
+    hybrid = HybridPrefetchHeuristic(latency)
+    schedules = []
+    for (task_name, scenario_name), curve in sorted(design.curves.items()):
+        fastest = curve.fastest()
+        schedules.append((task_name, scenario_name, fastest.key, fastest.placed))
+    return hybrid.build_store(schedules).critical_fraction()
+
+
+def run_latency_sweep(latencies: Sequence[float] = DEFAULT_LATENCIES,
+                      tile_count: int = 8, iterations: int = 150,
+                      seed: int = 2005) -> LatencySweepResult:
+    """Measure the overhead of three approaches for each latency value."""
+    rows: List[LatencyRow] = []
+    for latency in latencies:
+        workload = MultimediaWorkload(reconfiguration_latency=latency)
+        platform = Platform(tile_count=tile_count,
+                            reconfiguration_latency=latency)
+        config = SimulationConfig(iterations=iterations, seed=seed)
+        overheads: Dict[str, float] = {}
+        for factory in (NoPrefetchApproach, RunTimeApproach, HybridApproach):
+            simulator = SystemSimulator(workload=workload, platform=platform,
+                                        approach=factory(), config=config)
+            overheads[factory.name] = simulator.run().metrics.overhead_percent
+        rows.append(LatencyRow(
+            latency_ms=latency,
+            no_prefetch_percent=overheads["no-prefetch"],
+            run_time_percent=overheads["run-time"],
+            hybrid_percent=overheads["hybrid"],
+            critical_fraction=_critical_fraction(latency, tile_count),
+        ))
+    return LatencySweepResult(tile_count=tile_count, iterations=iterations,
+                              rows=tuple(rows))

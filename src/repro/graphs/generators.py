@@ -1,0 +1,295 @@
+"""Synthetic subtask-graph generators.
+
+The paper evaluates its heuristics on hand-crafted multimedia task graphs
+(Table 1) and on a 3D-rendering application; the scalability discussion in
+Section 4 additionally refers to graphs whose size is scaled up by large
+factors.  These generators produce structurally realistic DAGs (layered
+graphs in the style of TGFF, series-parallel graphs, fork-join pipelines,
+and independent subtask sets) so that the scalability and ablation
+benchmarks, the property-based tests and the synthetic workloads all share
+one source of graphs.
+
+All generators are deterministic given a :class:`random.Random` instance or
+an integer seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import GraphError
+from .subtask import ResourceClass, Subtask
+from .taskgraph import TaskGraph
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _as_rng(seed: RandomLike) -> random.Random:
+    """Normalize ``seed`` into a :class:`random.Random` instance."""
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+@dataclass(frozen=True)
+class ExecutionTimeModel:
+    """Distribution of subtask execution times (in milliseconds).
+
+    Times are drawn uniformly from ``[minimum, maximum]``.  The defaults
+    mirror the 3D-rendering application of the paper, whose subtask times
+    range from 0.2 ms to 30 ms with a mean of about 5.7 ms.
+    """
+
+    minimum: float = 0.2
+    maximum: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.minimum <= 0:
+            raise GraphError("minimum execution time must be positive")
+        if self.maximum < self.minimum:
+            raise GraphError("maximum execution time must be >= minimum")
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one execution time."""
+        return rng.uniform(self.minimum, self.maximum)
+
+
+def chain(name: str, length: int, times: Optional[Sequence[float]] = None,
+          time_model: ExecutionTimeModel = ExecutionTimeModel(),
+          seed: RandomLike = 0) -> TaskGraph:
+    """Generate a purely sequential graph of ``length`` subtasks."""
+    if length <= 0:
+        raise GraphError("chain length must be positive")
+    rng = _as_rng(seed)
+    graph = TaskGraph(name)
+    previous: Optional[str] = None
+    for index in range(length):
+        execution_time = (times[index] if times is not None
+                          else time_model.sample(rng))
+        subtask = Subtask(name=f"{name}_s{index}", execution_time=execution_time)
+        graph.add_subtask(subtask)
+        if previous is not None:
+            graph.add_dependency(previous, subtask.name)
+        previous = subtask.name
+    return graph
+
+
+def independent_set(name: str, count: int,
+                    time_model: ExecutionTimeModel = ExecutionTimeModel(),
+                    seed: RandomLike = 0) -> TaskGraph:
+    """Generate ``count`` subtasks with no dependencies at all."""
+    if count <= 0:
+        raise GraphError("subtask count must be positive")
+    rng = _as_rng(seed)
+    graph = TaskGraph(name)
+    for index in range(count):
+        graph.add_subtask(
+            Subtask(name=f"{name}_s{index}",
+                    execution_time=time_model.sample(rng))
+        )
+    return graph
+
+
+def layered_dag(name: str, layers: int, width: int,
+                edge_probability: float = 0.5,
+                time_model: ExecutionTimeModel = ExecutionTimeModel(),
+                seed: RandomLike = 0) -> TaskGraph:
+    """Generate a layered random DAG (TGFF-style).
+
+    Subtasks are organized in ``layers`` layers of up to ``width`` subtasks.
+    Every subtask (except those in the first layer) receives at least one
+    predecessor from the previous layer; additional edges from the previous
+    layer are added independently with ``edge_probability``.
+    """
+    if layers <= 0 or width <= 0:
+        raise GraphError("layers and width must be positive")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError("edge_probability must lie in [0, 1]")
+    rng = _as_rng(seed)
+    graph = TaskGraph(name)
+    previous_layer: List[str] = []
+    counter = 0
+    for layer in range(layers):
+        layer_size = rng.randint(1, width)
+        current_layer: List[str] = []
+        for _ in range(layer_size):
+            subtask = Subtask(name=f"{name}_s{counter}",
+                              execution_time=time_model.sample(rng))
+            graph.add_subtask(subtask)
+            current_layer.append(subtask.name)
+            counter += 1
+        if previous_layer:
+            for consumer in current_layer:
+                producers = [p for p in previous_layer
+                             if rng.random() < edge_probability]
+                if not producers:
+                    producers = [rng.choice(previous_layer)]
+                for producer in producers:
+                    graph.add_dependency(producer, consumer)
+        previous_layer = current_layer
+    return graph
+
+
+def series_parallel(name: str, depth: int, fan_out: int = 2,
+                    time_model: ExecutionTimeModel = ExecutionTimeModel(),
+                    seed: RandomLike = 0) -> TaskGraph:
+    """Generate a recursive series-parallel graph.
+
+    A depth-``d`` block is either a single subtask (``d == 0``) or the series
+    composition of a fork subtask, ``fan_out`` parallel depth-``d-1`` blocks
+    and a join subtask.  Such graphs resemble the decode/transform/encode
+    pipelines of multimedia codecs.
+    """
+    if depth < 0:
+        raise GraphError("depth must be non-negative")
+    if fan_out <= 0:
+        raise GraphError("fan_out must be positive")
+    rng = _as_rng(seed)
+    graph = TaskGraph(name)
+    counter = [0]
+
+    def new_subtask() -> str:
+        subtask = Subtask(name=f"{name}_s{counter[0]}",
+                          execution_time=time_model.sample(rng))
+        graph.add_subtask(subtask)
+        counter[0] += 1
+        return subtask.name
+
+    def build(block_depth: int) -> Tuple[str, str]:
+        if block_depth == 0:
+            only = new_subtask()
+            return only, only
+        fork = new_subtask()
+        join = new_subtask()
+        for _ in range(fan_out):
+            head, tail = build(block_depth - 1)
+            graph.add_dependency(fork, head)
+            graph.add_dependency(tail, join)
+        return fork, join
+
+    build(depth)
+    return graph
+
+
+def random_dag(name: str, count: int, edge_probability: float = 0.2,
+               time_model: ExecutionTimeModel = ExecutionTimeModel(),
+               seed: RandomLike = 0) -> TaskGraph:
+    """Generate a random DAG over ``count`` subtasks.
+
+    An edge ``i -> j`` (with ``i < j`` in a random topological order) is
+    added independently with ``edge_probability``, which keeps the graph
+    acyclic by construction.
+    """
+    if count <= 0:
+        raise GraphError("subtask count must be positive")
+    if not 0.0 <= edge_probability <= 1.0:
+        raise GraphError("edge_probability must lie in [0, 1]")
+    rng = _as_rng(seed)
+    graph = TaskGraph(name)
+    names = []
+    for index in range(count):
+        subtask = Subtask(name=f"{name}_s{index}",
+                          execution_time=time_model.sample(rng))
+        graph.add_subtask(subtask)
+        names.append(subtask.name)
+    order = list(names)
+    rng.shuffle(order)
+    for i in range(len(order)):
+        for j in range(i + 1, len(order)):
+            if rng.random() < edge_probability:
+                graph.add_dependency(order[i], order[j])
+    return graph
+
+
+def multimedia_like(name: str, subtask_count: int,
+                    reconfiguration_latency: float = 4.0,
+                    granularity: float = 4.0,
+                    seed: RandomLike = 0) -> TaskGraph:
+    """Generate a graph whose timing resembles the paper's multimedia tasks.
+
+    ``granularity`` controls the ratio between the mean subtask execution
+    time and the reconfiguration latency; the paper's Table 1 tasks have
+    mean execution times of roughly 2x-5x the 4 ms reconfiguration latency,
+    while the 3D-rendering application sits close to 1.4x.
+    """
+    if subtask_count <= 0:
+        raise GraphError("subtask_count must be positive")
+    if granularity <= 0:
+        raise GraphError("granularity must be positive")
+    rng = _as_rng(seed)
+    mean_time = reconfiguration_latency * granularity
+    time_model = ExecutionTimeModel(minimum=max(0.2, mean_time * 0.25),
+                                    maximum=mean_time * 1.75)
+    width = max(1, round(subtask_count ** 0.5))
+    layers = max(1, (subtask_count + width - 1) // width)
+    graph = layered_dag(name, layers=layers, width=width,
+                        edge_probability=0.6, time_model=time_model, seed=rng)
+    # The layered generator draws a random width per layer, so top up or trim
+    # to reach the requested subtask count exactly.
+    while len(graph) < subtask_count:
+        extra = Subtask(name=f"{name}_x{len(graph)}",
+                        execution_time=time_model.sample(rng))
+        graph.add_subtask(extra)
+        anchor = rng.choice([s for s in graph.subtask_names
+                             if s != extra.name])
+        graph.add_dependency(anchor, extra.name)
+    if len(graph) > subtask_count:
+        trimmed = TaskGraph(name)
+        keep = graph.topological_order()[:subtask_count]
+        keep_set = set(keep)
+        for kept in keep:
+            trimmed.add_subtask(graph.subtask(kept))
+        for producer, consumer in graph.dependencies():
+            if producer in keep_set and consumer in keep_set:
+                trimmed.add_dependency(producer, consumer)
+        return trimmed
+    return graph
+
+
+def scaled_family(base_name: str, sizes: Sequence[int],
+                  edge_probability: float = 0.3,
+                  time_model: ExecutionTimeModel = ExecutionTimeModel(),
+                  seed: RandomLike = 0) -> List[TaskGraph]:
+    """Generate a family of random DAGs of increasing sizes.
+
+    Used by the scalability benchmark that reproduces the Section 4
+    observation that the run-time heuristic's cost grows super-linearly with
+    the number of subtasks.
+    """
+    rng = _as_rng(seed)
+    graphs = []
+    for size in sizes:
+        graphs.append(
+            random_dag(f"{base_name}_{size}", count=size,
+                       edge_probability=edge_probability,
+                       time_model=time_model, seed=rng)
+        )
+    return graphs
+
+
+def with_isp_fraction(graph: TaskGraph, fraction: float,
+                      seed: RandomLike = 0) -> TaskGraph:
+    """Return a copy of ``graph`` with a fraction of subtasks moved to ISPs.
+
+    Heterogeneous platforms run part of the application on instruction-set
+    processors; those subtasks never require reconfigurations.  ``fraction``
+    is the approximate share of subtasks remapped to ISPs.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise GraphError("fraction must lie in [0, 1]")
+    rng = _as_rng(seed)
+    clone = TaskGraph(graph.name)
+    for subtask in graph:
+        resource = (ResourceClass.ISP if rng.random() < fraction
+                    else subtask.resource)
+        clone.add_subtask(
+            Subtask(name=subtask.name, execution_time=subtask.execution_time,
+                    resource=resource, configuration=subtask.configuration,
+                    energy=subtask.energy)
+        )
+    for producer, consumer in graph.dependencies():
+        clone.add_dependency(producer, consumer,
+                             data_size=graph.data_size(producer, consumer))
+    return clone

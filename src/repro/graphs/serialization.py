@@ -1,0 +1,118 @@
+"""(De)serialization of task graphs.
+
+Graphs round-trip through plain dictionaries (and therefore JSON), which is
+how workload definitions are stored on disk and exchanged with external
+tools.  The format is intentionally simple::
+
+    {
+      "name": "jpeg_decoder",
+      "subtasks": [
+        {"name": "vld", "execution_time": 20.25, "resource": "drhw",
+         "configuration": "vld", "energy": 1.0},
+        ...
+      ],
+      "dependencies": [
+        {"producer": "vld", "consumer": "iq", "data_size": 64.0},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from ..errors import GraphError
+from .subtask import ResourceClass, Subtask
+from .taskgraph import TaskGraph
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Convert ``graph`` into a JSON-serializable dictionary."""
+    return {
+        "name": graph.name,
+        "subtasks": [
+            {
+                "name": subtask.name,
+                "execution_time": subtask.execution_time,
+                "resource": subtask.resource.value,
+                "configuration": subtask.configuration,
+                "energy": subtask.energy,
+            }
+            for subtask in graph
+        ],
+        "dependencies": [
+            {
+                "producer": producer,
+                "consumer": consumer,
+                "data_size": graph.data_size(producer, consumer),
+            }
+            for producer, consumer in graph.dependencies()
+        ],
+    }
+
+
+def graph_from_dict(payload: Dict[str, Any]) -> TaskGraph:
+    """Rebuild a :class:`TaskGraph` from :func:`graph_to_dict` output."""
+    try:
+        name = payload["name"]
+        subtask_payloads = payload["subtasks"]
+        dependency_payloads = payload.get("dependencies", [])
+    except (KeyError, TypeError) as exc:
+        raise GraphError(f"malformed task-graph payload: {exc}") from exc
+
+    graph = TaskGraph(name)
+    for item in subtask_payloads:
+        try:
+            graph.add_subtask(
+                Subtask(
+                    name=item["name"],
+                    execution_time=float(item["execution_time"]),
+                    resource=ResourceClass(item.get("resource", "drhw")),
+                    configuration=item.get("configuration"),
+                    energy=float(item.get("energy", 0.0)),
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphError(f"malformed subtask entry {item!r}: {exc}") from exc
+    for item in dependency_payloads:
+        try:
+            graph.add_dependency(
+                item["producer"],
+                item["consumer"],
+                data_size=float(item.get("data_size", 0.0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise GraphError(f"malformed dependency entry {item!r}: {exc}") from exc
+    return graph
+
+
+def graph_to_json(graph: TaskGraph, indent: int = 2) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=False)
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    """Deserialize a graph from a JSON string."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON for task graph: {exc}") from exc
+    return graph_from_dict(payload)
+
+
+def save_graph(graph: TaskGraph, path: Union[str, Path]) -> Path:
+    """Write ``graph`` as JSON to ``path`` and return the path."""
+    destination = Path(path)
+    destination.write_text(graph_to_json(graph), encoding="utf-8")
+    return destination
+
+
+def load_graph(path: Union[str, Path]) -> TaskGraph:
+    """Read a graph previously written by :func:`save_graph`."""
+    source = Path(path)
+    if not source.exists():
+        raise GraphError(f"task-graph file {source} does not exist")
+    return graph_from_json(source.read_text(encoding="utf-8"))

@@ -1,0 +1,316 @@
+"""Subtask graphs.
+
+A :class:`TaskGraph` is the static description of one *scenario* of a task:
+a directed acyclic graph whose nodes are :class:`~repro.graphs.subtask.Subtask`
+instances and whose edges express precedence (optionally annotated with the
+amount of data communicated between producer and consumer, used by the ICN
+communication model).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import (
+    CycleError,
+    DuplicateSubtaskError,
+    GraphError,
+    UnknownSubtaskError,
+)
+from .subtask import ResourceClass, Subtask
+
+
+class TaskGraph:
+    """A directed acyclic graph of subtasks.
+
+    The graph is a thin, validated wrapper around a :class:`networkx.DiGraph`
+    so that the rest of the library can rely on a stable, typed interface
+    while analyses (longest paths, topological orders, ...) can still use the
+    full networkx toolbox through :attr:`nx_graph`.
+    """
+
+    def __init__(self, name: str, subtasks: Iterable[Subtask] = (),
+                 dependencies: Iterable[Tuple[str, str]] = ()) -> None:
+        if not name:
+            raise GraphError("task graph name must be a non-empty string")
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._subtasks: Dict[str, Subtask] = {}
+        for subtask in subtasks:
+            self.add_subtask(subtask)
+        for producer, consumer in dependencies:
+            self.add_dependency(producer, consumer)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    def add_subtask(self, subtask: Subtask) -> Subtask:
+        """Add ``subtask`` to the graph and return it.
+
+        Raises
+        ------
+        DuplicateSubtaskError
+            If a subtask with the same name is already present.
+        """
+        if subtask.name in self._subtasks:
+            raise DuplicateSubtaskError(
+                f"subtask {subtask.name!r} already present in graph {self.name!r}"
+            )
+        self._subtasks[subtask.name] = subtask
+        self._graph.add_node(subtask.name)
+        return subtask
+
+    def add_dependency(self, producer: str, consumer: str,
+                       data_size: float = 0.0) -> None:
+        """Add a precedence edge ``producer -> consumer``.
+
+        ``data_size`` is the amount of data (in abstract units, e.g. bytes)
+        transferred over the interconnection network; it is only consulted by
+        the optional ICN communication-latency model.
+        """
+        for endpoint in (producer, consumer):
+            if endpoint not in self._subtasks:
+                raise UnknownSubtaskError(
+                    f"cannot add dependency: subtask {endpoint!r} is not part "
+                    f"of graph {self.name!r}"
+                )
+        if producer == consumer:
+            raise CycleError(
+                f"self-dependency on subtask {producer!r} is not allowed"
+            )
+        if data_size < 0:
+            raise GraphError("data_size must be non-negative")
+        self._graph.add_edge(producer, consumer, data_size=data_size)
+        if not nx.is_directed_acyclic_graph(self._graph):
+            self._graph.remove_edge(producer, consumer)
+            raise CycleError(
+                f"adding dependency {producer!r} -> {consumer!r} would create "
+                f"a cycle in graph {self.name!r}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def nx_graph(self) -> nx.DiGraph:
+        """The underlying :class:`networkx.DiGraph` (nodes are subtask names)."""
+        return self._graph
+
+    def __len__(self) -> int:
+        return len(self._subtasks)
+
+    def __iter__(self) -> Iterator[Subtask]:
+        return iter(self._subtasks.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._subtasks
+
+    def subtask(self, name: str) -> Subtask:
+        """Return the subtask called ``name``."""
+        try:
+            return self._subtasks[name]
+        except KeyError as exc:
+            raise UnknownSubtaskError(
+                f"subtask {name!r} is not part of graph {self.name!r}"
+            ) from exc
+
+    @property
+    def subtask_names(self) -> List[str]:
+        """Names of all subtasks, in insertion order."""
+        return list(self._subtasks)
+
+    @property
+    def subtasks(self) -> List[Subtask]:
+        """All subtasks, in insertion order."""
+        return list(self._subtasks.values())
+
+    @property
+    def drhw_subtasks(self) -> List[Subtask]:
+        """Subtasks mapped onto DRHW tiles (the ones that may need loads)."""
+        return [s for s in self._subtasks.values()
+                if s.resource is ResourceClass.DRHW]
+
+    @property
+    def isp_subtasks(self) -> List[Subtask]:
+        """Subtasks mapped onto instruction-set processors."""
+        return [s for s in self._subtasks.values()
+                if s.resource is ResourceClass.ISP]
+
+    @property
+    def configurations(self) -> List[str]:
+        """Distinct configuration identifiers used by the DRHW subtasks."""
+        seen: Dict[str, None] = {}
+        for subtask in self.drhw_subtasks:
+            seen.setdefault(subtask.configuration, None)
+        return list(seen)
+
+    def dependencies(self) -> List[Tuple[str, str]]:
+        """All precedence edges as ``(producer, consumer)`` pairs."""
+        return list(self._graph.edges())
+
+    def data_size(self, producer: str, consumer: str) -> float:
+        """Data transferred over the edge ``producer -> consumer``."""
+        try:
+            return float(self._graph.edges[producer, consumer]["data_size"])
+        except KeyError as exc:
+            raise GraphError(
+                f"no dependency {producer!r} -> {consumer!r} in graph "
+                f"{self.name!r}"
+            ) from exc
+
+    def predecessors(self, name: str) -> List[str]:
+        """Names of the direct predecessors of ``name``."""
+        self.subtask(name)
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        """Names of the direct successors of ``name``."""
+        self.subtask(name)
+        return list(self._graph.successors(name))
+
+    def sources(self) -> List[str]:
+        """Subtasks with no predecessors."""
+        return [n for n in self._subtasks if self._graph.in_degree(n) == 0]
+
+    def sinks(self) -> List[str]:
+        """Subtasks with no successors."""
+        return [n for n in self._subtasks if self._graph.out_degree(n) == 0]
+
+    def topological_order(self) -> List[str]:
+        """A deterministic topological ordering of the subtask names.
+
+        Ties are broken by insertion order so that repeated calls (and
+        therefore every scheduler built on top of this method) are fully
+        deterministic.
+        """
+        order_index = {name: i for i, name in enumerate(self._subtasks)}
+        return list(
+            nx.lexicographical_topological_sort(
+                self._graph, key=lambda n: order_index[n]
+            )
+        )
+
+    def execution_time(self, name: str) -> float:
+        """Execution time of the subtask called ``name``."""
+        return self.subtask(name).execution_time
+
+    @property
+    def total_execution_time(self) -> float:
+        """Sum of all subtask execution times (serial lower bound on work)."""
+        return sum(s.execution_time for s in self._subtasks.values())
+
+    def critical_path_length(self) -> float:
+        """Length (in time) of the longest path through the graph.
+
+        This is the makespan lower bound for any schedule, i.e. the "ideal
+        execution time" when an unlimited number of tiles is available and
+        reconfiguration is free.
+        """
+        if not self._subtasks:
+            return 0.0
+        finish: Dict[str, float] = {}
+        for name in self.topological_order():
+            ready = max((finish[p] for p in self._graph.predecessors(name)),
+                        default=0.0)
+            finish[name] = ready + self._subtasks[name].execution_time
+        return max(finish.values())
+
+    def ancestors(self, name: str) -> List[str]:
+        """All transitive predecessors of ``name``."""
+        self.subtask(name)
+        return sorted(nx.ancestors(self._graph, name))
+
+    def descendants(self, name: str) -> List[str]:
+        """All transitive successors of ``name``."""
+        self.subtask(name)
+        return sorted(nx.descendants(self._graph, name))
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+    def copy(self, name: Optional[str] = None) -> "TaskGraph":
+        """Return a deep copy of the graph, optionally renamed."""
+        clone = TaskGraph(name or self.name)
+        for subtask in self._subtasks.values():
+            clone.add_subtask(subtask)
+        for producer, consumer, data in self._graph.edges(data=True):
+            clone.add_dependency(producer, consumer,
+                                 data_size=data.get("data_size", 0.0))
+        return clone
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "TaskGraph":
+        """Return a copy with all execution times multiplied by ``factor``."""
+        clone = TaskGraph(name or self.name)
+        for subtask in self._subtasks.values():
+            clone.add_subtask(subtask.scaled(factor))
+        for producer, consumer, data in self._graph.edges(data=True):
+            clone.add_dependency(producer, consumer,
+                                 data_size=data.get("data_size", 0.0))
+        return clone
+
+    def relabeled(self, prefix: str, name: Optional[str] = None) -> "TaskGraph":
+        """Return a copy whose subtask and configuration names get ``prefix``.
+
+        Useful when several instances of structurally identical graphs must
+        coexist in one workload without sharing configurations.
+        """
+        clone = TaskGraph(name or f"{prefix}{self.name}")
+        for subtask in self._subtasks.values():
+            clone.add_subtask(
+                Subtask(
+                    name=f"{prefix}{subtask.name}",
+                    execution_time=subtask.execution_time,
+                    resource=subtask.resource,
+                    configuration=f"{prefix}{subtask.configuration}",
+                    energy=subtask.energy,
+                )
+            )
+        for producer, consumer, data in self._graph.edges(data=True):
+            clone.add_dependency(f"{prefix}{producer}", f"{prefix}{consumer}",
+                                 data_size=data.get("data_size", 0.0))
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Misc
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"TaskGraph(name={self.name!r}, subtasks={len(self)}, "
+            f"dependencies={self._graph.number_of_edges()})"
+        )
+
+
+def chain_graph(name: str, execution_times: Sequence[float],
+                prefix: str = "s") -> TaskGraph:
+    """Build a purely sequential task graph ``s0 -> s1 -> ... -> sN``."""
+    graph = TaskGraph(name)
+    previous: Optional[str] = None
+    for index, execution_time in enumerate(execution_times):
+        subtask = Subtask(name=f"{prefix}{index}", execution_time=execution_time)
+        graph.add_subtask(subtask)
+        if previous is not None:
+            graph.add_dependency(previous, subtask.name)
+        previous = subtask.name
+    return graph
+
+
+def fork_join_graph(name: str, fork_time: float,
+                    branch_times: Sequence[float], join_time: float,
+                    prefix: str = "s") -> TaskGraph:
+    """Build a fork/join graph: one source, parallel branches, one sink."""
+    graph = TaskGraph(name)
+    source = Subtask(name=f"{prefix}_fork", execution_time=fork_time)
+    sink = Subtask(name=f"{prefix}_join", execution_time=join_time)
+    graph.add_subtask(source)
+    branch_names = []
+    for index, execution_time in enumerate(branch_times):
+        branch = Subtask(name=f"{prefix}{index}", execution_time=execution_time)
+        graph.add_subtask(branch)
+        branch_names.append(branch.name)
+    graph.add_subtask(sink)
+    for branch_name in branch_names:
+        graph.add_dependency(source.name, branch_name)
+        graph.add_dependency(branch_name, sink.name)
+    return graph

@@ -1,0 +1,106 @@
+"""Structural validation of subtask graphs.
+
+The constructors in :mod:`repro.graphs.taskgraph` already reject cycles and
+duplicate names eagerly; this module adds the whole-graph checks that are
+only meaningful once construction has finished (connectivity, sensible
+execution times, configuration sharing rules, ...).  Schedulers call
+:func:`validate_graph` before accepting a graph so that malformed inputs are
+reported with a clear message instead of surfacing as obscure scheduling
+failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import networkx as nx
+
+from ..errors import GraphError
+from .subtask import ResourceClass
+from .taskgraph import TaskGraph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating a task graph.
+
+    ``errors`` are violations that make the graph unusable; ``warnings`` are
+    suspicious-but-legal properties (e.g. a disconnected graph) that are
+    worth surfacing but do not prevent scheduling.
+    """
+
+    graph_name: str
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    @property
+    def is_valid(self) -> bool:
+        """``True`` when no errors were found."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise :class:`~repro.errors.GraphError` when errors were found."""
+        if self.errors:
+            details = "; ".join(self.errors)
+            raise GraphError(
+                f"task graph {self.graph_name!r} failed validation: {details}"
+            )
+
+
+def validate_graph(graph: TaskGraph, require_drhw: bool = False) -> ValidationReport:
+    """Validate ``graph`` and return a :class:`ValidationReport`.
+
+    Parameters
+    ----------
+    graph:
+        The graph to validate.
+    require_drhw:
+        When true, an empty set of DRHW subtasks is reported as an error
+        (the prefetch problem is vacuous without reconfigurable subtasks).
+    """
+    report = ValidationReport(graph_name=graph.name)
+
+    if len(graph) == 0:
+        report.errors.append("graph has no subtasks")
+        return report
+
+    for subtask in graph:
+        if subtask.execution_time <= 0:
+            report.errors.append(
+                f"subtask {subtask.name!r} has non-positive execution time"
+            )
+        if subtask.resource is ResourceClass.DRHW and not subtask.configuration:
+            report.errors.append(
+                f"DRHW subtask {subtask.name!r} has no configuration identifier"
+            )
+
+    if not nx.is_directed_acyclic_graph(graph.nx_graph):
+        report.errors.append("graph contains a dependency cycle")
+
+    if require_drhw and not graph.drhw_subtasks:
+        report.errors.append("graph has no DRHW subtasks")
+
+    undirected = graph.nx_graph.to_undirected()
+    if len(graph) > 1 and not nx.is_connected(undirected):
+        components = nx.number_connected_components(undirected)
+        report.warnings.append(
+            f"graph is disconnected ({components} weakly connected components)"
+        )
+
+    configuration_owners = {}
+    for subtask in graph.drhw_subtasks:
+        owner = configuration_owners.setdefault(subtask.configuration, subtask.name)
+        if owner != subtask.name:
+            report.warnings.append(
+                f"configuration {subtask.configuration!r} is shared by subtasks "
+                f"{owner!r} and {subtask.name!r}"
+            )
+
+    return report
+
+
+def assert_valid(graph: TaskGraph, require_drhw: bool = False) -> TaskGraph:
+    """Validate ``graph`` and return it, raising on any error."""
+    validate_graph(graph, require_drhw=require_drhw).raise_if_invalid()
+    return graph

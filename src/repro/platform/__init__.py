@@ -1,0 +1,27 @@
+"""Models of the reconfigurable platform (tiles, reconfiguration port, ICN)."""
+
+from .description import (
+    DEFAULT_RECONFIGURATION_LATENCY_MS,
+    EnergyModel,
+    Platform,
+    coarse_grain_platform,
+    virtex2_platform,
+)
+from .icn import IcnModel, IcnTopology, mesh_icn, zero_latency_icn
+from .reconfiguration import LoadRecord, ReconfigurationController
+from .tile import TileState
+
+__all__ = [
+    "DEFAULT_RECONFIGURATION_LATENCY_MS",
+    "EnergyModel",
+    "IcnModel",
+    "IcnTopology",
+    "LoadRecord",
+    "Platform",
+    "ReconfigurationController",
+    "TileState",
+    "coarse_grain_platform",
+    "mesh_icn",
+    "virtex2_platform",
+    "zero_latency_icn",
+]

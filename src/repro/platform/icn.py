@@ -1,0 +1,124 @@
+"""Interconnection-network (ICN) model.
+
+The platform of the paper turns an FPGA into a network-on-chip
+multiprocessor: every tile is wrapped by a communication interface and
+attached to an ICN router; tiles exchange data with message-passing
+primitives routed over the network.  For the prefetch-scheduling problem the
+network only matters through the latency it adds between a producer subtask
+finishing and a consumer subtask on another tile being able to start, so the
+model here is a topology plus a per-message latency function.
+
+The default configuration uses zero communication latency, which reproduces
+the paper's timing model (the evaluation does not charge for inter-tile
+messages); the full model is available for sensitivity studies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+from ..errors import PlatformError
+
+
+class IcnTopology(str, Enum):
+    """Supported network-on-chip topologies."""
+
+    MESH = "mesh"
+    RING = "ring"
+    STAR = "star"
+    CROSSBAR = "crossbar"
+
+
+@dataclass(frozen=True)
+class IcnModel:
+    """Latency model of the on-chip interconnection network.
+
+    The latency of sending ``data_size`` units between two tiles is::
+
+        base_latency + hops * hop_latency + data_size / bandwidth
+
+    where ``hops`` depends on the topology.  A ``bandwidth`` of ``0`` (the
+    default) means data-size-dependent latency is disabled.
+
+    Parameters
+    ----------
+    topology:
+        Network topology used to compute hop counts.
+    base_latency:
+        Fixed per-message overhead (ms).
+    hop_latency:
+        Additional latency per router hop (ms).
+    bandwidth:
+        Link bandwidth in data units per millisecond; ``0`` disables the
+        serialization term.
+    """
+
+    topology: IcnTopology = IcnTopology.MESH
+    base_latency: float = 0.0
+    hop_latency: float = 0.0
+    bandwidth: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0 or self.hop_latency < 0 or self.bandwidth < 0:
+            raise PlatformError("ICN latency parameters must be non-negative")
+
+    @property
+    def is_zero_latency(self) -> bool:
+        """``True`` when the network adds no latency at all."""
+        return (self.base_latency == 0.0 and self.hop_latency == 0.0
+                and self.bandwidth == 0.0)
+
+    def hops(self, source: int, destination: int, tile_count: int) -> int:
+        """Number of router hops between two tiles for this topology."""
+        if source < 0 or destination < 0:
+            raise PlatformError("tile indices must be non-negative")
+        if tile_count <= 0:
+            raise PlatformError("tile_count must be positive")
+        if source >= tile_count or destination >= tile_count:
+            raise PlatformError(
+                f"tile index out of range for a {tile_count}-tile platform"
+            )
+        if source == destination:
+            return 0
+        if self.topology is IcnTopology.CROSSBAR:
+            return 1
+        if self.topology is IcnTopology.STAR:
+            return 2
+        if self.topology is IcnTopology.RING:
+            clockwise = abs(source - destination)
+            return min(clockwise, tile_count - clockwise)
+        # 2D mesh: place tiles row-major on the most square grid possible.
+        columns = max(1, int(math.ceil(math.sqrt(tile_count))))
+        src_row, src_col = divmod(source, columns)
+        dst_row, dst_col = divmod(destination, columns)
+        return abs(src_row - dst_row) + abs(src_col - dst_col)
+
+    def message_latency(self, source: int, destination: int, tile_count: int,
+                        data_size: float = 0.0) -> float:
+        """Latency of one message between two tiles."""
+        if data_size < 0:
+            raise PlatformError("data_size must be non-negative")
+        if source == destination:
+            return 0.0
+        if self.is_zero_latency:
+            return 0.0
+        latency = self.base_latency
+        latency += self.hops(source, destination, tile_count) * self.hop_latency
+        if self.bandwidth > 0:
+            latency += data_size / self.bandwidth
+        return latency
+
+
+def zero_latency_icn() -> IcnModel:
+    """The ICN model used by the paper's evaluation: free communication."""
+    return IcnModel()
+
+
+def mesh_icn(base_latency: float = 0.05, hop_latency: float = 0.01,
+             bandwidth: float = 0.0) -> IcnModel:
+    """A small-but-nonzero mesh latency model for sensitivity studies."""
+    return IcnModel(topology=IcnTopology.MESH, base_latency=base_latency,
+                    hop_latency=hop_latency, bandwidth=bandwidth)

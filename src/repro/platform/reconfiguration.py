@@ -1,0 +1,129 @@
+"""Reconfiguration controller model.
+
+Partial reconfiguration of the FPGA fabric goes through a single
+configuration port (ICAP on Virtex-class devices), so at any point in time
+at most one tile can be (re)loading its configuration.  Loading one tile
+takes a fixed latency — the paper uses 4 ms, the time needed to reconfigure
+one tenth of a Virtex XC2V6000.
+
+The :class:`ReconfigurationController` keeps the busy/idle timeline of that
+single port so that schedulers and the system simulator can reason about
+when the next load may start and how much idle time remains at the end of a
+task (the window exploited by the inter-task optimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import PlatformError
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """One completed configuration load on the reconfiguration port."""
+
+    configuration: str
+    tile: int
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        """Time the load occupied the reconfiguration port."""
+        return self.finish - self.start
+
+
+class ReconfigurationController:
+    """Single-port reconfiguration controller.
+
+    Parameters
+    ----------
+    latency:
+        Time (ms) needed to load one configuration onto one tile.
+    """
+
+    def __init__(self, latency: float) -> None:
+        if latency < 0:
+            raise PlatformError(f"reconfiguration latency must be >= 0, got {latency}")
+        self.latency = latency
+        self._free_at = 0.0
+        self._records: List[LoadRecord] = []
+
+    @property
+    def free_at(self) -> float:
+        """Earliest time at which the port can start a new load."""
+        return self._free_at
+
+    @property
+    def records(self) -> List[LoadRecord]:
+        """All loads issued so far, in issue order."""
+        return list(self._records)
+
+    @property
+    def load_count(self) -> int:
+        """Number of loads issued so far."""
+        return len(self._records)
+
+    @property
+    def busy_time(self) -> float:
+        """Total time the port has spent loading configurations."""
+        return sum(record.duration for record in self._records)
+
+    def earliest_start(self, not_before: float = 0.0) -> float:
+        """Earliest time a load could start, not earlier than ``not_before``."""
+        return max(self._free_at, not_before)
+
+    def issue(self, configuration: str, tile: int,
+              not_before: float = 0.0,
+              latency: Optional[float] = None) -> LoadRecord:
+        """Issue a load and return its :class:`LoadRecord`.
+
+        The load starts as soon as the port is free and ``not_before`` has
+        passed; it occupies the port for ``latency`` (the controller default
+        when omitted).
+        """
+        if tile < 0:
+            raise PlatformError(f"tile index must be non-negative, got {tile}")
+        duration = self.latency if latency is None else latency
+        if duration < 0:
+            raise PlatformError(f"load latency must be >= 0, got {duration}")
+        start = self.earliest_start(not_before)
+        finish = start + duration
+        record = LoadRecord(configuration=configuration, tile=tile,
+                            start=start, finish=finish)
+        self._records.append(record)
+        self._free_at = finish
+        return record
+
+    def advance_to(self, time: float) -> None:
+        """Ensure the port cannot start a load before ``time``.
+
+        Used when a new task begins and the port must not retroactively load
+        configurations in the past.
+        """
+        self._free_at = max(self._free_at, time)
+
+    def idle_window(self, until: float) -> float:
+        """Idle time between the last load completion and ``until``.
+
+        This is the window the inter-task optimization of Section 6 uses to
+        prefetch critical subtasks of the subsequent task.
+        """
+        return max(0.0, until - self._free_at)
+
+    def reset(self) -> None:
+        """Clear all recorded loads and make the port immediately available."""
+        self._free_at = 0.0
+        self._records.clear()
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` spent loading configurations."""
+        if horizon <= 0:
+            return 0.0
+        busy = sum(
+            max(0.0, min(record.finish, horizon) - min(record.start, horizon))
+            for record in self._records
+        )
+        return busy / horizon

@@ -1,0 +1,105 @@
+"""DRHW tile model.
+
+Following the ICN platform model of the paper, the reconfigurable fabric is
+split into a set of identical tiles.  Each tile is wrapped by a
+communication interface, can be reconfigured independently of the others and
+holds exactly one configuration (bitstream) at a time.  A subtask can only
+execute on a tile whose resident configuration matches the subtask's
+configuration identifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import PlatformError
+
+
+@dataclass
+class TileState:
+    """Mutable run-time state of one DRHW tile.
+
+    Attributes
+    ----------
+    index:
+        Position of the tile in the platform (also its ICN address).
+    configuration:
+        Identifier of the resident configuration, or ``None`` when the tile
+        has never been configured (blank fabric after power-up).
+    busy_until:
+        Simulation time until which the tile executes a subtask and can
+        therefore neither be reconfigured nor start another subtask.
+    loaded_at:
+        Simulation time at which the resident configuration finished
+        loading.  Used by recency-based replacement policies.
+    last_used_at:
+        Simulation time at which the resident configuration last started an
+        execution.  Used by LRU replacement.
+    use_count:
+        Number of executions served by the resident configuration since it
+        was loaded.  Used by LFU replacement.
+    locked:
+        When true the tile must not be chosen as a replacement victim; the
+        reuse module locks tiles whose configuration is needed later in the
+        task currently being scheduled.
+    """
+
+    index: int
+    configuration: Optional[str] = None
+    busy_until: float = 0.0
+    loaded_at: float = float("-inf")
+    last_used_at: float = float("-inf")
+    use_count: int = 0
+    locked: bool = False
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise PlatformError(f"tile index must be non-negative, got {self.index}")
+
+    @property
+    def is_blank(self) -> bool:
+        """``True`` when the tile has no resident configuration."""
+        return self.configuration is None
+
+    def holds(self, configuration: str) -> bool:
+        """``True`` when ``configuration`` is resident on this tile."""
+        return self.configuration == configuration
+
+    def load(self, configuration: str, completion_time: float) -> None:
+        """Record that ``configuration`` finished loading at ``completion_time``."""
+        if not configuration:
+            raise PlatformError("cannot load an empty configuration identifier")
+        self.configuration = configuration
+        self.loaded_at = completion_time
+        self.last_used_at = completion_time
+        self.use_count = 0
+
+    def record_execution(self, start_time: float, finish_time: float) -> None:
+        """Record that the resident configuration executed in the given window."""
+        if finish_time < start_time:
+            raise PlatformError(
+                f"execution finish {finish_time} precedes start {start_time}"
+            )
+        self.busy_until = max(self.busy_until, finish_time)
+        self.last_used_at = start_time
+        self.use_count += 1
+
+    def invalidate(self) -> None:
+        """Forget the resident configuration (e.g. after a fault injection)."""
+        self.configuration = None
+        self.loaded_at = float("-inf")
+        self.last_used_at = float("-inf")
+        self.use_count = 0
+
+    def copy(self) -> "TileState":
+        """Return an independent copy of this tile state."""
+        return TileState(
+            index=self.index,
+            configuration=self.configuration,
+            busy_until=self.busy_until,
+            loaded_at=self.loaded_at,
+            last_used_at=self.last_used_at,
+            use_count=self.use_count,
+            locked=self.locked,
+        )

@@ -1,0 +1,27 @@
+"""Configuration reuse identification and tile replacement policies."""
+
+from .replacement import (
+    FifoReplacement,
+    LfuReplacement,
+    LruReplacement,
+    REPLACEMENT_POLICIES,
+    RandomlikeReplacement,
+    ReplacementPolicy,
+    WeightAwareReplacement,
+    make_replacement_policy,
+)
+from .reuse import ReuseDecision, ReuseModule, resident_configurations
+
+__all__ = [
+    "FifoReplacement",
+    "LfuReplacement",
+    "LruReplacement",
+    "REPLACEMENT_POLICIES",
+    "RandomlikeReplacement",
+    "ReplacementPolicy",
+    "ReuseDecision",
+    "ReuseModule",
+    "WeightAwareReplacement",
+    "make_replacement_policy",
+    "resident_configurations",
+]

@@ -1,0 +1,63 @@
+"""Schedulers: initial placement, schedule replay and prefetch scheduling."""
+
+from .base import (
+    PrefetchProblem,
+    PrefetchResult,
+    PrefetchScheduler,
+    SchedulerStats,
+)
+from .evaluator import needed_loads, replay_schedule
+from .list_scheduler import (
+    ListScheduler,
+    ListSchedulerOptions,
+    build_initial_schedule,
+)
+from .noprefetch import OnDemandScheduler
+from .prefetch_bb import (
+    BranchAndBoundScheduler,
+    DEFAULT_EXACT_LIMIT,
+    OptimalPrefetchScheduler,
+)
+from .prefetch_list import ListPrefetchScheduler, PRIORITY_METRICS
+from .schedule import (
+    ExecutionEntry,
+    LoadEntry,
+    PlacedSchedule,
+    PlacedSubtask,
+    ResourceId,
+    ResourceKind,
+    StartConstraint,
+    TIME_EPSILON,
+    TimedSchedule,
+    isp_resource,
+    tile_resource,
+)
+
+__all__ = [
+    "BranchAndBoundScheduler",
+    "DEFAULT_EXACT_LIMIT",
+    "ExecutionEntry",
+    "ListPrefetchScheduler",
+    "ListScheduler",
+    "ListSchedulerOptions",
+    "LoadEntry",
+    "OnDemandScheduler",
+    "OptimalPrefetchScheduler",
+    "PRIORITY_METRICS",
+    "PlacedSchedule",
+    "PlacedSubtask",
+    "PrefetchProblem",
+    "PrefetchResult",
+    "PrefetchScheduler",
+    "ResourceId",
+    "ResourceKind",
+    "SchedulerStats",
+    "StartConstraint",
+    "TIME_EPSILON",
+    "TimedSchedule",
+    "build_initial_schedule",
+    "isp_resource",
+    "needed_loads",
+    "replay_schedule",
+    "tile_resource",
+]

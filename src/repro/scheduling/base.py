@@ -1,0 +1,170 @@
+"""Prefetch-scheduling problem definition and scheduler interface.
+
+A *prefetch problem* asks: given an initial subtask schedule that neglects
+the reconfiguration latency, and given which subtasks can be reused (their
+configuration is already resident on the tile they are placed on), decide
+when to perform the remaining configuration loads so that the overhead they
+add to the task's execution time is minimized.
+
+Every scheduler in this package consumes a :class:`PrefetchProblem` and
+produces a :class:`PrefetchResult`; the hybrid heuristic of the paper, the
+run-time heuristic of ref. [7], the optimal branch-and-bound scheduler and
+the no-prefetch baseline all share this interface so that the simulator and
+the experiments can swap them freely.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from ..errors import SchedulingError
+from .evaluator import needed_loads
+from .schedule import PlacedSchedule, TimedSchedule
+
+
+@dataclass(frozen=True)
+class PrefetchProblem:
+    """One instance of the reconfiguration-prefetch scheduling problem.
+
+    Parameters
+    ----------
+    placed:
+        Initial schedule (assignment + ideal start times) of the task.
+    reconfiguration_latency:
+        Time (ms) one configuration load occupies the reconfiguration port.
+    reused:
+        Subtasks whose configuration is already resident and therefore need
+        no load.  The design-time phase of the hybrid heuristic explores
+        different values of this set; at run-time it is provided by the
+        reuse module.
+    release_time:
+        Absolute time the task is released.
+    controller_available:
+        Absolute time from which the reconfiguration port may issue loads
+        for this task (it may still be busy with earlier loads).
+    """
+
+    placed: PlacedSchedule
+    reconfiguration_latency: float
+    reused: FrozenSet[str] = frozenset()
+    release_time: float = 0.0
+    controller_available: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.reconfiguration_latency < 0:
+            raise SchedulingError(
+                "reconfiguration latency must be non-negative, got "
+                f"{self.reconfiguration_latency}"
+            )
+        unknown = [name for name in self.reused
+                   if name not in self.placed.graph]
+        if unknown:
+            raise SchedulingError(
+                f"reused subtasks {unknown} are not part of graph "
+                f"{self.placed.graph.name!r}"
+            )
+
+    @property
+    def loads(self) -> Tuple[str, ...]:
+        """DRHW subtasks that must be loaded, ordered by ideal start time."""
+        return tuple(needed_loads(self.placed, self.reused))
+
+    @property
+    def load_count(self) -> int:
+        """Number of loads the scheduler has to place."""
+        return len(self.loads)
+
+    def with_reused(self, reused: Iterable[str]) -> "PrefetchProblem":
+        """Return a copy of the problem with a different reused set."""
+        return replace(self, reused=frozenset(reused))
+
+    def with_release(self, release_time: float,
+                     controller_available: Optional[float] = None
+                     ) -> "PrefetchProblem":
+        """Return a copy released at a different absolute time."""
+        return replace(self, release_time=release_time,
+                       controller_available=controller_available)
+
+
+@dataclass(frozen=True)
+class SchedulerStats:
+    """Bookkeeping about the scheduling computation itself.
+
+    The paper's central argument is about *where* the scheduling effort is
+    spent: the run-time heuristic of ref. [7] performs `O(N log N)` work for
+    every task execution, whereas the hybrid heuristic only performs a
+    handful of set-membership checks at run-time.  ``operations`` counts the
+    elementary scheduling decisions taken (comparisons / evaluations), and
+    ``evaluations`` the number of full schedule replays, so experiments can
+    report the run-time cost without depending on wall-clock noise.
+    """
+
+    operations: int = 0
+    evaluations: int = 0
+
+    def merged(self, other: "SchedulerStats") -> "SchedulerStats":
+        """Combine two stats records."""
+        return SchedulerStats(operations=self.operations + other.operations,
+                              evaluations=self.evaluations + other.evaluations)
+
+
+@dataclass(frozen=True)
+class PrefetchResult:
+    """Outcome of scheduling the loads of one prefetch problem."""
+
+    problem: PrefetchProblem
+    timed: TimedSchedule
+    load_order: Tuple[str, ...]
+    stats: SchedulerStats = field(default_factory=SchedulerStats)
+    scheduler_name: str = "unknown"
+
+    @property
+    def makespan(self) -> float:
+        """Task completion time measured from its release."""
+        return self.timed.span
+
+    @property
+    def ideal_makespan(self) -> float:
+        """Makespan of the reconfiguration-free schedule."""
+        return self.timed.ideal_makespan
+
+    @property
+    def overhead(self) -> float:
+        """Absolute reconfiguration overhead added by the loads."""
+        return self.timed.overhead
+
+    @property
+    def overhead_percent(self) -> float:
+        """Reconfiguration overhead as a percentage of the ideal makespan."""
+        return self.timed.overhead_percent
+
+    @property
+    def load_count(self) -> int:
+        """Number of loads actually performed."""
+        return self.timed.load_count
+
+    @property
+    def hidden_load_fraction(self) -> float:
+        """Fraction of loads whose latency was fully hidden."""
+        return self.timed.hidden_load_fraction()
+
+    def delay_generating_subtasks(self) -> Sequence[str]:
+        """Subtasks whose own load delayed their execution."""
+        return self.timed.delay_generating_subtasks()
+
+
+class PrefetchScheduler(abc.ABC):
+    """Interface shared by every reconfiguration-prefetch scheduler."""
+
+    #: Human-readable name used in reports and experiment tables.
+    name: str = "prefetch-scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
+        """Solve ``problem`` and return the resulting schedule."""
+
+    def overhead_percent(self, problem: PrefetchProblem) -> float:
+        """Convenience shortcut returning only the overhead percentage."""
+        return self.schedule(problem).overhead_percent

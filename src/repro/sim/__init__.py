@@ -1,0 +1,54 @@
+"""System simulation: approaches, shared state, metrics and traces."""
+
+from .approaches import (
+    APPROACHES,
+    DesignTimePrefetchApproach,
+    HybridApproach,
+    NoPrefetchApproach,
+    RunTimeApproach,
+    RunTimeInterTaskApproach,
+    SchedulingApproach,
+    TaskContext,
+    TaskOutcome,
+    make_approach,
+)
+from .metrics import (
+    IterationRecord,
+    SimulationMetrics,
+    TaskExecutionRecord,
+    aggregate_metrics,
+)
+from .simulator import (
+    SimulationConfig,
+    SimulationResult,
+    SystemSimulator,
+    simulate,
+    sweep_tile_counts,
+)
+from .state import SystemState
+from .trace import SimulationTrace, render_gantt
+
+__all__ = [
+    "APPROACHES",
+    "DesignTimePrefetchApproach",
+    "HybridApproach",
+    "IterationRecord",
+    "NoPrefetchApproach",
+    "RunTimeApproach",
+    "RunTimeInterTaskApproach",
+    "SchedulingApproach",
+    "SimulationConfig",
+    "SimulationMetrics",
+    "SimulationResult",
+    "SimulationTrace",
+    "SystemSimulator",
+    "SystemState",
+    "TaskContext",
+    "TaskExecutionRecord",
+    "TaskOutcome",
+    "aggregate_metrics",
+    "make_approach",
+    "render_gantt",
+    "simulate",
+    "sweep_tile_counts",
+]

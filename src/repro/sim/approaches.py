@@ -1,0 +1,663 @@
+"""Scheduling approaches compared by the paper's evaluation.
+
+Section 7 simulates the same workloads under five prefetch-scheduling
+approaches; each is implemented here behind the common
+:class:`SchedulingApproach` interface so the system simulator can swap them:
+
+``no-prefetch``
+    No prefetch module at all: every non-reused configuration is loaded on
+    demand, right before the subtask that needs it.
+``design-time``
+    An optimal prefetch schedule computed entirely at design-time.  Because
+    nothing is known about the run-time state, previously loaded
+    configurations can never be reused: every DRHW subtask is loaded on
+    every execution, but the loads are overlapped as well as possible.
+``run-time``
+    The fully run-time list-scheduling heuristic of ref. [7] combined with
+    the reuse and replacement modules: loads of resident configurations are
+    skipped and the rest are scheduled at run-time (``O(N log N)`` work per
+    task).
+``run-time+inter-task``
+    The run-time heuristic extended with the inter-task optimization of
+    Section 6: the idle tail of the reconfiguration port is used to prefetch
+    configurations of the next task in the run-time schedule.
+``hybrid``
+    The paper's contribution: critical subtasks and the schedule of the
+    remaining loads are fixed at design-time; at run-time only the missing
+    critical subtasks are loaded (initialization phase), reusable
+    non-critical loads are cancelled, and the idle tail prefetches the next
+    task's critical subtasks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.hybrid import HybridPrefetchHeuristic
+from ..core.intertask import (
+    InterTaskPlan,
+    PrefetchRequest,
+    TileWindow,
+    plan_intertask_prefetch,
+)
+from ..core.store import DesignTimeStore
+from ..errors import ConfigurationError
+from ..platform.description import Platform
+from ..reuse.reuse import ReuseDecision, ReuseModule
+from ..scheduling.base import PrefetchProblem
+from ..scheduling.evaluator import replay_schedule
+from ..scheduling.noprefetch import OnDemandScheduler
+from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
+from ..scheduling.prefetch_list import ListPrefetchScheduler
+from ..scheduling.schedule import ExecutionEntry, PlacedSchedule, ResourceId
+from ..tcm.design_time import TcmDesignTimeResult
+from ..tcm.run_time import ScheduledTask
+from .metrics import TaskExecutionRecord
+from .state import SystemState
+
+
+@dataclass
+class TaskContext:
+    """Everything an approach needs to execute one task instance."""
+
+    scheduled: ScheduledTask
+    release_time: float
+    state: SystemState
+    reuse_module: ReuseModule
+    reconfiguration_latency: float
+    next_scheduled: Optional[ScheduledTask] = None
+    #: True when ``next_scheduled`` belongs to the next iteration of the
+    #: application mix (only run-time decided optimizations may use it; a
+    #: purely design-time schedule does not know which mix follows).
+    next_crosses_iteration: bool = False
+
+    @property
+    def placed(self) -> PlacedSchedule:
+        """Placed schedule of the selected Pareto point."""
+        return self.scheduled.point.placed
+
+    @property
+    def platform(self) -> Platform:
+        """Platform the simulation runs on."""
+        return self.state.platform
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of executing one task instance."""
+
+    record: TaskExecutionRecord
+    finish_time: float
+    controller_free: float
+
+
+class SchedulingApproach(abc.ABC):
+    """Interface of a prefetch-scheduling approach usable by the simulator."""
+
+    #: Name used in experiment tables (matches the paper's terminology).
+    name: str = "approach"
+    #: Whether the approach exploits run-time configuration reuse.
+    uses_reuse: bool = True
+    #: Whether the approach prefetches for the next task in the sequence.
+    uses_intertask: bool = False
+
+    def prepare(self, design_result: TcmDesignTimeResult,
+                reconfiguration_latency: float) -> None:
+        """Perform the approach's design-time work (default: nothing)."""
+
+    @abc.abstractmethod
+    def execute_task(self, ctx: TaskContext) -> TaskOutcome:
+        """Execute one task instance and update the shared platform state."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _tile_release_times(placed: PlacedSchedule,
+                            binding: Mapping[ResourceId, int],
+                            executions: Mapping[str, ExecutionEntry]
+                            ) -> Dict[int, float]:
+        """Time at which the current task stops using every bound tile."""
+        releases: Dict[int, float] = {}
+        for logical, physical in binding.items():
+            if not logical.is_tile:
+                continue
+            last = max(executions[name].finish
+                       for name in placed.resource_order(logical))
+            releases[physical] = last
+        return releases
+
+    def _intertask_windows(self, ctx: TaskContext,
+                           tile_releases: Mapping[int, float],
+                           requested_configurations: Iterable[str],
+                           avoid_configurations: Iterable[str] = (),
+                           needed: int = 0) -> List[TileWindow]:
+        """Tiles that may receive inter-task prefetch loads.
+
+        Tiles already holding a requested configuration are never offered
+        (overwriting them would destroy the very reuse the prefetch is
+        after).  Tiles holding an ``avoid_configurations`` member (e.g. a
+        critical configuration of some other task) are only offered when
+        fewer than ``needed`` unencumbered tiles exist.
+        """
+        requested = set(requested_configurations)
+        avoid = set(avoid_configurations)
+        preferred: List[TileWindow] = []
+        fallback: List[TileWindow] = []
+        for tile in ctx.state.tiles:
+            resident = tile.configuration
+            if resident is not None and resident in requested:
+                continue
+            available = tile_releases.get(
+                tile.index, max(ctx.release_time, tile.busy_until)
+            )
+            window = TileWindow(tile=tile.index, available_from=available,
+                                resident_configuration=resident)
+            if resident is not None and resident in avoid:
+                fallback.append(window)
+            else:
+                preferred.append(window)
+        if len(preferred) >= needed:
+            return preferred
+        return preferred + fallback
+
+    def _plan_intertask(self, ctx: TaskContext,
+                        requests: Sequence[PrefetchRequest],
+                        tile_releases: Mapping[int, float],
+                        controller_free: float,
+                        task_finish: float,
+                        avoid_configurations: Iterable[str] = ()
+                        ) -> InterTaskPlan:
+        """Plan and apply inter-task prefetch loads into the idle tail."""
+        if not requests:
+            return InterTaskPlan(loads=(), controller_free=controller_free)
+        resident = {tile.configuration for tile in ctx.state.tiles
+                    if tile.configuration is not None}
+        pending = [request for request in requests
+                   if request.configuration not in resident]
+        windows = self._intertask_windows(
+            ctx, tile_releases,
+            (request.configuration for request in requests),
+            avoid_configurations=avoid_configurations,
+            needed=len(pending),
+        )
+        plan = plan_intertask_prefetch(
+            requests=pending,
+            tiles=windows,
+            controller_free=controller_free,
+            task_finish=task_finish,
+            reconfiguration_latency=ctx.reconfiguration_latency,
+            allow_overrun=False,
+        )
+        for load in plan.loads:
+            ctx.state.record_load(load.tile, load.configuration, load.finish)
+        return plan
+
+    @staticmethod
+    def _energy(platform: Platform, loads: int, placed: PlacedSchedule) -> float:
+        """Energy estimate of one task execution."""
+        return platform.energy.task_energy(
+            loads=loads,
+            busy_time=placed.graph.total_execution_time,
+        )
+
+    @staticmethod
+    def _load_finish_times(*load_groups) -> Dict[str, float]:
+        """Merge load entries into a {subtask: completion time} mapping."""
+        finish: Dict[str, float] = {}
+        for group in load_groups:
+            for load in group:
+                finish[load.subtask] = load.finish
+        return finish
+
+    def _make_record(self, ctx: TaskContext, *, finish_time: float,
+                     overhead: float, loads_performed: int, loads_reused: int,
+                     loads_cancelled: int = 0, initialization_loads: int = 0,
+                     intertask_prefetches: int = 0,
+                     scheduler_operations: int = 0,
+                     reuse_operations: int = 0) -> TaskExecutionRecord:
+        placed = ctx.placed
+        return TaskExecutionRecord(
+            task_name=ctx.scheduled.task_name,
+            scenario_name=ctx.scheduled.scenario_name,
+            point_key=ctx.scheduled.point_key,
+            release_time=ctx.release_time,
+            finish_time=finish_time,
+            ideal_makespan=placed.makespan,
+            overhead=overhead,
+            loads_performed=loads_performed,
+            loads_reused=loads_reused,
+            loads_cancelled=loads_cancelled,
+            initialization_loads=initialization_loads,
+            intertask_prefetches=intertask_prefetches,
+            scheduler_operations=scheduler_operations,
+            reuse_operations=reuse_operations,
+            energy=self._energy(ctx.platform, loads_performed, placed),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Baselines
+# ---------------------------------------------------------------------- #
+class NoPrefetchApproach(SchedulingApproach):
+    """On-demand loading without any prefetch module (first baseline)."""
+
+    name = "no-prefetch"
+    uses_reuse = True
+
+    def __init__(self, use_reuse: bool = True) -> None:
+        self._scheduler = OnDemandScheduler()
+        self.uses_reuse = use_reuse
+
+    def execute_task(self, ctx: TaskContext) -> TaskOutcome:
+        placed = ctx.placed
+        decision = ctx.reuse_module.analyze(placed, ctx.state.tiles,
+                                            now=ctx.release_time)
+        reused = decision.reused if self.uses_reuse else frozenset()
+        problem = PrefetchProblem(
+            placed=placed,
+            reconfiguration_latency=ctx.reconfiguration_latency,
+            reused=reused,
+            release_time=ctx.release_time,
+            controller_available=ctx.state.controller_free,
+        )
+        result = self._scheduler.schedule(problem)
+        ctx.state.apply_task_execution(
+            placed, decision.tile_binding, reused,
+            result.timed.executions,
+            self._load_finish_times(result.timed.loads),
+        )
+        record = self._make_record(
+            ctx,
+            finish_time=result.timed.makespan,
+            overhead=result.overhead,
+            loads_performed=result.load_count,
+            loads_reused=len(reused),
+            scheduler_operations=result.stats.operations,
+            reuse_operations=decision.operations,
+        )
+        controller_free = max(ctx.state.controller_free,
+                              max((load.finish for load in result.timed.loads),
+                                  default=ctx.release_time))
+        return TaskOutcome(record=record, finish_time=result.timed.makespan,
+                           controller_free=controller_free)
+
+
+class DesignTimePrefetchApproach(SchedulingApproach):
+    """Optimal prefetch decided entirely at design-time (second baseline).
+
+    The prefetch order of every scenario/point is computed during
+    :meth:`prepare`; at run-time it is replayed as-is.  Because the
+    decisions were frozen at design-time, reuse is impossible: every DRHW
+    subtask is loaded on every execution.
+
+    ``static_intertask`` extends the design-time schedule across task
+    boundaries: when the task sequence itself is known at design-time (as it
+    is for the Pocket GL inter-task scenarios of Figure 7), loads of the
+    next task may be scheduled into the idle tail of the current one.  This
+    still involves no run-time decision and no reuse; it merely widens the
+    window the static prefetch schedule can use.  The multimedia mix of
+    Figure 6 draws its task sequence randomly at run-time, so there the flag
+    stays off.
+    """
+
+    name = "design-time"
+    uses_reuse = False
+
+    def __init__(self, static_intertask: bool = False) -> None:
+        self._orders: Dict[Tuple[str, str, str], Tuple[str, ...]] = {}
+        self._scheduler = OptimalPrefetchScheduler()
+        self.static_intertask = static_intertask
+        self.uses_intertask = static_intertask
+        self._pending_prefetched: Dict[Tuple[str, str, str], frozenset] = {}
+
+    def prepare(self, design_result: TcmDesignTimeResult,
+                reconfiguration_latency: float) -> None:
+        self._orders.clear()
+        self._pending_prefetched.clear()
+        for task_name, scenario_name, point_key, placed in design_result.schedules():
+            problem = PrefetchProblem(
+                placed=placed,
+                reconfiguration_latency=reconfiguration_latency,
+            )
+            result = self._scheduler.schedule(problem)
+            self._orders[(task_name, scenario_name, point_key)] = (
+                result.load_order
+            )
+
+    def execute_task(self, ctx: TaskContext) -> TaskOutcome:
+        placed = ctx.placed
+        key = (ctx.scheduled.task_name, ctx.scheduled.scenario_name,
+               ctx.scheduled.point_key)
+        try:
+            order = self._orders[key]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"design-time prefetch approach was not prepared for {key}"
+            ) from exc
+        prefetched = self._pending_prefetched.pop(key, frozenset())
+        loads_needed = [name for name in placed.drhw_names
+                        if name not in prefetched]
+        decision = ctx.reuse_module.analyze(placed, ctx.state.tiles,
+                                            now=ctx.release_time)
+        timed = replay_schedule(
+            placed,
+            ctx.reconfiguration_latency,
+            loads_needed,
+            priority_order=order,
+            release_time=ctx.release_time,
+            controller_available=ctx.state.controller_free,
+        )
+        ctx.state.apply_task_execution(
+            placed, decision.tile_binding, prefetched,
+            timed.executions, self._load_finish_times(timed.loads),
+        )
+        controller_free = max(ctx.state.controller_free,
+                              max((load.finish for load in timed.loads),
+                                  default=ctx.release_time))
+        intertask_count = 0
+        if (self.static_intertask and ctx.next_scheduled is not None
+                and not ctx.next_crosses_iteration):
+            intertask_count = self._statically_prefetch_next(
+                ctx, decision, timed, controller_free
+            )
+            controller_free = max(ctx.state.controller_free, controller_free)
+        record = self._make_record(
+            ctx,
+            finish_time=timed.makespan,
+            overhead=timed.overhead,
+            loads_performed=timed.load_count,
+            loads_reused=0,
+            intertask_prefetches=intertask_count,
+            scheduler_operations=0,
+            reuse_operations=decision.operations,
+        )
+        return TaskOutcome(record=record, finish_time=timed.makespan,
+                           controller_free=max(ctx.state.controller_free,
+                                               controller_free))
+
+    # ------------------------------------------------------------------ #
+    def _statically_prefetch_next(self, ctx: TaskContext, decision,
+                                  timed, controller_free: float) -> int:
+        """Schedule loads of the next task into the current idle tail."""
+        next_key = (ctx.next_scheduled.task_name,
+                    ctx.next_scheduled.scenario_name,
+                    ctx.next_scheduled.point_key)
+        next_order = self._orders.get(next_key)
+        if not next_order:
+            return 0
+        next_graph = ctx.next_scheduled.point.placed.graph
+        requests = [
+            PrefetchRequest(subtask=name,
+                            configuration=next_graph.subtask(name).configuration)
+            for name in next_order
+        ]
+        tile_releases = self._tile_release_times(
+            ctx.placed, decision.tile_binding, timed.executions
+        )
+        windows = [
+            TileWindow(
+                tile=tile.index,
+                available_from=tile_releases.get(
+                    tile.index, max(ctx.release_time, tile.busy_until)
+                ),
+                resident_configuration=None,
+            )
+            for tile in ctx.state.tiles
+        ]
+        plan = plan_intertask_prefetch(
+            requests=requests,
+            tiles=windows,
+            controller_free=controller_free,
+            task_finish=timed.makespan,
+            reconfiguration_latency=ctx.reconfiguration_latency,
+            allow_overrun=False,
+        )
+        for load in plan.loads:
+            ctx.state.record_load(load.tile, load.configuration, load.finish)
+        self._pending_prefetched[next_key] = frozenset(plan.prefetched_subtasks)
+        return len(plan.loads)
+
+
+# ---------------------------------------------------------------------- #
+# Run-time heuristic of ref. [7]
+# ---------------------------------------------------------------------- #
+class RunTimeApproach(SchedulingApproach):
+    """Fully run-time list-scheduling prefetch with reuse (ref. [7])."""
+
+    name = "run-time"
+    uses_reuse = True
+    uses_intertask = False
+
+    def __init__(self, priority: str = "ideal-start") -> None:
+        self._scheduler = ListPrefetchScheduler(priority)
+
+    def execute_task(self, ctx: TaskContext) -> TaskOutcome:
+        placed = ctx.placed
+        upcoming = self._upcoming_configurations(ctx)
+        decision = ctx.reuse_module.analyze(
+            placed, ctx.state.tiles, now=ctx.release_time,
+            upcoming_configurations=upcoming,
+        )
+        problem = PrefetchProblem(
+            placed=placed,
+            reconfiguration_latency=ctx.reconfiguration_latency,
+            reused=decision.reused,
+            release_time=ctx.release_time,
+            controller_available=ctx.state.controller_free,
+        )
+        result = self._scheduler.schedule(problem)
+        ctx.state.apply_task_execution(
+            placed, decision.tile_binding, decision.reused,
+            result.timed.executions,
+            self._load_finish_times(result.timed.loads),
+        )
+        controller_free = max(ctx.state.controller_free,
+                              max((load.finish for load in result.timed.loads),
+                                  default=ctx.release_time))
+        intertask_count = 0
+        if self.uses_intertask and ctx.next_scheduled is not None:
+            plan = self._prefetch_next(ctx, decision, result, controller_free)
+            controller_free = max(controller_free, plan.controller_free)
+            intertask_count = len(plan.loads)
+        record = self._make_record(
+            ctx,
+            finish_time=result.timed.makespan,
+            overhead=result.overhead,
+            loads_performed=result.load_count,
+            loads_reused=len(decision.reused),
+            intertask_prefetches=intertask_count,
+            scheduler_operations=result.stats.operations,
+            reuse_operations=decision.operations,
+        )
+        return TaskOutcome(record=record, finish_time=result.timed.makespan,
+                           controller_free=controller_free)
+
+    # ------------------------------------------------------------------ #
+    def _upcoming_configurations(self, ctx: TaskContext) -> Tuple[str, ...]:
+        """Configurations of the next task (protects them from eviction)."""
+        if ctx.next_scheduled is None:
+            return ()
+        graph = ctx.next_scheduled.point.placed.graph
+        return tuple(graph.configurations)
+
+    def _next_task_requests(self, ctx: TaskContext) -> List[PrefetchRequest]:
+        """Loads of the next task, in the run-time heuristic's priority order."""
+        next_placed = ctx.next_scheduled.point.placed
+        problem = PrefetchProblem(
+            placed=next_placed,
+            reconfiguration_latency=ctx.reconfiguration_latency,
+        )
+        order = self._scheduler.load_order(problem)
+        graph = next_placed.graph
+        return [PrefetchRequest(subtask=name,
+                                configuration=graph.subtask(name).configuration)
+                for name in order]
+
+    def _prefetch_next(self, ctx: TaskContext, decision: ReuseDecision,
+                       result, controller_free: float) -> InterTaskPlan:
+        tile_releases = self._tile_release_times(
+            ctx.placed, decision.tile_binding, result.timed.executions
+        )
+        return self._plan_intertask(
+            ctx,
+            requests=self._next_task_requests(ctx),
+            tile_releases=tile_releases,
+            controller_free=controller_free,
+            task_finish=result.timed.makespan,
+        )
+
+
+class RunTimeInterTaskApproach(RunTimeApproach):
+    """Run-time heuristic plus the inter-task optimization of Section 6."""
+
+    name = "run-time+inter-task"
+    uses_intertask = True
+
+
+# ---------------------------------------------------------------------- #
+# The hybrid heuristic (the paper's contribution)
+# ---------------------------------------------------------------------- #
+class HybridApproach(SchedulingApproach):
+    """Hybrid design-time/run-time prefetch heuristic with inter-task support."""
+
+    name = "hybrid"
+    uses_reuse = True
+    uses_intertask = True
+
+    def __init__(self, use_intertask: bool = True) -> None:
+        self.uses_intertask = use_intertask
+        self._heuristic: Optional[HybridPrefetchHeuristic] = None
+        self._store: Optional[DesignTimeStore] = None
+        self._critical_configurations: frozenset = frozenset()
+
+    @property
+    def store(self) -> DesignTimeStore:
+        """The design-time store built by :meth:`prepare`."""
+        if self._store is None:
+            raise ConfigurationError(
+                "hybrid approach used before prepare() was called"
+            )
+        return self._store
+
+    def prepare(self, design_result: TcmDesignTimeResult,
+                reconfiguration_latency: float) -> None:
+        self._heuristic = HybridPrefetchHeuristic(reconfiguration_latency)
+        self._store = design_result.build_design_store(self._heuristic)
+        # Critical configurations of *any* task are the expensive ones to
+        # lose: keeping them resident is what the weight-aware replacement
+        # of refs. [6, 7] is after, so they are flagged to the replacement
+        # policy and avoided as inter-task prefetch victims.
+        self._critical_configurations = frozenset(
+            configuration
+            for entry in self._store
+            for configuration in entry.critical_configurations
+        )
+
+    def execute_task(self, ctx: TaskContext) -> TaskOutcome:
+        if self._heuristic is None or self._store is None:
+            raise ConfigurationError(
+                "hybrid approach used before prepare() was called"
+            )
+        entry = self._store.get(ctx.scheduled.task_name,
+                                ctx.scheduled.scenario_name,
+                                ctx.scheduled.point_key)
+        placed = entry.placed
+        upcoming = set(self._critical_configurations)
+        upcoming.update(self._next_critical_configurations(ctx))
+        decision = ctx.reuse_module.analyze(
+            placed, ctx.state.tiles, now=ctx.release_time,
+            upcoming_configurations=tuple(upcoming),
+            weights=entry.weights,
+        )
+        execution = self._heuristic.run_time(
+            entry,
+            reusable=decision.reused,
+            release_time=ctx.release_time,
+            controller_available=ctx.state.controller_free,
+        )
+        load_finish = self._load_finish_times(execution.initialization_loads,
+                                              execution.timed.loads)
+        reused_now = set(decision.reused) - set(execution.decision.initialization_loads)
+        ctx.state.apply_task_execution(
+            placed, decision.tile_binding, reused_now,
+            execution.timed.executions, load_finish,
+        )
+        controller_free = max(ctx.state.controller_free,
+                              execution.controller_free)
+        intertask_count = 0
+        if self.uses_intertask and ctx.next_scheduled is not None:
+            tile_releases = self._tile_release_times(
+                placed, decision.tile_binding, execution.timed.executions
+            )
+            plan = self._plan_intertask(
+                ctx,
+                requests=self._next_critical_requests(ctx),
+                tile_releases=tile_releases,
+                controller_free=controller_free,
+                task_finish=execution.makespan,
+                avoid_configurations=self._critical_configurations,
+            )
+            controller_free = max(controller_free, plan.controller_free)
+            intertask_count = len(plan.loads)
+        record = self._make_record(
+            ctx,
+            finish_time=execution.makespan,
+            overhead=execution.overhead,
+            loads_performed=execution.load_count,
+            loads_reused=len(decision.reused),
+            loads_cancelled=execution.decision.cancelled_count,
+            initialization_loads=execution.decision.initialization_count,
+            intertask_prefetches=intertask_count,
+            scheduler_operations=execution.runtime_operations,
+            reuse_operations=decision.operations,
+        )
+        return TaskOutcome(record=record, finish_time=execution.makespan,
+                           controller_free=controller_free)
+
+    # ------------------------------------------------------------------ #
+    def _next_entry(self, ctx: TaskContext):
+        if ctx.next_scheduled is None or self._store is None:
+            return None
+        return self._store.get(ctx.next_scheduled.task_name,
+                               ctx.next_scheduled.scenario_name,
+                               ctx.next_scheduled.point_key)
+
+    def _next_critical_requests(self, ctx: TaskContext) -> List[PrefetchRequest]:
+        entry = self._next_entry(ctx)
+        if entry is None:
+            return []
+        graph = entry.placed.graph
+        return [PrefetchRequest(subtask=name,
+                                configuration=graph.subtask(name).configuration)
+                for name in entry.critical_subtasks]
+
+    def _next_critical_configurations(self, ctx: TaskContext) -> Tuple[str, ...]:
+        entry = self._next_entry(ctx)
+        if entry is None:
+            return ()
+        return entry.critical_configurations
+
+
+#: Registry of the five approaches evaluated by the paper, keyed by name.
+APPROACHES = {
+    NoPrefetchApproach.name: NoPrefetchApproach,
+    DesignTimePrefetchApproach.name: DesignTimePrefetchApproach,
+    RunTimeApproach.name: RunTimeApproach,
+    RunTimeInterTaskApproach.name: RunTimeInterTaskApproach,
+    HybridApproach.name: HybridApproach,
+}
+
+
+def make_approach(name: str) -> SchedulingApproach:
+    """Instantiate one of the five evaluated approaches by name."""
+    try:
+        factory = APPROACHES[name]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown scheduling approach {name!r}; available: "
+            f"{sorted(APPROACHES)}"
+        ) from exc
+    return factory()

@@ -1,0 +1,170 @@
+"""Simulation metrics.
+
+The system simulator produces one :class:`TaskExecutionRecord` per executed
+task instance, groups them into :class:`IterationRecord` objects (one per
+simulated iteration of the application mix) and aggregates everything into
+:class:`SimulationMetrics`, whose fields correspond directly to the numbers
+the paper reports: reconfiguration overhead as a percentage of the ideal
+execution time, the fraction of loads avoided through reuse, and the
+run-time cost of the scheduling computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class TaskExecutionRecord:
+    """Outcome of executing one task instance in the simulator."""
+
+    task_name: str
+    scenario_name: str
+    point_key: str
+    release_time: float
+    finish_time: float
+    ideal_makespan: float
+    overhead: float
+    loads_performed: int
+    loads_reused: int
+    loads_cancelled: int
+    initialization_loads: int
+    intertask_prefetches: int
+    scheduler_operations: int
+    reuse_operations: int
+    energy: float
+
+    @property
+    def span(self) -> float:
+        """Actual task execution time (release to finish)."""
+        return self.finish_time - self.release_time
+
+    @property
+    def overhead_percent(self) -> float:
+        """Reconfiguration overhead relative to the ideal execution time."""
+        if self.ideal_makespan <= 0:
+            return 0.0
+        return 100.0 * self.overhead / self.ideal_makespan
+
+    @property
+    def drhw_subtasks(self) -> int:
+        """Number of DRHW subtasks of this execution (loaded + reused)."""
+        return self.loads_performed + self.loads_reused
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """All task executions of one simulated iteration."""
+
+    index: int
+    tasks: Tuple[TaskExecutionRecord, ...]
+
+    @property
+    def ideal_time(self) -> float:
+        """Sum of the ideal execution times of the iteration's tasks."""
+        return sum(task.ideal_makespan for task in self.tasks)
+
+    @property
+    def actual_time(self) -> float:
+        """Sum of the actual execution times of the iteration's tasks."""
+        return sum(task.span for task in self.tasks)
+
+    @property
+    def overhead(self) -> float:
+        """Total reconfiguration overhead of the iteration."""
+        return sum(task.overhead for task in self.tasks)
+
+
+@dataclass(frozen=True)
+class SimulationMetrics:
+    """Aggregate metrics of one simulation run."""
+
+    approach: str
+    workload: str
+    tile_count: int
+    iterations: int
+    task_executions: int
+    total_ideal_time: float
+    total_actual_time: float
+    total_overhead: float
+    total_loads: int
+    total_reused: int
+    total_cancelled: int
+    total_initialization_loads: int
+    total_intertask_prefetches: int
+    total_scheduler_operations: int
+    total_reuse_operations: int
+    total_energy: float
+
+    @property
+    def overhead_percent(self) -> float:
+        """Reconfiguration overhead as a percentage of the ideal time.
+
+        This is the metric plotted in Figures 6 and 7 of the paper.
+        """
+        if self.total_ideal_time <= 0:
+            return 0.0
+        return 100.0 * self.total_overhead / self.total_ideal_time
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of DRHW subtask executions served without a load."""
+        attempts = self.total_loads + self.total_reused
+        if attempts == 0:
+            return 0.0
+        return self.total_reused / attempts
+
+    @property
+    def average_scheduler_operations(self) -> float:
+        """Mean run-time scheduling operations per task execution."""
+        if self.task_executions == 0:
+            return 0.0
+        return self.total_scheduler_operations / self.task_executions
+
+    @property
+    def average_loads_per_task(self) -> float:
+        """Mean number of configuration loads per task execution."""
+        if self.task_executions == 0:
+            return 0.0
+        return self.total_loads / self.task_executions
+
+    def hidden_fraction(self, baseline_overhead: float) -> float:
+        """Share of a baseline overhead hidden by this approach.
+
+        The paper reports, for example, that the hybrid heuristic hides at
+        least 93 % of the initial reconfiguration overhead; this helper
+        computes the same statistic relative to any baseline run.
+        """
+        if baseline_overhead <= 0:
+            return 1.0
+        return max(0.0, 1.0 - self.total_overhead / baseline_overhead)
+
+
+def aggregate_metrics(approach: str, workload: str, tile_count: int,
+                      iterations: Sequence[IterationRecord],
+                      ) -> SimulationMetrics:
+    """Fold iteration records into a :class:`SimulationMetrics` object."""
+    tasks: List[TaskExecutionRecord] = [task for iteration in iterations
+                                        for task in iteration.tasks]
+    return SimulationMetrics(
+        approach=approach,
+        workload=workload,
+        tile_count=tile_count,
+        iterations=len(iterations),
+        task_executions=len(tasks),
+        total_ideal_time=sum(task.ideal_makespan for task in tasks),
+        total_actual_time=sum(task.span for task in tasks),
+        total_overhead=sum(task.overhead for task in tasks),
+        total_loads=sum(task.loads_performed for task in tasks),
+        total_reused=sum(task.loads_reused for task in tasks),
+        total_cancelled=sum(task.loads_cancelled for task in tasks),
+        total_initialization_loads=sum(task.initialization_loads
+                                       for task in tasks),
+        total_intertask_prefetches=sum(task.intertask_prefetches
+                                       for task in tasks),
+        total_scheduler_operations=sum(task.scheduler_operations
+                                       for task in tasks),
+        total_reuse_operations=sum(task.reuse_operations for task in tasks),
+        total_energy=sum(task.energy for task in tasks),
+    )

@@ -1,0 +1,279 @@
+"""System simulator.
+
+The simulator reproduces the experimental setup of Section 7: a sequence of
+iterations, each executing a randomly drawn mix of tasks (with randomly
+identified scenarios) back to back on the tile pool, with configurations
+persisting on the tiles between tasks and iterations so that the reuse
+module has something to work with.  One run is parameterized by a workload,
+a platform (tile count, reconfiguration latency) and one of the five
+scheduling approaches; its output is a :class:`SimulationMetrics` record
+whose ``overhead_percent`` is the quantity plotted in Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..platform.description import Platform
+from ..reuse.replacement import ReplacementPolicy
+from ..reuse.reuse import ReuseModule
+from ..scheduling.list_scheduler import ListSchedulerOptions
+from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
+from ..tcm.run_time import RunTimeSelection, ScheduledTask, TcmRunTimeScheduler
+from ..workloads.base import Workload
+from .approaches import SchedulingApproach, TaskContext
+from .metrics import (
+    IterationRecord,
+    SimulationMetrics,
+    TaskExecutionRecord,
+    aggregate_metrics,
+)
+from .state import SystemState
+from .trace import SimulationTrace
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Tuning knobs of one simulation run.
+
+    Parameters
+    ----------
+    iterations:
+        Number of simulated iterations (the paper uses 1000).
+    seed:
+        Seed of the random task mix / scenario identification.
+    point_selection:
+        ``"fastest"`` (default) makes the run-time scheduler pick the
+        fastest Pareto point of every task — the configuration used for the
+        overhead sweeps of Figures 6 and 7; ``"deadline"`` enables the
+        energy-minimizing selection under ``deadline``.
+    deadline:
+        Iteration deadline used when ``point_selection == "deadline"``.
+    keep_state_between_iterations:
+        When true (default) tile contents persist across iterations, which
+        is what makes reuse possible; setting it to false models a platform
+        that is wiped between iterations (useful for ablations).
+    configuration_fault_rate:
+        Probability that a resident configuration is lost (invalidated)
+        between two iterations — a simple fault-injection model for single
+        event upsets or scrubbing of the configuration memory.  Faulted
+        configurations must be reloaded before reuse is possible again.
+    collect_trace:
+        When true, a :class:`~repro.sim.trace.SimulationTrace` with
+        per-task records is attached to the result.
+    """
+
+    iterations: int = 1000
+    seed: int = 2005
+    point_selection: str = "fastest"
+    deadline: Optional[float] = None
+    keep_state_between_iterations: bool = True
+    configuration_fault_rate: float = 0.0
+    collect_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if self.point_selection not in ("fastest", "deadline"):
+            raise ConfigurationError(
+                "point_selection must be 'fastest' or 'deadline', got "
+                f"{self.point_selection!r}"
+            )
+        if self.point_selection == "deadline" and self.deadline is None:
+            raise ConfigurationError(
+                "a deadline is required when point_selection='deadline'"
+            )
+        if not 0.0 <= self.configuration_fault_rate <= 1.0:
+            raise ConfigurationError(
+                "configuration_fault_rate must lie in [0, 1], got "
+                f"{self.configuration_fault_rate!r}"
+            )
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Everything produced by one simulation run."""
+
+    metrics: SimulationMetrics
+    iterations: Tuple[IterationRecord, ...]
+    trace: Optional[SimulationTrace] = None
+
+    @property
+    def overhead_percent(self) -> float:
+        """Reconfiguration overhead of the run (Figure 6/7 metric)."""
+        return self.metrics.overhead_percent
+
+
+class SystemSimulator:
+    """Simulates a workload on a tile pool under one scheduling approach."""
+
+    def __init__(self, workload: Workload, platform: Platform,
+                 approach: SchedulingApproach,
+                 config: Optional[SimulationConfig] = None,
+                 replacement: Optional[ReplacementPolicy] = None,
+                 list_options: Optional[ListSchedulerOptions] = None) -> None:
+        self.workload = workload
+        self.platform = platform
+        self.approach = approach
+        self.config = config or SimulationConfig()
+        self.reuse_module = ReuseModule(replacement=replacement)
+        self._design_result: Optional[TcmDesignTimeResult] = None
+        self._tcm_runtime: Optional[TcmRunTimeScheduler] = None
+        self._list_options = list_options or ListSchedulerOptions()
+
+    # ------------------------------------------------------------------ #
+    @property
+    def design_result(self) -> TcmDesignTimeResult:
+        """The TCM design-time exploration result (built lazily)."""
+        if self._design_result is None:
+            explorer = TcmDesignTimeScheduler(self.platform,
+                                              list_options=self._list_options)
+            self._design_result = explorer.explore(self.workload.task_set)
+            self._tcm_runtime = TcmRunTimeScheduler(self._design_result)
+            self.approach.prepare(self._design_result,
+                                  self.workload.reconfiguration_latency)
+        return self._design_result
+
+    def run(self) -> SimulationResult:
+        """Run the configured number of iterations and aggregate metrics."""
+        design_result = self.design_result
+        assert self._tcm_runtime is not None
+        rng = random.Random(self.config.seed)
+        fault_rng = random.Random(self.config.seed ^ 0x5EED)
+        state = SystemState(platform=self.platform)
+        trace = SimulationTrace() if self.config.collect_trace else None
+        iteration_records: List[IterationRecord] = []
+
+        # The TCM run-time scheduler produces a continuous stream of
+        # scheduled tasks, so the last task of one iteration already knows
+        # the first task of the next one; a one-iteration lookahead models
+        # that stream while still drawing the mixes lazily.
+        upcoming = self._select_points(self.workload.draw_instances(rng))
+        for iteration in range(self.config.iterations):
+            if not self.config.keep_state_between_iterations:
+                preserved_time = state.time
+                preserved_controller = state.controller_free
+                state.reset()
+                state.time = preserved_time
+                state.controller_free = preserved_controller
+            if self.config.configuration_fault_rate > 0.0:
+                self._inject_faults(state, fault_rng)
+            scheduled = upcoming
+            if iteration + 1 < self.config.iterations:
+                upcoming = self._select_points(self.workload.draw_instances(rng))
+            else:
+                upcoming = []
+            follow_up = (upcoming[0]
+                         if upcoming and self.workload.sequence_lookahead
+                         else None)
+            records = self._run_iteration(scheduled, state, trace, follow_up)
+            iteration_records.append(
+                IterationRecord(index=iteration, tasks=tuple(records))
+            )
+
+        metrics = aggregate_metrics(
+            approach=self.approach.name,
+            workload=self.workload.name,
+            tile_count=self.platform.tile_count,
+            iterations=iteration_records,
+        )
+        return SimulationResult(metrics=metrics,
+                                iterations=tuple(iteration_records),
+                                trace=trace)
+
+    # ------------------------------------------------------------------ #
+    def _inject_faults(self, state: SystemState,
+                       fault_rng: random.Random) -> None:
+        """Invalidate resident configurations with the configured probability."""
+        for tile in state.tiles:
+            if (tile.configuration is not None
+                    and fault_rng.random() < self.config.configuration_fault_rate):
+                tile.invalidate()
+
+    def _select_points(self, instances) -> List[ScheduledTask]:
+        """Apply the configured Pareto-point selection policy."""
+        assert self._tcm_runtime is not None
+        if self.config.point_selection == "deadline":
+            selection: RunTimeSelection = self._tcm_runtime.select(
+                instances, deadline=self.config.deadline
+            )
+            return list(selection.scheduled)
+        scheduled = []
+        for instance in instances:
+            curve = self.design_result.curve(instance.task_name,
+                                             instance.scenario_name)
+            scheduled.append(ScheduledTask(instance=instance,
+                                           point=curve.fastest()))
+        return scheduled
+
+    def _run_iteration(self, scheduled: Sequence[ScheduledTask],
+                       state: SystemState,
+                       trace: Optional[SimulationTrace],
+                       follow_up: Optional[ScheduledTask] = None
+                       ) -> List[TaskExecutionRecord]:
+        records: List[TaskExecutionRecord] = []
+        for index, item in enumerate(scheduled):
+            is_last = index + 1 >= len(scheduled)
+            next_item = follow_up if is_last else scheduled[index + 1]
+            ctx = TaskContext(
+                scheduled=item,
+                release_time=state.time,
+                state=state,
+                reuse_module=self.reuse_module,
+                reconfiguration_latency=self.workload.reconfiguration_latency,
+                next_scheduled=next_item,
+                next_crosses_iteration=is_last and next_item is not None,
+            )
+            outcome = self.approach.execute_task(ctx)
+            state.advance_time(outcome.finish_time)
+            state.controller_free = max(state.controller_free,
+                                        outcome.controller_free)
+            records.append(outcome.record)
+            if trace is not None:
+                trace.add(outcome.record)
+        return records
+
+
+def simulate(workload: Workload, tile_count: int,
+             approach: SchedulingApproach,
+             iterations: int = 1000, seed: int = 2005,
+             platform: Optional[Platform] = None,
+             config: Optional[SimulationConfig] = None) -> SimulationResult:
+    """Convenience wrapper: build the platform and run one simulation."""
+    if platform is None:
+        platform = Platform(
+            tile_count=tile_count,
+            reconfiguration_latency=workload.reconfiguration_latency,
+        )
+    if config is None:
+        config = SimulationConfig(iterations=iterations, seed=seed)
+    simulator = SystemSimulator(workload=workload, platform=platform,
+                                approach=approach, config=config)
+    return simulator.run()
+
+
+def sweep_tile_counts(workload: Workload, tile_counts: Sequence[int],
+                      approaches: Sequence[SchedulingApproach],
+                      iterations: int = 1000, seed: int = 2005
+                      ) -> Dict[str, Dict[int, SimulationMetrics]]:
+    """Run every approach for every tile count (the Figure 6/7 sweep).
+
+    Returns ``{approach name: {tile count: metrics}}``.  Fresh approach
+    instances should be passed for every call because approaches cache
+    design-time state tied to the platform.
+    """
+    results: Dict[str, Dict[int, SimulationMetrics]] = {}
+    for approach in approaches:
+        per_tiles: Dict[int, SimulationMetrics] = {}
+        for tile_count in tile_counts:
+            # Re-instantiate the approach per tile count so its design-time
+            # preparation matches the platform being simulated.
+            fresh = type(approach)()
+            result = simulate(workload, tile_count, fresh,
+                              iterations=iterations, seed=seed)
+            per_tiles[tile_count] = result.metrics
+        results[approach.name] = per_tiles
+    return results

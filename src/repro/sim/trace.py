@@ -1,0 +1,108 @@
+"""Simulation traces and textual Gantt rendering.
+
+Traces are optional (they cost memory for long runs) and are mainly used by
+the examples and the CLI to show what the simulator actually did: which task
+ran when, how many loads it needed, how much overhead it suffered.  The
+Gantt renderer turns a :class:`~repro.scheduling.schedule.TimedSchedule`
+into the kind of diagram shown in Figures 3 and 5 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..scheduling.schedule import TimedSchedule
+from .metrics import TaskExecutionRecord
+
+
+@dataclass
+class SimulationTrace:
+    """Chronological list of task-execution records."""
+
+    records: List[TaskExecutionRecord] = field(default_factory=list)
+
+    def add(self, record: TaskExecutionRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def by_task(self) -> Dict[str, List[TaskExecutionRecord]]:
+        """Group the records by task name."""
+        grouped: Dict[str, List[TaskExecutionRecord]] = {}
+        for record in self.records:
+            grouped.setdefault(record.task_name, []).append(record)
+        return grouped
+
+    def total_overhead(self) -> float:
+        """Sum of the reconfiguration overheads of every record."""
+        return sum(record.overhead for record in self.records)
+
+    def to_rows(self) -> List[Tuple[str, str, float, float, float]]:
+        """Rows of (task, scenario, release, finish, overhead) tuples."""
+        return [
+            (record.task_name, record.scenario_name, record.release_time,
+             record.finish_time, record.overhead)
+            for record in self.records
+        ]
+
+    def format_table(self, limit: Optional[int] = 20) -> str:
+        """Human-readable table of the first ``limit`` records."""
+        header = (f"{'task':24s} {'scenario':10s} {'release':>10s} "
+                  f"{'finish':>10s} {'overhead':>9s}")
+        lines = [header, "-" * len(header)]
+        rows = self.records if limit is None else self.records[:limit]
+        for record in rows:
+            lines.append(
+                f"{record.task_name:24s} {record.scenario_name:10s} "
+                f"{record.release_time:10.2f} {record.finish_time:10.2f} "
+                f"{record.overhead:9.2f}"
+            )
+        if limit is not None and len(self.records) > limit:
+            lines.append(f"... ({len(self.records) - limit} more records)")
+        return "\n".join(lines)
+
+
+def render_gantt(timed: TimedSchedule, width: int = 72,
+                 time_origin: Optional[float] = None) -> str:
+    """Render a timed schedule as a textual Gantt chart.
+
+    Every resource (and the reconfiguration port) gets one lane; ``#`` marks
+    execution, ``=`` marks configuration loads.  The rendering is purely
+    illustrative — exact times are available from the schedule object.
+    """
+    origin = timed.release_time if time_origin is None else time_origin
+    horizon = max(timed.makespan, origin + 1e-9)
+    span = horizon - origin
+    if span <= 0:
+        return "(empty schedule)"
+
+    def column(instant: float) -> int:
+        fraction = (instant - origin) / span
+        return min(width - 1, max(0, int(round(fraction * (width - 1)))))
+
+    lanes: Dict[str, List[str]] = {}
+
+    def paint(lane: str, start: float, finish: float, glyph: str) -> None:
+        row = lanes.setdefault(lane, [" "] * width)
+        first, last = column(start), column(finish)
+        for index in range(first, max(first + 1, last)):
+            row[index] = glyph
+
+    for load in timed.loads:
+        paint("reconfig", load.start, load.finish, "=")
+    for name, entry in timed.executions.items():
+        paint(str(entry.resource), entry.start, entry.finish, "#")
+
+    label_width = max((len(label) for label in lanes), default=8) + 1
+    lines = [f"time {origin:.1f} .. {horizon:.1f} ms "
+             f"(ideal {timed.ideal_makespan:.1f} ms, overhead "
+             f"{timed.overhead:.1f} ms)"]
+    for label in sorted(lanes):
+        lines.append(f"{label:<{label_width}s}|{''.join(lanes[label])}|")
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""TCM-style scheduling environment (tasks, scenarios, Pareto curves)."""
+
+from .design_time import (
+    CurveKey,
+    TcmDesignTimeResult,
+    TcmDesignTimeScheduler,
+    point_key_for_tiles,
+)
+from .pareto import ParetoCurve, ParetoPoint, prune_dominated
+from .run_time import RunTimeSelection, ScheduledTask, TcmRunTimeScheduler
+from .scenario import (
+    DynamicTask,
+    Scenario,
+    TaskInstance,
+    TaskSet,
+    single_scenario_task,
+)
+
+__all__ = [
+    "CurveKey",
+    "DynamicTask",
+    "ParetoCurve",
+    "ParetoPoint",
+    "RunTimeSelection",
+    "Scenario",
+    "ScheduledTask",
+    "TaskInstance",
+    "TaskSet",
+    "TcmDesignTimeResult",
+    "TcmDesignTimeScheduler",
+    "TcmRunTimeScheduler",
+    "point_key_for_tiles",
+    "prune_dominated",
+    "single_scenario_task",
+]

@@ -1,0 +1,165 @@
+"""TCM design-time scheduling (Pareto-curve generation).
+
+The design-time phase of the TCM environment explores, for every scenario
+of every task, a set of assignment/scheduling options and keeps the Pareto
+front over execution time and energy.  This reproduction sweeps the number
+of DRHW tiles made available to the scenario: using more tiles shortens the
+makespan (more parallelism) but costs more energy (more resident area and
+more loads), which yields the time/energy trade-off the run-time scheduler
+navigates.
+
+The explorer also drives the design-time phase of the hybrid prefetch
+heuristic: for every Pareto point of every scenario it can build the
+corresponding :class:`~repro.core.store.DesignTimeEntry` so that the
+run-time phase finds a precomputed critical-subtask schedule for whatever
+the TCM run-time scheduler selects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.hybrid import HybridPrefetchHeuristic
+from ..core.store import DesignTimeStore
+from ..errors import ConfigurationError
+from ..graphs.analysis import max_parallelism
+from ..platform.description import Platform
+from ..scheduling.list_scheduler import ListScheduler, ListSchedulerOptions
+from ..scheduling.schedule import PlacedSchedule
+from .pareto import ParetoCurve, ParetoPoint
+from .scenario import DynamicTask, Scenario, TaskSet
+
+#: Key of a Pareto curve: (task name, scenario name).
+CurveKey = Tuple[str, str]
+
+
+def point_key_for_tiles(tile_count: int) -> str:
+    """Canonical Pareto-point key for a schedule using ``tile_count`` tiles."""
+    return f"tiles{tile_count}"
+
+
+@dataclass
+class TcmDesignTimeResult:
+    """Output of the TCM design-time exploration for a whole application."""
+
+    platform: Platform
+    curves: Dict[CurveKey, ParetoCurve] = field(default_factory=dict)
+
+    def curve(self, task_name: str, scenario_name: str) -> ParetoCurve:
+        """Pareto curve of one scenario."""
+        key = (task_name, scenario_name)
+        try:
+            return self.curves[key]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no Pareto curve for {key}; available: {sorted(self.curves)}"
+            ) from exc
+
+    @property
+    def curve_count(self) -> int:
+        """Number of (task, scenario) curves explored."""
+        return len(self.curves)
+
+    def schedules(self) -> List[Tuple[str, str, str, PlacedSchedule]]:
+        """Every (task, scenario, point key, placed schedule) tuple."""
+        result = []
+        for (task_name, scenario_name), curve in sorted(self.curves.items()):
+            for point in curve:
+                result.append((task_name, scenario_name, point.key,
+                               point.placed))
+        return result
+
+    def build_design_store(self, hybrid: HybridPrefetchHeuristic
+                           ) -> DesignTimeStore:
+        """Run the hybrid design-time phase for every Pareto point."""
+        return hybrid.build_store(self.schedules())
+
+
+class TcmDesignTimeScheduler:
+    """Generates Pareto curves by sweeping the tile budget of each scenario."""
+
+    def __init__(self, platform: Platform,
+                 tile_budgets: Optional[Sequence[int]] = None,
+                 list_options: Optional[ListSchedulerOptions] = None,
+                 include_full_pool: bool = True) -> None:
+        self.platform = platform
+        self.include_full_pool = include_full_pool
+        if tile_budgets is not None:
+            budgets = sorted(set(tile_budgets))
+            if not budgets or budgets[0] < 1:
+                raise ConfigurationError(
+                    "tile budgets must be positive integers"
+                )
+            if budgets[-1] > platform.tile_count:
+                raise ConfigurationError(
+                    f"tile budget {budgets[-1]} exceeds the platform's "
+                    f"{platform.tile_count} tiles"
+                )
+            self.tile_budgets: Tuple[int, ...] = tuple(budgets)
+        else:
+            self.tile_budgets = tuple(range(1, platform.tile_count + 1))
+        self.list_options = list_options or ListSchedulerOptions()
+
+    # ------------------------------------------------------------------ #
+    def explore_scenario(self, task_name: str, scenario: Scenario
+                         ) -> ParetoCurve:
+        """Build the Pareto curve of one scenario."""
+        graph = scenario.graph
+        parallelism = max(1, max_parallelism(graph))
+        budgets: List[int] = []
+        for tile_count in self.tile_budgets:
+            if tile_count > parallelism and budgets:
+                # More tiles than exploitable parallelism cannot improve the
+                # makespan any further; the previous budget already covers
+                # the time/energy trade-off.
+                break
+            budgets.append(tile_count)
+        if not budgets:
+            budgets.append(self.tile_budgets[0])
+        if self.include_full_pool and self.tile_budgets[-1] not in budgets:
+            # Always keep the schedule that spreads the task over the whole
+            # tile pool: it is as fast as the widest Pareto point and leaves
+            # every configuration on its own tile, which is what the
+            # overhead experiments (and the reuse module) rely on.
+            budgets.append(self.tile_budgets[-1])
+        points: List[ParetoPoint] = []
+        for tile_count in budgets:
+            placed = self._schedule_with_budget(graph, tile_count)
+            points.append(self._make_point(placed, tile_count))
+        return ParetoCurve(task_name, scenario.name, points)
+
+    def explore(self, task_set: TaskSet) -> TcmDesignTimeResult:
+        """Build the Pareto curves of every scenario of every task."""
+        result = TcmDesignTimeResult(platform=self.platform)
+        for task in task_set:
+            for scenario in task:
+                result.curves[(task.name, scenario.name)] = (
+                    self.explore_scenario(task.name, scenario)
+                )
+        return result
+
+    # ------------------------------------------------------------------ #
+    def _schedule_with_budget(self, graph, tile_count: int) -> PlacedSchedule:
+        budget_platform = self.platform.with_tiles(tile_count)
+        scheduler = ListScheduler(budget_platform, self.list_options)
+        return scheduler.schedule(graph)
+
+    def _make_point(self, placed: PlacedSchedule, tile_count: int
+                    ) -> ParetoPoint:
+        graph = placed.graph
+        busy_time = graph.total_execution_time
+        makespan = placed.makespan
+        idle_tile_time = max(0.0, tile_count * makespan - busy_time)
+        energy = self.platform.energy.task_energy(
+            loads=len(placed.drhw_names),
+            busy_time=busy_time,
+            idle_tile_time=idle_tile_time,
+        )
+        return ParetoPoint(
+            key=point_key_for_tiles(tile_count),
+            execution_time=makespan,
+            energy=energy,
+            tile_count=tile_count,
+            placed=placed,
+        )

@@ -1,0 +1,159 @@
+"""Pareto curves and Pareto points (TCM design-time output).
+
+For every scenario of every task, the TCM design-time scheduler produces a
+Pareto curve: a set of schedules ("Pareto points"), each better than every
+other point in at least one of the optimization objectives — execution time
+and energy consumption.  At run-time, the scheduler picks, for every running
+task, the Pareto point that consumes the least energy while still meeting
+the application's timing constraints.
+
+In this reproduction a Pareto point corresponds to scheduling the scenario
+on a given number of DRHW tiles: more tiles means a shorter makespan but a
+higher energy cost (more loads, more active area).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from ..scheduling.schedule import PlacedSchedule
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One schedule option for a scenario.
+
+    Attributes
+    ----------
+    key:
+        Identifier of the point (by convention ``tiles<N>`` in this library).
+    execution_time:
+        Makespan of the schedule, neglecting reconfiguration.
+    energy:
+        Energy estimate of one execution under the platform's energy model.
+    tile_count:
+        Number of DRHW tiles the schedule uses.
+    placed:
+        The placed schedule realizing this point.
+    """
+
+    key: str
+    execution_time: float
+    energy: float
+    tile_count: int
+    placed: PlacedSchedule
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """``True`` when this point is no worse in both objectives and
+        strictly better in at least one."""
+        no_worse = (self.execution_time <= other.execution_time
+                    and self.energy <= other.energy)
+        strictly_better = (self.execution_time < other.execution_time
+                           or self.energy < other.energy)
+        return no_worse and strictly_better
+
+
+class ParetoCurve:
+    """The schedule options of one scenario.
+
+    The curve stores every explored point (so that, for instance, the
+    full-tile-pool schedule used by the overhead experiments remains
+    addressable even when a smaller schedule dominates it energetically) and
+    exposes the non-dominated subset through :meth:`pareto_points`, which is
+    what the energy-aware run-time selection operates on.
+    """
+
+    def __init__(self, task_name: str, scenario_name: str,
+                 points: Iterable[ParetoPoint]) -> None:
+        self.task_name = task_name
+        self.scenario_name = scenario_name
+        candidates = list(points)
+        if not candidates:
+            raise ConfigurationError(
+                f"Pareto curve of {task_name}/{scenario_name} needs at least "
+                "one point"
+            )
+        seen_keys = set()
+        ordered = sorted(candidates, key=lambda p: (p.execution_time,
+                                                    p.energy, p.tile_count))
+        self._points: List[ParetoPoint] = []
+        for candidate in ordered:
+            if candidate.key in seen_keys:
+                continue
+            seen_keys.add(candidate.key)
+            self._points.append(candidate)
+
+    @property
+    def points(self) -> List[ParetoPoint]:
+        """All stored points, sorted by increasing execution time."""
+        return list(self._points)
+
+    def pareto_points(self) -> List[ParetoPoint]:
+        """The non-dominated subset (time/energy Pareto front)."""
+        return prune_dominated(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ParetoPoint]:
+        return iter(self._points)
+
+    def point(self, key: str) -> ParetoPoint:
+        """Return the point with the given key."""
+        for candidate in self._points:
+            if candidate.key == key:
+                return candidate
+        raise ConfigurationError(
+            f"Pareto curve of {self.task_name}/{self.scenario_name} has no "
+            f"point {key!r}; available: {[p.key for p in self._points]}"
+        )
+
+    def fastest(self) -> ParetoPoint:
+        """The fastest point; ties are broken towards the largest tile pool.
+
+        Spreading the subtasks over more tiles never slows the task down and
+        maximizes the configurations that stay resident for later reuse, so
+        the overhead experiments of the paper run on this point.
+        """
+        return min(self._points,
+                   key=lambda p: (p.execution_time, -p.tile_count))
+
+    def most_economical(self) -> ParetoPoint:
+        """The point with the smallest energy consumption."""
+        return min(self.pareto_points(),
+                   key=lambda p: (p.energy, p.execution_time))
+
+    def best_under_deadline(self, deadline: float) -> ParetoPoint:
+        """Least-energy point whose execution time meets ``deadline``.
+
+        Falls back to the fastest point when no point meets the deadline
+        (the run-time scheduler then reports a constraint violation).
+        """
+        feasible = [p for p in self.pareto_points()
+                    if p.execution_time <= deadline]
+        if not feasible:
+            return self.fastest()
+        return min(feasible, key=lambda p: (p.energy, p.execution_time))
+
+
+def prune_dominated(points: Sequence[ParetoPoint]) -> List[ParetoPoint]:
+    """Remove dominated points and sort by increasing execution time.
+
+    When two points are identical in both objectives, the one with the
+    smaller tile count is kept (it is cheaper to realize).
+    """
+    kept: List[ParetoPoint] = []
+    ordered = sorted(points, key=lambda p: (p.execution_time, p.energy,
+                                            p.tile_count))
+    for candidate in ordered:
+        dominated = any(existing.dominates(candidate) for existing in kept)
+        duplicate = any(
+            existing.execution_time == candidate.execution_time
+            and existing.energy == candidate.energy
+            for existing in kept
+        )
+        if not dominated and not duplicate:
+            kept.append(candidate)
+    return kept

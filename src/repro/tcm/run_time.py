@@ -1,0 +1,148 @@
+"""TCM run-time scheduling.
+
+The TCM run-time scheduler is called periodically.  It identifies the
+current scenario of every running task and selects, among the design-time
+Pareto points, the combination that consumes the least energy while still
+meeting the application's timing constraints.  Its output — an ordered
+sequence of scheduled tasks — is exactly the information the inter-task
+prefetch optimization of the hybrid heuristic consumes.
+
+The selection strategy here is the classic greedy Pareto walk used by
+ref. [10]: start from the most economical point of every task and, while the
+deadline is violated, upgrade the task offering the best execution-time gain
+per unit of additional energy.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .design_time import TcmDesignTimeResult
+from .pareto import ParetoPoint
+from .scenario import DynamicTask, Scenario, TaskInstance, TaskSet
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """One task of the run-time schedule: instance + selected Pareto point."""
+
+    instance: TaskInstance
+    point: ParetoPoint
+
+    @property
+    def task_name(self) -> str:
+        """Name of the scheduled task."""
+        return self.instance.task_name
+
+    @property
+    def scenario_name(self) -> str:
+        """Name of the active scenario."""
+        return self.instance.scenario_name
+
+    @property
+    def point_key(self) -> str:
+        """Key of the selected Pareto point."""
+        return self.point.key
+
+
+@dataclass(frozen=True)
+class RunTimeSelection:
+    """Output of one invocation of the TCM run-time scheduler."""
+
+    scheduled: Tuple[ScheduledTask, ...]
+    deadline: Optional[float]
+
+    @property
+    def total_execution_time(self) -> float:
+        """Sum of the selected execution times (sequential execution)."""
+        return sum(item.point.execution_time for item in self.scheduled)
+
+    @property
+    def total_energy(self) -> float:
+        """Sum of the selected energy estimates."""
+        return sum(item.point.energy for item in self.scheduled)
+
+    @property
+    def meets_deadline(self) -> bool:
+        """``True`` when the selection satisfies the timing constraint."""
+        if self.deadline is None:
+            return True
+        return self.total_execution_time <= self.deadline + 1e-9
+
+
+class TcmRunTimeScheduler:
+    """Greedy energy-minimizing Pareto-point selector."""
+
+    def __init__(self, design_result: TcmDesignTimeResult) -> None:
+        self.design_result = design_result
+
+    # ------------------------------------------------------------------ #
+    def identify_scenarios(self, task_set: TaskSet,
+                           rng: random.Random) -> List[TaskInstance]:
+        """Draw the active scenario of every task (scenario identification).
+
+        In a real system the scenario is observed from the input data; the
+        simulator models that unpredictability by drawing scenarios from the
+        per-task probability distributions.
+        """
+        return [TaskInstance(task=task, scenario=task.draw_scenario(rng))
+                for task in task_set]
+
+    def select(self, instances: Sequence[TaskInstance],
+               deadline: Optional[float] = None) -> RunTimeSelection:
+        """Select a Pareto point for every instance under ``deadline``.
+
+        The task order of ``instances`` is preserved: it is the execution
+        sequence handed to the prefetch modules.
+        """
+        if not instances:
+            return RunTimeSelection(scheduled=(), deadline=deadline)
+
+        curves = [self.design_result.curve(instance.task_name,
+                                           instance.scenario_name)
+                  for instance in instances]
+        chosen: List[ParetoPoint] = [curve.most_economical()
+                                     for curve in curves]
+
+        if deadline is not None:
+            total_time = sum(point.execution_time for point in chosen)
+            while total_time > deadline + 1e-9:
+                best_index = None
+                best_gain = 0.0
+                for index, (curve, current) in enumerate(zip(curves, chosen)):
+                    upgrade = self._best_upgrade(curve, current)
+                    if upgrade is None:
+                        continue
+                    time_gain = current.execution_time - upgrade.execution_time
+                    energy_cost = max(1e-9, upgrade.energy - current.energy)
+                    gain = time_gain / energy_cost
+                    if gain > best_gain:
+                        best_gain = gain
+                        best_index = index
+                        best_point = upgrade
+                if best_index is None:
+                    break
+                total_time -= (chosen[best_index].execution_time
+                               - best_point.execution_time)
+                chosen[best_index] = best_point
+
+        scheduled = tuple(
+            ScheduledTask(instance=instance, point=point)
+            for instance, point in zip(instances, chosen)
+        )
+        return RunTimeSelection(scheduled=scheduled, deadline=deadline)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _best_upgrade(curve, current: ParetoPoint) -> Optional[ParetoPoint]:
+        """The fastest strictly-faster point of ``curve`` after ``current``."""
+        faster = [point for point in curve
+                  if point.execution_time < current.execution_time - 1e-9]
+        if not faster:
+            return None
+        # The Pareto curve is sorted by execution time, so the best gain per
+        # energy is found by trying the immediately faster point first.
+        return max(faster, key=lambda p: p.execution_time)

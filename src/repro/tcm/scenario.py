@@ -1,0 +1,212 @@
+"""Tasks and scenarios (the TCM application model).
+
+In the TCM scheduling environment an application is a set of *tasks* that
+interact dynamically; every task is internally deterministic and described
+by a subtask graph.  When the behaviour of a task depends on external data,
+different versions of its graph — called *scenarios* — are generated at
+design-time, and the run-time scheduler identifies which scenario is active
+before selecting a schedule.
+
+This module provides the static application model: :class:`Scenario`,
+:class:`DynamicTask` (a task with one or more scenarios and a probability
+distribution over them) and :class:`TaskSet` (a whole application).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import ScenarioError
+from ..graphs.taskgraph import TaskGraph
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One behavioural version (subtask graph) of a task."""
+
+    name: str
+    graph: TaskGraph
+    probability: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be a non-empty string")
+        if self.probability < 0:
+            raise ScenarioError(
+                f"scenario {self.name!r} has a negative probability"
+            )
+
+
+class DynamicTask:
+    """A task whose behaviour is selected among scenarios at run-time."""
+
+    def __init__(self, name: str, scenarios: Iterable[Scenario]) -> None:
+        if not name:
+            raise ScenarioError("task name must be a non-empty string")
+        self.name = name
+        self._scenarios: Dict[str, Scenario] = {}
+        for scenario in scenarios:
+            if scenario.name in self._scenarios:
+                raise ScenarioError(
+                    f"task {name!r} defines scenario {scenario.name!r} twice"
+                )
+            self._scenarios[scenario.name] = scenario
+        if not self._scenarios:
+            raise ScenarioError(f"task {name!r} needs at least one scenario")
+        total = sum(s.probability for s in self._scenarios.values())
+        if total <= 0:
+            raise ScenarioError(
+                f"task {name!r}: scenario probabilities must sum to a "
+                "positive value"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def scenarios(self) -> List[Scenario]:
+        """All scenarios, in insertion order."""
+        return list(self._scenarios.values())
+
+    @property
+    def scenario_names(self) -> List[str]:
+        """Names of all scenarios, in insertion order."""
+        return list(self._scenarios)
+
+    def scenario(self, name: str) -> Scenario:
+        """Return the scenario called ``name``."""
+        try:
+            return self._scenarios[name]
+        except KeyError as exc:
+            raise ScenarioError(
+                f"task {self.name!r} has no scenario {name!r}; available: "
+                f"{self.scenario_names}"
+            ) from exc
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    @property
+    def configurations(self) -> List[str]:
+        """Distinct configurations used by any scenario of this task."""
+        seen: Dict[str, None] = {}
+        for scenario in self._scenarios.values():
+            for configuration in scenario.graph.configurations:
+                seen.setdefault(configuration, None)
+        return list(seen)
+
+    def draw_scenario(self, rng: random.Random) -> Scenario:
+        """Draw a scenario according to the scenario probabilities."""
+        scenarios = self.scenarios
+        weights = [s.probability for s in scenarios]
+        return rng.choices(scenarios, weights=weights, k=1)[0]
+
+    def average_ideal_time(self) -> float:
+        """Probability-weighted critical-path length over the scenarios."""
+        total_probability = sum(s.probability for s in self._scenarios.values())
+        return sum(
+            s.probability * s.graph.critical_path_length()
+            for s in self._scenarios.values()
+        ) / total_probability
+
+
+@dataclass(frozen=True)
+class TaskInstance:
+    """One run-time occurrence of a task in a given scenario."""
+
+    task: DynamicTask
+    scenario: Scenario
+
+    @property
+    def task_name(self) -> str:
+        """Name of the task."""
+        return self.task.name
+
+    @property
+    def scenario_name(self) -> str:
+        """Name of the active scenario."""
+        return self.scenario.name
+
+    @property
+    def graph(self) -> TaskGraph:
+        """Subtask graph of the active scenario."""
+        return self.scenario.graph
+
+
+class TaskSet:
+    """A whole application: a collection of dynamic tasks."""
+
+    def __init__(self, name: str, tasks: Iterable[DynamicTask]) -> None:
+        if not name:
+            raise ScenarioError("task-set name must be a non-empty string")
+        self.name = name
+        self._tasks: Dict[str, DynamicTask] = {}
+        for task in tasks:
+            if task.name in self._tasks:
+                raise ScenarioError(
+                    f"task set {name!r} contains task {task.name!r} twice"
+                )
+            self._tasks[task.name] = task
+        if not self._tasks:
+            raise ScenarioError(f"task set {name!r} needs at least one task")
+
+    @property
+    def tasks(self) -> List[DynamicTask]:
+        """All tasks, in insertion order."""
+        return list(self._tasks.values())
+
+    @property
+    def task_names(self) -> List[str]:
+        """Names of all tasks, in insertion order."""
+        return list(self._tasks)
+
+    def task(self, name: str) -> DynamicTask:
+        """Return the task called ``name``."""
+        try:
+            return self._tasks[name]
+        except KeyError as exc:
+            raise ScenarioError(
+                f"task set {self.name!r} has no task {name!r}"
+            ) from exc
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[DynamicTask]:
+        return iter(self._tasks.values())
+
+    @property
+    def scenario_count(self) -> int:
+        """Total number of scenarios across all tasks."""
+        return sum(len(task) for task in self._tasks.values())
+
+    @property
+    def subtask_count(self) -> int:
+        """Total number of distinct configurations across all tasks."""
+        return len(self.configurations)
+
+    @property
+    def configurations(self) -> List[str]:
+        """Distinct configurations used anywhere in the application."""
+        seen: Dict[str, None] = {}
+        for task in self._tasks.values():
+            for configuration in task.configurations:
+                seen.setdefault(configuration, None)
+        return list(seen)
+
+    def instances(self, assignment: Mapping[str, str]) -> List[TaskInstance]:
+        """Build task instances from a {task name: scenario name} mapping."""
+        result = []
+        for task_name, scenario_name in assignment.items():
+            task = self.task(task_name)
+            result.append(TaskInstance(task=task,
+                                       scenario=task.scenario(scenario_name)))
+        return result
+
+
+def single_scenario_task(name: str, graph: TaskGraph) -> DynamicTask:
+    """Build a task with exactly one scenario (deterministic behaviour)."""
+    return DynamicTask(name, [Scenario(name="default", graph=graph)])

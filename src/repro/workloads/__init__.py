@@ -1,0 +1,61 @@
+"""Benchmarks and synthetic workloads used by the experiments."""
+
+from .base import Workload
+from .multimedia import (
+    MultimediaWorkload,
+    SECTION7_REFERENCE,
+    TABLE1_REFERENCE,
+    Table1Row,
+    jpeg_decoder_graph,
+    jpeg_decoder_task,
+    mpeg_encoder_graph,
+    mpeg_encoder_task,
+    multimedia_task_set,
+    parallel_jpeg_graph,
+    parallel_jpeg_task,
+    pattern_recognition_graph,
+    pattern_recognition_task,
+)
+from .pocketgl import (
+    POCKETGL_REFERENCE,
+    PocketGLWorkload,
+    feasible_intertask_scenarios,
+    pocketgl_scenario_graph,
+    pocketgl_task,
+    pocketgl_task_set,
+)
+from .synthetic import (
+    SyntheticSpec,
+    SyntheticWorkload,
+    scalability_graphs,
+    synthetic_task,
+    synthetic_task_set,
+)
+
+__all__ = [
+    "MultimediaWorkload",
+    "POCKETGL_REFERENCE",
+    "PocketGLWorkload",
+    "SECTION7_REFERENCE",
+    "SyntheticSpec",
+    "SyntheticWorkload",
+    "TABLE1_REFERENCE",
+    "Table1Row",
+    "Workload",
+    "feasible_intertask_scenarios",
+    "jpeg_decoder_graph",
+    "jpeg_decoder_task",
+    "mpeg_encoder_graph",
+    "mpeg_encoder_task",
+    "multimedia_task_set",
+    "parallel_jpeg_graph",
+    "parallel_jpeg_task",
+    "pattern_recognition_graph",
+    "pattern_recognition_task",
+    "pocketgl_scenario_graph",
+    "pocketgl_task",
+    "pocketgl_task_set",
+    "scalability_graphs",
+    "synthetic_task",
+    "synthetic_task_set",
+]

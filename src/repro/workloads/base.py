@@ -1,0 +1,78 @@
+"""Workload abstraction.
+
+A *workload* bundles an application (a :class:`~repro.tcm.scenario.TaskSet`)
+with the dynamic behaviour the simulator exercises: which tasks run in each
+iteration, in which order and in which scenario.  The paper's two
+evaluations (the multimedia benchmark mix of Table 1/Figure 6 and the Pocket
+GL 3D-rendering application of Figure 7) and the synthetic workloads used by
+the scalability/ablation studies all implement this interface.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
+from ..tcm.scenario import TaskInstance, TaskSet
+
+
+class Workload(abc.ABC):
+    """One reproducible application workload."""
+
+    #: Human-readable workload name (used in reports).
+    name: str = "workload"
+    #: Whether the task stream is predictable across iteration boundaries.
+    #: Periodic applications (the Pocket GL frame pipeline) execute the same
+    #: task sequence every iteration, so the run-time scheduler already
+    #: knows the first task of the next iteration while finishing the
+    #: current one; workloads whose mix is drawn randomly per iteration do
+    #: not offer that lookahead.
+    sequence_lookahead: bool = False
+
+    def __init__(self, task_set: TaskSet,
+                 reconfiguration_latency: float = DEFAULT_RECONFIGURATION_LATENCY_MS,
+                 tile_counts: Sequence[int] = (8,),
+                 deadline: Optional[float] = None) -> None:
+        self.task_set = task_set
+        self.reconfiguration_latency = reconfiguration_latency
+        self.tile_counts: Tuple[int, ...] = tuple(tile_counts)
+        self.deadline = deadline
+
+    @abc.abstractmethod
+    def draw_instances(self, rng: random.Random) -> List[TaskInstance]:
+        """Draw the ordered task instances executed in one iteration.
+
+        The draw models the application's unpredictable behaviour ("the
+        applications executed during each iteration vary randomly"); given
+        the same :class:`random.Random` state the result is deterministic.
+        """
+
+    # ------------------------------------------------------------------ #
+    @property
+    def configurations(self) -> List[str]:
+        """Distinct configurations used anywhere in the workload."""
+        return self.task_set.configurations
+
+    @property
+    def configuration_count(self) -> int:
+        """Number of distinct configurations of the workload."""
+        return len(self.configurations)
+
+    def average_instance_count(self, rng: random.Random,
+                               samples: int = 200) -> float:
+        """Average number of task instances per iteration (diagnostic)."""
+        if samples <= 0:
+            return 0.0
+        total = sum(len(self.draw_instances(rng)) for _ in range(samples))
+        return total / samples
+
+    def describe(self) -> str:
+        """One-line description used by the CLI."""
+        return (
+            f"{self.name}: {len(self.task_set)} tasks, "
+            f"{self.task_set.scenario_count} scenarios, "
+            f"{self.configuration_count} configurations, "
+            f"latency {self.reconfiguration_latency} ms"
+        )

@@ -1,0 +1,167 @@
+"""Synthetic workloads for scalability studies, ablations and fuzzing.
+
+These workloads complement the two paper benchmarks: they generate task sets
+with configurable size, granularity (ratio between subtask execution time
+and reconfiguration latency), scenario counts and structure, using the graph
+generators of :mod:`repro.graphs.generators`.  The scalability benchmark of
+Section 4 (scheduling cost versus graph size) and the ablation benches are
+built on top of them, and the property-based tests use them as a source of
+diverse-but-valid inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import WorkloadError
+from ..graphs.generators import ExecutionTimeModel, multimedia_like, random_dag
+from ..graphs.taskgraph import TaskGraph
+from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
+from ..tcm.scenario import DynamicTask, Scenario, TaskInstance, TaskSet
+from .base import Workload
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a synthetic workload.
+
+    Parameters
+    ----------
+    task_count:
+        Number of dynamic tasks in the application.
+    subtasks_per_task:
+        Number of subtasks in every task's graphs.
+    scenarios_per_task:
+        Number of scenarios generated for every task; scenarios share the
+        task's configurations but differ in execution times.
+    granularity:
+        Mean subtask execution time expressed as a multiple of the
+        reconfiguration latency (1.0 means subtasks as long as a load).
+    reconfiguration_latency:
+        Load latency of the target platform.
+    tasks_per_iteration:
+        How many (randomly selected) tasks run in each iteration; ``None``
+        means all of them.
+    seed:
+        Seed of the deterministic generation.
+    """
+
+    task_count: int = 4
+    subtasks_per_task: int = 8
+    scenarios_per_task: int = 2
+    granularity: float = 3.0
+    reconfiguration_latency: float = DEFAULT_RECONFIGURATION_LATENCY_MS
+    tasks_per_iteration: Optional[int] = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.task_count <= 0:
+            raise WorkloadError("task_count must be positive")
+        if self.subtasks_per_task <= 0:
+            raise WorkloadError("subtasks_per_task must be positive")
+        if self.scenarios_per_task <= 0:
+            raise WorkloadError("scenarios_per_task must be positive")
+        if self.granularity <= 0:
+            raise WorkloadError("granularity must be positive")
+        if (self.tasks_per_iteration is not None
+                and not 1 <= self.tasks_per_iteration <= self.task_count):
+            raise WorkloadError(
+                "tasks_per_iteration must lie between 1 and task_count"
+            )
+
+
+def _scenario_variant(base: TaskGraph, scenario_index: int,
+                      rng: random.Random) -> TaskGraph:
+    """Build a scenario by perturbing the base graph's execution times.
+
+    The structure and the configuration identifiers stay the same, so
+    configurations can be reused across scenarios of the same task.
+    """
+    if scenario_index == 0:
+        return base.copy(name=f"{base.name}_s0")
+    variant = TaskGraph(f"{base.name}_s{scenario_index}")
+    for subtask in base:
+        factor = rng.uniform(0.6, 1.5)
+        variant.add_subtask(subtask.with_execution_time(
+            max(0.2, subtask.execution_time * factor)
+        ))
+    for producer, consumer in base.dependencies():
+        variant.add_dependency(producer, consumer,
+                               data_size=base.data_size(producer, consumer))
+    return variant
+
+
+def synthetic_task(spec: SyntheticSpec, index: int) -> DynamicTask:
+    """Generate one dynamic task of a synthetic workload."""
+    rng = random.Random(f"{spec.seed}:task:{index}")
+    base = multimedia_like(
+        name=f"syn{index}",
+        subtask_count=spec.subtasks_per_task,
+        reconfiguration_latency=spec.reconfiguration_latency,
+        granularity=spec.granularity,
+        seed=rng,
+    )
+    scenarios = [
+        Scenario(name=f"s{scenario_index}",
+                 graph=_scenario_variant(base, scenario_index, rng))
+        for scenario_index in range(spec.scenarios_per_task)
+    ]
+    return DynamicTask(f"syn{index}", scenarios)
+
+
+def synthetic_task_set(spec: SyntheticSpec) -> TaskSet:
+    """Generate the whole synthetic application described by ``spec``."""
+    return TaskSet(
+        f"synthetic_{spec.task_count}x{spec.subtasks_per_task}",
+        [synthetic_task(spec, index) for index in range(spec.task_count)],
+    )
+
+
+class SyntheticWorkload(Workload):
+    """A randomly generated, fully reproducible workload."""
+
+    name = "synthetic"
+
+    def __init__(self, spec: Optional[SyntheticSpec] = None,
+                 tile_counts: Sequence[int] = (4, 6, 8, 10, 12)) -> None:
+        self.spec = spec or SyntheticSpec()
+        super().__init__(
+            task_set=synthetic_task_set(self.spec),
+            reconfiguration_latency=self.spec.reconfiguration_latency,
+            tile_counts=tile_counts,
+        )
+
+    def draw_instances(self, rng: random.Random) -> List[TaskInstance]:
+        tasks = list(self.task_set.tasks)
+        if self.spec.tasks_per_iteration is None:
+            count = rng.randint(1, len(tasks))
+        else:
+            count = self.spec.tasks_per_iteration
+        selected = rng.sample(tasks, count)
+        rng.shuffle(selected)
+        return [TaskInstance(task=task, scenario=task.draw_scenario(rng))
+                for task in selected]
+
+
+def scalability_graphs(sizes: Sequence[int], seed: int = 11,
+                       granularity: float = 2.0,
+                       reconfiguration_latency: float = DEFAULT_RECONFIGURATION_LATENCY_MS
+                       ) -> List[TaskGraph]:
+    """Graphs of increasing size for the Section 4 scalability study."""
+    rng = random.Random(seed)
+    mean_time = reconfiguration_latency * granularity
+    time_model = ExecutionTimeModel(minimum=max(0.2, mean_time * 0.3),
+                                    maximum=mean_time * 1.7)
+    graphs = []
+    for size in sizes:
+        # Use a sparse random DAG with exactly `size` subtasks so that the
+        # scalability rows are labelled by their true graph size.
+        edge_probability = min(0.5, 4.0 / max(1, size))
+        graphs.append(
+            random_dag(f"scal_{size}", count=size,
+                       edge_probability=edge_probability,
+                       time_model=time_model, seed=rng)
+        )
+    return graphs

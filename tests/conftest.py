@@ -1,0 +1,102 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs.subtask import Subtask, drhw_subtask, isp_subtask
+from repro.graphs.taskgraph import TaskGraph, chain_graph, fork_join_graph
+from repro.platform.description import Platform, virtex2_platform
+from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.workloads.multimedia import (
+    jpeg_decoder_graph,
+    mpeg_encoder_graph,
+    parallel_jpeg_graph,
+    pattern_recognition_graph,
+)
+
+#: Reconfiguration latency used by most tests (the paper's 4 ms).
+LATENCY = 4.0
+
+
+@pytest.fixture
+def platform8() -> Platform:
+    """An 8-tile Virtex-II-style platform (the paper's smallest pool)."""
+    return virtex2_platform(tile_count=8)
+
+
+@pytest.fixture
+def platform3() -> Platform:
+    """A small 3-tile platform that forces tile sharing."""
+    return Platform(tile_count=3, reconfiguration_latency=LATENCY)
+
+
+@pytest.fixture
+def chain4() -> TaskGraph:
+    """A 4-subtask chain similar to the sequential JPEG decoder."""
+    return chain_graph("chain4", [20.0, 21.0, 20.0, 20.0])
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """A 4-subtask diamond: one source, two parallel branches, one sink."""
+    graph = TaskGraph("diamond")
+    graph.add_subtask(drhw_subtask("src", 10.0))
+    graph.add_subtask(drhw_subtask("left", 8.0))
+    graph.add_subtask(drhw_subtask("right", 12.0))
+    graph.add_subtask(drhw_subtask("sink", 6.0))
+    graph.add_dependency("src", "left")
+    graph.add_dependency("src", "right")
+    graph.add_dependency("left", "sink")
+    graph.add_dependency("right", "sink")
+    return graph
+
+
+@pytest.fixture
+def mixed_graph() -> TaskGraph:
+    """A graph mixing DRHW and ISP subtasks."""
+    graph = TaskGraph("mixed")
+    graph.add_subtask(drhw_subtask("hw_a", 10.0))
+    graph.add_subtask(isp_subtask("sw_b", 6.0))
+    graph.add_subtask(drhw_subtask("hw_c", 8.0))
+    graph.add_dependency("hw_a", "sw_b")
+    graph.add_dependency("sw_b", "hw_c")
+    return graph
+
+
+@pytest.fixture
+def paper_example() -> TaskGraph:
+    """The 4-subtask example of Figures 3 and 5 of the paper.
+
+    Subtask 1 feeds subtasks 2 and 3, which feed subtask 4; the graph runs
+    on three tiles, and only the load of subtask 1 cannot be hidden.
+    """
+    graph = TaskGraph("paper_example")
+    graph.add_subtask(drhw_subtask("t1", 12.0))
+    graph.add_subtask(drhw_subtask("t2", 10.0))
+    graph.add_subtask(drhw_subtask("t3", 14.0))
+    graph.add_subtask(drhw_subtask("t4", 10.0))
+    graph.add_dependency("t1", "t2")
+    graph.add_dependency("t1", "t3")
+    graph.add_dependency("t2", "t4")
+    graph.add_dependency("t3", "t4")
+    return graph
+
+
+@pytest.fixture
+def benchmark_graphs():
+    """The four multimedia benchmark graphs (MPEG in its B scenario)."""
+    return [
+        pattern_recognition_graph(),
+        jpeg_decoder_graph(),
+        parallel_jpeg_graph(),
+        mpeg_encoder_graph("B"),
+    ]
+
+
+@pytest.fixture
+def chain4_problem(chain4, platform8) -> PrefetchProblem:
+    """A ready-to-solve prefetch problem for the 4-subtask chain."""
+    placed = build_initial_schedule(chain4, platform8)
+    return PrefetchProblem(placed, LATENCY)

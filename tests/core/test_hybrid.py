@@ -1,0 +1,155 @@
+"""Unit tests for the hybrid prefetch heuristic facade."""
+
+import pytest
+
+from repro.core.hybrid import HybridPrefetchHeuristic
+from repro.errors import SchedulingError
+from repro.platform.description import Platform
+from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.prefetch_bb import OptimalPrefetchScheduler
+
+LATENCY = 4.0
+
+
+def _entry(graph, tiles=8, latency=LATENCY):
+    placed = build_initial_schedule(graph, Platform(tile_count=tiles))
+    heuristic = HybridPrefetchHeuristic(latency)
+    return heuristic, heuristic.design_time(placed, graph.name)
+
+
+class TestDesignTime:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SchedulingError):
+            HybridPrefetchHeuristic(-1.0)
+
+    def test_design_time_entry_has_zero_overhead_schedule(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            _, entry = _entry(graph)
+            assert entry.critical.schedule.overhead == pytest.approx(0.0,
+                                                                     abs=1e-6)
+
+    def test_build_store(self, benchmark_graphs, platform8):
+        heuristic = HybridPrefetchHeuristic(LATENCY)
+        store = heuristic.build_store(
+            (graph.name, "default", "p", build_initial_schedule(graph, platform8))
+            for graph in benchmark_graphs
+        )
+        assert len(store) == len(benchmark_graphs)
+
+
+class TestRunTimeNoReuse:
+    def test_overhead_equals_initialization_phase(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            execution = heuristic.run_time(entry, reusable=())
+            expected = len(entry.critical_subtasks) * LATENCY
+            assert execution.overhead == pytest.approx(expected, abs=1e-6)
+            assert execution.initialization_duration == pytest.approx(expected)
+            assert execution.runtime_operations == len(entry.placed.drhw_names)
+
+    def test_matches_closed_form_estimate(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            estimate = heuristic.estimate_overhead(entry, reusable=())
+            execution = heuristic.run_time(entry, reusable=())
+            assert execution.overhead == pytest.approx(estimate, abs=1e-6)
+
+    def test_no_worse_than_optimal_run_time_by_more_than_init(self,
+                                                              benchmark_graphs):
+        """Hybrid (no reuse) pays at most the full initialization phase; the
+        optimal run-time schedule of the same instance is a lower bound."""
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            execution = heuristic.run_time(entry, reusable=())
+            problem = PrefetchProblem(entry.placed, LATENCY)
+            optimal = OptimalPrefetchScheduler().schedule(problem)
+            assert execution.overhead >= optimal.overhead - 1e-6
+
+
+class TestRunTimeWithReuse:
+    def test_all_critical_reused_means_zero_overhead(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            execution = heuristic.run_time(entry,
+                                           reusable=entry.critical_subtasks)
+            assert execution.overhead == pytest.approx(0.0, abs=1e-6)
+            assert execution.decision.initialization_count == 0
+
+    def test_everything_reused_performs_no_loads(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            execution = heuristic.run_time(entry,
+                                           reusable=entry.placed.drhw_names)
+            assert execution.load_count == 0
+            assert execution.overhead == pytest.approx(0.0, abs=1e-6)
+
+    def test_cancelling_reusable_noncritical_does_not_change_timing(
+            self, benchmark_graphs):
+        """Cancelled loads only save energy; start times stay identical."""
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            if not entry.non_critical_loads:
+                continue
+            baseline = heuristic.run_time(entry, reusable=())
+            cancelled = heuristic.run_time(
+                entry, reusable=[entry.non_critical_loads[0]]
+            )
+            assert cancelled.span == pytest.approx(baseline.span, abs=1e-6)
+            for name in graph.subtask_names:
+                assert cancelled.timed.executions[name].start == pytest.approx(
+                    baseline.timed.executions[name].start, abs=1e-6
+                )
+
+    def test_more_reuse_never_hurts(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            drhw = entry.placed.drhw_names
+            previous = None
+            for count in range(len(drhw) + 1):
+                execution = heuristic.run_time(entry, reusable=drhw[:count])
+                if previous is not None:
+                    assert execution.span <= previous + 1e-6
+                previous = execution.span
+
+
+class TestReleaseAndController:
+    def test_release_time_offsets_schedule(self, chain4):
+        heuristic, entry = _entry(chain4)
+        execution = heuristic.run_time(entry, reusable=(), release_time=50.0)
+        assert execution.release_time == pytest.approx(50.0)
+        assert execution.makespan == pytest.approx(50.0 + execution.span)
+
+    def test_busy_controller_delays_initialization_only(self, chain4):
+        heuristic, entry = _entry(chain4)
+        busy = heuristic.run_time(entry, reusable=(), release_time=0.0,
+                                  controller_available=10.0)
+        free = heuristic.run_time(entry, reusable=(), release_time=0.0)
+        assert busy.initialization_end == pytest.approx(
+            free.initialization_end + 10.0
+        )
+
+    def test_busy_controller_does_not_delay_task_without_init_loads(self,
+                                                                    chain4):
+        heuristic, entry = _entry(chain4)
+        execution = heuristic.run_time(entry,
+                                       reusable=entry.critical_subtasks,
+                                       release_time=0.0,
+                                       controller_available=10.0)
+        assert execution.timed.executions["s0"].start == pytest.approx(0.0)
+
+    def test_all_loads_chronological(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            execution = heuristic.run_time(entry, reusable=())
+            loads = execution.all_loads
+            for earlier, later in zip(loads, loads[1:]):
+                assert later.start >= earlier.finish - 1e-9
+
+    def test_idle_tail_non_negative(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            heuristic, entry = _entry(graph)
+            execution = heuristic.run_time(entry, reusable=())
+            assert execution.idle_tail >= -1e-9
+            assert execution.controller_free <= execution.makespan + 1e-9 \
+                or execution.idle_tail == 0.0

@@ -1,0 +1,129 @@
+"""Unit tests for the inter-task prefetch planner."""
+
+import pytest
+
+from repro.core.intertask import (
+    PrefetchRequest,
+    TileWindow,
+    plan_intertask_prefetch,
+)
+from repro.errors import SchedulingError
+
+LATENCY = 4.0
+
+
+def requests(*names):
+    return [PrefetchRequest(subtask=name, configuration=name) for name in names]
+
+
+def windows(*specs):
+    return [TileWindow(tile=index, available_from=available,
+                       resident_configuration=resident)
+            for index, (available, resident) in enumerate(specs)]
+
+
+class TestPlanning:
+    def test_single_load_fits_in_tail(self):
+        plan = plan_intertask_prefetch(
+            requests("a"), windows((10.0, None)),
+            controller_free=10.0, task_finish=20.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert len(plan.loads) == 1
+        load = plan.loads[0]
+        assert load.start == pytest.approx(10.0)
+        assert load.finish == pytest.approx(14.0)
+        assert plan.controller_free == pytest.approx(14.0)
+
+    def test_loads_are_sequential_on_the_port(self):
+        plan = plan_intertask_prefetch(
+            requests("a", "b", "c"),
+            windows((0.0, None), (0.0, None), (0.0, None)),
+            controller_free=0.0, task_finish=100.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert [load.start for load in plan.loads] == [0.0, 4.0, 8.0]
+        assert len({load.tile for load in plan.loads}) == 3
+
+    def test_no_idle_window_plans_nothing(self):
+        plan = plan_intertask_prefetch(
+            requests("a"), windows((0.0, None)),
+            controller_free=50.0, task_finish=40.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert plan.loads == ()
+        assert plan.controller_free == pytest.approx(50.0)
+
+    def test_loads_must_start_before_task_finish(self):
+        plan = plan_intertask_prefetch(
+            requests("a", "b"), windows((0.0, None), (0.0, None)),
+            controller_free=0.0, task_finish=5.0,
+            reconfiguration_latency=LATENCY,
+        )
+        # Second load would start at 4.0 < 5.0, so both are planned with
+        # overrun allowed by default.
+        assert len(plan.loads) == 2
+
+    def test_overrun_disallowed(self):
+        plan = plan_intertask_prefetch(
+            requests("a", "b"), windows((0.0, None), (0.0, None)),
+            controller_free=0.0, task_finish=5.0,
+            reconfiguration_latency=LATENCY, allow_overrun=False,
+        )
+        assert len(plan.loads) == 1
+
+    def test_already_resident_requests_skipped(self):
+        plan = plan_intertask_prefetch(
+            requests("a", "b"),
+            windows((0.0, "a"), (0.0, None)),
+            controller_free=0.0, task_finish=50.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert plan.prefetched_configurations == ("b",)
+
+    def test_duplicate_configurations_loaded_once(self):
+        duplicated = [PrefetchRequest("x1", "shared"),
+                      PrefetchRequest("x2", "shared")]
+        plan = plan_intertask_prefetch(
+            duplicated, windows((0.0, None), (0.0, None)),
+            controller_free=0.0, task_finish=50.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert len(plan.loads) == 1
+
+    def test_tile_available_later_than_controller(self):
+        plan = plan_intertask_prefetch(
+            requests("a"), windows((30.0, None)),
+            controller_free=10.0, task_finish=40.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert plan.loads[0].start == pytest.approx(30.0)
+
+    def test_more_requests_than_tiles(self):
+        plan = plan_intertask_prefetch(
+            requests("a", "b", "c"), windows((0.0, None)),
+            controller_free=0.0, task_finish=100.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert len(plan.loads) == 1
+
+    def test_priority_order_respected(self):
+        plan = plan_intertask_prefetch(
+            requests("low_priority_last", "high"),
+            windows((0.0, None)),
+            controller_free=0.0, task_finish=100.0,
+            reconfiguration_latency=LATENCY,
+        )
+        assert plan.loads[0].subtask == "low_priority_last"
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(SchedulingError):
+            plan_intertask_prefetch(requests("a"), windows((0.0, None)),
+                                    controller_free=0.0, task_finish=10.0,
+                                    reconfiguration_latency=-1.0)
+
+    def test_empty_requests(self):
+        plan = plan_intertask_prefetch([], windows((0.0, None)),
+                                       controller_free=0.0, task_finish=10.0,
+                                       reconfiguration_latency=LATENCY)
+        assert plan.loads == ()

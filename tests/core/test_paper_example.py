@@ -1,0 +1,102 @@
+"""Integration test reproducing the illustrative example of Figures 3 and 5.
+
+The paper's running example is a four-subtask graph (1 feeds 2 and 3, which
+feed 4) mapped onto three DRHW tiles:
+
+* without any technique, every load delays the system (Figure 3b);
+* with configuration prefetching, only the first load penalizes the
+  execution (Figure 3c);
+* with the hybrid flow (Figure 5), subtask 1 is the only critical subtask;
+  if it can be reused the initialization phase disappears, reusable
+  non-critical loads are simply cancelled, and the final idle period of the
+  reconfiguration circuitry can prefetch a critical subtask of the next
+  task.
+"""
+
+import pytest
+
+from repro.core.critical import select_critical_subtasks
+from repro.core.hybrid import HybridPrefetchHeuristic
+from repro.core.intertask import PrefetchRequest, TileWindow, plan_intertask_prefetch
+from repro.platform.description import Platform
+from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.noprefetch import OnDemandScheduler
+from repro.scheduling.prefetch_bb import OptimalPrefetchScheduler
+
+LATENCY = 4.0
+
+
+@pytest.fixture
+def placed(paper_example):
+    platform = Platform(tile_count=3, reconfiguration_latency=LATENCY)
+    return build_initial_schedule(paper_example, platform)
+
+
+class TestFigure3:
+    def test_schedule_a_without_overhead(self, placed):
+        assert placed.makespan == pytest.approx(12.0 + 14.0 + 10.0)
+
+    def test_schedule_b_without_prefetch_every_load_delays(self, placed):
+        problem = PrefetchProblem(placed, LATENCY)
+        result = OnDemandScheduler().schedule(problem)
+        assert result.overhead > LATENCY
+        assert result.hidden_load_fraction < 1.0
+
+    def test_schedule_c_with_prefetch_only_first_load_delays(self, placed):
+        problem = PrefetchProblem(placed, LATENCY)
+        result = OptimalPrefetchScheduler().schedule(problem)
+        assert result.overhead == pytest.approx(LATENCY)
+        # Exactly one load is exposed: the one of the first subtask.
+        exposed = result.delay_generating_subtasks()
+        assert list(exposed) == ["t1"]
+
+    def test_prefetch_beats_no_prefetch(self, placed):
+        problem = PrefetchProblem(placed, LATENCY)
+        assert OptimalPrefetchScheduler().schedule(problem).makespan < \
+            OnDemandScheduler().schedule(problem).makespan
+
+
+class TestFigure5:
+    def test_only_subtask1_is_critical(self, placed):
+        result = select_critical_subtasks(placed, LATENCY)
+        assert result.critical == ("t1",)
+
+    def test_hybrid_without_reuse_pays_one_load(self, placed):
+        heuristic = HybridPrefetchHeuristic(LATENCY)
+        entry = heuristic.design_time(placed, "example")
+        execution = heuristic.run_time(entry, reusable=())
+        assert execution.overhead == pytest.approx(LATENCY)
+        assert execution.decision.initialization_loads == ("t1",)
+
+    def test_hybrid_with_subtask1_reused_has_no_overhead(self, placed):
+        heuristic = HybridPrefetchHeuristic(LATENCY)
+        entry = heuristic.design_time(placed, "example")
+        execution = heuristic.run_time(entry, reusable=["t1"])
+        assert execution.overhead == pytest.approx(0.0, abs=1e-9)
+        assert execution.decision.initialization_count == 0
+
+    def test_reusable_noncritical_load_is_cancelled(self, placed):
+        heuristic = HybridPrefetchHeuristic(LATENCY)
+        entry = heuristic.design_time(placed, "example")
+        execution = heuristic.run_time(entry, reusable=["t1", "t3"])
+        assert "t3" in execution.decision.cancelled_loads
+        assert execution.load_count == len(placed.drhw_names) - 2
+
+    def test_idle_tail_can_prefetch_next_task_critical_subtask(self, placed):
+        heuristic = HybridPrefetchHeuristic(LATENCY)
+        entry = heuristic.design_time(placed, "example")
+        execution = heuristic.run_time(entry, reusable=["t1"])
+        # The reconfiguration circuitry is idle at the end of the task
+        # (Figure 5, slot b.3): there is room to load subtask 5 of the
+        # subsequent task.
+        assert execution.idle_tail >= LATENCY
+        plan = plan_intertask_prefetch(
+            [PrefetchRequest(subtask="t5", configuration="t5")],
+            [TileWindow(tile=0, available_from=execution.makespan - 10.0)],
+            controller_free=execution.controller_free,
+            task_finish=execution.makespan,
+            reconfiguration_latency=LATENCY,
+        )
+        assert plan.prefetched_subtasks == ("t5",)
+        assert plan.loads[0].finish <= execution.makespan + LATENCY

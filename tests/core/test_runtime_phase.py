@@ -1,0 +1,65 @@
+"""Unit tests for the run-time phase of the hybrid heuristic."""
+
+import pytest
+
+from repro.core.hybrid import HybridPrefetchHeuristic
+from repro.core.runtime_phase import run_time_phase
+from repro.platform.description import Platform
+from repro.scheduling.list_scheduler import build_initial_schedule
+
+LATENCY = 4.0
+
+
+@pytest.fixture
+def mpeg_entry(platform8):
+    from repro.workloads.multimedia import mpeg_encoder_graph
+    graph = mpeg_encoder_graph("B")
+    placed = build_initial_schedule(graph, platform8)
+    return HybridPrefetchHeuristic(LATENCY).design_time(placed, "mpeg", "B")
+
+
+class TestRunTimePhase:
+    def test_nothing_resident_loads_all_critical(self, mpeg_entry):
+        decision = run_time_phase(mpeg_entry, reusable=())
+        assert decision.initialization_loads == mpeg_entry.critical_subtasks
+        assert decision.reused_critical == ()
+        assert decision.cancelled_loads == ()
+        assert set(decision.performed_loads) == \
+            set(mpeg_entry.non_critical_loads)
+
+    def test_everything_resident_loads_nothing(self, mpeg_entry):
+        everything = mpeg_entry.placed.drhw_names
+        decision = run_time_phase(mpeg_entry, reusable=everything)
+        assert decision.initialization_loads == ()
+        assert decision.performed_loads == ()
+        assert set(decision.cancelled_loads) == \
+            set(mpeg_entry.non_critical_loads)
+        assert decision.total_loads == 0
+
+    def test_partial_residency(self, mpeg_entry):
+        critical = mpeg_entry.critical_subtasks
+        assert critical, "the MPEG scenario should have critical subtasks"
+        resident = {critical[0]}
+        decision = run_time_phase(mpeg_entry, reusable=resident)
+        assert critical[0] not in decision.initialization_loads
+        assert critical[0] in decision.reused_critical
+        assert decision.initialization_count == len(critical) - 1
+
+    def test_initialization_order_is_design_time_order(self, mpeg_entry):
+        decision = run_time_phase(mpeg_entry, reusable=())
+        assert list(decision.initialization_loads) == \
+            [name for name in mpeg_entry.critical_subtasks]
+
+    def test_operations_linear_in_drhw_count(self, mpeg_entry):
+        decision = run_time_phase(mpeg_entry, reusable=())
+        assert decision.operations == len(mpeg_entry.placed.drhw_names)
+
+    def test_counts(self, mpeg_entry):
+        decision = run_time_phase(mpeg_entry, reusable=())
+        assert decision.total_loads == (decision.initialization_count
+                                        + len(decision.performed_loads))
+        assert decision.cancelled_count == len(decision.cancelled_loads)
+
+    def test_irrelevant_reusable_names_ignored(self, mpeg_entry):
+        decision = run_time_phase(mpeg_entry, reusable=["not_a_subtask"])
+        assert decision.initialization_loads == mpeg_entry.critical_subtasks

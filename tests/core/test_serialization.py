@@ -1,0 +1,127 @@
+"""Unit tests for design-time store (de)serialization."""
+
+import json
+
+import pytest
+
+from repro.core.hybrid import HybridPrefetchHeuristic
+from repro.core.serialization import (
+    STORE_VERSION,
+    entry_from_dict,
+    entry_to_dict,
+    load_store,
+    placed_schedule_from_dict,
+    placed_schedule_to_dict,
+    save_store,
+    store_from_dict,
+    store_from_json,
+    store_to_dict,
+    store_to_json,
+)
+from repro.errors import ConfigurationError
+from repro.scheduling.list_scheduler import build_initial_schedule
+
+LATENCY = 4.0
+
+
+@pytest.fixture
+def store(benchmark_graphs, platform8):
+    heuristic = HybridPrefetchHeuristic(LATENCY)
+    return heuristic.build_store(
+        (graph.name, "default", "tiles8",
+         build_initial_schedule(graph, platform8))
+        for graph in benchmark_graphs
+    )
+
+
+class TestPlacedScheduleRoundTrip:
+    def test_roundtrip(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        rebuilt = placed_schedule_from_dict(placed_schedule_to_dict(placed))
+        assert rebuilt.makespan == pytest.approx(placed.makespan)
+        for name in diamond.subtask_names:
+            assert rebuilt.ideal_start(name) == pytest.approx(
+                placed.ideal_start(name)
+            )
+            assert rebuilt.resource_of(name) == placed.resource_of(name)
+
+    def test_malformed_payload(self):
+        with pytest.raises(ConfigurationError):
+            placed_schedule_from_dict({"graph": {"name": "x", "subtasks": []}})
+
+
+class TestEntryRoundTrip:
+    def test_entry_roundtrip_preserves_runtime_inputs(self, store):
+        for entry in store:
+            rebuilt = entry_from_dict(entry_to_dict(entry))
+            assert rebuilt.key == entry.key
+            assert rebuilt.critical_subtasks == entry.critical_subtasks
+            assert rebuilt.non_critical_loads == entry.non_critical_loads
+            assert rebuilt.ideal_makespan == pytest.approx(entry.ideal_makespan)
+            assert rebuilt.weights == pytest.approx(entry.weights)
+
+    def test_rebuilt_entry_drives_identical_runtime_phase(self, store):
+        heuristic = HybridPrefetchHeuristic(LATENCY)
+        for entry in store:
+            rebuilt = entry_from_dict(entry_to_dict(entry))
+            original = heuristic.run_time(entry, reusable=())
+            restored = heuristic.run_time(rebuilt, reusable=())
+            assert restored.overhead == pytest.approx(original.overhead)
+            assert restored.load_count == original.load_count
+
+    def test_corrupted_latency_detected(self, store):
+        entry = next(iter(store))
+        payload = entry_to_dict(entry)
+        # Claiming a much larger latency makes the stored schedule invalid.
+        payload["reconfiguration_latency"] = 1000.0
+        with pytest.raises(ConfigurationError, match="not overhead-free"):
+            entry_from_dict(payload)
+
+    def test_missing_field_detected(self, store):
+        payload = entry_to_dict(next(iter(store)))
+        del payload["critical"]
+        with pytest.raises(ConfigurationError):
+            entry_from_dict(payload)
+
+
+class TestStoreRoundTrip:
+    def test_dict_roundtrip(self, store):
+        rebuilt = store_from_dict(store_to_dict(store))
+        assert len(rebuilt) == len(store)
+        assert rebuilt.keys == store.keys
+        assert rebuilt.critical_fraction() == pytest.approx(
+            store.critical_fraction()
+        )
+
+    def test_json_roundtrip(self, store):
+        rebuilt = store_from_json(store_to_json(store))
+        assert rebuilt.keys == store.keys
+
+    def test_file_roundtrip(self, tmp_path, store):
+        path = save_store(store, tmp_path / "store.json")
+        assert path.exists()
+        rebuilt = load_store(path)
+        assert rebuilt.keys == store.keys
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_store(tmp_path / "nope.json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            store_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self, store):
+        payload = store_to_dict(store)
+        payload["version"] = STORE_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            store_from_dict(payload)
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            store_from_json("{broken")
+
+    def test_json_is_plain_data(self, store):
+        payload = json.loads(store_to_json(store))
+        assert payload["format"] == "repro-design-store"
+        assert isinstance(payload["entries"], list)

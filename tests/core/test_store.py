@@ -1,0 +1,93 @@
+"""Unit tests for the design-time store."""
+
+import pytest
+
+from repro.core.hybrid import HybridPrefetchHeuristic
+from repro.core.store import DesignTimeStore
+from repro.errors import ConfigurationError
+from repro.platform.description import Platform
+from repro.scheduling.list_scheduler import build_initial_schedule
+
+LATENCY = 4.0
+
+
+@pytest.fixture
+def store(benchmark_graphs, platform8):
+    heuristic = HybridPrefetchHeuristic(LATENCY)
+    schedules = []
+    for graph in benchmark_graphs:
+        placed = build_initial_schedule(graph, platform8)
+        schedules.append((graph.name, "default", "tiles8", placed))
+    return heuristic.build_store(schedules)
+
+
+class TestDesignTimeStore:
+    def test_lookup(self, store, benchmark_graphs):
+        for graph in benchmark_graphs:
+            entry = store.get(graph.name, "default", "tiles8")
+            assert entry.task_name == graph.name
+            assert entry.ideal_makespan == pytest.approx(
+                graph.critical_path_length(), rel=0.2
+            ) or entry.ideal_makespan >= graph.critical_path_length()
+
+    def test_len_and_iteration(self, store, benchmark_graphs):
+        assert len(store) == len(benchmark_graphs)
+        assert {entry.task_name for entry in store} == \
+            {graph.name for graph in benchmark_graphs}
+
+    def test_missing_entry(self, store):
+        with pytest.raises(ConfigurationError):
+            store.get("nonexistent", "default", "tiles8")
+
+    def test_duplicate_entry_rejected(self, store):
+        entry = next(iter(store))
+        with pytest.raises(ConfigurationError):
+            store.add(entry)
+
+    def test_entries_for_task(self, store, benchmark_graphs):
+        name = benchmark_graphs[0].name
+        entries = store.entries_for_task(name)
+        assert len(entries) == 1
+        assert entries[0].task_name == name
+
+    def test_keys_sorted(self, store):
+        assert store.keys == sorted(store.keys)
+
+    def test_contains(self, store, benchmark_graphs):
+        key = (benchmark_graphs[0].name, "default", "tiles8")
+        assert key in store
+        assert ("ghost", "x", "y") not in store
+
+    def test_critical_fraction_between_zero_and_one(self, store):
+        assert 0.0 <= store.critical_fraction() <= 1.0
+
+    def test_summary_mentions_every_entry(self, store, benchmark_graphs):
+        summary = store.summary()
+        for graph in benchmark_graphs:
+            assert graph.name in summary
+
+
+class TestDesignTimeEntry:
+    def test_entry_consistency(self, store):
+        for entry in store:
+            drhw = set(entry.placed.drhw_names)
+            assert set(entry.critical_subtasks) <= drhw
+            assert set(entry.non_critical_loads) == \
+                drhw - set(entry.critical_subtasks)
+            assert len(entry.critical_configurations) == \
+                len(entry.critical_subtasks)
+            assert set(entry.all_configurations) >= \
+                set(entry.critical_configurations)
+
+    def test_describe(self, store):
+        for entry in store:
+            text = entry.describe()
+            assert entry.task_name in text
+            assert "critical" in text
+
+    def test_weights_cover_graph(self, store):
+        for entry in store:
+            assert set(entry.weights) == set(entry.placed.graph.subtask_names)
+
+    def test_empty_store_critical_fraction(self):
+        assert DesignTimeStore().critical_fraction() == 0.0

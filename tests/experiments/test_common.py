@@ -1,0 +1,48 @@
+"""Unit tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    Series,
+    SeriesPoint,
+    format_table,
+    percent_error,
+    series_from_mapping,
+)
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        table = format_table(["name", "value"], [("a", 1.5), ("bbbb", 20)],
+                             title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "1.50" in table
+        assert "20" in table
+
+    def test_column_alignment(self):
+        table = format_table(["x"], [("short",), ("much longer value",)])
+        lines = table.splitlines()
+        assert len(lines[-1]) >= len("much longer value")
+
+
+class TestSeries:
+    def test_series_accessors(self):
+        series = series_from_mapping("curve", {8: 3.0, 16: 1.0, 12: 2.0})
+        assert series.xs == (8.0, 12.0, 16.0)
+        assert series.ys == (3.0, 2.0, 1.0)
+        assert series.value_at(12) == pytest.approx(2.0)
+        assert series.maximum == pytest.approx(3.0)
+        assert series.minimum == pytest.approx(1.0)
+
+    def test_missing_x(self):
+        series = Series("s", (SeriesPoint(1.0, 2.0),))
+        with pytest.raises(KeyError):
+            series.value_at(3.0)
+
+
+class TestPercentError:
+    def test_symmetric(self):
+        assert percent_error(10.0, 12.0) == pytest.approx(2.0)
+        assert percent_error(12.0, 10.0) == pytest.approx(2.0)

@@ -1,0 +1,44 @@
+"""Tests for the energy/load-cancellation study."""
+
+import pytest
+
+from repro.experiments.energy import run_energy_study
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_energy_study(tile_count=12, iterations=40, seed=3)
+
+
+class TestEnergyStudy:
+    def test_all_approaches_reported(self, result):
+        assert {row.approach for row in result.rows} == {
+            "no-prefetch", "design-time", "run-time", "hybrid",
+        }
+
+    def test_design_time_never_reuses(self, result):
+        assert result.row("design-time").reuse_rate == 0.0
+        assert result.row("design-time").cancelled_per_iteration == 0.0
+
+    def test_reuse_saves_loads_and_energy(self, result):
+        design_time = result.row("design-time")
+        for approach in ("run-time", "hybrid"):
+            row = result.row(approach)
+            assert row.loads_per_iteration < design_time.loads_per_iteration
+            assert row.energy_per_iteration < design_time.energy_per_iteration
+
+    def test_hybrid_cancels_loads(self, result):
+        assert result.row("hybrid").cancelled_per_iteration > 0.0
+
+    def test_load_savings_metric(self, result):
+        savings = result.load_savings_percent("hybrid")
+        assert 0.0 < savings < 100.0
+
+    def test_unknown_approach(self, result):
+        with pytest.raises(KeyError):
+            result.row("magic")
+
+    def test_format(self, result):
+        table = result.format_table()
+        assert "energy/iteration" in table
+        assert "hybrid" in table

@@ -1,0 +1,41 @@
+"""Tests for the reconfiguration-latency sweep."""
+
+import pytest
+
+from repro.experiments.latency_sweep import run_latency_sweep
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_latency_sweep(latencies=(0.5, 4.0, 8.0), iterations=30, seed=3)
+
+
+class TestLatencySweep:
+    def test_rows_match_latencies(self, result):
+        assert [row.latency_ms for row in result.rows] == [0.5, 4.0, 8.0]
+
+    def test_overhead_grows_with_latency(self, result):
+        for metric in ("no_prefetch_percent", "run_time_percent",
+                       "hybrid_percent"):
+            values = [getattr(row, metric) for row in result.rows]
+            assert values[0] <= values[-1] + 1e-9
+
+    def test_critical_fraction_grows_with_latency(self, result):
+        fractions = [row.critical_fraction for row in result.rows]
+        assert fractions[0] <= fractions[-1] + 1e-9
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions)
+
+    def test_hybrid_always_best(self, result):
+        for row in result.rows:
+            assert row.hybrid_percent <= row.no_prefetch_percent + 1e-9
+            assert row.hybrid_percent <= row.run_time_percent + 1e-9
+
+    def test_row_lookup(self, result):
+        assert result.row(4.0).latency_ms == 4.0
+        with pytest.raises(KeyError):
+            result.row(3.0)
+
+    def test_format(self, result):
+        table = result.format_table()
+        assert "latency" in table
+        assert "hybrid" in table

@@ -1,0 +1,77 @@
+"""Tests for the scalability and hide-rate experiment drivers."""
+
+import pytest
+
+from repro.experiments.hide_rate import (
+    PAPER_MINIMUM_HIDE_RATE,
+    multimedia_graphs,
+    run_hide_rate,
+)
+from repro.experiments.scalability import run_scalability
+
+
+class TestScalability:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scalability(sizes=(7, 14, 28, 56), repetitions=3, seed=2)
+
+    def test_rows_match_sizes(self, result):
+        assert [row.subtasks for row in result.rows] == [7, 14, 28, 56]
+
+    def test_runtime_heuristic_cost_grows_superlinearly(self, result):
+        assert result.size_factor() == pytest.approx(8.0)
+        assert result.growth_factor() > result.size_factor()
+
+    def test_hybrid_runtime_cost_grows_linearly(self, result):
+        first, last = result.rows[0], result.rows[-1]
+        ops_growth = last.hybrid_runtime_operations / first.hybrid_runtime_operations
+        assert ops_growth <= result.size_factor() + 1e-9
+
+    def test_hybrid_runtime_is_cheaper_than_heuristic(self, result):
+        for row in result.rows:
+            assert row.hybrid_runtime_operations < \
+                row.runtime_heuristic_operations
+            assert row.hybrid_runtime_seconds <= \
+                row.runtime_heuristic_seconds
+
+    def test_design_time_cost_reported(self, result):
+        assert all(row.design_time_seconds > 0 for row in result.rows)
+
+    def test_format_table(self, result):
+        table = result.format_table()
+        assert "run-time heuristic" in table
+        assert "hybrid" in table
+
+
+class TestHideRate:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_hide_rate(extra_sizes=(10, 16), seed=5)
+
+    def test_multimedia_graphs_listed(self):
+        names = {graph.name for graph in multimedia_graphs()}
+        assert "jpeg_decoder" in names
+        assert len(names) == 6
+
+    def test_benchmark_hide_rate_meets_paper_claim(self, result):
+        """The multimedia benchmarks hide at least 75 % of their loads."""
+        benchmark_rows = [row for row in result.rows
+                          if not row.graph_name.startswith("scal_")]
+        average = sum(row.list_hidden_fraction for row in benchmark_rows) \
+            / len(benchmark_rows)
+        assert average >= PAPER_MINIMUM_HIDE_RATE - 0.05
+
+    def test_optimal_at_least_as_good_as_list(self, result):
+        for row in result.rows:
+            assert row.optimal_hidden_fraction >= \
+                row.list_hidden_fraction - 1e-9
+
+    def test_fractions_in_unit_interval(self, result):
+        for row in result.rows:
+            assert 0.0 <= row.list_hidden_fraction <= 1.0
+            assert 0.0 <= row.optimal_hidden_fraction <= 1.0
+
+    def test_format_table(self, result):
+        table = result.format_table()
+        assert "hidden" in table
+        assert "0.75" in table

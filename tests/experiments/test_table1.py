@@ -1,0 +1,58 @@
+"""Tests for the Table 1 experiment driver."""
+
+import pytest
+
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.workloads.multimedia import TABLE1_REFERENCE
+
+
+@pytest.fixture(scope="module")
+def result() -> Table1Result:
+    return run_table1()
+
+
+class TestTable1:
+    def test_all_four_benchmarks_present(self, result):
+        assert {row.task_name for row in result.rows} == set(TABLE1_REFERENCE)
+
+    def test_subtask_counts_match_paper(self, result):
+        for row in result.rows:
+            assert row.subtasks == row.reference.subtasks
+
+    def test_ideal_times_match_paper(self, result):
+        for row in result.rows:
+            assert row.ideal_time_ms == pytest.approx(
+                row.reference.ideal_time_ms, rel=0.08
+            )
+
+    def test_no_prefetch_overheads_close_to_paper(self, result):
+        for row in result.rows:
+            assert row.overhead_error <= 8.0, (
+                f"{row.task_name}: measured {row.overhead_percent:.1f}% vs "
+                f"paper {row.reference.overhead_percent:.1f}%"
+            )
+
+    def test_prefetch_overheads_close_to_paper(self, result):
+        for row in result.rows:
+            assert row.prefetch_error <= 4.0
+
+    def test_prefetch_always_reduces_overhead(self, result):
+        for row in result.rows:
+            assert row.prefetch_percent < row.overhead_percent
+
+    def test_ranking_matches_paper(self, result):
+        """The relative ordering of the no-prefetch overheads must match."""
+        measured = sorted(result.rows, key=lambda r: r.overhead_percent)
+        published = sorted(result.rows,
+                           key=lambda r: r.reference.overhead_percent)
+        assert [r.task_name for r in measured] == \
+            [r.task_name for r in published]
+
+    def test_row_lookup_and_formatting(self, result):
+        row = result.row("jpeg_decoder")
+        assert row.subtasks == 4
+        with pytest.raises(KeyError):
+            result.row("ghost")
+        table = result.format_table()
+        assert "jpeg_decoder" in table
+        assert "paper overhead" in table

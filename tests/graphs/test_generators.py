@@ -1,0 +1,133 @@
+"""Unit tests for the synthetic graph generators."""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.generators import (
+    ExecutionTimeModel,
+    chain,
+    independent_set,
+    layered_dag,
+    multimedia_like,
+    random_dag,
+    scaled_family,
+    series_parallel,
+    with_isp_fraction,
+)
+from repro.graphs.subtask import ResourceClass
+from repro.graphs.validation import validate_graph
+
+
+class TestExecutionTimeModel:
+    def test_sample_within_bounds(self):
+        model = ExecutionTimeModel(minimum=1.0, maximum=5.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 1.0 <= model.sample(rng) <= 5.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(GraphError):
+            ExecutionTimeModel(minimum=0.0, maximum=1.0)
+        with pytest.raises(GraphError):
+            ExecutionTimeModel(minimum=2.0, maximum=1.0)
+
+
+class TestBasicGenerators:
+    def test_chain_length(self):
+        graph = chain("c", 5, seed=1)
+        assert len(graph) == 5
+        assert len(graph.dependencies()) == 4
+
+    def test_chain_explicit_times(self):
+        graph = chain("c", 3, times=[1.0, 2.0, 3.0])
+        assert graph.critical_path_length() == pytest.approx(6.0)
+
+    def test_chain_rejects_zero_length(self):
+        with pytest.raises(GraphError):
+            chain("c", 0)
+
+    def test_independent_set(self):
+        graph = independent_set("i", 6, seed=2)
+        assert len(graph) == 6
+        assert graph.dependencies() == []
+
+    def test_layered_dag_is_valid(self):
+        graph = layered_dag("l", layers=4, width=3, seed=3)
+        assert validate_graph(graph).is_valid
+        assert len(graph) >= 4
+
+    def test_layered_dag_every_nonsource_has_predecessor(self):
+        graph = layered_dag("l", layers=5, width=4, edge_probability=0.3,
+                            seed=4)
+        sources = set(graph.sources())
+        for name in graph.subtask_names:
+            if name not in sources:
+                assert graph.predecessors(name)
+
+    def test_layered_dag_bad_probability(self):
+        with pytest.raises(GraphError):
+            layered_dag("l", layers=2, width=2, edge_probability=1.5)
+
+    def test_series_parallel_structure(self):
+        graph = series_parallel("sp", depth=2, fan_out=2, seed=5)
+        assert validate_graph(graph).is_valid
+        assert len(graph.sources()) == 1
+        assert len(graph.sinks()) == 1
+
+    def test_random_dag_exact_count(self):
+        graph = random_dag("r", count=17, edge_probability=0.2, seed=6)
+        assert len(graph) == 17
+        assert validate_graph(graph).is_valid
+
+    def test_random_dag_zero_probability_has_no_edges(self):
+        graph = random_dag("r", count=5, edge_probability=0.0, seed=7)
+        assert graph.dependencies() == []
+
+
+class TestDeterminism:
+    def test_same_seed_same_graph(self):
+        a = random_dag("r", count=12, seed=42)
+        b = random_dag("r", count=12, seed=42)
+        assert a.subtask_names == b.subtask_names
+        assert a.dependencies() == b.dependencies()
+        for name in a.subtask_names:
+            assert a.execution_time(name) == b.execution_time(name)
+
+    def test_different_seed_different_times(self):
+        a = random_dag("r", count=12, seed=1)
+        b = random_dag("r", count=12, seed=2)
+        assert any(a.execution_time(n) != b.execution_time(n)
+                   for n in a.subtask_names)
+
+
+class TestDomainGenerators:
+    def test_multimedia_like_exact_count(self):
+        for count in (4, 6, 8, 14):
+            graph = multimedia_like("m", subtask_count=count, seed=count)
+            assert len(graph) == count
+            assert validate_graph(graph).is_valid
+
+    def test_multimedia_like_granularity(self):
+        graph = multimedia_like("m", subtask_count=10, granularity=3.0,
+                                reconfiguration_latency=4.0, seed=9)
+        mean = graph.total_execution_time / len(graph)
+        assert 4.0 < mean < 24.0
+
+    def test_scaled_family_sizes(self):
+        graphs = scaled_family("fam", [5, 10, 20], seed=10)
+        assert [len(g) for g in graphs] == [5, 10, 20]
+
+    def test_with_isp_fraction(self):
+        graph = multimedia_like("m", subtask_count=20, seed=11)
+        mixed = with_isp_fraction(graph, fraction=0.5, seed=12)
+        isp_count = sum(1 for s in mixed if s.resource is ResourceClass.ISP)
+        assert 0 < isp_count < 20
+        assert len(mixed) == 20
+        assert mixed.dependencies() == graph.dependencies()
+
+    def test_with_isp_fraction_bounds(self):
+        graph = multimedia_like("m", subtask_count=5, seed=13)
+        with pytest.raises(GraphError):
+            with_isp_fraction(graph, fraction=1.5)

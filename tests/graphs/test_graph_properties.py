@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for the graph layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.analysis import (
+    alap_times,
+    asap_times,
+    critical_path,
+    slack,
+    subtask_weights,
+)
+from repro.graphs.generators import ExecutionTimeModel, layered_dag, random_dag
+from repro.graphs.serialization import graph_from_dict, graph_to_dict
+from repro.graphs.validation import validate_graph
+
+#: Strategy producing (count, edge probability, seed) triples for random DAGs.
+dag_params = st.tuples(
+    st.integers(min_value=1, max_value=18),
+    st.floats(min_value=0.0, max_value=0.8),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+time_models = st.tuples(
+    st.floats(min_value=0.2, max_value=5.0),
+    st.floats(min_value=5.0, max_value=40.0),
+).map(lambda pair: ExecutionTimeModel(minimum=pair[0], maximum=pair[1]))
+
+
+def build_dag(params, time_model=None):
+    count, probability, seed = params
+    return random_dag("prop", count=count, edge_probability=probability,
+                      time_model=time_model or ExecutionTimeModel(),
+                      seed=seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=dag_params)
+def test_generated_dags_are_valid(params):
+    graph = build_dag(params)
+    assert validate_graph(graph).is_valid
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=dag_params)
+def test_topological_order_respects_dependencies(params):
+    graph = build_dag(params)
+    order = graph.topological_order()
+    position = {name: index for index, name in enumerate(order)}
+    assert len(order) == len(graph)
+    for producer, consumer in graph.dependencies():
+        assert position[producer] < position[consumer]
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=dag_params)
+def test_asap_respects_precedence(params):
+    graph = build_dag(params)
+    starts = asap_times(graph)
+    for producer, consumer in graph.dependencies():
+        assert starts[consumer] >= (starts[producer]
+                                    + graph.execution_time(producer) - 1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=dag_params)
+def test_weights_bound_by_critical_path(params):
+    graph = build_dag(params)
+    weights = subtask_weights(graph)
+    makespan = graph.critical_path_length()
+    for name, weight in weights.items():
+        assert graph.execution_time(name) - 1e-9 <= weight <= makespan + 1e-9
+    assert max(weights.values()) == pytest.approx(makespan)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=dag_params)
+def test_slack_is_non_negative_and_zero_on_critical_path(params):
+    graph = build_dag(params)
+    slacks = slack(graph)
+    assert all(value >= -1e-9 for value in slacks.values())
+    for name in critical_path(graph):
+        assert slacks[name] == pytest.approx(0.0, abs=1e-9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(params=dag_params)
+def test_alap_never_earlier_than_asap(params):
+    graph = build_dag(params)
+    asap = asap_times(graph)
+    alap = alap_times(graph)
+    for name in graph.subtask_names:
+        assert alap[name] >= asap[name] - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(params=dag_params, model=time_models)
+def test_serialization_roundtrip(params, model):
+    graph = build_dag(params, model)
+    rebuilt = graph_from_dict(graph_to_dict(graph))
+    assert rebuilt.subtask_names == graph.subtask_names
+    assert sorted(rebuilt.dependencies()) == sorted(graph.dependencies())
+    assert rebuilt.critical_path_length() == pytest.approx(
+        graph.critical_path_length()
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(layers=st.integers(min_value=1, max_value=6),
+       width=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=1000))
+def test_layered_dags_are_layered(layers, width, seed):
+    graph = layered_dag("lay", layers=layers, width=width, seed=seed)
+    assert validate_graph(graph).is_valid
+    # The longest chain cannot exceed the number of layers.
+    longest_chain = 0
+    depth = {}
+    for name in graph.topological_order():
+        depth[name] = 1 + max((depth[p] for p in graph.predecessors(name)),
+                              default=0)
+        longest_chain = max(longest_chain, depth[name])
+    assert longest_chain <= layers

@@ -1,0 +1,87 @@
+"""Unit tests for graph (de)serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.serialization import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    load_graph,
+    save_graph,
+)
+from repro.graphs.subtask import ResourceClass
+
+
+class TestDictRoundTrip:
+    def test_roundtrip_preserves_structure(self, diamond):
+        rebuilt = graph_from_dict(graph_to_dict(diamond))
+        assert rebuilt.name == diamond.name
+        assert rebuilt.subtask_names == diamond.subtask_names
+        assert rebuilt.dependencies() == diamond.dependencies()
+
+    def test_roundtrip_preserves_subtask_attributes(self, mixed_graph):
+        rebuilt = graph_from_dict(graph_to_dict(mixed_graph))
+        for original in mixed_graph:
+            clone = rebuilt.subtask(original.name)
+            assert clone.execution_time == original.execution_time
+            assert clone.resource is original.resource
+            assert clone.configuration == original.configuration
+
+    def test_roundtrip_preserves_data_size(self):
+        from repro.graphs.taskgraph import TaskGraph
+        from repro.graphs.subtask import drhw_subtask
+        graph = TaskGraph("t")
+        graph.add_subtask(drhw_subtask("a", 1.0))
+        graph.add_subtask(drhw_subtask("b", 1.0))
+        graph.add_dependency("a", "b", data_size=128.0)
+        rebuilt = graph_from_dict(graph_to_dict(graph))
+        assert rebuilt.data_size("a", "b") == pytest.approx(128.0)
+
+    def test_malformed_payload(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"subtasks": []})
+
+    def test_malformed_subtask_entry(self):
+        with pytest.raises(GraphError):
+            graph_from_dict({"name": "x", "subtasks": [{"name": "a"}]})
+
+    def test_malformed_dependency_entry(self):
+        payload = {
+            "name": "x",
+            "subtasks": [{"name": "a", "execution_time": 1.0}],
+            "dependencies": [{"producer": "a"}],
+        }
+        with pytest.raises(GraphError):
+            graph_from_dict(payload)
+
+    def test_default_resource_is_drhw(self):
+        payload = {"name": "x",
+                   "subtasks": [{"name": "a", "execution_time": 1.0}]}
+        graph = graph_from_dict(payload)
+        assert graph.subtask("a").resource is ResourceClass.DRHW
+
+
+class TestJsonAndFiles:
+    def test_json_roundtrip(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            rebuilt = graph_from_json(graph_to_json(graph))
+            assert rebuilt.subtask_names == graph.subtask_names
+            assert rebuilt.critical_path_length() == pytest.approx(
+                graph.critical_path_length()
+            )
+
+    def test_invalid_json(self):
+        with pytest.raises(GraphError):
+            graph_from_json("{not json")
+
+    def test_file_roundtrip(self, tmp_path, diamond):
+        path = save_graph(diamond, tmp_path / "diamond.json")
+        assert path.exists()
+        rebuilt = load_graph(path)
+        assert rebuilt.subtask_names == diamond.subtask_names
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(GraphError):
+            load_graph(tmp_path / "missing.json")

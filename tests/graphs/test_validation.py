@@ -1,0 +1,65 @@
+"""Unit tests for graph validation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.subtask import drhw_subtask
+from repro.graphs.taskgraph import TaskGraph
+from repro.graphs.validation import ValidationReport, assert_valid, validate_graph
+
+
+class TestValidateGraph:
+    def test_valid_graph(self, diamond):
+        report = validate_graph(diamond)
+        assert report.is_valid
+        assert report.errors == []
+
+    def test_empty_graph_invalid(self):
+        report = validate_graph(TaskGraph("empty"))
+        assert not report.is_valid
+        assert "no subtasks" in report.errors[0]
+
+    def test_require_drhw(self):
+        from repro.graphs.subtask import isp_subtask
+        graph = TaskGraph("sw_only")
+        graph.add_subtask(isp_subtask("sw", 1.0))
+        report = validate_graph(graph, require_drhw=True)
+        assert not report.is_valid
+
+    def test_disconnected_graph_warns(self):
+        graph = TaskGraph("disc")
+        graph.add_subtask(drhw_subtask("a", 1.0))
+        graph.add_subtask(drhw_subtask("b", 1.0))
+        report = validate_graph(graph)
+        assert report.is_valid
+        assert any("disconnected" in warning for warning in report.warnings)
+
+    def test_shared_configuration_warns(self):
+        graph = TaskGraph("shared")
+        graph.add_subtask(drhw_subtask("a", 1.0, configuration="cfg"))
+        graph.add_subtask(drhw_subtask("b", 1.0, configuration="cfg"))
+        graph.add_dependency("a", "b")
+        report = validate_graph(graph)
+        assert report.is_valid
+        assert any("shared" in warning for warning in report.warnings)
+
+    def test_benchmarks_are_valid(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            assert validate_graph(graph, require_drhw=True).is_valid
+
+
+class TestAssertValid:
+    def test_returns_graph(self, diamond):
+        assert assert_valid(diamond) is diamond
+
+    def test_raises_on_invalid(self):
+        with pytest.raises(GraphError):
+            assert_valid(TaskGraph("empty"))
+
+    def test_report_raise_if_invalid(self):
+        report = ValidationReport(graph_name="g", errors=["boom"])
+        with pytest.raises(GraphError, match="boom"):
+            report.raise_if_invalid()
+
+    def test_report_no_raise_when_valid(self):
+        ValidationReport(graph_name="g").raise_if_invalid()

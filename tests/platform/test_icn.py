@@ -1,0 +1,70 @@
+"""Unit tests for the interconnection-network latency model."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.icn import IcnModel, IcnTopology, mesh_icn, zero_latency_icn
+
+
+class TestZeroLatency:
+    def test_default_is_zero_latency(self):
+        model = zero_latency_icn()
+        assert model.is_zero_latency
+        assert model.message_latency(0, 5, tile_count=8, data_size=100.0) == 0.0
+
+    def test_same_tile_is_free(self):
+        model = mesh_icn()
+        assert model.message_latency(3, 3, tile_count=8) == 0.0
+
+
+class TestHops:
+    def test_crossbar_single_hop(self):
+        model = IcnModel(topology=IcnTopology.CROSSBAR)
+        assert model.hops(0, 7, tile_count=8) == 1
+
+    def test_star_two_hops(self):
+        model = IcnModel(topology=IcnTopology.STAR)
+        assert model.hops(0, 7, tile_count=8) == 2
+
+    def test_ring_wraps_around(self):
+        model = IcnModel(topology=IcnTopology.RING)
+        assert model.hops(0, 7, tile_count=8) == 1
+        assert model.hops(0, 4, tile_count=8) == 4
+
+    def test_mesh_manhattan_distance(self):
+        model = IcnModel(topology=IcnTopology.MESH)
+        # 9 tiles arranged 3x3: tile 0 is (0,0), tile 8 is (2,2).
+        assert model.hops(0, 8, tile_count=9) == 4
+        assert model.hops(0, 1, tile_count=9) == 1
+
+    def test_out_of_range_tile(self):
+        model = IcnModel()
+        with pytest.raises(PlatformError):
+            model.hops(0, 9, tile_count=8)
+
+    def test_invalid_tile_count(self):
+        model = IcnModel()
+        with pytest.raises(PlatformError):
+            model.hops(0, 1, tile_count=0)
+
+
+class TestLatency:
+    def test_latency_formula(self):
+        model = IcnModel(topology=IcnTopology.RING, base_latency=0.1,
+                         hop_latency=0.05, bandwidth=100.0)
+        latency = model.message_latency(0, 2, tile_count=8, data_size=50.0)
+        assert latency == pytest.approx(0.1 + 2 * 0.05 + 0.5)
+
+    def test_zero_bandwidth_ignores_data_size(self):
+        model = IcnModel(base_latency=0.1, hop_latency=0.0, bandwidth=0.0)
+        assert model.message_latency(0, 1, tile_count=4, data_size=1e6) == \
+            pytest.approx(0.1)
+
+    def test_negative_data_size_rejected(self):
+        model = mesh_icn()
+        with pytest.raises(PlatformError):
+            model.message_latency(0, 1, tile_count=4, data_size=-1.0)
+
+    def test_negative_parameters_rejected(self):
+        with pytest.raises(PlatformError):
+            IcnModel(base_latency=-0.1)

@@ -1,0 +1,73 @@
+"""Unit tests for the single-port reconfiguration controller."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.reconfiguration import ReconfigurationController
+
+
+class TestController:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(PlatformError):
+            ReconfigurationController(-1.0)
+
+    def test_sequential_loads_never_overlap(self):
+        controller = ReconfigurationController(4.0)
+        first = controller.issue("a", tile=0)
+        second = controller.issue("b", tile=1)
+        third = controller.issue("c", tile=2, not_before=1.0)
+        assert first.finish <= second.start
+        assert second.finish <= third.start
+        assert controller.load_count == 3
+
+    def test_not_before_delays_start(self):
+        controller = ReconfigurationController(4.0)
+        record = controller.issue("a", tile=0, not_before=10.0)
+        assert record.start == pytest.approx(10.0)
+        assert record.finish == pytest.approx(14.0)
+
+    def test_custom_latency(self):
+        controller = ReconfigurationController(4.0)
+        record = controller.issue("a", tile=0, latency=1.5)
+        assert record.duration == pytest.approx(1.5)
+
+    def test_negative_tile_rejected(self):
+        controller = ReconfigurationController(4.0)
+        with pytest.raises(PlatformError):
+            controller.issue("a", tile=-1)
+
+    def test_busy_time_and_utilization(self):
+        controller = ReconfigurationController(4.0)
+        controller.issue("a", tile=0)
+        controller.issue("b", tile=1)
+        assert controller.busy_time == pytest.approx(8.0)
+        assert controller.utilization(16.0) == pytest.approx(0.5)
+        assert controller.utilization(0.0) == 0.0
+
+    def test_idle_window(self):
+        controller = ReconfigurationController(4.0)
+        controller.issue("a", tile=0)
+        assert controller.idle_window(until=10.0) == pytest.approx(6.0)
+        assert controller.idle_window(until=2.0) == 0.0
+
+    def test_advance_to(self):
+        controller = ReconfigurationController(4.0)
+        controller.advance_to(20.0)
+        record = controller.issue("a", tile=0)
+        assert record.start == pytest.approx(20.0)
+        # advance_to never rewinds.
+        controller.advance_to(5.0)
+        assert controller.free_at == pytest.approx(24.0)
+
+    def test_reset(self):
+        controller = ReconfigurationController(4.0)
+        controller.issue("a", tile=0)
+        controller.reset()
+        assert controller.load_count == 0
+        assert controller.free_at == 0.0
+
+    def test_earliest_start(self):
+        controller = ReconfigurationController(4.0)
+        controller.issue("a", tile=0)
+        assert controller.earliest_start() == pytest.approx(4.0)
+        assert controller.earliest_start(not_before=10.0) == pytest.approx(10.0)

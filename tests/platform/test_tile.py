@@ -1,0 +1,73 @@
+"""Unit tests for the DRHW tile state."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.tile import TileState
+
+
+class TestTileState:
+    def test_initial_state_is_blank(self):
+        tile = TileState(index=0)
+        assert tile.is_blank
+        assert not tile.holds("anything")
+        assert tile.busy_until == 0.0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(PlatformError):
+            TileState(index=-1)
+
+    def test_load_sets_configuration(self):
+        tile = TileState(index=1)
+        tile.load("dct", completion_time=4.0)
+        assert tile.holds("dct")
+        assert not tile.is_blank
+        assert tile.loaded_at == pytest.approx(4.0)
+        assert tile.use_count == 0
+
+    def test_load_empty_configuration_rejected(self):
+        tile = TileState(index=0)
+        with pytest.raises(PlatformError):
+            tile.load("", completion_time=1.0)
+
+    def test_record_execution_updates_statistics(self):
+        tile = TileState(index=0)
+        tile.load("dct", completion_time=4.0)
+        tile.record_execution(4.0, 12.0)
+        assert tile.busy_until == pytest.approx(12.0)
+        assert tile.use_count == 1
+        assert tile.last_used_at == pytest.approx(4.0)
+
+    def test_record_execution_rejects_negative_duration(self):
+        tile = TileState(index=0)
+        with pytest.raises(PlatformError):
+            tile.record_execution(5.0, 4.0)
+
+    def test_busy_until_never_decreases(self):
+        tile = TileState(index=0)
+        tile.record_execution(0.0, 10.0)
+        tile.record_execution(2.0, 5.0)
+        assert tile.busy_until == pytest.approx(10.0)
+
+    def test_reload_resets_use_count(self):
+        tile = TileState(index=0)
+        tile.load("a", 1.0)
+        tile.record_execution(1.0, 2.0)
+        tile.load("b", 5.0)
+        assert tile.use_count == 0
+        assert tile.holds("b")
+
+    def test_invalidate(self):
+        tile = TileState(index=0)
+        tile.load("a", 1.0)
+        tile.invalidate()
+        assert tile.is_blank
+        assert tile.use_count == 0
+
+    def test_copy_is_independent(self):
+        tile = TileState(index=0)
+        tile.load("a", 1.0)
+        clone = tile.copy()
+        clone.load("b", 2.0)
+        assert tile.holds("a")
+        assert clone.holds("b")

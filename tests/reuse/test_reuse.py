@@ -1,0 +1,117 @@
+"""Unit tests for the reuse module."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.graphs.subtask import drhw_subtask
+from repro.graphs.taskgraph import TaskGraph
+from repro.platform.description import Platform
+from repro.platform.tile import TileState
+from repro.reuse.reuse import ReuseModule, resident_configurations
+from repro.scheduling.list_scheduler import build_initial_schedule
+
+
+def _blank_tiles(count):
+    return [TileState(index=i) for i in range(count)]
+
+
+def _tiles_with(configurations):
+    tiles = []
+    for index, configuration in enumerate(configurations):
+        tile = TileState(index=index)
+        if configuration is not None:
+            tile.load(configuration, completion_time=0.0)
+        tiles.append(tile)
+    return tiles
+
+
+class TestResidentConfigurations:
+    def test_mapping(self):
+        tiles = _tiles_with(["a", None, "b", "a"])
+        resident = resident_configurations(tiles)
+        assert resident["a"] == (0, 3)
+        assert resident["b"] == (2,)
+        assert None not in resident
+
+
+class TestReuseAnalysis:
+    def test_blank_tiles_mean_no_reuse(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        decision = ReuseModule().analyze(placed, _blank_tiles(8))
+        assert decision.reused == frozenset()
+        assert decision.reuse_fraction(placed) == 0.0
+        # every logical tile still gets a physical binding
+        assert set(decision.tile_binding) == set(placed.tiles_used)
+
+    def test_resident_configurations_are_reused(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        tiles = _tiles_with(["src", "left", None, None, None, None, None, None])
+        decision = ReuseModule().analyze(placed, tiles)
+        assert "src" in decision.reused
+        assert "left" in decision.reused
+        # reused subtasks are bound to the tile that holds their bitstream
+        assert decision.subtask_tiles["src"] == 0
+        assert decision.subtask_tiles["left"] == 1
+
+    def test_full_residency_full_reuse(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        tiles = _tiles_with(["src", "left", "right", "sink",
+                             None, None, None, None])
+        decision = ReuseModule().analyze(placed, tiles)
+        assert decision.reused == frozenset(diamond.subtask_names)
+        assert decision.reuse_fraction(placed) == pytest.approx(1.0)
+
+    def test_only_first_on_tile_can_reuse(self, chain4):
+        # With a single tile every later subtask overwrites the tile, so at
+        # most the first subtask can be reused.
+        placed = build_initial_schedule(chain4, Platform(tile_count=1))
+        tiles = _tiles_with(["s2"])
+        decision = ReuseModule().analyze(placed, tiles)
+        assert decision.reused == frozenset()
+        tiles = _tiles_with(["s0"])
+        decision = ReuseModule().analyze(placed, tiles)
+        assert decision.reused == frozenset(["s0"])
+
+    def test_distinct_physical_tiles(self, benchmark_graphs, platform8):
+        module = ReuseModule()
+        for graph in benchmark_graphs:
+            placed = build_initial_schedule(graph, platform8)
+            decision = module.analyze(placed, _blank_tiles(8))
+            bound = list(decision.tile_binding.values())
+            assert len(bound) == len(set(bound))
+
+    def test_too_few_physical_tiles(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        used = len(placed.tiles_used)
+        if used > 1:
+            with pytest.raises(PlatformError):
+                ReuseModule().analyze(placed, _blank_tiles(used - 1))
+
+    def test_heavier_first_subtask_wins_contested_configuration(self):
+        # Two logical tiles whose first subtasks share a configuration but
+        # only one physical tile holds it: the heavier one gets the match.
+        graph = TaskGraph("contested")
+        graph.add_subtask(drhw_subtask("heavy", 20.0, configuration="shared"))
+        graph.add_subtask(drhw_subtask("light", 2.0, configuration="shared"))
+        placed = build_initial_schedule(graph, Platform(tile_count=4))
+        tiles = _tiles_with(["shared", None, None, None])
+        decision = ReuseModule().analyze(placed, tiles)
+        assert "heavy" in decision.reused
+        assert "light" not in decision.reused
+
+    def test_operations_counted(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        decision = ReuseModule().analyze(placed, _blank_tiles(8))
+        assert decision.operations > 0
+
+    def test_locked_tiles_not_matched(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        tiles = _tiles_with(["src"] + [None] * 7)
+        tiles[0].locked = True
+        decision = ReuseModule().analyze(placed, tiles)
+        assert "src" not in decision.reused
+
+    def test_isp_subtasks_ignored(self, mixed_graph, platform8):
+        placed = build_initial_schedule(mixed_graph, platform8)
+        decision = ReuseModule().analyze(placed, _blank_tiles(8))
+        assert set(decision.subtask_tiles) == {"hw_a", "hw_c"}

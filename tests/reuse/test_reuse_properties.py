@@ -1,0 +1,127 @@
+"""Property-based tests for the reuse module and the inter-task planner."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.intertask import (
+    PrefetchRequest,
+    TileWindow,
+    plan_intertask_prefetch,
+)
+from repro.graphs.generators import ExecutionTimeModel, random_dag
+from repro.platform.description import Platform
+from repro.platform.tile import TileState
+from repro.reuse.reuse import ReuseModule
+from repro.scheduling.list_scheduler import build_initial_schedule
+
+reuse_params = st.tuples(
+    st.integers(min_value=1, max_value=10),      # subtask count
+    st.floats(min_value=0.0, max_value=0.6),     # edge probability
+    st.integers(min_value=0, max_value=3000),    # graph seed
+    st.integers(min_value=1, max_value=12),      # tile count
+    st.integers(min_value=0, max_value=3000),    # residency seed
+)
+
+
+def build_case(params):
+    count, probability, graph_seed, tiles, residency_seed = params
+    graph = random_dag("reuse", count=count, edge_probability=probability,
+                       time_model=ExecutionTimeModel(minimum=1.0, maximum=20.0),
+                       seed=graph_seed)
+    platform = Platform(tile_count=max(tiles, count))
+    placed = build_initial_schedule(graph, platform)
+    rng = random.Random(residency_seed)
+    tiles_state = platform.new_tile_states()
+    configurations = [s.configuration for s in graph.drhw_subtasks]
+    for tile in tiles_state:
+        if configurations and rng.random() < 0.5:
+            tile.load(rng.choice(configurations), completion_time=0.0)
+    return placed, tiles_state
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=reuse_params)
+def test_reuse_binding_is_injective_and_complete(params):
+    placed, tiles = build_case(params)
+    decision = ReuseModule().analyze(placed, tiles)
+    bound = list(decision.tile_binding.values())
+    assert len(bound) == len(set(bound))
+    assert set(decision.tile_binding) == set(placed.tiles_used)
+    assert set(decision.subtask_tiles) == set(placed.drhw_names)
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=reuse_params)
+def test_reused_subtasks_really_have_their_configuration_resident(params):
+    placed, tiles = build_case(params)
+    decision = ReuseModule().analyze(placed, tiles)
+    graph = placed.graph
+    first_on_tile = set(placed.first_on_tile().values())
+    for name in decision.reused:
+        assert name in first_on_tile
+        physical = decision.subtask_tiles[name]
+        assert tiles[physical].holds(graph.subtask(name).configuration)
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=reuse_params)
+def test_reuse_fraction_bounds(params):
+    placed, tiles = build_case(params)
+    decision = ReuseModule().analyze(placed, tiles)
+    assert 0.0 <= decision.reuse_fraction(placed) <= 1.0
+
+
+# ---------------------------------------------------------------------- #
+# Inter-task planner properties
+# ---------------------------------------------------------------------- #
+plan_params = st.tuples(
+    st.integers(min_value=0, max_value=8),       # request count
+    st.integers(min_value=0, max_value=8),       # tile count
+    st.floats(min_value=0.0, max_value=50.0),    # controller free
+    st.floats(min_value=0.0, max_value=80.0),    # task finish
+    st.floats(min_value=0.1, max_value=8.0),     # latency
+    st.integers(min_value=0, max_value=999),     # seed
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(params=plan_params, allow_overrun=st.booleans())
+def test_intertask_plan_invariants(params, allow_overrun):
+    requests_count, tiles_count, controller_free, task_finish, latency, seed = params
+    rng = random.Random(seed)
+    requests = [PrefetchRequest(subtask=f"s{i}", configuration=f"c{i}")
+                for i in range(requests_count)]
+    windows = [TileWindow(tile=i,
+                          available_from=rng.uniform(0.0, task_finish + 5.0),
+                          resident_configuration=(f"c{rng.randrange(10)}"
+                                                  if rng.random() < 0.4 else None))
+               for i in range(tiles_count)]
+    plan = plan_intertask_prefetch(requests, windows,
+                                   controller_free=controller_free,
+                                   task_finish=task_finish,
+                                   reconfiguration_latency=latency,
+                                   allow_overrun=allow_overrun)
+    resident = {w.resident_configuration for w in windows
+                if w.resident_configuration}
+    window_by_tile = {w.tile: w for w in windows}
+    previous_finish = max(controller_free, 0.0)
+    used_tiles = set()
+    for load in plan.loads:
+        # sequential on the single port
+        assert load.start >= previous_finish - 1e-9
+        previous_finish = load.finish
+        # starts inside the idle tail and after the tile became free
+        assert load.start < task_finish
+        assert load.start >= window_by_tile[load.tile].available_from - 1e-9
+        if not allow_overrun:
+            assert load.finish <= task_finish + 1e-9
+        # never loads something already resident, never reuses a tile twice
+        assert load.configuration not in resident
+        assert load.tile not in used_tiles
+        used_tiles.add(load.tile)
+    # configurations are planned at most once
+    planned = [load.configuration for load in plan.loads]
+    assert len(planned) == len(set(planned))
+    assert plan.controller_free >= controller_free - 1e-9

@@ -1,0 +1,190 @@
+"""Unit tests for the schedule replay engine (the timing model core)."""
+
+import pytest
+
+from repro.graphs.subtask import drhw_subtask
+from repro.graphs.taskgraph import TaskGraph, chain_graph
+from repro.platform.description import Platform
+from repro.scheduling.evaluator import needed_loads, replay_schedule
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.schedule import StartConstraint
+
+LATENCY = 4.0
+
+
+def _placed(graph, tiles=8):
+    return build_initial_schedule(graph, Platform(tile_count=tiles))
+
+
+class TestNoLoads:
+    def test_replay_without_loads_matches_ideal(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, loads_needed=[])
+            assert timed.overhead == pytest.approx(0.0)
+            assert timed.makespan == pytest.approx(placed.makespan)
+            for name in graph.subtask_names:
+                assert timed.executions[name].start == pytest.approx(
+                    placed.ideal_start(name)
+                )
+
+    def test_release_time_shifts_everything(self, chain4):
+        placed = _placed(chain4)
+        timed = replay_schedule(placed, LATENCY, loads_needed=[],
+                                release_time=100.0)
+        assert timed.executions["s0"].start == pytest.approx(100.0)
+        assert timed.span == pytest.approx(placed.makespan)
+        assert timed.overhead == pytest.approx(0.0)
+
+
+class TestChainWithLoads:
+    def test_prefetch_hides_all_but_first(self, chain4):
+        placed = _placed(chain4)
+        loads = placed.drhw_names
+        timed = replay_schedule(placed, LATENCY, loads)
+        # Only the first subtask waits for its own load (4 ms).
+        assert timed.overhead == pytest.approx(4.0)
+        assert timed.hidden_load_count() == 3
+        assert timed.executions["s0"].constraint is StartConstraint.LOAD
+
+    def test_on_demand_exposes_every_load(self, chain4):
+        placed = _placed(chain4)
+        loads = placed.drhw_names
+        timed = replay_schedule(placed, LATENCY, loads, on_demand=True)
+        assert timed.overhead == pytest.approx(4.0 * len(chain4))
+        assert timed.hidden_load_count() == 0
+
+    def test_zero_latency_means_zero_overhead(self, chain4):
+        placed = _placed(chain4)
+        timed = replay_schedule(placed, 0.0, placed.drhw_names)
+        assert timed.overhead == pytest.approx(0.0)
+
+    def test_reused_subtasks_do_not_load(self, chain4):
+        placed = _placed(chain4)
+        loads = needed_loads(placed, reused=["s0"])
+        assert "s0" not in loads
+        timed = replay_schedule(placed, LATENCY, loads)
+        assert timed.overhead == pytest.approx(0.0)
+        assert timed.load_count == 3
+
+
+class TestControllerSerialization:
+    def test_single_port_loads_never_overlap(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+            loads = sorted(timed.loads, key=lambda load: load.start)
+            for earlier, later in zip(loads, loads[1:]):
+                assert later.start >= earlier.finish - 1e-9
+
+    def test_independent_subtasks_queue_on_controller(self):
+        graph = TaskGraph("indep")
+        for index in range(4):
+            graph.add_subtask(drhw_subtask(f"s{index}", 10.0))
+        placed = _placed(graph)
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        # Loads serialize on the single port: the k-th subtask cannot start
+        # before (k+1) * latency.
+        starts = sorted(entry.start for entry in timed.executions.values())
+        for index, start in enumerate(starts):
+            assert start == pytest.approx((index + 1) * LATENCY)
+
+    def test_controller_available_delays_loads_only(self, chain4):
+        placed = _placed(chain4)
+        timed = replay_schedule(placed, LATENCY, ["s1"],
+                                controller_available=100.0)
+        # s0 is not loaded and starts immediately; s1 waits for the port.
+        assert timed.executions["s0"].start == pytest.approx(0.0)
+        assert timed.executions["s1"].start == pytest.approx(104.0)
+
+
+class TestLoadEnablement:
+    def test_load_waits_for_tile_to_be_free(self, chain4):
+        # Force both subtasks onto a single tile: the second load can only
+        # start once the first subtask finished executing.
+        placed = build_initial_schedule(chain4, Platform(tile_count=1))
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        first_finish = timed.executions["s0"].finish
+        second_load = next(load for load in timed.loads if load.subtask == "s1")
+        assert second_load.start >= first_finish - 1e-9
+
+    def test_priority_order_respected_for_simultaneously_enabled_loads(self):
+        graph = TaskGraph("prio")
+        graph.add_subtask(drhw_subtask("a", 10.0))
+        graph.add_subtask(drhw_subtask("b", 10.0))
+        placed = _placed(graph)
+        for order in (["a", "b"], ["b", "a"]):
+            timed = replay_schedule(placed, LATENCY, ["a", "b"],
+                                    priority_order=order)
+            loads = {load.subtask: load for load in timed.loads}
+            assert loads[order[0]].start < loads[order[1]].start
+
+
+class TestExecutionSemantics:
+    def test_execution_starts_after_predecessors(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+            for producer, consumer in graph.dependencies():
+                assert timed.executions[consumer].start >= \
+                    timed.executions[producer].finish - 1e-9
+
+    def test_execution_starts_after_its_load(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+            load_finish = {load.subtask: load.finish for load in timed.loads}
+            for name, finish in load_finish.items():
+                assert timed.executions[name].start >= finish - 1e-9
+
+    def test_never_starts_before_ideal(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+            for name in graph.subtask_names:
+                assert timed.executions[name].start >= \
+                    placed.ideal_start(name) - 1e-9
+
+    def test_isp_subtasks_never_load(self, mixed_graph):
+        placed = _placed(mixed_graph)
+        timed = replay_schedule(placed, LATENCY, mixed_graph.subtask_names)
+        assert all(load.subtask != "sw_b" for load in timed.loads)
+
+    def test_idle_tail_reported(self, chain4):
+        placed = _placed(chain4)
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        last_load_finish = max(load.finish for load in timed.loads)
+        assert timed.controller_idle_tail() == pytest.approx(
+            timed.makespan - last_load_finish
+        )
+
+    def test_gantt_rows_cover_all_entries(self, chain4):
+        placed = _placed(chain4)
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        rows = timed.gantt_rows()
+        assert len(rows) == len(chain4) + timed.load_count
+
+
+class TestDelayAccounting:
+    def test_delay_generators_are_load_bound(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+            for name in timed.delay_generating_subtasks():
+                entry = timed.executions[name]
+                assert entry.load_bound
+                assert entry.delay > 0
+
+    def test_positive_overhead_implies_delay_generator(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            placed = _placed(graph)
+            timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+            if timed.overhead > 1e-9:
+                assert timed.delay_generating_subtasks()
+
+    def test_overhead_percent(self, chain4):
+        placed = _placed(chain4)
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        assert timed.overhead_percent == pytest.approx(
+            100.0 * timed.overhead / placed.makespan
+        )

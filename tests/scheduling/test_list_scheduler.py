@@ -1,0 +1,124 @@
+"""Unit tests for the initial (reconfiguration-free) list scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.subtask import drhw_subtask, isp_subtask
+from repro.graphs.taskgraph import TaskGraph, chain_graph
+from repro.platform.description import Platform
+from repro.scheduling.list_scheduler import (
+    ListScheduler,
+    ListSchedulerOptions,
+    build_initial_schedule,
+)
+
+
+class TestBasicScheduling:
+    def test_chain_makespan_equals_critical_path(self, chain4, platform8):
+        placed = build_initial_schedule(chain4, platform8)
+        assert placed.makespan == pytest.approx(chain4.critical_path_length())
+
+    def test_diamond_uses_parallelism(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        assert placed.makespan == pytest.approx(28.0)
+        # left and right run concurrently on different tiles.
+        assert placed.resource_of("left") != placed.resource_of("right")
+
+    def test_single_tile_serializes(self, diamond):
+        platform = Platform(tile_count=1)
+        placed = build_initial_schedule(diamond, platform)
+        assert placed.makespan == pytest.approx(diamond.total_execution_time)
+
+    def test_respects_dependencies(self, benchmark_graphs, platform8):
+        for graph in benchmark_graphs:
+            placed = build_initial_schedule(graph, platform8)
+            for producer, consumer in graph.dependencies():
+                assert placed.ideal_start(consumer) >= \
+                    placed.ideal_finish(producer) - 1e-9
+
+    def test_no_resource_overlap(self, benchmark_graphs, platform3):
+        for graph in benchmark_graphs:
+            placed = build_initial_schedule(graph, platform3)
+            for resource in placed.resources:
+                order = placed.resource_order(resource)
+                for earlier, later in zip(order, order[1:]):
+                    assert placed.ideal_start(later) >= \
+                        placed.ideal_finish(earlier) - 1e-9
+
+    def test_isp_subtasks_go_to_isp(self, mixed_graph, platform8):
+        placed = build_initial_schedule(mixed_graph, platform8)
+        assert not placed.resource_of("sw_b").is_tile
+        assert placed.resource_of("hw_a").is_tile
+
+    def test_isp_needed_but_absent(self, mixed_graph):
+        platform = Platform(tile_count=4, isp_count=0)
+        with pytest.raises(SchedulingError):
+            build_initial_schedule(mixed_graph, platform)
+
+    def test_makespan_never_below_critical_path(self, benchmark_graphs):
+        for tiles in (1, 2, 3, 8):
+            platform = Platform(tile_count=tiles)
+            for graph in benchmark_graphs:
+                placed = build_initial_schedule(graph, platform)
+                assert placed.makespan >= graph.critical_path_length() - 1e-9
+
+    def test_more_tiles_never_hurt(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            previous = None
+            for tiles in (1, 2, 4, 8):
+                placed = build_initial_schedule(graph, Platform(tile_count=tiles))
+                if previous is not None:
+                    assert placed.makespan <= previous + 1e-9
+                previous = placed.makespan
+
+
+class TestSpreadingAndPacking:
+    def test_spreading_uses_one_tile_per_subtask(self, chain4, platform8):
+        options = ListSchedulerOptions(prefer_spreading=True)
+        placed = ListScheduler(platform8, options).schedule(chain4)
+        used = {placed.resource_of(name) for name in chain4.subtask_names}
+        assert len(used) == len(chain4)
+
+    def test_packing_reuses_tiles_for_chains(self, chain4, platform8):
+        options = ListSchedulerOptions(prefer_spreading=False)
+        placed = ListScheduler(platform8, options).schedule(chain4)
+        used = {placed.resource_of(name) for name in chain4.subtask_names}
+        assert len(used) == 1
+
+    def test_spreading_does_not_change_makespan(self, benchmark_graphs,
+                                                platform8):
+        for graph in benchmark_graphs:
+            spread = ListScheduler(
+                platform8, ListSchedulerOptions(prefer_spreading=True)
+            ).schedule(graph)
+            packed = ListScheduler(
+                platform8, ListSchedulerOptions(prefer_spreading=False)
+            ).schedule(graph)
+            assert spread.makespan == pytest.approx(packed.makespan)
+
+    def test_deterministic(self, benchmark_graphs, platform8):
+        for graph in benchmark_graphs:
+            a = build_initial_schedule(graph, platform8)
+            b = build_initial_schedule(graph, platform8)
+            assert a.placements == b.placements
+
+
+class TestCommunicationAwareScheduling:
+    def test_communication_latency_extends_makespan(self):
+        from repro.platform.icn import mesh_icn
+        graph = chain_graph("comm", [5.0, 5.0])
+        graph_with_data = TaskGraph("comm2")
+        graph_with_data.add_subtask(drhw_subtask("s0", 5.0))
+        graph_with_data.add_subtask(drhw_subtask("s1", 5.0))
+        graph_with_data.add_dependency("s0", "s1", data_size=100.0)
+        platform = Platform(tile_count=4, icn=mesh_icn(base_latency=1.0,
+                                                       hop_latency=0.5))
+        options = ListSchedulerOptions(respect_communication=True,
+                                       prefer_spreading=False)
+        placed = ListScheduler(platform, options).schedule(graph_with_data)
+        # With packing, producer and consumer share a tile: no comm latency.
+        assert placed.makespan == pytest.approx(10.0)
+
+    def test_empty_graph_rejected(self, platform8):
+        with pytest.raises(Exception):
+            build_initial_schedule(TaskGraph("empty"), platform8)

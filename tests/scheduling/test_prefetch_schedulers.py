@@ -1,0 +1,148 @@
+"""Unit tests for the prefetch schedulers (baseline, list, branch & bound)."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.graphs.taskgraph import chain_graph
+from repro.platform.description import Platform
+from repro.scheduling.base import PrefetchProblem, SchedulerStats
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.noprefetch import OnDemandScheduler
+from repro.scheduling.prefetch_bb import (
+    BranchAndBoundScheduler,
+    OptimalPrefetchScheduler,
+)
+from repro.scheduling.prefetch_list import ListPrefetchScheduler
+
+LATENCY = 4.0
+
+
+def _problem(graph, tiles=8, reused=()):
+    placed = build_initial_schedule(graph, Platform(tile_count=tiles))
+    return PrefetchProblem(placed, LATENCY, reused=frozenset(reused))
+
+
+class TestPrefetchProblem:
+    def test_loads_exclude_reused(self, chain4):
+        problem = _problem(chain4, reused=["s0", "s2"])
+        assert set(problem.loads) == {"s1", "s3"}
+        assert problem.load_count == 2
+
+    def test_unknown_reused_rejected(self, chain4):
+        with pytest.raises(SchedulingError):
+            _problem(chain4, reused=["ghost"])
+
+    def test_negative_latency_rejected(self, chain4, platform8):
+        placed = build_initial_schedule(chain4, platform8)
+        with pytest.raises(SchedulingError):
+            PrefetchProblem(placed, -1.0)
+
+    def test_with_reused_and_release(self, chain4):
+        problem = _problem(chain4)
+        updated = problem.with_reused(["s0"]).with_release(10.0, 12.0)
+        assert updated.reused == frozenset(["s0"])
+        assert updated.release_time == 10.0
+        assert updated.controller_available == 12.0
+
+
+class TestOnDemandScheduler:
+    def test_chain_overhead_is_full(self, chain4_problem):
+        result = OnDemandScheduler().schedule(chain4_problem)
+        assert result.overhead == pytest.approx(16.0)
+        assert result.overhead_percent == pytest.approx(19.75, abs=0.1)
+        assert result.scheduler_name == "no-prefetch"
+
+    def test_stats_linear(self, chain4_problem):
+        result = OnDemandScheduler().schedule(chain4_problem)
+        assert result.stats.operations == chain4_problem.load_count
+
+
+class TestListPrefetchScheduler:
+    def test_chain_hides_all_but_first(self, chain4_problem):
+        result = ListPrefetchScheduler().schedule(chain4_problem)
+        assert result.overhead == pytest.approx(4.0)
+        assert result.hidden_load_fraction == pytest.approx(0.75)
+
+    def test_weight_priority_variant(self, chain4_problem):
+        result = ListPrefetchScheduler("weight").schedule(chain4_problem)
+        assert result.overhead == pytest.approx(4.0)
+
+    def test_unknown_priority_rejected(self):
+        with pytest.raises(SchedulingError):
+            ListPrefetchScheduler("bogus")
+
+    def test_never_worse_than_on_demand_on_benchmarks(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            problem = _problem(graph)
+            heuristic = ListPrefetchScheduler().schedule(problem)
+            baseline = OnDemandScheduler().schedule(problem)
+            assert heuristic.makespan <= baseline.makespan + 1e-9
+
+    def test_nlogn_operation_count(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            problem = _problem(graph)
+            result = ListPrefetchScheduler().schedule(problem)
+            count = problem.load_count
+            assert result.stats.operations >= count
+            assert result.stats.operations <= 4 * count * max(1, count)
+
+    def test_empty_load_set(self, chain4):
+        problem = _problem(chain4, reused=chain4.subtask_names)
+        result = ListPrefetchScheduler().schedule(problem)
+        assert result.overhead == pytest.approx(0.0)
+        assert result.load_count == 0
+
+
+class TestBranchAndBound:
+    def test_matches_or_beats_heuristic(self, benchmark_graphs):
+        for graph in benchmark_graphs:
+            problem = _problem(graph)
+            optimal = BranchAndBoundScheduler().schedule(problem)
+            heuristic = ListPrefetchScheduler().schedule(problem)
+            assert optimal.makespan <= heuristic.makespan + 1e-9
+
+    def test_optimal_on_chain(self, chain4_problem):
+        result = BranchAndBoundScheduler().schedule(chain4_problem)
+        assert result.overhead == pytest.approx(4.0)
+
+    def test_exact_limit_enforced(self, chain4_problem):
+        scheduler = BranchAndBoundScheduler(exact_limit=2)
+        with pytest.raises(SchedulingError):
+            scheduler.schedule(chain4_problem)
+
+    def test_reports_evaluations(self, chain4_problem):
+        result = BranchAndBoundScheduler().schedule(chain4_problem)
+        assert result.stats.evaluations >= 1
+
+    def test_empty_problem(self, chain4):
+        problem = _problem(chain4, reused=chain4.subtask_names)
+        result = BranchAndBoundScheduler().schedule(problem)
+        assert result.overhead == pytest.approx(0.0)
+
+
+class TestOptimalPrefetchScheduler:
+    def test_small_problems_use_exact_search(self, chain4_problem):
+        result = OptimalPrefetchScheduler(exact_limit=9).schedule(chain4_problem)
+        assert result.scheduler_name == "optimal-prefetch"
+        assert result.overhead == pytest.approx(4.0)
+
+    def test_large_problems_fall_back_to_heuristic(self):
+        graph = chain_graph("long", [6.0] * 15)
+        problem = _problem(graph)
+        scheduler = OptimalPrefetchScheduler(exact_limit=5)
+        result = scheduler.schedule(problem)
+        heuristic = ListPrefetchScheduler().schedule(problem)
+        assert result.makespan == pytest.approx(heuristic.makespan)
+
+    def test_negative_exact_limit_rejected(self):
+        with pytest.raises(SchedulingError):
+            OptimalPrefetchScheduler(exact_limit=-1)
+
+
+class TestSchedulerStats:
+    def test_merge(self):
+        merged = SchedulerStats(operations=3, evaluations=1).merged(
+            SchedulerStats(operations=4, evaluations=2)
+        )
+        assert merged.operations == 7
+        assert merged.evaluations == 3

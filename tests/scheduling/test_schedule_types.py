@@ -1,0 +1,119 @@
+"""Unit tests for the schedule data structures."""
+
+import pytest
+
+from repro.errors import SchedulingError, UnknownSubtaskError
+from repro.graphs.subtask import drhw_subtask
+from repro.graphs.taskgraph import TaskGraph
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.schedule import (
+    PlacedSchedule,
+    PlacedSubtask,
+    ResourceId,
+    ResourceKind,
+    isp_resource,
+    tile_resource,
+)
+
+
+class TestResourceId:
+    def test_tile_resource(self):
+        resource = tile_resource(3)
+        assert resource.kind is ResourceKind.TILE
+        assert resource.is_tile
+        assert str(resource) == "tile3"
+
+    def test_isp_resource(self):
+        resource = isp_resource(0)
+        assert not resource.is_tile
+        assert str(resource) == "isp0"
+
+    def test_ordering_and_hashing(self):
+        assert tile_resource(0) == tile_resource(0)
+        assert len({tile_resource(0), tile_resource(0), tile_resource(1)}) == 2
+
+
+def _manual_schedule():
+    graph = TaskGraph("manual")
+    graph.add_subtask(drhw_subtask("a", 5.0))
+    graph.add_subtask(drhw_subtask("b", 3.0))
+    graph.add_dependency("a", "b")
+    placements = {
+        "a": PlacedSubtask("a", tile_resource(0), 0.0, 5.0),
+        "b": PlacedSubtask("b", tile_resource(0), 5.0, 8.0),
+    }
+    return graph, placements
+
+
+class TestPlacedScheduleValidation:
+    def test_valid_manual_schedule(self):
+        graph, placements = _manual_schedule()
+        placed = PlacedSchedule(graph, placements)
+        assert placed.makespan == pytest.approx(8.0)
+        assert placed.previous_on_resource("b") == "a"
+        assert placed.previous_on_resource("a") is None
+        assert placed.position_on_resource("b") == 1
+
+    def test_missing_placement_rejected(self):
+        graph, placements = _manual_schedule()
+        del placements["b"]
+        with pytest.raises(SchedulingError):
+            PlacedSchedule(graph, placements)
+
+    def test_unknown_placement_rejected(self):
+        graph, placements = _manual_schedule()
+        placements["ghost"] = PlacedSubtask("ghost", tile_resource(1), 0.0, 1.0)
+        with pytest.raises(SchedulingError):
+            PlacedSchedule(graph, placements)
+
+    def test_dependency_violation_rejected(self):
+        graph, placements = _manual_schedule()
+        placements["b"] = PlacedSubtask("b", tile_resource(1), 2.0, 5.0)
+        with pytest.raises(SchedulingError):
+            PlacedSchedule(graph, placements)
+
+    def test_resource_overlap_rejected(self):
+        graph, placements = _manual_schedule()
+        placements["b"] = PlacedSubtask("b", tile_resource(0), 4.0, 7.0)
+        with pytest.raises(SchedulingError):
+            PlacedSchedule(graph, placements)
+
+    def test_wrong_duration_rejected(self):
+        graph, placements = _manual_schedule()
+        placements["a"] = PlacedSubtask("a", tile_resource(0), 0.0, 6.0)
+        with pytest.raises(SchedulingError):
+            PlacedSchedule(graph, placements)
+
+    def test_wrong_resource_kind_rejected(self):
+        graph, placements = _manual_schedule()
+        placements["a"] = PlacedSubtask("a", isp_resource(0), 0.0, 5.0)
+        placements["b"] = PlacedSubtask("b", tile_resource(0), 5.0, 8.0)
+        with pytest.raises(SchedulingError):
+            PlacedSchedule(graph, placements)
+
+    def test_unknown_subtask_lookup(self):
+        graph, placements = _manual_schedule()
+        placed = PlacedSchedule(graph, placements)
+        with pytest.raises(UnknownSubtaskError):
+            placed.placement("ghost")
+
+
+class TestPlacedScheduleQueries:
+    def test_first_on_tile(self, diamond, platform8):
+        placed = build_initial_schedule(diamond, platform8)
+        first = placed.first_on_tile()
+        # Every used tile has exactly one first subtask and "src" is first
+        # somewhere (it starts at time zero).
+        assert "src" in first.values()
+        assert len(first) == len(placed.tiles_used)
+
+    def test_drhw_names_excludes_isp(self, mixed_graph, platform8):
+        placed = build_initial_schedule(mixed_graph, platform8)
+        assert set(placed.drhw_names) == {"hw_a", "hw_c"}
+
+    def test_resource_order_sorted_by_start(self, chain4, platform3):
+        placed = build_initial_schedule(chain4, platform3)
+        for resource in placed.resources:
+            order = placed.resource_order(resource)
+            starts = [placed.ideal_start(name) for name in order]
+            assert starts == sorted(starts)

@@ -1,0 +1,202 @@
+"""Unit tests for the five scheduling approaches."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.description import Platform
+from repro.reuse.reuse import ReuseModule
+from repro.sim.approaches import (
+    APPROACHES,
+    DesignTimePrefetchApproach,
+    HybridApproach,
+    NoPrefetchApproach,
+    RunTimeApproach,
+    RunTimeInterTaskApproach,
+    TaskContext,
+    make_approach,
+)
+from repro.sim.state import SystemState
+from repro.tcm.design_time import TcmDesignTimeScheduler
+from repro.tcm.run_time import ScheduledTask
+from repro.workloads.multimedia import multimedia_task_set
+
+LATENCY = 4.0
+
+
+@pytest.fixture(scope="module")
+def design_result():
+    platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+    return TcmDesignTimeScheduler(platform).explore(multimedia_task_set())
+
+
+def make_scheduled(design_result, task_name="jpeg_decoder",
+                   scenario_name=None):
+    task_set = multimedia_task_set()
+    task = task_set.task(task_name)
+    if scenario_name is None or scenario_name not in task.scenario_names:
+        scenario_name = task.scenario_names[0]
+    instance = task_set.instances({task_name: scenario_name})[0]
+    curve = design_result.curve(task_name, scenario_name)
+    return ScheduledTask(instance=instance, point=curve.fastest())
+
+
+def make_context(design_result, task_name="jpeg_decoder", next_task=None,
+                 release=0.0, state=None):
+    platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+    state = state or SystemState(platform=platform)
+    next_scheduled = (make_scheduled(design_result, next_task)
+                      if next_task else None)
+    return TaskContext(
+        scheduled=make_scheduled(design_result, task_name),
+        release_time=release,
+        state=state,
+        reuse_module=ReuseModule(),
+        reconfiguration_latency=LATENCY,
+        next_scheduled=next_scheduled,
+    )
+
+
+class TestRegistry:
+    def test_all_five_approaches_registered(self):
+        assert set(APPROACHES) == {"no-prefetch", "design-time", "run-time",
+                                   "run-time+inter-task", "hybrid"}
+
+    def test_make_approach(self):
+        assert isinstance(make_approach("hybrid"), HybridApproach)
+
+    def test_unknown_approach(self):
+        with pytest.raises(ConfigurationError):
+            make_approach("magic")
+
+
+class TestNoPrefetchApproach:
+    def test_cold_start_pays_every_load(self, design_result):
+        approach = NoPrefetchApproach()
+        ctx = make_context(design_result)
+        outcome = approach.execute_task(ctx)
+        record = outcome.record
+        # Sequential JPEG: 4 loads, every one exposed on a cold platform.
+        assert record.loads_performed == 4
+        assert record.overhead == pytest.approx(16.0)
+        assert record.loads_reused == 0
+        assert outcome.finish_time > record.ideal_makespan
+
+    def test_warm_start_reuses(self, design_result):
+        approach = NoPrefetchApproach()
+        platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+        state = SystemState(platform=platform)
+        first = approach.execute_task(make_context(design_result, state=state))
+        second_ctx = make_context(design_result, state=state,
+                                  release=first.finish_time)
+        second = approach.execute_task(second_ctx)
+        assert second.record.loads_reused == 4
+        assert second.record.overhead == pytest.approx(0.0)
+
+
+class TestDesignTimeApproach:
+    def test_requires_prepare(self, design_result):
+        approach = DesignTimePrefetchApproach()
+        with pytest.raises(ConfigurationError):
+            approach.execute_task(make_context(design_result))
+
+    def test_never_reuses(self, design_result):
+        approach = DesignTimePrefetchApproach()
+        approach.prepare(design_result, LATENCY)
+        platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+        state = SystemState(platform=platform)
+        first = approach.execute_task(make_context(design_result, state=state))
+        second = approach.execute_task(
+            make_context(design_result, state=state, release=first.finish_time)
+        )
+        assert first.record.loads_performed == 4
+        assert second.record.loads_performed == 4
+        assert second.record.loads_reused == 0
+        # but the prefetch hides all loads except the first one
+        assert second.record.overhead == pytest.approx(4.0)
+
+    def test_zero_runtime_operations(self, design_result):
+        approach = DesignTimePrefetchApproach()
+        approach.prepare(design_result, LATENCY)
+        outcome = approach.execute_task(make_context(design_result))
+        assert outcome.record.scheduler_operations == 0
+
+
+class TestRunTimeApproaches:
+    def test_run_time_prefetch_hides_all_but_first(self, design_result):
+        approach = RunTimeApproach()
+        outcome = approach.execute_task(make_context(design_result))
+        assert outcome.record.overhead == pytest.approx(4.0)
+        assert outcome.record.scheduler_operations > 0
+
+    def test_intertask_prefetches_next_task(self, design_result):
+        approach = RunTimeInterTaskApproach()
+        ctx = make_context(design_result, next_task="mpeg_encoder")
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches > 0
+        # Prefetched configurations are now resident in the shared state.
+        resident = set(ctx.state.resident_configurations)
+        assert any(cfg.startswith("mpeg") for cfg in resident)
+
+    def test_plain_run_time_never_prefetches_ahead(self, design_result):
+        approach = RunTimeApproach()
+        ctx = make_context(design_result, next_task="mpeg_encoder")
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches == 0
+
+
+class TestHybridApproach:
+    def test_requires_prepare(self, design_result):
+        with pytest.raises(ConfigurationError):
+            HybridApproach().execute_task(make_context(design_result))
+
+    def test_cold_start_pays_initialization_only(self, design_result):
+        approach = HybridApproach()
+        approach.prepare(design_result, LATENCY)
+        outcome = approach.execute_task(make_context(design_result))
+        record = outcome.record
+        assert record.initialization_loads == 1
+        assert record.overhead == pytest.approx(4.0)
+        # run-time cost is a handful of membership checks
+        assert record.scheduler_operations == 4
+
+    def test_warm_start_cancels_loads(self, design_result):
+        approach = HybridApproach()
+        approach.prepare(design_result, LATENCY)
+        platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+        state = SystemState(platform=platform)
+        first = approach.execute_task(make_context(design_result, state=state))
+        second = approach.execute_task(
+            make_context(design_result, state=state, release=first.finish_time)
+        )
+        assert second.record.overhead == pytest.approx(0.0)
+        assert second.record.loads_cancelled == 3
+        assert second.record.initialization_loads == 0
+        assert second.record.loads_performed == 0
+
+    def test_intertask_prefetch_covers_next_task(self, design_result):
+        approach = HybridApproach()
+        approach.prepare(design_result, LATENCY)
+        platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+        state = SystemState(platform=platform)
+        ctx = make_context(design_result, next_task="pattern_recognition",
+                           state=state)
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches >= 1
+        next_ctx = make_context(design_result, "pattern_recognition",
+                                state=state, release=outcome.finish_time)
+        next_outcome = approach.execute_task(next_ctx)
+        # The critical subtask of pattern recognition was prefetched in the
+        # idle tail, so the next task starts without an initialization phase.
+        assert next_outcome.record.initialization_loads == 0
+        assert next_outcome.record.overhead == pytest.approx(0.0)
+
+    def test_store_property_before_prepare(self):
+        with pytest.raises(ConfigurationError):
+            HybridApproach().store
+
+    def test_intertask_disabled(self, design_result):
+        approach = HybridApproach(use_intertask=False)
+        approach.prepare(design_result, LATENCY)
+        ctx = make_context(design_result, next_task="mpeg_encoder")
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches == 0

@@ -1,0 +1,74 @@
+"""Unit tests for simulation metrics aggregation."""
+
+import pytest
+
+from repro.sim.metrics import (
+    IterationRecord,
+    SimulationMetrics,
+    TaskExecutionRecord,
+    aggregate_metrics,
+)
+
+
+def make_record(overhead=2.0, ideal=50.0, loads=3, reused=1, **kwargs):
+    defaults = dict(
+        task_name="t", scenario_name="s", point_key="tiles8",
+        release_time=0.0, finish_time=ideal + overhead,
+        ideal_makespan=ideal, overhead=overhead,
+        loads_performed=loads, loads_reused=reused, loads_cancelled=0,
+        initialization_loads=1, intertask_prefetches=0,
+        scheduler_operations=10, reuse_operations=4, energy=100.0,
+    )
+    defaults.update(kwargs)
+    return TaskExecutionRecord(**defaults)
+
+
+class TestTaskExecutionRecord:
+    def test_span_and_percent(self):
+        record = make_record(overhead=5.0, ideal=50.0)
+        assert record.span == pytest.approx(55.0)
+        assert record.overhead_percent == pytest.approx(10.0)
+        assert record.drhw_subtasks == 4
+
+    def test_zero_ideal_time(self):
+        record = make_record(ideal=0.0, overhead=0.0, finish_time=0.0)
+        assert record.overhead_percent == 0.0
+
+
+class TestIterationRecord:
+    def test_sums(self):
+        iteration = IterationRecord(index=0, tasks=(make_record(), make_record()))
+        assert iteration.ideal_time == pytest.approx(100.0)
+        assert iteration.actual_time == pytest.approx(104.0)
+        assert iteration.overhead == pytest.approx(4.0)
+
+
+class TestAggregation:
+    def test_aggregate(self):
+        iterations = [
+            IterationRecord(index=0, tasks=(make_record(), make_record())),
+            IterationRecord(index=1, tasks=(make_record(overhead=0.0),)),
+        ]
+        metrics = aggregate_metrics("hybrid", "multimedia", 8, iterations)
+        assert metrics.iterations == 2
+        assert metrics.task_executions == 3
+        assert metrics.total_overhead == pytest.approx(4.0)
+        assert metrics.total_ideal_time == pytest.approx(150.0)
+        assert metrics.overhead_percent == pytest.approx(100 * 4.0 / 150.0)
+        assert metrics.total_loads == 9
+        assert metrics.total_reused == 3
+        assert metrics.reuse_rate == pytest.approx(3 / 12)
+        assert metrics.average_loads_per_task == pytest.approx(3.0)
+        assert metrics.average_scheduler_operations == pytest.approx(10.0)
+
+    def test_empty_aggregation(self):
+        metrics = aggregate_metrics("x", "w", 4, [])
+        assert metrics.overhead_percent == 0.0
+        assert metrics.reuse_rate == 0.0
+        assert metrics.average_scheduler_operations == 0.0
+
+    def test_hidden_fraction(self):
+        iterations = [IterationRecord(index=0, tasks=(make_record(overhead=2.0),))]
+        metrics = aggregate_metrics("x", "w", 4, iterations)
+        assert metrics.hidden_fraction(baseline_overhead=20.0) == pytest.approx(0.9)
+        assert metrics.hidden_fraction(baseline_overhead=0.0) == 1.0

@@ -1,0 +1,148 @@
+"""Integration tests for the system simulator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platform.description import Platform
+from repro.sim.approaches import (
+    HybridApproach,
+    NoPrefetchApproach,
+    RunTimeApproach,
+    RunTimeInterTaskApproach,
+)
+from repro.sim.simulator import (
+    SimulationConfig,
+    SystemSimulator,
+    simulate,
+    sweep_tile_counts,
+)
+from repro.workloads.multimedia import MultimediaWorkload
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+ITERATIONS = 40
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return MultimediaWorkload()
+
+
+class TestSimulationConfig:
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(iterations=0)
+
+    def test_invalid_point_selection(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(point_selection="best")
+
+    def test_deadline_required(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(point_selection="deadline")
+
+
+class TestBasicRuns:
+    def test_no_prefetch_run(self, workload):
+        result = simulate(workload, 8, NoPrefetchApproach(),
+                          iterations=ITERATIONS, seed=3)
+        metrics = result.metrics
+        assert metrics.iterations == ITERATIONS
+        assert metrics.task_executions > ITERATIONS
+        assert 10.0 < metrics.overhead_percent < 40.0
+        assert metrics.total_actual_time >= metrics.total_ideal_time
+
+    def test_hybrid_beats_no_prefetch(self, workload):
+        baseline = simulate(workload, 8, NoPrefetchApproach(),
+                            iterations=ITERATIONS, seed=3)
+        hybrid = simulate(workload, 8, HybridApproach(),
+                          iterations=ITERATIONS, seed=3)
+        assert hybrid.overhead_percent < baseline.overhead_percent
+        assert hybrid.metrics.hidden_fraction(
+            baseline.metrics.total_overhead) > 0.8
+
+    def test_deterministic_given_seed(self, workload):
+        first = simulate(workload, 8, RunTimeApproach(),
+                         iterations=ITERATIONS, seed=11)
+        second = simulate(workload, 8, RunTimeApproach(),
+                          iterations=ITERATIONS, seed=11)
+        assert first.overhead_percent == pytest.approx(second.overhead_percent)
+        assert first.metrics.total_loads == second.metrics.total_loads
+
+    def test_different_seeds_differ(self, workload):
+        first = simulate(workload, 8, NoPrefetchApproach(),
+                         iterations=ITERATIONS, seed=1)
+        second = simulate(workload, 8, NoPrefetchApproach(),
+                          iterations=ITERATIONS, seed=2)
+        assert first.metrics.total_ideal_time != \
+            pytest.approx(second.metrics.total_ideal_time)
+
+    def test_trace_collection(self, workload):
+        platform = Platform(tile_count=8,
+                            reconfiguration_latency=workload.reconfiguration_latency)
+        config = SimulationConfig(iterations=5, seed=1, collect_trace=True)
+        simulator = SystemSimulator(workload, platform, NoPrefetchApproach(),
+                                    config)
+        result = simulator.run()
+        assert result.trace is not None
+        assert len(result.trace) == result.metrics.task_executions
+        assert "task" in result.trace.format_table()
+
+    def test_iteration_records_structure(self, workload):
+        result = simulate(workload, 8, NoPrefetchApproach(),
+                          iterations=10, seed=5)
+        assert len(result.iterations) == 10
+        for iteration in result.iterations:
+            assert iteration.tasks
+            assert iteration.overhead >= 0.0
+
+
+class TestReuseDynamics:
+    def test_more_tiles_more_reuse(self, workload):
+        small = simulate(workload, 8, RunTimeApproach(),
+                         iterations=ITERATIONS, seed=3)
+        large = simulate(workload, 16, RunTimeApproach(),
+                         iterations=ITERATIONS, seed=3)
+        assert large.metrics.reuse_rate > small.metrics.reuse_rate
+        assert large.overhead_percent <= small.overhead_percent + 0.5
+
+    def test_state_wipe_kills_reuse(self, workload):
+        platform = Platform(tile_count=16,
+                            reconfiguration_latency=workload.reconfiguration_latency)
+        persistent = SystemSimulator(
+            workload, platform, RunTimeApproach(),
+            SimulationConfig(iterations=ITERATIONS, seed=3),
+        ).run()
+        wiped = SystemSimulator(
+            workload, platform, RunTimeApproach(),
+            SimulationConfig(iterations=ITERATIONS, seed=3,
+                             keep_state_between_iterations=False),
+        ).run()
+        assert wiped.metrics.reuse_rate < persistent.metrics.reuse_rate
+
+    def test_intertask_reduces_overhead(self, workload):
+        plain = simulate(workload, 8, RunTimeApproach(),
+                         iterations=ITERATIONS, seed=3)
+        intertask = simulate(workload, 8, RunTimeInterTaskApproach(),
+                             iterations=ITERATIONS, seed=3)
+        assert intertask.overhead_percent < plain.overhead_percent
+
+
+class TestPointSelection:
+    def test_deadline_mode_runs(self):
+        spec = SyntheticSpec(task_count=2, subtasks_per_task=4,
+                             scenarios_per_task=1, seed=3)
+        workload = SyntheticWorkload(spec)
+        platform = Platform(tile_count=6,
+                            reconfiguration_latency=workload.reconfiguration_latency)
+        config = SimulationConfig(iterations=5, seed=1,
+                                  point_selection="deadline", deadline=500.0)
+        result = SystemSimulator(workload, platform, RunTimeApproach(),
+                                 config).run()
+        assert result.metrics.task_executions > 0
+
+    def test_sweep_tile_counts(self, workload):
+        results = sweep_tile_counts(workload, tile_counts=(8, 12),
+                                    approaches=[NoPrefetchApproach()],
+                                    iterations=10, seed=1)
+        assert set(results) == {"no-prefetch"}
+        assert set(results["no-prefetch"]) == {8, 12}

@@ -1,0 +1,99 @@
+"""Tests for the design-time approach's static cross-task prefetching."""
+
+import pytest
+
+from repro.platform.description import Platform
+from repro.reuse.reuse import ReuseModule
+from repro.sim.approaches import DesignTimePrefetchApproach, TaskContext
+from repro.sim.simulator import SimulationConfig, SystemSimulator
+from repro.sim.state import SystemState
+from repro.tcm.design_time import TcmDesignTimeScheduler
+from repro.tcm.run_time import ScheduledTask
+from repro.workloads.pocketgl import PocketGLWorkload
+
+LATENCY = 4.0
+
+
+@pytest.fixture(scope="module")
+def pocketgl_setup():
+    workload = PocketGLWorkload()
+    platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+    design = TcmDesignTimeScheduler(platform).explore(workload.task_set)
+    return workload, platform, design
+
+
+def scheduled_for(workload, design, task_name, scenario_name="s0"):
+    task = workload.task_set.task(task_name)
+    instance = workload.task_set.instances({task_name: scenario_name})[0]
+    curve = design.curve(task_name, scenario_name)
+    return ScheduledTask(instance=instance, point=curve.fastest())
+
+
+class TestStaticInterTaskPrefetch:
+    def test_prefetches_next_task_within_iteration(self, pocketgl_setup):
+        workload, platform, design = pocketgl_setup
+        approach = DesignTimePrefetchApproach(static_intertask=True)
+        approach.prepare(design, LATENCY)
+        state = SystemState(platform=platform)
+        current = scheduled_for(workload, design, "geometry")
+        following = scheduled_for(workload, design, "clipping")
+        ctx = TaskContext(
+            scheduled=current, release_time=0.0, state=state,
+            reuse_module=ReuseModule(), reconfiguration_latency=LATENCY,
+            next_scheduled=following, next_crosses_iteration=False,
+        )
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches >= 1
+        # The prefetched configuration is skipped when the next task runs.
+        next_ctx = TaskContext(
+            scheduled=following, release_time=outcome.finish_time, state=state,
+            reuse_module=ReuseModule(), reconfiguration_latency=LATENCY,
+            next_scheduled=None,
+        )
+        next_outcome = approach.execute_task(next_ctx)
+        drhw = len(following.point.placed.drhw_names)
+        assert next_outcome.record.loads_performed < drhw
+        assert next_outcome.record.overhead == pytest.approx(0.0, abs=1e-6)
+
+    def test_does_not_prefetch_across_iteration_boundary(self, pocketgl_setup):
+        workload, platform, design = pocketgl_setup
+        approach = DesignTimePrefetchApproach(static_intertask=True)
+        approach.prepare(design, LATENCY)
+        state = SystemState(platform=platform)
+        current = scheduled_for(workload, design, "display")
+        following = scheduled_for(workload, design, "geometry")
+        ctx = TaskContext(
+            scheduled=current, release_time=0.0, state=state,
+            reuse_module=ReuseModule(), reconfiguration_latency=LATENCY,
+            next_scheduled=following, next_crosses_iteration=True,
+        )
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches == 0
+
+    def test_disabled_by_default(self, pocketgl_setup):
+        workload, platform, design = pocketgl_setup
+        approach = DesignTimePrefetchApproach()
+        approach.prepare(design, LATENCY)
+        state = SystemState(platform=platform)
+        ctx = TaskContext(
+            scheduled=scheduled_for(workload, design, "geometry"),
+            release_time=0.0, state=state, reuse_module=ReuseModule(),
+            reconfiguration_latency=LATENCY,
+            next_scheduled=scheduled_for(workload, design, "clipping"),
+        )
+        outcome = approach.execute_task(ctx)
+        assert outcome.record.intertask_prefetches == 0
+
+    def test_full_simulation_benefits_from_static_prefetch(self, pocketgl_setup):
+        workload, platform, _ = pocketgl_setup
+        config = SimulationConfig(iterations=30, seed=4)
+        plain = SystemSimulator(workload, platform,
+                                DesignTimePrefetchApproach(), config).run()
+        static = SystemSimulator(
+            workload, platform,
+            DesignTimePrefetchApproach(static_intertask=True), config,
+        ).run()
+        assert static.overhead_percent < plain.overhead_percent
+        # Still no reuse in either configuration.
+        assert plain.metrics.reuse_rate == 0.0
+        assert static.metrics.reuse_rate == 0.0

@@ -1,0 +1,62 @@
+"""Unit tests for traces and the textual Gantt renderer."""
+
+import pytest
+
+from repro.platform.description import Platform
+from repro.scheduling.evaluator import replay_schedule
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.sim.trace import SimulationTrace, render_gantt
+from tests.sim.test_metrics import make_record
+
+LATENCY = 4.0
+
+
+class TestSimulationTrace:
+    def test_add_and_group(self):
+        trace = SimulationTrace()
+        trace.add(make_record(task_name="a"))
+        trace.add(make_record(task_name="b"))
+        trace.add(make_record(task_name="a"))
+        assert len(trace) == 3
+        grouped = trace.by_task()
+        assert len(grouped["a"]) == 2
+        assert len(grouped["b"]) == 1
+        assert trace.total_overhead() == pytest.approx(6.0)
+
+    def test_rows_and_table(self):
+        trace = SimulationTrace()
+        for _ in range(3):
+            trace.add(make_record())
+        rows = trace.to_rows()
+        assert len(rows) == 3
+        table = trace.format_table(limit=2)
+        assert "more records" in table
+
+    def test_format_table_unlimited(self):
+        trace = SimulationTrace()
+        trace.add(make_record())
+        assert "more records" not in trace.format_table(limit=None)
+
+
+class TestGanttRenderer:
+    def test_renders_all_lanes(self, chain4, platform8):
+        placed = build_initial_schedule(chain4, platform8)
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        art = render_gantt(timed)
+        assert "reconfig" in art
+        assert "#" in art
+        assert "=" in art
+        assert "overhead" in art
+
+    def test_no_loads_no_reconfig_lane_glyphs(self, chain4, platform8):
+        placed = build_initial_schedule(chain4, platform8)
+        timed = replay_schedule(placed, LATENCY, [])
+        art = render_gantt(timed)
+        assert "=" not in art
+
+    def test_width_respected(self, chain4, platform8):
+        placed = build_initial_schedule(chain4, platform8)
+        timed = replay_schedule(placed, LATENCY, placed.drhw_names)
+        art = render_gantt(timed, width=40)
+        for line in art.splitlines()[1:]:
+            assert len(line) <= 40 + 20

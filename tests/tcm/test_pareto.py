@@ -1,0 +1,102 @@
+"""Unit tests for Pareto curves and points."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graphs.taskgraph import chain_graph
+from repro.platform.description import Platform
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.tcm.pareto import ParetoCurve, ParetoPoint, prune_dominated
+
+
+def _point(key, time, energy, tiles=1):
+    graph = chain_graph(f"g_{key}", [time])
+    placed = build_initial_schedule(graph, Platform(tile_count=max(tiles, 1)))
+    return ParetoPoint(key=key, execution_time=time, energy=energy,
+                       tile_count=tiles, placed=placed)
+
+
+class TestParetoPoint:
+    def test_domination(self):
+        fast_cheap = _point("a", 10.0, 5.0)
+        slow_expensive = _point("b", 20.0, 9.0)
+        assert fast_cheap.dominates(slow_expensive)
+        assert not slow_expensive.dominates(fast_cheap)
+
+    def test_equal_points_do_not_dominate(self):
+        a = _point("a", 10.0, 5.0)
+        b = _point("b", 10.0, 5.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_trade_off_points_do_not_dominate(self):
+        fast_expensive = _point("a", 10.0, 9.0)
+        slow_cheap = _point("b", 20.0, 5.0)
+        assert not fast_expensive.dominates(slow_cheap)
+        assert not slow_cheap.dominates(fast_expensive)
+
+
+class TestPruneDominated:
+    def test_removes_dominated(self):
+        points = [_point("a", 10.0, 5.0), _point("b", 20.0, 9.0),
+                  _point("c", 15.0, 3.0)]
+        kept = prune_dominated(points)
+        assert {p.key for p in kept} == {"a", "c"}
+
+    def test_removes_duplicates(self):
+        points = [_point("a", 10.0, 5.0, tiles=1), _point("b", 10.0, 5.0, tiles=2)]
+        kept = prune_dominated(points)
+        assert len(kept) == 1
+        assert kept[0].tile_count == 1
+
+    def test_sorted_by_time(self):
+        points = [_point("slow", 30.0, 1.0), _point("fast", 10.0, 9.0),
+                  _point("mid", 20.0, 5.0)]
+        kept = prune_dominated(points)
+        assert [p.key for p in kept] == ["fast", "mid", "slow"]
+
+
+class TestParetoCurve:
+    def _curve(self):
+        return ParetoCurve("task", "scenario", [
+            _point("tiles1", 30.0, 10.0, tiles=1),
+            _point("tiles2", 18.0, 14.0, tiles=2),
+            _point("tiles3", 12.0, 20.0, tiles=3),
+            _point("tiles8", 12.0, 40.0, tiles=8),
+        ])
+
+    def test_needs_points(self):
+        with pytest.raises(ConfigurationError):
+            ParetoCurve("t", "s", [])
+
+    def test_keeps_all_points_but_exposes_front(self):
+        curve = self._curve()
+        assert len(curve) == 4
+        front_keys = {p.key for p in curve.pareto_points()}
+        assert "tiles8" not in front_keys
+        assert {"tiles1", "tiles2", "tiles3"} <= front_keys
+
+    def test_fastest_prefers_larger_pool(self):
+        curve = self._curve()
+        assert curve.fastest().key == "tiles8"
+
+    def test_most_economical(self):
+        assert self._curve().most_economical().key == "tiles1"
+
+    def test_point_lookup(self):
+        curve = self._curve()
+        assert curve.point("tiles2").tile_count == 2
+        with pytest.raises(ConfigurationError):
+            curve.point("tiles9")
+
+    def test_best_under_deadline(self):
+        curve = self._curve()
+        assert curve.best_under_deadline(20.0).key == "tiles2"
+        assert curve.best_under_deadline(100.0).key == "tiles1"
+        # Infeasible deadline falls back to the fastest point.
+        assert curve.best_under_deadline(1.0).key == "tiles8"
+
+    def test_duplicate_keys_collapsed(self):
+        curve = ParetoCurve("t", "s", [_point("p", 10.0, 5.0),
+                                       _point("p", 11.0, 6.0)])
+        assert len(curve) == 1

@@ -1,0 +1,84 @@
+"""Unit tests for the TCM run-time scheduler."""
+
+import random
+
+import pytest
+
+from repro.platform.description import Platform
+from repro.tcm.design_time import TcmDesignTimeScheduler
+from repro.tcm.run_time import TcmRunTimeScheduler
+from repro.workloads.multimedia import multimedia_task_set
+
+
+@pytest.fixture
+def scheduler():
+    platform = Platform(tile_count=8, reconfiguration_latency=4.0)
+    design = TcmDesignTimeScheduler(platform).explore(multimedia_task_set())
+    return TcmRunTimeScheduler(design)
+
+
+@pytest.fixture
+def instances(scheduler):
+    task_set = multimedia_task_set()
+    return scheduler.identify_scenarios(task_set, random.Random(1))
+
+
+class TestScenarioIdentification:
+    def test_one_instance_per_task(self, scheduler):
+        task_set = multimedia_task_set()
+        instances = scheduler.identify_scenarios(task_set, random.Random(5))
+        assert [i.task_name for i in instances] == task_set.task_names
+
+    def test_deterministic_given_seed(self, scheduler):
+        task_set = multimedia_task_set()
+        first = [i.scenario_name
+                 for i in scheduler.identify_scenarios(task_set, random.Random(7))]
+        second = [i.scenario_name
+                  for i in scheduler.identify_scenarios(task_set, random.Random(7))]
+        assert first == second
+
+
+class TestSelection:
+    def test_without_deadline_selects_most_economical(self, scheduler, instances):
+        selection = scheduler.select(instances, deadline=None)
+        assert selection.meets_deadline
+        for item in selection.scheduled:
+            curve = scheduler.design_result.curve(item.task_name,
+                                                  item.scenario_name)
+            assert item.point.energy == pytest.approx(
+                curve.most_economical().energy
+            )
+
+    def test_tight_deadline_selects_faster_points(self, scheduler, instances):
+        relaxed = scheduler.select(instances, deadline=None)
+        minimum_time = sum(
+            scheduler.design_result.curve(i.task_name, i.scenario_name)
+            .fastest().execution_time
+            for i in instances
+        )
+        tight = scheduler.select(instances, deadline=minimum_time * 1.05)
+        assert tight.total_execution_time <= relaxed.total_execution_time
+        assert tight.total_energy >= relaxed.total_energy - 1e-9
+        assert tight.meets_deadline
+
+    def test_impossible_deadline_reported(self, scheduler, instances):
+        selection = scheduler.select(instances, deadline=1.0)
+        assert not selection.meets_deadline
+
+    def test_order_preserved(self, scheduler, instances):
+        selection = scheduler.select(instances, deadline=None)
+        assert [s.task_name for s in selection.scheduled] == \
+            [i.task_name for i in instances]
+
+    def test_empty_instances(self, scheduler):
+        selection = scheduler.select([], deadline=10.0)
+        assert selection.scheduled == ()
+        assert selection.total_execution_time == 0.0
+        assert selection.meets_deadline
+
+    def test_scheduled_task_properties(self, scheduler, instances):
+        selection = scheduler.select(instances, deadline=None)
+        item = selection.scheduled[0]
+        assert item.task_name == instances[0].task_name
+        assert item.scenario_name == instances[0].scenario_name
+        assert item.point_key.startswith("tiles")

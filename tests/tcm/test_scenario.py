@@ -1,0 +1,123 @@
+"""Unit tests for tasks, scenarios and task sets."""
+
+import random
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.graphs.taskgraph import chain_graph
+from repro.tcm.scenario import (
+    DynamicTask,
+    Scenario,
+    TaskInstance,
+    TaskSet,
+    single_scenario_task,
+)
+
+
+def _scenario(name, times, probability=1.0):
+    return Scenario(name=name, graph=chain_graph(f"g_{name}", times),
+                    probability=probability)
+
+
+class TestScenario:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="", graph=chain_graph("g", [1.0]))
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ScenarioError):
+            _scenario("s", [1.0], probability=-0.5)
+
+
+class TestDynamicTask:
+    def test_requires_scenarios(self):
+        with pytest.raises(ScenarioError):
+            DynamicTask("t", [])
+
+    def test_duplicate_scenarios_rejected(self):
+        with pytest.raises(ScenarioError):
+            DynamicTask("t", [_scenario("a", [1.0]), _scenario("a", [2.0])])
+
+    def test_zero_total_probability_rejected(self):
+        with pytest.raises(ScenarioError):
+            DynamicTask("t", [_scenario("a", [1.0], probability=0.0)])
+
+    def test_lookup(self):
+        task = DynamicTask("t", [_scenario("a", [1.0]), _scenario("b", [2.0])])
+        assert task.scenario("a").name == "a"
+        assert task.scenario_names == ["a", "b"]
+        assert len(task) == 2
+        with pytest.raises(ScenarioError):
+            task.scenario("c")
+
+    def test_draw_scenario_follows_probabilities(self):
+        task = DynamicTask("t", [
+            _scenario("rare", [1.0], probability=0.05),
+            _scenario("common", [2.0], probability=0.95),
+        ])
+        rng = random.Random(3)
+        draws = [task.draw_scenario(rng).name for _ in range(400)]
+        assert draws.count("common") > draws.count("rare")
+
+    def test_draw_deterministic_given_seed(self):
+        task = DynamicTask("t", [_scenario("a", [1.0]), _scenario("b", [2.0])])
+        first = [task.draw_scenario(random.Random(9)).name for _ in range(5)]
+        second = [task.draw_scenario(random.Random(9)).name for _ in range(5)]
+        assert first == second
+
+    def test_average_ideal_time(self):
+        task = DynamicTask("t", [
+            _scenario("short", [10.0], probability=0.5),
+            _scenario("long", [30.0], probability=0.5),
+        ])
+        assert task.average_ideal_time() == pytest.approx(20.0)
+
+    def test_configurations_deduplicated(self):
+        graph_a = chain_graph("a", [1.0, 2.0])
+        graph_b = chain_graph("b", [3.0, 4.0])
+        task = DynamicTask("t", [Scenario("a", graph_a), Scenario("b", graph_b)])
+        assert set(task.configurations) == {"s0", "s1"}
+
+    def test_single_scenario_task(self):
+        task = single_scenario_task("solo", chain_graph("g", [1.0]))
+        assert task.scenario_names == ["default"]
+
+
+class TestTaskSet:
+    def test_basic(self):
+        task_set = TaskSet("app", [single_scenario_task("a", chain_graph("ga", [1.0])),
+                                   single_scenario_task("b", chain_graph("gb", [2.0]))])
+        assert len(task_set) == 2
+        assert task_set.task_names == ["a", "b"]
+        assert task_set.scenario_count == 2
+        with pytest.raises(ScenarioError):
+            task_set.task("c")
+
+    def test_duplicate_task_rejected(self):
+        task = single_scenario_task("a", chain_graph("g", [1.0]))
+        with pytest.raises(ScenarioError):
+            TaskSet("app", [task, task])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ScenarioError):
+            TaskSet("app", [])
+
+    def test_instances_from_assignment(self):
+        task_set = TaskSet("app", [
+            DynamicTask("a", [_scenario("x", [1.0]), _scenario("y", [2.0])]),
+        ])
+        instances = task_set.instances({"a": "y"})
+        assert len(instances) == 1
+        assert instances[0].scenario_name == "y"
+        assert instances[0].task_name == "a"
+        assert instances[0].graph.critical_path_length() == pytest.approx(2.0)
+
+
+class TestTaskInstance:
+    def test_properties(self):
+        task = single_scenario_task("a", chain_graph("g", [1.0, 2.0]))
+        instance = TaskInstance(task=task, scenario=task.scenario("default"))
+        assert instance.task_name == "a"
+        assert instance.scenario_name == "default"
+        assert len(instance.graph) == 2

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure6", "figure7", "scalability",
+                        "hide-rate", "ablation", "demo"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_figure6_options(self):
+        args = build_parser().parse_args(
+            ["figure6", "--iterations", "50", "--tiles", "8", "10"]
+        )
+        assert args.iterations == 50
+        assert args.tiles == [8, 10]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "jpeg_decoder" in output
+        assert "paper overhead" in output
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--task", "jpeg_decoder"]) == 0
+        output = capsys.readouterr().out
+        assert "without prefetch" in output
+        assert "hybrid heuristic" in output
+        assert "reconfig" in output
+
+    def test_hide_rate(self, capsys):
+        assert main(["hide-rate"]) == 0
+        assert "hidden" in capsys.readouterr().out
+
+    def test_scalability(self, capsys):
+        assert main(["scalability", "--sizes", "5", "10"]) == 0
+        assert "run-time heuristic" in capsys.readouterr().out
+
+    def test_ablation_pick_metric(self, capsys):
+        assert main(["ablation", "--study", "pick-metric"]) == 0
+        assert "max-weight" in capsys.readouterr().out
+
+    def test_figure6_tiny(self, capsys):
+        assert main(["figure6", "--iterations", "5", "--tiles", "8"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_figure7_tiny(self, capsys):
+        assert main(["figure7", "--iterations", "5", "--tiles", "6"]) == 0
+        assert "Figure 7" in capsys.readouterr().out

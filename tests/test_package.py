@@ -1,0 +1,50 @@
+"""Package-level sanity checks (public API surface, errors, version)."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_top_level_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_end_to_end_via_top_level_api(self):
+        """The README quickstart flow works from the top-level namespace."""
+        graph = repro.TaskGraph("quick")
+        graph.add_subtask(repro.Subtask("a", 10.0))
+        graph.add_subtask(repro.Subtask("b", 8.0))
+        graph.add_dependency("a", "b")
+        platform = repro.virtex2_platform(tile_count=4)
+        placed = repro.build_initial_schedule(graph, platform)
+        problem = repro.PrefetchProblem(placed, 4.0)
+        result = repro.OptimalPrefetchScheduler().schedule(problem)
+        assert result.overhead == pytest.approx(4.0)
+        heuristic = repro.HybridPrefetchHeuristic(4.0)
+        entry = heuristic.design_time(placed, "quick")
+        execution = heuristic.run_time(entry, reusable=entry.critical_subtasks)
+        assert execution.overhead == pytest.approx(0.0)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError)
+
+    def test_specific_hierarchy(self):
+        assert issubclass(errors.CycleError, errors.GraphError)
+        assert issubclass(errors.InfeasibleScheduleError, errors.SchedulingError)
+        assert issubclass(errors.UnknownSubtaskError, errors.GraphError)
+        assert issubclass(errors.DuplicateSubtaskError, errors.GraphError)
+
+    def test_catching_base_error(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.WorkloadError("boom")

@@ -1,0 +1,161 @@
+"""Calibration tests for the multimedia benchmark set (Table 1)."""
+
+import random
+
+import pytest
+
+from repro.platform.description import Platform
+from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.noprefetch import OnDemandScheduler
+from repro.scheduling.prefetch_bb import OptimalPrefetchScheduler
+from repro.workloads.multimedia import (
+    MultimediaWorkload,
+    SECTION7_REFERENCE,
+    TABLE1_REFERENCE,
+    jpeg_decoder_graph,
+    mpeg_encoder_graph,
+    mpeg_encoder_task,
+    multimedia_task_set,
+    parallel_jpeg_graph,
+    pattern_recognition_graph,
+    pattern_recognition_task,
+)
+
+LATENCY = 4.0
+PLATFORM = Platform(tile_count=8, reconfiguration_latency=LATENCY)
+
+
+def measure(graph):
+    placed = build_initial_schedule(graph, PLATFORM)
+    problem = PrefetchProblem(placed, LATENCY)
+    no_prefetch = OnDemandScheduler().schedule(problem)
+    prefetch = OptimalPrefetchScheduler().schedule(problem)
+    return placed.makespan, no_prefetch.overhead_percent, prefetch.overhead_percent
+
+
+class TestSubtaskCounts:
+    def test_counts_match_table1(self):
+        assert len(pattern_recognition_graph()) == 6
+        assert len(jpeg_decoder_graph()) == 4
+        assert len(parallel_jpeg_graph()) == 8
+        assert len(mpeg_encoder_graph("B")) == 5
+        assert len(mpeg_encoder_graph("P")) == 5
+
+    def test_mpeg_scenarios(self):
+        task = mpeg_encoder_task()
+        assert task.scenario_names == ["B", "P", "I"]
+        assert sum(s.probability for s in task.scenarios) == pytest.approx(1.0)
+
+
+class TestIdealTimes:
+    @pytest.mark.parametrize("factory, expected", [
+        (pattern_recognition_graph, 94.0),
+        (jpeg_decoder_graph, 81.0),
+        (parallel_jpeg_graph, 57.0),
+    ])
+    def test_ideal_time_matches_table1(self, factory, expected):
+        graph = factory()
+        placed = build_initial_schedule(graph, PLATFORM)
+        assert placed.makespan == pytest.approx(expected)
+
+    def test_mpeg_weighted_ideal_time(self):
+        task = mpeg_encoder_task()
+        assert task.average_ideal_time() == pytest.approx(
+            TABLE1_REFERENCE["mpeg_encoder"].ideal_time_ms, abs=1.0
+        )
+
+
+class TestOverheadCalibration:
+    """Measured overheads must stay close to the published Table 1 values."""
+
+    @pytest.mark.parametrize("factory, name, tolerance", [
+        (pattern_recognition_graph, "pattern_recognition", 2.0),
+        (jpeg_decoder_graph, "jpeg_decoder", 2.0),
+        (parallel_jpeg_graph, "parallel_jpeg", 5.0),
+    ])
+    def test_no_prefetch_overhead(self, factory, name, tolerance):
+        _, overhead, _ = measure(factory())
+        assert overhead == pytest.approx(
+            TABLE1_REFERENCE[name].overhead_percent, abs=tolerance
+        )
+
+    @pytest.mark.parametrize("factory, name, tolerance", [
+        (pattern_recognition_graph, "pattern_recognition", 1.5),
+        (jpeg_decoder_graph, "jpeg_decoder", 1.5),
+        (parallel_jpeg_graph, "parallel_jpeg", 1.5),
+    ])
+    def test_prefetch_overhead(self, factory, name, tolerance):
+        _, _, prefetch = measure(factory())
+        assert prefetch == pytest.approx(
+            TABLE1_REFERENCE[name].prefetch_percent, abs=tolerance
+        )
+
+    def test_mpeg_scenario_average(self):
+        task = mpeg_encoder_task()
+        total_p = sum(s.probability for s in task.scenarios)
+        ideal = overhead_time = prefetch_time = 0.0
+        for scenario in task.scenarios:
+            weight = scenario.probability / total_p
+            scenario_ideal, ov, pf = measure(scenario.graph)
+            ideal += weight * scenario_ideal
+            overhead_time += weight * scenario_ideal * ov / 100.0
+            prefetch_time += weight * scenario_ideal * pf / 100.0
+        reference = TABLE1_REFERENCE["mpeg_encoder"]
+        assert 100 * overhead_time / ideal == pytest.approx(
+            reference.overhead_percent, abs=8.0
+        )
+        assert 100 * prefetch_time / ideal == pytest.approx(
+            reference.prefetch_percent, abs=4.0
+        )
+
+    def test_prefetch_always_better_than_no_prefetch(self):
+        for factory in (pattern_recognition_graph, jpeg_decoder_graph,
+                        parallel_jpeg_graph):
+            _, overhead, prefetch = measure(factory())
+            assert prefetch < overhead
+
+
+class TestTaskSetAndWorkload:
+    def test_task_set_composition(self):
+        task_set = multimedia_task_set()
+        assert len(task_set) == 4
+        assert task_set.scenario_count == 6
+        # distinct configurations over the whole application
+        assert len(task_set.configurations) == 22
+
+    def test_workload_draws_vary(self):
+        workload = MultimediaWorkload()
+        rng = random.Random(0)
+        draws = [tuple(i.task_name for i in workload.draw_instances(rng))
+                 for _ in range(30)]
+        assert len(set(draws)) > 1
+        assert all(1 <= len(draw) <= 4 for draw in draws)
+
+    def test_workload_no_duplicate_tasks_per_iteration(self):
+        workload = MultimediaWorkload()
+        rng = random.Random(1)
+        for _ in range(50):
+            names = [i.task_name for i in workload.draw_instances(rng)]
+            assert len(names) == len(set(names))
+
+    def test_workload_metadata(self):
+        workload = MultimediaWorkload()
+        assert workload.reconfiguration_latency == pytest.approx(4.0)
+        assert workload.tile_counts == tuple(range(8, 17))
+        assert not workload.sequence_lookahead
+        assert "multimedia" in workload.describe()
+
+    def test_min_tasks_per_iteration_validated(self):
+        with pytest.raises(ValueError):
+            MultimediaWorkload(min_tasks_per_iteration=0)
+
+    def test_section7_reference_constants(self):
+        assert SECTION7_REFERENCE["no_prefetch_percent"] == pytest.approx(23.0)
+        assert SECTION7_REFERENCE["design_time_prefetch_percent"] == \
+            pytest.approx(7.0)
+
+    def test_pattern_recognition_task_wrapper(self):
+        task = pattern_recognition_task()
+        assert task.scenario_names == ["default"]
+        assert len(task.scenario("default").graph) == 6

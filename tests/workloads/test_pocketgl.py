@@ -1,0 +1,110 @@
+"""Calibration tests for the Pocket GL 3D-rendering workload (Figure 7)."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.pocketgl import (
+    POCKETGL_REFERENCE,
+    PocketGLWorkload,
+    feasible_intertask_scenarios,
+    pocketgl_task,
+    pocketgl_task_set,
+)
+
+
+class TestPublishedCharacteristics:
+    def test_task_and_subtask_counts(self):
+        task_set = pocketgl_task_set()
+        assert len(task_set) == POCKETGL_REFERENCE["tasks"]
+        assert len(task_set.configurations) == POCKETGL_REFERENCE["subtasks"]
+
+    def test_total_scenario_count(self):
+        task_set = pocketgl_task_set()
+        assert task_set.scenario_count == POCKETGL_REFERENCE["scenarios"]
+
+    def test_task4_has_ten_scenarios_task5_has_four(self):
+        assert len(pocketgl_task("texture")) == 10
+        assert len(pocketgl_task("fragment")) == 4
+
+    def test_average_subtask_time_near_published_mean(self):
+        workload = PocketGLWorkload()
+        assert workload.average_subtask_time() == pytest.approx(
+            POCKETGL_REFERENCE["average_subtask_time_ms"], abs=1.0
+        )
+
+    def test_subtask_time_range(self):
+        workload = PocketGLWorkload()
+        times = [subtask.execution_time
+                 for task in workload.task_set
+                 for scenario in task
+                 for subtask in scenario.graph]
+        assert min(times) >= POCKETGL_REFERENCE["min_subtask_time_ms"] - 1e-9
+        assert max(times) <= POCKETGL_REFERENCE["max_subtask_time_ms"] + 1e-9
+        # The execution times genuinely vary ("heavily varies").
+        assert max(times) / min(times) > 10
+
+    def test_twenty_intertask_scenarios(self):
+        combos = feasible_intertask_scenarios()
+        assert len(combos) == POCKETGL_REFERENCE["inter_task_scenarios"]
+        # Each combo assigns a scenario to every task and all are distinct.
+        keys = {tuple(sorted(combo.items())) for combo in combos}
+        assert len(keys) == len(combos)
+        for combo in combos:
+            assert set(combo) == {name for name, _ in
+                                  [("geometry", None), ("clipping", None),
+                                   ("rasterizer", None), ("texture", None),
+                                   ("fragment", None), ("display", None)]}
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(WorkloadError):
+            pocketgl_task("teapot")
+
+
+class TestDynamicBehaviour:
+    def test_draw_executes_full_pipeline(self):
+        workload = PocketGLWorkload()
+        instances = workload.draw_instances(random.Random(0))
+        assert [i.task_name for i in instances] == [
+            "geometry", "clipping", "rasterizer", "texture", "fragment",
+            "display",
+        ]
+
+    def test_draw_uses_feasible_combinations_only(self):
+        workload = PocketGLWorkload()
+        rng = random.Random(1)
+        allowed = {tuple(sorted(combo.items()))
+                   for combo in workload.inter_task_scenarios}
+        for _ in range(40):
+            instances = workload.draw_instances(rng)
+            combo = tuple(sorted((i.task_name, i.scenario_name)
+                                 for i in instances))
+            assert combo in allowed
+
+    def test_scenarios_share_configurations(self):
+        task = pocketgl_task("geometry")
+        configurations = {tuple(s.graph.configurations) for s in task}
+        assert len(configurations) == 1
+
+    def test_scenario_times_vary(self):
+        task = pocketgl_task("geometry")
+        times = {round(s.graph.total_execution_time, 3) for s in task}
+        assert len(times) > 1
+
+    def test_workload_metadata(self):
+        workload = PocketGLWorkload()
+        assert workload.sequence_lookahead
+        assert workload.tile_counts == tuple(range(5, 11))
+        assert workload.configuration_count == 10
+
+    def test_determinism(self):
+        first = PocketGLWorkload()
+        second = PocketGLWorkload()
+        for task_name in ("geometry", "texture"):
+            a = first.task_set.task(task_name)
+            b = second.task_set.task(task_name)
+            for scenario_a, scenario_b in zip(a, b):
+                assert scenario_a.graph.total_execution_time == pytest.approx(
+                    scenario_b.graph.total_execution_time
+                )

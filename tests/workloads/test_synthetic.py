@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic workloads."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.graphs.validation import validate_graph
+from repro.workloads.synthetic import (
+    SyntheticSpec,
+    SyntheticWorkload,
+    scalability_graphs,
+    synthetic_task,
+    synthetic_task_set,
+)
+
+
+class TestSyntheticSpec:
+    def test_defaults_valid(self):
+        spec = SyntheticSpec()
+        assert spec.task_count == 4
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(task_count=0)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(subtasks_per_task=0)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(scenarios_per_task=0)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(granularity=0.0)
+        with pytest.raises(WorkloadError):
+            SyntheticSpec(tasks_per_iteration=9, task_count=4)
+
+
+class TestGeneration:
+    def test_task_structure(self):
+        spec = SyntheticSpec(task_count=3, subtasks_per_task=6,
+                             scenarios_per_task=2, seed=1)
+        task = synthetic_task(spec, 0)
+        assert len(task) == 2
+        for scenario in task:
+            assert len(scenario.graph) == 6
+            assert validate_graph(scenario.graph).is_valid
+
+    def test_scenarios_share_configurations(self):
+        spec = SyntheticSpec(scenarios_per_task=3, seed=2)
+        task = synthetic_task(spec, 1)
+        reference = set(task.scenarios[0].graph.configurations)
+        for scenario in task:
+            assert set(scenario.graph.configurations) == reference
+
+    def test_task_set_size(self):
+        spec = SyntheticSpec(task_count=5, seed=3)
+        task_set = synthetic_task_set(spec)
+        assert len(task_set) == 5
+
+    def test_determinism(self):
+        spec = SyntheticSpec(seed=9)
+        a = synthetic_task_set(spec)
+        b = synthetic_task_set(spec)
+        for task_a, task_b in zip(a, b):
+            for scenario_a, scenario_b in zip(task_a, task_b):
+                assert scenario_a.graph.total_execution_time == pytest.approx(
+                    scenario_b.graph.total_execution_time
+                )
+
+    def test_workload_draws(self):
+        workload = SyntheticWorkload(SyntheticSpec(task_count=3, seed=4))
+        rng = random.Random(0)
+        for _ in range(10):
+            instances = workload.draw_instances(rng)
+            assert 1 <= len(instances) <= 3
+
+    def test_fixed_tasks_per_iteration(self):
+        workload = SyntheticWorkload(
+            SyntheticSpec(task_count=4, tasks_per_iteration=2, seed=5)
+        )
+        rng = random.Random(0)
+        assert all(len(workload.draw_instances(rng)) == 2 for _ in range(10))
+
+
+class TestScalabilityGraphs:
+    def test_exact_sizes(self):
+        graphs = scalability_graphs([5, 10, 20], seed=6)
+        assert [len(g) for g in graphs] == [5, 10, 20]
+
+    def test_graphs_valid(self):
+        for graph in scalability_graphs([8, 16], seed=7):
+            assert validate_graph(graph).is_valid
+
+    def test_granularity_scales_times(self):
+        fine = scalability_graphs([10], seed=8, granularity=1.0)[0]
+        coarse = scalability_graphs([10], seed=8, granularity=5.0)[0]
+        assert coarse.total_execution_time > fine.total_execution_time
