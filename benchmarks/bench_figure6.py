@@ -18,11 +18,11 @@ from repro.experiments.figure6 import FIGURE6_TILE_COUNTS, run_figure6
 
 
 @pytest.mark.benchmark(group="figure6")
-def test_figure6_regeneration(benchmark, iterations):
+def test_figure6_regeneration(benchmark, iterations, jobs):
     result = benchmark.pedantic(
         run_figure6,
         kwargs=dict(tile_counts=FIGURE6_TILE_COUNTS, iterations=iterations,
-                    seed=2005),
+                    seed=2005, jobs=jobs),
         rounds=1, iterations=1,
     )
     print()

@@ -16,11 +16,11 @@ from repro.workloads.pocketgl import POCKETGL_REFERENCE
 
 
 @pytest.mark.benchmark(group="figure7")
-def test_figure7_regeneration(benchmark, iterations):
+def test_figure7_regeneration(benchmark, iterations, jobs):
     result = benchmark.pedantic(
         run_figure7,
         kwargs=dict(tile_counts=FIGURE7_TILE_COUNTS, iterations=iterations,
-                    seed=2005),
+                    seed=2005, jobs=jobs),
         rounds=1, iterations=1,
     )
     print()

@@ -28,9 +28,12 @@ LATENCY = 4.0
 
 @pytest.mark.benchmark(group="scalability")
 def test_scalability_table(benchmark):
+    # jobs stays 1: the rows are wall-clock measurements and co-scheduled
+    # worker processes would distort them.
     result = benchmark.pedantic(
         run_scalability,
-        kwargs=dict(sizes=(7, 14, 28, 56, 112), repetitions=5, seed=11),
+        kwargs=dict(sizes=(7, 14, 28, 56, 112), repetitions=5, seed=11,
+                    jobs=1),
         rounds=1, iterations=1,
     )
     print()

@@ -81,3 +81,25 @@ def test_simulator_iteration_throughput(benchmark):
 
     result = benchmark.pedantic(run_once, rounds=1, iterations=1)
     assert result.metrics.task_executions > 0
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_sweep_engine_group_throughput(benchmark):
+    """Engine cost of one (workload, platform) group over two approaches.
+
+    The group shares one design-time exploration, so this measures the
+    engine's per-point overhead on top of the raw simulator throughput.
+    """
+    from repro.runner import ApproachSpec, SweepEngine, SweepSpec
+
+    spec = SweepSpec(
+        workloads=("multimedia",),
+        approaches=(ApproachSpec("run-time"), ApproachSpec("hybrid")),
+        tile_counts=(8,),
+        seeds=(1,),
+        iterations=20,
+    )
+    engine = SweepEngine(max_workers=1)
+    result = benchmark.pedantic(engine.run, args=(spec,),
+                                rounds=1, iterations=1)
+    assert result.computed_count == 2

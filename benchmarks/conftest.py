@@ -23,7 +23,29 @@ def bench_iterations(default: int = 200) -> int:
         return default
 
 
+def bench_jobs(default: int = 1) -> int:
+    """Sweep-engine worker processes for the figure benchmarks.
+
+    Defaults to 1 (sequential) so wall-clock numbers stay comparable
+    across machines; set ``REPRO_BENCH_JOBS`` (0 = one per CPU) to fan the
+    sweeps out — the results are bit-identical either way.
+    """
+    try:
+        value = int(os.environ.get("REPRO_BENCH_JOBS", default))
+    except ValueError:
+        return default
+    if value == 0:
+        return max(1, os.cpu_count() or 1)
+    return max(1, value)
+
+
 @pytest.fixture(scope="session")
 def iterations() -> int:
     """Session-wide iteration count for simulation-based benchmarks."""
     return bench_iterations()
+
+
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Session-wide sweep-engine worker count."""
+    return bench_jobs()

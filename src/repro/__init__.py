@@ -16,6 +16,13 @@ subpackages contain the full API:
 * :mod:`repro.sim`        — the system simulator and scheduling approaches
 * :mod:`repro.workloads`  — the paper's benchmarks and synthetic workloads
 * :mod:`repro.experiments`— drivers regenerating every table and figure
+* :mod:`repro.runner`     — the parallel sweep engine: declarative
+  workload x approach x tile x seed grids (:class:`repro.runner.SweepSpec`),
+  process-pool execution with one shared TCM design-time exploration per
+  (workload, platform), and a content-addressed result cache.  Every
+  experiment driver and the ``--jobs``/``--cache-dir`` CLI flags run
+  through it; parallel, sequential and cache-replayed runs are
+  bit-identical.
 """
 
 from .core.critical import CriticalSubtaskResult, select_critical_subtasks

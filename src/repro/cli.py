@@ -4,8 +4,8 @@
 paper's tables and figures from the terminal::
 
     repro-drhw table1
-    repro-drhw figure6 --iterations 1000
-    repro-drhw figure7 --iterations 1000
+    repro-drhw figure6 --iterations 1000 --jobs 4
+    repro-drhw figure7 --iterations 1000 --jobs 4 --cache-dir .repro-cache
     repro-drhw scalability
     repro-drhw hide-rate
     repro-drhw ablation --study replacement
@@ -13,6 +13,12 @@ paper's tables and figures from the terminal::
 
 Every sub-command prints a plain-text table; the underlying data is
 available programmatically through :mod:`repro.experiments`.
+
+The simulation sweeps run through :mod:`repro.runner`: ``--jobs N`` fans
+the sweep out over N worker processes (``--jobs 0`` picks one per CPU)
+and ``--cache-dir PATH`` memoizes completed sweep points so a rerun with
+the same parameters returns instantly.  Both keep results bit-identical
+to a sequential uncached run.
 """
 
 from __future__ import annotations
@@ -34,6 +40,7 @@ from .experiments.hide_rate import run_hide_rate
 from .experiments.scalability import run_scalability
 from .experiments.table1 import run_table1
 from .platform.description import Platform
+from .runner import default_jobs
 from .scheduling.base import PrefetchProblem
 from .scheduling.list_scheduler import build_initial_schedule
 from .scheduling.noprefetch import OnDemandScheduler
@@ -65,7 +72,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    subparsers.add_parser("table1", help="Regenerate Table 1")
+    def add_jobs_flag(subparser) -> None:
+        subparser.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help="worker processes for the sweep engine (1 = in-process, "
+                 "0 = one per CPU); results are identical either way",
+        )
+
+    def add_cache_flag(subparser) -> None:
+        subparser.add_argument(
+            "--cache-dir", default=None, metavar="PATH",
+            help="directory memoizing completed sweep points; a warm "
+                 "rerun with identical parameters skips simulation",
+        )
+
+    table1 = subparsers.add_parser("table1", help="Regenerate Table 1")
+    add_jobs_flag(table1)
 
     figure6 = subparsers.add_parser("figure6", help="Regenerate Figure 6")
     figure6.add_argument("--iterations", type=int, default=300,
@@ -73,6 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure6.add_argument("--seed", type=int, default=2005)
     figure6.add_argument("--tiles", type=int, nargs="*",
                          default=list(FIGURE6_TILE_COUNTS))
+    add_jobs_flag(figure6)
+    add_cache_flag(figure6)
 
     figure7 = subparsers.add_parser("figure7", help="Regenerate Figure 7")
     figure7.add_argument("--iterations", type=int, default=300,
@@ -80,6 +104,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure7.add_argument("--seed", type=int, default=2005)
     figure7.add_argument("--tiles", type=int, nargs="*",
                          default=list(FIGURE7_TILE_COUNTS))
+    add_jobs_flag(figure7)
+    add_cache_flag(figure7)
 
     scalability = subparsers.add_parser(
         "scalability", help="Run-time scheduling cost vs graph size"
@@ -87,8 +113,10 @@ def build_parser() -> argparse.ArgumentParser:
     scalability.add_argument("--sizes", type=int, nargs="*",
                              default=[7, 14, 28, 56, 112])
 
-    subparsers.add_parser("hide-rate",
-                          help="Fraction of load latencies hidden (no reuse)")
+    hide_rate = subparsers.add_parser(
+        "hide-rate", help="Fraction of load latencies hidden (no reuse)"
+    )
+    add_jobs_flag(hide_rate)
 
     ablation = subparsers.add_parser("ablation", help="Run an ablation study")
     ablation.add_argument("--study",
@@ -96,6 +124,8 @@ def build_parser() -> argparse.ArgumentParser:
                                    "engine", "all"],
                           default="all")
     ablation.add_argument("--iterations", type=int, default=200)
+    add_jobs_flag(ablation)
+    add_cache_flag(ablation)
 
     demo = subparsers.add_parser(
         "demo", help="Show the prefetch schedules of one benchmark task"
@@ -144,31 +174,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    jobs = getattr(args, "jobs", 1)
+    if jobs == 0:
+        jobs = default_jobs()
+    cache_dir = getattr(args, "cache_dir", None)
+
     if args.command == "table1":
-        print(run_table1().format_table())
+        print(run_table1(jobs=jobs).format_table())
     elif args.command == "figure6":
         result = run_figure6(tile_counts=tuple(args.tiles),
-                             iterations=args.iterations, seed=args.seed)
+                             iterations=args.iterations, seed=args.seed,
+                             jobs=jobs, cache_dir=cache_dir)
         print(result.format_table())
     elif args.command == "figure7":
         result = run_figure7(tile_counts=tuple(args.tiles),
-                             iterations=args.iterations, seed=args.seed)
+                             iterations=args.iterations, seed=args.seed,
+                             jobs=jobs, cache_dir=cache_dir)
         print(result.format_table())
     elif args.command == "scalability":
         print(run_scalability(sizes=tuple(args.sizes)).format_table())
     elif args.command == "hide-rate":
-        print(run_hide_rate().format_table())
+        print(run_hide_rate(jobs=jobs).format_table())
     elif args.command == "ablation":
         outputs = []
         if args.study in ("pick-metric", "all"):
             outputs.append(run_pick_metric_ablation().format_table())
         if args.study in ("inter-task", "all"):
             outputs.append(
-                run_intertask_ablation(iterations=args.iterations).format_table()
+                run_intertask_ablation(iterations=args.iterations,
+                                       jobs=jobs,
+                                       cache_dir=cache_dir).format_table()
             )
         if args.study in ("replacement", "all"):
             outputs.append(
-                run_replacement_ablation(iterations=args.iterations).format_table()
+                run_replacement_ablation(iterations=args.iterations,
+                                         jobs=jobs,
+                                         cache_dir=cache_dir).format_table()
             )
         if args.study in ("engine", "all"):
             outputs.append(run_engine_ablation().format_table())

@@ -32,13 +32,11 @@ from ..reuse.replacement import (
     ReplacementPolicy,
     WeightAwareReplacement,
 )
+from ..runner import ApproachSpec, SweepEngine, SweepSpec
 from ..scheduling.list_scheduler import build_initial_schedule
 from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
 from ..scheduling.prefetch_list import ListPrefetchScheduler
-from ..sim.approaches import HybridApproach
-from ..sim.simulator import SimulationConfig, SystemSimulator
 from ..workloads.multimedia import (
-    MultimediaWorkload,
     jpeg_decoder_graph,
     mpeg_encoder_graph,
     parallel_jpeg_graph,
@@ -141,18 +139,26 @@ class InterTaskAblationResult:
 
 
 def run_intertask_ablation(tile_count: int = 8, iterations: int = 200,
-                           seed: int = 2005) -> InterTaskAblationResult:
+                           seed: int = 2005, jobs: int = 1,
+                           cache_dir: Optional[str] = None
+                           ) -> InterTaskAblationResult:
     """Measure the contribution of the Section 6 inter-task optimization."""
-    workload = MultimediaWorkload()
-    platform = Platform(tile_count=tile_count,
-                        reconfiguration_latency=workload.reconfiguration_latency)
-    config = SimulationConfig(iterations=iterations, seed=seed)
-    results = {}
-    for use_intertask in (True, False):
-        approach = HybridApproach(use_intertask=use_intertask)
-        simulator = SystemSimulator(workload=workload, platform=platform,
-                                    approach=approach, config=config)
-        results[use_intertask] = simulator.run().metrics.overhead_percent
+    variants = {use_intertask: ApproachSpec.of("hybrid",
+                                               use_intertask=use_intertask)
+                for use_intertask in (True, False)}
+    spec = SweepSpec(
+        workloads=("multimedia",),
+        approaches=tuple(variants.values()),
+        tile_counts=(tile_count,),
+        seeds=(seed,),
+        iterations=iterations,
+    )
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    results = {
+        use_intertask:
+            sweep.metrics_for(approach=approach_spec).overhead_percent
+        for use_intertask, approach_spec in variants.items()
+    }
     return InterTaskAblationResult(
         tile_count=tile_count,
         iterations=iterations,
@@ -188,22 +194,59 @@ class ReplacementAblationResult:
 
 def run_replacement_ablation(tile_count: int = 8, iterations: int = 200,
                              seed: int = 2005,
-                             policies: Optional[Sequence[ReplacementPolicy]] = None
+                             policies: Optional[Sequence[ReplacementPolicy]] = None,
+                             jobs: int = 1,
+                             cache_dir: Optional[str] = None
                              ) -> ReplacementAblationResult:
-    """Compare replacement policies under the hybrid approach."""
-    workload = MultimediaWorkload()
-    platform = Platform(tile_count=tile_count,
-                        reconfiguration_latency=workload.reconfiguration_latency)
-    config = SimulationConfig(iterations=iterations, seed=seed)
+    """Compare replacement policies under the hybrid approach.
+
+    Every policy runs the same seeded simulation; the sweep engine shares
+    one design-time exploration across all of them.
+    """
+    from ..reuse.replacement import REPLACEMENT_POLICIES
+
     if policies is None:
         policies = (LruReplacement(), FifoReplacement(), LfuReplacement(),
                     RandomlikeReplacement(), WeightAwareReplacement())
+    variants = {
+        policy.name: ApproachSpec.of("hybrid", replacement=policy.name)
+        for policy in policies
+        if REPLACEMENT_POLICIES.get(policy.name) is type(policy)
+    }
     overhead: Dict[str, float] = {}
     reuse: Dict[str, float] = {}
+    if variants:
+        spec = SweepSpec(
+            workloads=("multimedia",),
+            approaches=tuple(variants.values()),
+            tile_counts=(tile_count,),
+            seeds=(seed,),
+            iterations=iterations,
+        )
+        sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+        for policy_name, approach_spec in variants.items():
+            metrics = sweep.metrics_for(approach=approach_spec)
+            overhead[policy_name] = metrics.overhead_percent
+            reuse[policy_name] = metrics.reuse_rate
+    from ..sim.approaches import HybridApproach
+    from ..sim.simulator import SimulationConfig, SystemSimulator
+    from ..workloads.multimedia import MultimediaWorkload
+
     for policy in policies:
-        simulator = SystemSimulator(workload=workload, platform=platform,
-                                    approach=HybridApproach(), config=config,
-                                    replacement=policy)
+        if policy.name in overhead:
+            continue
+        # Unregistered (custom) policies cannot cross a process boundary
+        # by name; run them directly in this process instead.
+        workload = MultimediaWorkload()
+        platform = Platform(
+            tile_count=tile_count,
+            reconfiguration_latency=workload.reconfiguration_latency,
+        )
+        simulator = SystemSimulator(
+            workload=workload, platform=platform, approach=HybridApproach(),
+            config=SimulationConfig(iterations=iterations, seed=seed),
+            replacement=policy,
+        )
         metrics = simulator.run().metrics
         overhead[policy.name] = metrics.overhead_percent
         reuse[policy.name] = metrics.reuse_rate

@@ -13,18 +13,10 @@ loads and the energy estimate per iteration.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
-from ..platform.description import Platform
-from ..sim.approaches import (
-    DesignTimePrefetchApproach,
-    HybridApproach,
-    NoPrefetchApproach,
-    RunTimeApproach,
-)
+from ..runner import ApproachSpec, SweepEngine, SweepSpec
 from ..sim.metrics import SimulationMetrics
-from ..sim.simulator import SimulationConfig, SystemSimulator
-from ..workloads.multimedia import MultimediaWorkload
 from .common import format_table
 
 
@@ -84,25 +76,27 @@ class EnergyStudyResult:
 
 
 def run_energy_study(tile_count: int = 12, iterations: int = 200,
-                     seed: int = 2005) -> EnergyStudyResult:
-    """Compare loads and energy across the approaches on the multimedia mix."""
-    workload = MultimediaWorkload()
-    platform = Platform(tile_count=tile_count,
-                        reconfiguration_latency=workload.reconfiguration_latency)
-    config = SimulationConfig(iterations=iterations, seed=seed)
-    approaches = (
-        NoPrefetchApproach(),
-        DesignTimePrefetchApproach(),
-        RunTimeApproach(),
-        HybridApproach(),
+                     seed: int = 2005, jobs: int = 1,
+                     cache_dir: Optional[str] = None) -> EnergyStudyResult:
+    """Compare loads and energy across the approaches on the multimedia mix.
+
+    All four approaches share one design-time exploration through the
+    sweep engine (they run at the same tile count).
+    """
+    approach_names = ("no-prefetch", "design-time", "run-time", "hybrid")
+    spec = SweepSpec(
+        workloads=("multimedia",),
+        approaches=tuple(ApproachSpec(name) for name in approach_names),
+        tile_counts=(tile_count,),
+        seeds=(seed,),
+        iterations=iterations,
     )
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
     rows = []
-    for approach in approaches:
-        simulator = SystemSimulator(workload=workload, platform=platform,
-                                    approach=approach, config=config)
-        metrics: SimulationMetrics = simulator.run().metrics
+    for outcome in sweep:
+        metrics: SimulationMetrics = outcome.metrics
         rows.append(EnergyRow(
-            approach=approach.name,
+            approach=outcome.point.approach.name,
             loads_per_iteration=metrics.total_loads / metrics.iterations,
             cancelled_per_iteration=metrics.total_cancelled / metrics.iterations,
             reuse_rate=metrics.reuse_rate,

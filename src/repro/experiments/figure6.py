@@ -21,16 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..sim.approaches import (
-    DesignTimePrefetchApproach,
-    HybridApproach,
-    NoPrefetchApproach,
-    RunTimeApproach,
-    RunTimeInterTaskApproach,
-)
+from ..runner import ApproachSpec, SweepEngine, SweepSpec
 from ..sim.metrics import SimulationMetrics
-from ..sim.simulator import simulate
-from ..workloads.multimedia import MultimediaWorkload, SECTION7_REFERENCE
+from ..workloads.multimedia import SECTION7_REFERENCE
 from .common import Series, format_table, series_from_mapping
 
 #: Default tile sweep of Figure 6.
@@ -85,31 +78,35 @@ class Figure6Result:
 
 def run_figure6(tile_counts: Sequence[int] = FIGURE6_TILE_COUNTS,
                 iterations: int = 300, seed: int = 2005,
-                include_baselines: bool = True) -> Figure6Result:
-    """Rerun the Figure 6 sweep.
+                include_baselines: bool = True, jobs: int = 1,
+                cache_dir: Optional[str] = None) -> Figure6Result:
+    """Rerun the Figure 6 sweep through the sweep engine.
 
     ``iterations`` defaults to 300 to keep the harness fast; the paper uses
-    1000, which the CLI and the benchmark accept as an option.
+    1000, which the CLI and the benchmark accept as an option.  ``jobs``
+    fans the (approach, tile count) grid out over worker processes and
+    ``cache_dir`` memoizes completed points across calls; both leave the
+    metrics bit-identical to a sequential uncached run.
     """
-    workload = MultimediaWorkload()
-    approach_factories = {
-        "no-prefetch": NoPrefetchApproach,
-        "design-time": DesignTimePrefetchApproach,
-        "run-time": RunTimeApproach,
-        "run-time+inter-task": RunTimeInterTaskApproach,
-        "hybrid": HybridApproach,
-    }
+    approach_names = ("no-prefetch", "design-time", "run-time",
+                      "run-time+inter-task", "hybrid")
     if not include_baselines:
-        approach_factories = {name: factory
-                              for name, factory in approach_factories.items()
-                              if name in FIGURE6_CURVES}
+        approach_names = tuple(name for name in approach_names
+                               if name in FIGURE6_CURVES)
 
-    metrics: Dict[Tuple[str, int], SimulationMetrics] = {}
-    for name, factory in approach_factories.items():
-        for tiles in tile_counts:
-            result = simulate(workload, tiles, factory(),
-                              iterations=iterations, seed=seed)
-            metrics[(name, tiles)] = result.metrics
+    spec = SweepSpec(
+        workloads=("multimedia",),
+        approaches=tuple(ApproachSpec(name) for name in approach_names),
+        tile_counts=tuple(tile_counts),
+        seeds=(seed,),
+        iterations=iterations,
+    )
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    metrics: Dict[Tuple[str, int], SimulationMetrics] = {
+        (outcome.point.approach.name, outcome.point.tile_count):
+            outcome.metrics
+        for outcome in sweep
+    }
 
     series = {
         name: series_from_mapping(
@@ -117,7 +114,7 @@ def run_figure6(tile_counts: Sequence[int] = FIGURE6_TILE_COUNTS,
             {tiles: metrics[(name, tiles)].overhead_percent
              for tiles in tile_counts},
         )
-        for name in approach_factories
+        for name in approach_names
         if name in FIGURE6_CURVES
     }
     baselines = {}

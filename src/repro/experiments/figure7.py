@@ -19,16 +19,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.hybrid import HybridPrefetchHeuristic
 from ..platform.description import Platform
-from ..sim.approaches import (
-    DesignTimePrefetchApproach,
-    HybridApproach,
-    NoPrefetchApproach,
-    RunTimeApproach,
-    RunTimeInterTaskApproach,
-)
+from ..runner import ApproachSpec, SweepEngine, SweepSpec
 from ..sim.metrics import SimulationMetrics
-from ..sim.simulator import simulate
-from ..tcm.design_time import TcmDesignTimeScheduler
+from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
 from ..workloads.pocketgl import POCKETGL_REFERENCE, PocketGLWorkload
 from .common import Series, format_table, series_from_mapping
 
@@ -84,17 +77,26 @@ class Figure7Result:
         return f"{table}\n{reference}"
 
 
-def measure_critical_fraction(tile_count: int = 8) -> float:
+def measure_critical_fraction(tile_count: int = 8,
+                              design_result: Optional[TcmDesignTimeResult]
+                              = None) -> float:
     """Fraction of Pocket GL subtasks that are critical (paper: 62 %).
 
     Only the schedules the experiment actually executes (the fastest Pareto
     point of every scenario, spread over the full tile pool) are counted.
+    Callers that already hold a PocketGL exploration at ``tile_count``
+    (e.g. a test's session-scoped fixture) can pass it as
+    ``design_result`` to skip the re-exploration this function otherwise
+    performs.
     """
     workload = PocketGLWorkload()
-    platform = Platform(tile_count=tile_count,
-                        reconfiguration_latency=workload.reconfiguration_latency)
-    explorer = TcmDesignTimeScheduler(platform)
-    design_result = explorer.explore(workload.task_set)
+    if design_result is None:
+        platform = Platform(
+            tile_count=tile_count,
+            reconfiguration_latency=workload.reconfiguration_latency,
+        )
+        explorer = TcmDesignTimeScheduler(platform)
+        design_result = explorer.explore(workload.task_set)
     hybrid = HybridPrefetchHeuristic(workload.reconfiguration_latency)
     schedules = []
     for (task_name, scenario_name), curve in sorted(design_result.curves.items()):
@@ -107,30 +109,36 @@ def measure_critical_fraction(tile_count: int = 8) -> float:
 
 def run_figure7(tile_counts: Sequence[int] = FIGURE7_TILE_COUNTS,
                 iterations: int = 300, seed: int = 2005,
-                include_baselines: bool = True) -> Figure7Result:
+                include_baselines: bool = True, jobs: int = 1,
+                cache_dir: Optional[str] = None) -> Figure7Result:
     """Rerun the Figure 7 sweep on the Pocket GL workload."""
-    workload = PocketGLWorkload()
-    approach_factories = {
-        "no-prefetch": NoPrefetchApproach,
+    approaches = (
+        ApproachSpec.of("no-prefetch"),
         # The Pocket GL task sequence within an iteration is one of the 20
         # inter-task scenarios known at design-time, so the static prefetch
         # schedule may cross task boundaries (still without any reuse).
-        "design-time": lambda: DesignTimePrefetchApproach(static_intertask=True),
-        "run-time": RunTimeApproach,
-        "run-time+inter-task": RunTimeInterTaskApproach,
-        "hybrid": HybridApproach,
-    }
+        ApproachSpec.of("design-time", static_intertask=True),
+        ApproachSpec.of("run-time"),
+        ApproachSpec.of("run-time+inter-task"),
+        ApproachSpec.of("hybrid"),
+    )
     if not include_baselines:
-        approach_factories = {name: factory
-                              for name, factory in approach_factories.items()
-                              if name in FIGURE7_CURVES}
+        approaches = tuple(spec for spec in approaches
+                           if spec.name in FIGURE7_CURVES)
 
-    metrics: Dict[Tuple[str, int], SimulationMetrics] = {}
-    for name, factory in approach_factories.items():
-        for tiles in tile_counts:
-            result = simulate(workload, tiles, factory(),
-                              iterations=iterations, seed=seed)
-            metrics[(name, tiles)] = result.metrics
+    spec = SweepSpec(
+        workloads=("pocketgl",),
+        approaches=approaches,
+        tile_counts=tuple(tile_counts),
+        seeds=(seed,),
+        iterations=iterations,
+    )
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    metrics: Dict[Tuple[str, int], SimulationMetrics] = {
+        (outcome.point.approach.name, outcome.point.tile_count):
+            outcome.metrics
+        for outcome in sweep
+    }
 
     series = {
         name: series_from_mapping(
@@ -138,7 +146,7 @@ def run_figure7(tile_counts: Sequence[int] = FIGURE7_TILE_COUNTS,
             {tiles: metrics[(name, tiles)].overhead_percent
              for tiles in tile_counts},
         )
-        for name in approach_factories
+        for name in (approach.name for approach in approaches)
         if name in FIGURE7_CURVES
     }
     return Figure7Result(

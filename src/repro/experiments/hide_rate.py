@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.taskgraph import TaskGraph
 from ..platform.description import Platform
+from ..runner import parallel_map
 from ..scheduling.base import PrefetchProblem
 from ..scheduling.list_scheduler import build_initial_schedule
 from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
@@ -93,30 +94,39 @@ def multimedia_graphs() -> List[TaskGraph]:
     ]
 
 
+def _measure_hide_rate(item) -> HideRateRow:
+    """parallel_map worker: hiding statistics of one graph."""
+    graph, platform, reconfiguration_latency = item
+    placed = build_initial_schedule(graph, platform)
+    problem = PrefetchProblem(placed, reconfiguration_latency)
+    list_result = ListPrefetchScheduler("ideal-start").schedule(problem)
+    optimal_result = OptimalPrefetchScheduler().schedule(problem)
+    return HideRateRow(
+        graph_name=graph.name,
+        subtasks=len(graph),
+        loads=problem.load_count,
+        list_hidden_fraction=list_result.hidden_load_fraction,
+        optimal_hidden_fraction=optimal_result.hidden_load_fraction,
+    )
+
+
 def run_hide_rate(extra_sizes: Sequence[int] = (10, 16, 24),
                   tile_count: int = 8,
                   reconfiguration_latency: float = 4.0,
-                  seed: int = 23) -> HideRateResult:
-    """Measure the hiding fraction for benchmark and synthetic graphs."""
+                  seed: int = 23, jobs: int = 1) -> HideRateResult:
+    """Measure the hiding fraction for benchmark and synthetic graphs.
+
+    Every graph is measured independently; ``jobs > 1`` fans the graphs
+    out through :func:`repro.runner.parallel_map`.
+    """
     platform = Platform(tile_count=tile_count,
                         reconfiguration_latency=reconfiguration_latency)
     graphs = multimedia_graphs()
     graphs.extend(scalability_graphs(extra_sizes, seed=seed,
                                      reconfiguration_latency=reconfiguration_latency))
-    list_scheduler = ListPrefetchScheduler("ideal-start")
-    optimal_scheduler = OptimalPrefetchScheduler()
-
-    rows: List[HideRateRow] = []
-    for graph in graphs:
-        placed = build_initial_schedule(graph, platform)
-        problem = PrefetchProblem(placed, reconfiguration_latency)
-        list_result = list_scheduler.schedule(problem)
-        optimal_result = optimal_scheduler.schedule(problem)
-        rows.append(HideRateRow(
-            graph_name=graph.name,
-            subtasks=len(graph),
-            loads=problem.load_count,
-            list_hidden_fraction=list_result.hidden_load_fraction,
-            optimal_hidden_fraction=optimal_result.hidden_load_fraction,
-        ))
+    rows = parallel_map(
+        _measure_hide_rate,
+        [(graph, platform, reconfiguration_latency) for graph in graphs],
+        max_workers=jobs,
+    )
     return HideRateResult(rows=tuple(rows))

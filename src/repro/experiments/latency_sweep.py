@@ -15,12 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from typing import Optional
+
 from ..core.hybrid import HybridPrefetchHeuristic
 from ..platform.description import Platform
-from ..sim.approaches import HybridApproach, NoPrefetchApproach, RunTimeApproach
-from ..sim.simulator import SimulationConfig, SystemSimulator
+from ..runner import ApproachSpec, SweepEngine, SweepSpec, WorkloadSpec
 from ..tcm.design_time import TcmDesignTimeScheduler
-from ..workloads.multimedia import MultimediaWorkload, multimedia_task_set
+from ..workloads.multimedia import multimedia_task_set
 from .common import format_table
 
 #: Latencies swept by default (ms): coarse-grain arrays to Virtex-II tiles.
@@ -87,19 +88,36 @@ def _critical_fraction(latency: float, tile_count: int) -> float:
 
 def run_latency_sweep(latencies: Sequence[float] = DEFAULT_LATENCIES,
                       tile_count: int = 8, iterations: int = 150,
-                      seed: int = 2005) -> LatencySweepResult:
-    """Measure the overhead of three approaches for each latency value."""
+                      seed: int = 2005, jobs: int = 1,
+                      cache_dir: Optional[str] = None) -> LatencySweepResult:
+    """Measure the overhead of three approaches for each latency value.
+
+    Every latency is a distinct workload spec, so one engine run covers
+    the whole (latency x approach) grid — with ``jobs > 1`` the latencies
+    execute concurrently.
+    """
+    workload_specs = {
+        latency: WorkloadSpec.of("multimedia",
+                                 reconfiguration_latency=latency)
+        for latency in latencies
+    }
+    spec = SweepSpec(
+        workloads=tuple(workload_specs.values()),
+        approaches=tuple(ApproachSpec(name) for name in
+                         ("no-prefetch", "run-time", "hybrid")),
+        tile_counts=(tile_count,),
+        seeds=(seed,),
+        iterations=iterations,
+    )
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
     rows: List[LatencyRow] = []
     for latency in latencies:
-        workload = MultimediaWorkload(reconfiguration_latency=latency)
-        platform = Platform(tile_count=tile_count,
-                            reconfiguration_latency=latency)
-        config = SimulationConfig(iterations=iterations, seed=seed)
-        overheads: Dict[str, float] = {}
-        for factory in (NoPrefetchApproach, RunTimeApproach, HybridApproach):
-            simulator = SystemSimulator(workload=workload, platform=platform,
-                                        approach=factory(), config=config)
-            overheads[factory.name] = simulator.run().metrics.overhead_percent
+        workload_spec = workload_specs[latency]
+        overheads: Dict[str, float] = {
+            name: sweep.metrics_for(workload=workload_spec,
+                                    approach=name).overhead_percent
+            for name in ("no-prefetch", "run-time", "hybrid")
+        }
         rows.append(LatencyRow(
             latency_ms=latency,
             no_prefetch_percent=overheads["no-prefetch"],

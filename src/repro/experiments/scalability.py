@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.hybrid import HybridPrefetchHeuristic
 from ..core.runtime_phase import run_time_phase
 from ..platform.description import Platform
+from ..runner import parallel_map
 from ..scheduling.base import PrefetchProblem
 from ..scheduling.list_scheduler import build_initial_schedule
 from ..scheduling.prefetch_list import ListPrefetchScheduler
@@ -94,51 +95,62 @@ class ScalabilityResult:
         return f"{table}\n{note}"
 
 
+def _measure_scalability(item) -> ScalabilityRow:
+    """parallel_map worker: run-time cost measurements for one graph."""
+    graph, platform, reconfiguration_latency, repetitions = item
+    heuristic = ListPrefetchScheduler("ideal-start")
+    hybrid = HybridPrefetchHeuristic(reconfiguration_latency,
+                                     design_scheduler=heuristic)
+    placed = build_initial_schedule(graph, platform)
+    problem = PrefetchProblem(placed, reconfiguration_latency)
+
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        runtime_result = heuristic.schedule(problem)
+    runtime_seconds = (time.perf_counter() - start) / repetitions
+
+    start = time.perf_counter()
+    entry = hybrid.design_time(placed, graph.name)
+    design_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for _ in range(repetitions):
+        decision = run_time_phase(entry, reusable=())
+    hybrid_seconds = (time.perf_counter() - start) / repetitions
+
+    return ScalabilityRow(
+        subtasks=len(graph),
+        loads=problem.load_count,
+        runtime_heuristic_seconds=runtime_seconds,
+        runtime_heuristic_operations=runtime_result.stats.operations,
+        hybrid_runtime_seconds=hybrid_seconds,
+        hybrid_runtime_operations=decision.operations,
+        design_time_seconds=design_seconds,
+    )
+
+
 def run_scalability(sizes: Sequence[int] = DEFAULT_SIZES,
                     tile_count: int = 16,
                     reconfiguration_latency: float = 4.0,
                     repetitions: int = 20,
-                    seed: int = 11) -> ScalabilityResult:
+                    seed: int = 11, jobs: int = 1) -> ScalabilityResult:
     """Measure run-time scheduling cost for graphs of increasing size.
 
     The design-time phase of the hybrid heuristic uses the list heuristic
     as its prefetch engine here (as the paper prescribes for large graphs),
-    so even the largest sizes stay affordable.
+    so even the largest sizes stay affordable.  ``jobs`` defaults to 1
+    because the rows are wall-clock measurements: fan out only on machines
+    with enough idle cores that co-scheduled rows don't distort timings
+    (the abstract operation counts are deterministic either way).
     """
     platform = Platform(tile_count=tile_count,
                         reconfiguration_latency=reconfiguration_latency)
     graphs = scalability_graphs(sizes, seed=seed,
                                 reconfiguration_latency=reconfiguration_latency)
-    heuristic = ListPrefetchScheduler("ideal-start")
-    hybrid = HybridPrefetchHeuristic(reconfiguration_latency,
-                                     design_scheduler=heuristic)
-    rows: List[ScalabilityRow] = []
-
-    for graph in graphs:
-        placed = build_initial_schedule(graph, platform)
-        problem = PrefetchProblem(placed, reconfiguration_latency)
-
-        start = time.perf_counter()
-        for _ in range(repetitions):
-            runtime_result = heuristic.schedule(problem)
-        runtime_seconds = (time.perf_counter() - start) / repetitions
-
-        start = time.perf_counter()
-        entry = hybrid.design_time(placed, graph.name)
-        design_seconds = time.perf_counter() - start
-
-        start = time.perf_counter()
-        for _ in range(repetitions):
-            decision = run_time_phase(entry, reusable=())
-        hybrid_seconds = (time.perf_counter() - start) / repetitions
-
-        rows.append(ScalabilityRow(
-            subtasks=len(graph),
-            loads=problem.load_count,
-            runtime_heuristic_seconds=runtime_seconds,
-            runtime_heuristic_operations=runtime_result.stats.operations,
-            hybrid_runtime_seconds=hybrid_seconds,
-            hybrid_runtime_operations=decision.operations,
-            design_time_seconds=design_seconds,
-        ))
+    rows = parallel_map(
+        _measure_scalability,
+        [(graph, platform, reconfiguration_latency, repetitions)
+         for graph in graphs],
+        max_workers=jobs,
+    )
     return ScalabilityResult(rows=tuple(rows))

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..platform.description import Platform
+from ..runner import parallel_map
 from ..scheduling.base import PrefetchProblem
 from ..scheduling.list_scheduler import build_initial_schedule
 from ..scheduling.noprefetch import OnDemandScheduler
@@ -98,8 +99,19 @@ def _measure_graph(graph, platform: Platform) -> Tuple[float, float, float]:
             optimal.overhead_percent)
 
 
-def run_table1(tile_count: int = TABLE1_TILE_COUNT) -> Table1Result:
-    """Recompute every row of Table 1."""
+def _measure_item(item) -> Tuple[float, float, float]:
+    """parallel_map worker: measure one (graph, platform) pair."""
+    graph, platform = item
+    return _measure_graph(graph, platform)
+
+
+def run_table1(tile_count: int = TABLE1_TILE_COUNT,
+               jobs: int = 1) -> Table1Result:
+    """Recompute every row of Table 1.
+
+    The per-graph measurements are independent; ``jobs > 1`` fans them out
+    through :func:`repro.runner.parallel_map`.
+    """
     platform = Platform(tile_count=tile_count,
                         reconfiguration_latency=RECONFIGURATION_LATENCY_MS)
     rows: List[Table1Measurement] = []
@@ -109,8 +121,15 @@ def run_table1(tile_count: int = TABLE1_TILE_COUNT) -> Table1Result:
         ("jpeg_decoder", jpeg_decoder_graph()),
         ("parallel_jpeg", parallel_jpeg_graph()),
     ]
-    for task_name, graph in simple_benchmarks:
-        ideal, overhead, prefetch = _measure_graph(graph, platform)
+    # The MPEG encoder row averages its three frame-type scenarios using the
+    # scenario probabilities (the paper states the table holds the average).
+    mpeg = mpeg_encoder_task()
+    items = ([(graph, platform) for _, graph in simple_benchmarks]
+             + [(scenario.graph, platform) for scenario in mpeg.scenarios])
+    measured = parallel_map(_measure_item, items, max_workers=jobs)
+
+    for (task_name, graph), (ideal, overhead, prefetch) in zip(
+            simple_benchmarks, measured):
         rows.append(Table1Measurement(
             task_name=task_name,
             subtasks=len(graph),
@@ -120,17 +139,13 @@ def run_table1(tile_count: int = TABLE1_TILE_COUNT) -> Table1Result:
             reference=TABLE1_REFERENCE[task_name],
         ))
 
-    # The MPEG encoder row averages its three frame-type scenarios using the
-    # scenario probabilities (the paper states the table holds the average).
-    mpeg = mpeg_encoder_task()
     total_probability = sum(s.probability for s in mpeg.scenarios)
     ideal = overhead_time = prefetch_time = 0.0
     max_subtasks = 0
-    for scenario in mpeg.scenarios:
+    for scenario, (scenario_ideal, scenario_overhead,
+                   scenario_prefetch) in zip(mpeg.scenarios,
+                                             measured[len(simple_benchmarks):]):
         weight = scenario.probability / total_probability
-        scenario_ideal, scenario_overhead, scenario_prefetch = _measure_graph(
-            scenario.graph, platform
-        )
         ideal += weight * scenario_ideal
         overhead_time += weight * scenario_ideal * scenario_overhead / 100.0
         prefetch_time += weight * scenario_ideal * scenario_prefetch / 100.0

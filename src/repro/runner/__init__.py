@@ -1,0 +1,68 @@
+"""Parallel sweep engine with cached design-time exploration.
+
+The paper's headline results are sweeps — approach x tile count x workload
+(Figures 6/7, Table 1) — and every one of them is embarrassingly parallel:
+each point is an independent, seeded, deterministic simulation.  This
+subsystem turns that observation into infrastructure:
+
+* :class:`~repro.runner.spec.SweepSpec` /
+  :class:`~repro.runner.spec.SweepPoint` — a declarative, picklable,
+  content-hashable description of a sweep grid (workloads x approaches x
+  tile counts x seeds x simulation-config overrides).
+* :class:`~repro.runner.engine.SweepEngine` — executes the points on a
+  :class:`concurrent.futures.ProcessPoolExecutor` (deterministic
+  in-process fallback for ``max_workers=1``), sharing one TCM design-time
+  exploration per (workload, platform) group instead of re-exploring per
+  approach, and memoizing completed points through
+  :class:`~repro.runner.cache.ResultCache`.
+* :func:`~repro.runner.engine.parallel_map` — the ordered parallel-map
+  primitive the non-simulation drivers (Table 1, hide-rate, scalability)
+  fan out with.
+
+Every experiment driver in :mod:`repro.experiments`, the
+``--jobs``/``--cache-dir`` CLI flags and the benchmark harness run through
+this engine; seed ensembles (many ``seeds`` in one spec) and larger grids
+are one :class:`SweepSpec` away.
+"""
+
+from .cache import (
+    CACHE_FORMAT_VERSION,
+    ResultCache,
+    metrics_from_dict,
+    metrics_to_dict,
+)
+from .engine import (
+    SweepEngine,
+    SweepOutcome,
+    SweepResult,
+    default_jobs,
+    explore_platform,
+    parallel_map,
+    run_group,
+)
+from .spec import (
+    ApproachSpec,
+    SweepPoint,
+    SweepSpec,
+    WORKLOAD_FACTORIES,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ApproachSpec",
+    "CACHE_FORMAT_VERSION",
+    "ResultCache",
+    "SweepEngine",
+    "SweepOutcome",
+    "SweepPoint",
+    "SweepResult",
+    "SweepSpec",
+    "WORKLOAD_FACTORIES",
+    "WorkloadSpec",
+    "default_jobs",
+    "explore_platform",
+    "metrics_from_dict",
+    "metrics_to_dict",
+    "parallel_map",
+    "run_group",
+]

@@ -1,0 +1,124 @@
+"""Content-addressed result cache for sweep points.
+
+Every completed :class:`~repro.runner.spec.SweepPoint` can be memoized as
+one JSON file named after the point's :meth:`cache_key`.  The file stores
+the full point payload next to the metrics, so a lookup only trusts an
+entry whose recorded payload matches the requested point exactly — a hash
+collision, a stale format or a hand-edited file all fall back to
+recomputation.  Loads never raise on bad entries: a corrupted or partial
+file (e.g. an interrupted writer from a crashed run) is treated as a miss
+and silently overwritten by the fresh result.  Writes are atomic
+(temp file + :func:`os.replace`) so concurrent sweeps sharing a cache
+directory can never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from ..sim.metrics import SimulationMetrics
+from .spec import SweepPoint
+
+#: Bump when the on-disk representation of an entry changes.
+CACHE_FORMAT_VERSION = 1
+
+#: Expected type of every metrics field (int fields must not become floats
+#: through a lossy or corrupted cache entry).
+_METRIC_FIELDS: Dict[str, type] = {
+    f.name: (int if f.type == "int" else float if f.type == "float" else str)
+    for f in dataclasses.fields(SimulationMetrics)
+}
+
+
+def metrics_to_dict(metrics: SimulationMetrics) -> Dict[str, object]:
+    """Serialize metrics into a plain JSON-compatible dict."""
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(data: Dict[str, object]) -> SimulationMetrics:
+    """Rebuild metrics from a dict, validating names and value types."""
+    if not isinstance(data, dict) or set(data) != set(_METRIC_FIELDS):
+        raise ValueError("metrics payload has wrong field set")
+    for name, value in data.items():
+        expected = _METRIC_FIELDS[name]
+        if expected is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ValueError(f"metrics field {name!r} is not numeric")
+            data = {**data, name: float(value)}
+        elif not isinstance(value, expected) or isinstance(value, bool):
+            raise ValueError(
+                f"metrics field {name!r} is not a {expected.__name__}"
+            )
+    return SimulationMetrics(**data)
+
+
+class ResultCache:
+    """A directory of memoized sweep-point results."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, point: SweepPoint) -> Path:
+        """Path of the entry that would hold this point's result."""
+        return self.directory / f"{point.cache_key()}.json"
+
+    def load(self, point: SweepPoint) -> Optional[SimulationMetrics]:
+        """Return the cached metrics of ``point``, or ``None`` on any miss.
+
+        Corrupted, partial, stale-format or mismatched entries are treated
+        exactly like absent ones — never trusted, never raised.
+        """
+        path = self.path_for(point)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("format") != CACHE_FORMAT_VERSION:
+                return None
+            if data.get("point") != point.payload():
+                return None
+            return metrics_from_dict(data["metrics"])
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def store(self, point: SweepPoint, metrics: SimulationMetrics) -> Path:
+        """Atomically persist the result of one point; returns the path."""
+        path = self.path_for(point)
+        entry = {
+            "format": CACHE_FORMAT_VERSION,
+            "point": point.payload(),
+            "metrics": metrics_to_dict(metrics),
+        }
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(self.directory), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump(entry, stream, sort_keys=True, indent=1)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of (well-named) entries currently in the directory."""
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many files were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,289 @@
+"""Parallel sweep execution with shared design-time exploration.
+
+:class:`SweepEngine` executes the points of a
+:class:`~repro.runner.spec.SweepSpec` with three properties the
+experiment drivers rely on:
+
+* **Determinism** — a point's result depends only on the point itself
+  (the simulator draws everything from seeded RNGs), so sequential
+  execution, process-pool execution and cached replay all produce
+  bit-identical :class:`~repro.sim.metrics.SimulationMetrics`.
+* **Shared exploration** — points are grouped by (workload, tile count)
+  and each group runs one TCM design-time exploration which every
+  approach/seed/config at that platform reuses, instead of re-exploring
+  per simulation run.
+* **Memoization** — with a cache directory configured, completed points
+  are persisted through :class:`~repro.runner.cache.ResultCache` and a
+  warm rerun returns without simulating anything.
+
+``max_workers=1`` (the default) runs everything in-process, which keeps
+single-point callers (tests, the thin :func:`repro.sim.simulator.sweep_tile_counts`
+wrapper) free of any multiprocessing machinery.  ``max_workers>1`` fans
+the groups out over a :class:`concurrent.futures.ProcessPoolExecutor`;
+if the platform cannot provide worker processes (sandboxes without
+``fork``/semaphores) the engine degrades to in-process execution rather
+than failing the sweep.
+
+:func:`parallel_map` is the lower-level primitive behind the
+non-simulation drivers (Table 1, hide-rate, scalability): an ordered,
+deterministic map over picklable items with the same in-process fallback.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
+                    Tuple, Union)
+
+from ..errors import ConfigurationError
+from ..platform.description import Platform
+from ..sim.metrics import SimulationMetrics
+from ..sim.simulator import SystemSimulator
+from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
+from .cache import ResultCache
+from .spec import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (at least 1)."""
+    return max(1, os.cpu_count() or 1)
+
+
+# --------------------------------------------------------------------- #
+# Worker-side execution (top-level functions: must be picklable)
+# --------------------------------------------------------------------- #
+def explore_platform(workload_spec: WorkloadSpec, tile_count: int
+                     ) -> Tuple[object, Platform, TcmDesignTimeResult]:
+    """Build (workload, platform, design-time exploration) for one group."""
+    workload = workload_spec.build()
+    platform = Platform(
+        tile_count=tile_count,
+        reconfiguration_latency=workload.reconfiguration_latency,
+    )
+    explorer = TcmDesignTimeScheduler(platform)
+    return workload, platform, explorer.explore(workload.task_set)
+
+
+def run_group(points: Sequence[SweepPoint]) -> List[SimulationMetrics]:
+    """Run every point of one (workload, tile count) group.
+
+    The group shares a single workload instance, platform and TCM
+    design-time exploration; each point still gets a fresh approach
+    object (approaches carry per-run design-time state).
+    """
+    if not points:
+        return []
+    head = points[0]
+    for point in points:
+        if point.group_key != head.group_key:
+            raise ConfigurationError(
+                f"point {point.label} does not belong to group "
+                f"{head.workload.label}@{head.tile_count}t"
+            )
+    workload, platform, design = explore_platform(head.workload,
+                                                  head.tile_count)
+    metrics: List[SimulationMetrics] = []
+    for point in points:
+        simulator = SystemSimulator(
+            workload=workload,
+            platform=platform,
+            approach=point.approach.build(),
+            config=point.config(),
+            replacement=point.approach.build_replacement(),
+            design_result=design,
+        )
+        metrics.append(simulator.run().metrics)
+    return metrics
+
+
+def parallel_map(function: Callable, items: Sequence,
+                 max_workers: int = 1) -> List:
+    """Ordered map over ``items``, optionally on a process pool.
+
+    The callable and every item must be picklable when ``max_workers > 1``.
+    Results come back in item order regardless of completion order, and a
+    platform without working subprocess support degrades to the in-process
+    path instead of raising.
+    """
+    items = list(items)
+    workers = min(max_workers, len(items))
+    if workers <= 1:
+        return [function(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(function, items))
+    except (OSError, PermissionError, ImportError):
+        return [function(item) for item in items]
+
+
+# --------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The metrics of one executed (or cache-replayed) sweep point."""
+
+    point: SweepPoint
+    metrics: SimulationMetrics
+    from_cache: bool = False
+
+
+class SweepResult:
+    """Outcomes of a sweep, reported in spec expansion order."""
+
+    def __init__(self, outcomes: Sequence[SweepOutcome]) -> None:
+        self.outcomes: Tuple[SweepOutcome, ...] = tuple(outcomes)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self):
+        return iter(self.outcomes)
+
+    @property
+    def computed_count(self) -> int:
+        """Number of points that were actually simulated."""
+        return sum(1 for outcome in self.outcomes if not outcome.from_cache)
+
+    @property
+    def cached_count(self) -> int:
+        """Number of points answered from the result cache."""
+        return sum(1 for outcome in self.outcomes if outcome.from_cache)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _matches(outcome: SweepOutcome,
+                 workload: Optional[Union[str, WorkloadSpec]],
+                 approach: Optional[Union[str, ApproachSpec]],
+                 tile_count: Optional[int],
+                 seed: Optional[int]) -> bool:
+        point = outcome.point
+        if isinstance(workload, WorkloadSpec):
+            if point.workload != workload:
+                return False
+        elif workload is not None and point.workload.name != workload:
+            return False
+        if isinstance(approach, ApproachSpec):
+            if point.approach != approach:
+                return False
+        elif approach is not None and point.approach.name != approach:
+            return False
+        if tile_count is not None and point.tile_count != tile_count:
+            return False
+        if seed is not None and point.seed != seed:
+            return False
+        return True
+
+    def select(self, workload: Optional[Union[str, WorkloadSpec]] = None,
+               approach: Optional[Union[str, ApproachSpec]] = None,
+               tile_count: Optional[int] = None,
+               seed: Optional[int] = None) -> List[SweepOutcome]:
+        """All outcomes matching the given coordinates (in order)."""
+        return [outcome for outcome in self.outcomes
+                if self._matches(outcome, workload, approach, tile_count,
+                                 seed)]
+
+    def metrics_for(self, workload: Optional[Union[str, WorkloadSpec]] = None,
+                    approach: Optional[Union[str, ApproachSpec]] = None,
+                    tile_count: Optional[int] = None,
+                    seed: Optional[int] = None) -> SimulationMetrics:
+        """The metrics of exactly one point; raises unless unique."""
+        matches = self.select(workload, approach, tile_count, seed)
+        if not matches:
+            raise KeyError(
+                f"no sweep outcome for workload={workload!r} "
+                f"approach={approach!r} tiles={tile_count!r} seed={seed!r}"
+            )
+        if len(matches) > 1:
+            raise KeyError(
+                f"ambiguous sweep coordinates (matched {len(matches)} "
+                f"points); narrow the query"
+            )
+        return matches[0].metrics
+
+    def by_approach(self,
+                    workload: Optional[Union[str, WorkloadSpec]] = None,
+                    seed: Optional[int] = None
+                    ) -> Dict[str, Dict[int, SimulationMetrics]]:
+        """``{approach label: {tile count: metrics}}`` view of the sweep.
+
+        This is the shape :func:`repro.sim.simulator.sweep_tile_counts`
+        has always returned.
+        """
+        table: Dict[str, Dict[int, SimulationMetrics]] = {}
+        for outcome in self.select(workload=workload, seed=seed):
+            label = outcome.point.approach.label
+            table.setdefault(label, {})[outcome.point.tile_count] = (
+                outcome.metrics
+            )
+        return table
+
+
+# --------------------------------------------------------------------- #
+# The engine
+# --------------------------------------------------------------------- #
+class SweepEngine:
+    """Executes sweep specs on worker processes with cached results."""
+
+    def __init__(self, max_workers: int = 1,
+                 cache_dir: Optional[Union[str, os.PathLike]] = None,
+                 cache: Optional[ResultCache] = None) -> None:
+        if max_workers < 1:
+            raise ConfigurationError("max_workers must be at least 1")
+        self.max_workers = max_workers
+        if cache is None and cache_dir is not None:
+            cache = ResultCache(cache_dir)
+        self.cache = cache
+
+    # ------------------------------------------------------------------ #
+    def run(self, spec: Union[SweepSpec, Sequence[SweepPoint]]
+            ) -> SweepResult:
+        """Execute a spec (or an explicit point list) and gather results."""
+        points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+        resolved: Dict[SweepPoint, SweepOutcome] = {}
+
+        pending: List[SweepPoint] = []
+        queued: set = set()
+        for point in points:
+            if point in resolved or point in queued:
+                continue  # duplicate coordinates: compute once
+            cached = self.cache.load(point) if self.cache else None
+            if cached is not None:
+                resolved[point] = SweepOutcome(point=point, metrics=cached,
+                                               from_cache=True)
+            else:
+                pending.append(point)
+                queued.add(point)
+
+        for group, metrics_list in self._run_groups(self._group(pending)):
+            for point, metrics in zip(group, metrics_list):
+                resolved[point] = SweepOutcome(point=point, metrics=metrics,
+                                               from_cache=False)
+                if self.cache is not None:
+                    self.cache.store(point, metrics)
+
+        return SweepResult([resolved[point] for point in points])
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _group(points: Sequence[SweepPoint]) -> List[List[SweepPoint]]:
+        """Group points by (workload, tile count), preserving order."""
+        groups: Dict[Tuple[WorkloadSpec, int], List[SweepPoint]] = {}
+        for point in points:
+            groups.setdefault(point.group_key, []).append(point)
+        return list(groups.values())
+
+    def _run_groups(self, groups: List[List[SweepPoint]]
+                    ) -> Iterable[Tuple[List[SweepPoint],
+                                        List[SimulationMetrics]]]:
+        """Run every group, in parallel when it pays off."""
+        workers = min(self.max_workers, len(groups))
+        if workers > 1:
+            try:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    return list(zip(groups, pool.map(run_group, groups)))
+            except (OSError, PermissionError, ImportError):
+                pass  # no subprocess support here: fall through to inline
+        return [(group, run_group(group)) for group in groups]

@@ -1,0 +1,358 @@
+"""Declarative sweep specifications.
+
+A sweep is the cross product **workloads x approaches x tile counts x
+seeds** under one set of :class:`~repro.sim.simulator.SimulationConfig`
+overrides — the shape of every headline experiment of the paper (Figures
+6/7, Table 1's aggregates, the ablations).  :class:`SweepSpec` describes
+that grid declaratively; :meth:`SweepSpec.expand` turns it into a
+deterministic, ordered list of :class:`SweepPoint` objects that the
+:class:`~repro.runner.engine.SweepEngine` can execute in any order (and on
+any number of worker processes) without changing the results.
+
+Workloads and approaches are referenced *by name* plus a frozen mapping of
+scalar options, not by live objects: a point must be picklable, hashable
+and stable so it can cross a process boundary and serve as a cache key.
+:data:`WORKLOAD_FACTORIES` maps workload names to constructors; approaches
+resolve through :data:`repro.sim.approaches.APPROACHES` and replacement
+policies through :data:`repro.reuse.replacement.REPLACEMENT_POLICIES`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..reuse.replacement import ReplacementPolicy, make_replacement_policy
+from ..sim.simulator import SimulationConfig
+from ..workloads.base import Workload
+from ..workloads.multimedia import MultimediaWorkload
+from ..workloads.pocketgl import PocketGLWorkload
+from ..workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+#: Frozen, order-independent representation of scalar keyword options.
+Options = Tuple[Tuple[str, object], ...]
+
+#: Bump when the meaning of a point (and therefore of a cache key) changes.
+SPEC_FORMAT_VERSION = 1
+
+
+def _build_synthetic(**options) -> SyntheticWorkload:
+    """Build a synthetic workload from flat :class:`SyntheticSpec` fields."""
+    return SyntheticWorkload(spec=SyntheticSpec(**options))
+
+
+#: Workload constructors usable from a sweep point, keyed by workload name.
+#: Only module-level factories belong here: worker processes resolve the
+#: name through this table after importing the module afresh.
+WORKLOAD_FACTORIES = {
+    MultimediaWorkload.name: MultimediaWorkload,
+    PocketGLWorkload.name: PocketGLWorkload,
+    SyntheticWorkload.name: _build_synthetic,
+}
+
+
+def _freeze_options(options: Mapping[str, object]) -> Options:
+    """Normalize keyword options into a sorted tuple of scalar pairs."""
+    frozen: List[Tuple[str, object]] = []
+    for key in sorted(options):
+        value = options[key]
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            raise ConfigurationError(
+                f"sweep option {key!r} must be a scalar "
+                f"(str/int/float/bool/None), got {type(value).__name__}"
+            )
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+def _label(name: str, options: Options, extra: str = "") -> str:
+    """Human-readable identifier of a name + options combination."""
+    parts = [f"{key}={value}" for key, value in options]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return name
+    return f"{name}[{','.join(parts)}]"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload referenced by registry name plus constructor options."""
+
+    name: str
+    options: Options = ()
+
+    @classmethod
+    def of(cls, workload: Union[str, "WorkloadSpec"],
+           **options) -> "WorkloadSpec":
+        """Coerce a name (plus options) or an existing spec into a spec."""
+        if isinstance(workload, WorkloadSpec):
+            if options:
+                raise ConfigurationError(
+                    "cannot combine an existing WorkloadSpec with extra "
+                    "options"
+                )
+            return workload
+        return cls(name=workload, options=_freeze_options(options))
+
+    def __post_init__(self) -> None:
+        if self.name not in WORKLOAD_FACTORIES:
+            raise ConfigurationError(
+                f"unknown workload {self.name!r}; available: "
+                f"{sorted(WORKLOAD_FACTORIES)}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Identifier used in result tables and progress reports."""
+        return _label(self.name, self.options)
+
+    def build(self) -> Workload:
+        """Instantiate the workload (in whatever process this runs in)."""
+        return WORKLOAD_FACTORIES[self.name](**dict(self.options))
+
+
+def workload_spec_for(workload: Workload) -> Optional[WorkloadSpec]:
+    """Reconstruct the spec of a live workload instance, if representable.
+
+    Only exact instances of the registered classes can round-trip (a
+    subclass may override behaviour the spec cannot name); anything else
+    returns ``None`` and callers fall back to direct execution.
+    """
+    import dataclasses
+
+    if type(workload) is MultimediaWorkload:
+        return WorkloadSpec.of(
+            MultimediaWorkload.name,
+            reconfiguration_latency=workload.reconfiguration_latency,
+            min_tasks_per_iteration=workload.min_tasks_per_iteration,
+        )
+    if type(workload) is PocketGLWorkload:
+        return WorkloadSpec.of(
+            PocketGLWorkload.name,
+            reconfiguration_latency=workload.reconfiguration_latency,
+            inter_task_scenarios=len(workload.inter_task_scenarios),
+        )
+    if type(workload) is SyntheticWorkload:
+        return WorkloadSpec.of(SyntheticWorkload.name,
+                               **dataclasses.asdict(workload.spec))
+    return None
+
+
+@dataclass(frozen=True)
+class ApproachSpec:
+    """A scheduling approach referenced by registry name plus options.
+
+    ``replacement`` optionally names the replacement policy the simulator's
+    reuse module should use (the replacement-policy ablation sweeps it);
+    ``None`` keeps the simulator default.
+    """
+
+    name: str
+    options: Options = ()
+    replacement: Optional[str] = None
+
+    @classmethod
+    def of(cls, approach: Union[str, "ApproachSpec"],
+           replacement: Optional[str] = None, **options) -> "ApproachSpec":
+        """Coerce a name (plus options) or an existing spec into a spec."""
+        if isinstance(approach, ApproachSpec):
+            if options or replacement is not None:
+                raise ConfigurationError(
+                    "cannot combine an existing ApproachSpec with extra "
+                    "options"
+                )
+            return approach
+        return cls(name=approach, options=_freeze_options(options),
+                   replacement=replacement)
+
+    def __post_init__(self) -> None:
+        from ..sim.approaches import APPROACHES  # deferred: avoids cycle
+        if self.name not in APPROACHES:
+            raise ConfigurationError(
+                f"unknown scheduling approach {self.name!r}; available: "
+                f"{sorted(APPROACHES)}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Identifier used in result tables; plain name when unmodified."""
+        extra = f"replacement={self.replacement}" if self.replacement else ""
+        return _label(self.name, self.options, extra)
+
+    def build(self):
+        """Instantiate a fresh approach object."""
+        from ..sim.approaches import APPROACHES  # deferred: avoids cycle
+        return APPROACHES[self.name](**dict(self.options))
+
+    def build_replacement(self) -> Optional[ReplacementPolicy]:
+        """Instantiate the requested replacement policy (or ``None``)."""
+        if self.replacement is None:
+            return None
+        return make_replacement_policy(self.replacement)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One fully specified simulation run of a sweep.
+
+    A point carries everything a worker process needs to reproduce the run
+    bit-for-bit: the workload and approach specs, the platform size and the
+    :class:`SimulationConfig` fields.  Its :meth:`cache_key` is a stable
+    content hash over exactly those ingredients, so any change to any of
+    them yields a different key.
+    """
+
+    workload: WorkloadSpec
+    approach: ApproachSpec
+    tile_count: int
+    seed: int
+    iterations: int
+    point_selection: str = "fastest"
+    deadline: Optional[float] = None
+    keep_state_between_iterations: bool = True
+    configuration_fault_rate: float = 0.0
+
+    def config(self) -> SimulationConfig:
+        """The simulation configuration of this point."""
+        return SimulationConfig(
+            iterations=self.iterations,
+            seed=self.seed,
+            point_selection=self.point_selection,
+            deadline=self.deadline,
+            keep_state_between_iterations=self.keep_state_between_iterations,
+            configuration_fault_rate=self.configuration_fault_rate,
+        )
+
+    @property
+    def group_key(self) -> Tuple[WorkloadSpec, int]:
+        """Points sharing this key share one design-time exploration.
+
+        The TCM exploration depends only on the workload's task set and the
+        platform, so every approach/seed/config combination at the same
+        (workload, tile count) reuses a single
+        :class:`~repro.tcm.design_time.TcmDesignTimeResult`.
+        """
+        return (self.workload, self.tile_count)
+
+    def payload(self) -> Dict[str, object]:
+        """Canonical JSON-serializable description of the point."""
+        return {
+            "format": SPEC_FORMAT_VERSION,
+            "workload": {"name": self.workload.name,
+                         "options": [list(pair)
+                                     for pair in self.workload.options]},
+            "approach": {"name": self.approach.name,
+                         "options": [list(pair)
+                                     for pair in self.approach.options],
+                         "replacement": self.approach.replacement},
+            "tile_count": self.tile_count,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "point_selection": self.point_selection,
+            "deadline": self.deadline,
+            "keep_state_between_iterations":
+                self.keep_state_between_iterations,
+            "configuration_fault_rate": self.configuration_fault_rate,
+        }
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this point's result."""
+        canonical = json.dumps(self.payload(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short description used in logs and error messages."""
+        return (f"{self.workload.label}/{self.approach.label}"
+                f"@{self.tile_count}t seed={self.seed}")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a whole sweep grid.
+
+    ``workloads`` and ``approaches`` accept plain registry names, which are
+    normalized to :class:`WorkloadSpec`/:class:`ApproachSpec`;
+    ``tile_counts`` and ``seeds`` are swept as full cross products.  The
+    remaining fields are shared :class:`SimulationConfig` overrides.
+    """
+
+    workloads: Tuple[WorkloadSpec, ...]
+    approaches: Tuple[ApproachSpec, ...]
+    tile_counts: Tuple[int, ...]
+    seeds: Tuple[int, ...] = (2005,)
+    iterations: int = 300
+    point_selection: str = "fastest"
+    deadline: Optional[float] = None
+    keep_state_between_iterations: bool = True
+    configuration_fault_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "workloads", tuple(
+            WorkloadSpec.of(workload) for workload in self.workloads
+        ))
+        object.__setattr__(self, "approaches", tuple(
+            ApproachSpec.of(approach) for approach in self.approaches
+        ))
+        object.__setattr__(self, "tile_counts", tuple(self.tile_counts))
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+        if not self.workloads:
+            raise ConfigurationError("a sweep needs at least one workload")
+        if not self.approaches:
+            raise ConfigurationError("a sweep needs at least one approach")
+        if not self.tile_counts:
+            raise ConfigurationError("a sweep needs at least one tile count")
+        if not self.seeds:
+            raise ConfigurationError("a sweep needs at least one seed")
+        for tiles in self.tile_counts:
+            if not isinstance(tiles, int) or tiles < 1:
+                raise ConfigurationError(
+                    f"tile counts must be positive integers, got {tiles!r}"
+                )
+        # Validate the config fields eagerly (fail before any work starts).
+        SimulationConfig(
+            iterations=self.iterations,
+            seed=self.seeds[0],
+            point_selection=self.point_selection,
+            deadline=self.deadline,
+            keep_state_between_iterations=self.keep_state_between_iterations,
+            configuration_fault_rate=self.configuration_fault_rate,
+        )
+
+    @property
+    def point_count(self) -> int:
+        """Number of points the spec expands into."""
+        return (len(self.workloads) * len(self.approaches)
+                * len(self.tile_counts) * len(self.seeds))
+
+    def expand(self) -> List[SweepPoint]:
+        """Expand the grid into points, in deterministic order.
+
+        The order (workload, approach, tile count, seed — slowest to
+        fastest varying) is part of the contract: results are reported in
+        expansion order no matter how execution was scheduled.
+        """
+        points: List[SweepPoint] = []
+        for workload in self.workloads:
+            for approach in self.approaches:
+                for tile_count in self.tile_counts:
+                    for seed in self.seeds:
+                        points.append(SweepPoint(
+                            workload=workload,
+                            approach=approach,
+                            tile_count=tile_count,
+                            seed=seed,
+                            iterations=self.iterations,
+                            point_selection=self.point_selection,
+                            deadline=self.deadline,
+                            keep_state_between_iterations=
+                                self.keep_state_between_iterations,
+                            configuration_fault_rate=
+                                self.configuration_fault_rate,
+                        ))
+        return points

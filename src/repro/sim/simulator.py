@@ -114,7 +114,8 @@ class SystemSimulator:
                  approach: SchedulingApproach,
                  config: Optional[SimulationConfig] = None,
                  replacement: Optional[ReplacementPolicy] = None,
-                 list_options: Optional[ListSchedulerOptions] = None) -> None:
+                 list_options: Optional[ListSchedulerOptions] = None,
+                 design_result: Optional[TcmDesignTimeResult] = None) -> None:
         self.workload = workload
         self.platform = platform
         self.approach = approach
@@ -123,17 +124,27 @@ class SystemSimulator:
         self._design_result: Optional[TcmDesignTimeResult] = None
         self._tcm_runtime: Optional[TcmRunTimeScheduler] = None
         self._list_options = list_options or ListSchedulerOptions()
+        # A precomputed exploration (e.g. shared by the sweep engine across
+        # every approach at the same platform).  The exploration itself is
+        # deterministic, so sharing one result is observably identical to
+        # rebuilding it per run — the approach's prepare() still runs here.
+        self._shared_design = design_result
 
     # ------------------------------------------------------------------ #
     @property
     def design_result(self) -> TcmDesignTimeResult:
         """The TCM design-time exploration result (built lazily)."""
         if self._design_result is None:
-            explorer = TcmDesignTimeScheduler(self.platform,
-                                              list_options=self._list_options)
-            self._design_result = explorer.explore(self.workload.task_set)
-            self._tcm_runtime = TcmRunTimeScheduler(self._design_result)
-            self.approach.prepare(self._design_result,
+            if self._shared_design is not None:
+                result = self._shared_design
+            else:
+                explorer = TcmDesignTimeScheduler(
+                    self.platform, list_options=self._list_options
+                )
+                result = explorer.explore(self.workload.task_set)
+            self._design_result = result
+            self._tcm_runtime = TcmRunTimeScheduler(result)
+            self.approach.prepare(result,
                                   self.workload.reconfiguration_latency)
         return self._design_result
 
@@ -241,7 +252,9 @@ def simulate(workload: Workload, tile_count: int,
              approach: SchedulingApproach,
              iterations: int = 1000, seed: int = 2005,
              platform: Optional[Platform] = None,
-             config: Optional[SimulationConfig] = None) -> SimulationResult:
+             config: Optional[SimulationConfig] = None,
+             design_result: Optional[TcmDesignTimeResult] = None
+             ) -> SimulationResult:
     """Convenience wrapper: build the platform and run one simulation."""
     if platform is None:
         platform = Platform(
@@ -251,22 +264,60 @@ def simulate(workload: Workload, tile_count: int,
     if config is None:
         config = SimulationConfig(iterations=iterations, seed=seed)
     simulator = SystemSimulator(workload=workload, platform=platform,
-                                approach=approach, config=config)
+                                approach=approach, config=config,
+                                design_result=design_result)
     return simulator.run()
 
 
 def sweep_tile_counts(workload: Workload, tile_counts: Sequence[int],
                       approaches: Sequence[SchedulingApproach],
-                      iterations: int = 1000, seed: int = 2005
+                      iterations: int = 1000, seed: int = 2005,
+                      jobs: int = 1, cache_dir: Optional[str] = None
                       ) -> Dict[str, Dict[int, SimulationMetrics]]:
     """Run every approach for every tile count (the Figure 6/7 sweep).
 
-    Returns ``{approach name: {tile count: metrics}}``.  Fresh approach
-    instances should be passed for every call because approaches cache
-    design-time state tied to the platform.
+    Returns ``{approach name: {tile count: metrics}}``.  This is now a
+    thin wrapper over :class:`repro.runner.SweepEngine`: registered
+    workload/approach combinations go through the engine (sharing one
+    design-time exploration per tile count, optionally across ``jobs``
+    worker processes and a result cache), while unregistered custom
+    classes fall back to the direct sequential loop.
     """
+    # Imported here: repro.runner builds on this module.
+    from ..runner import ApproachSpec, SweepEngine, SweepSpec
+    from ..runner.spec import workload_spec_for
+    from .approaches import APPROACHES
+
+    def _registered(instance) -> bool:
+        factory = APPROACHES.get(getattr(instance, "name", None))
+        return factory is not None and type(instance) is factory
+
+    workload_spec = workload_spec_for(workload)
+    engine_approaches = [approach for approach in approaches
+                         if workload_spec is not None
+                         and _registered(approach)]
+    engine_results: Dict[str, Dict[int, SimulationMetrics]] = {}
+    if engine_approaches:
+        spec = SweepSpec(
+            workloads=(workload_spec,),
+            approaches=tuple(ApproachSpec(approach.name)
+                             for approach in engine_approaches),
+            tile_counts=tuple(tile_counts),
+            seeds=(seed,),
+            iterations=iterations,
+        )
+        engine = SweepEngine(max_workers=jobs, cache_dir=cache_dir)
+        engine_results = engine.run(spec).by_approach(seed=seed)
+
+    # Assemble per approach *instance*, in input order (last one wins for a
+    # shared name, as before): engine-covered instances take their engine
+    # series, anything else runs the direct sequential loop.
     results: Dict[str, Dict[int, SimulationMetrics]] = {}
+    engine_ids = {id(approach) for approach in engine_approaches}
     for approach in approaches:
+        if id(approach) in engine_ids:
+            results[approach.name] = engine_results[approach.name]
+            continue
         per_tiles: Dict[int, SimulationMetrics] = {}
         for tile_count in tile_counts:
             # Re-instantiate the approach per tile count so its design-time

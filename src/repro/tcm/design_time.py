@@ -39,12 +39,38 @@ def point_key_for_tiles(tile_count: int) -> str:
     return f"tiles{tile_count}"
 
 
+def _scheduler_signature(scheduler) -> Optional[Tuple]:
+    """A hashable description of a prefetch scheduler's configuration.
+
+    Used to memoize design-store builds: two heuristics whose engines have
+    the same signature produce identical stores.  Returns ``None`` (do not
+    cache) for scheduler types this module does not know how to describe.
+    """
+    from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
+    from ..scheduling.prefetch_list import ListPrefetchScheduler
+
+    if type(scheduler) is ListPrefetchScheduler:
+        return ("list", scheduler.priority)
+    if type(scheduler) is OptimalPrefetchScheduler:
+        fallback = _scheduler_signature(scheduler.fallback)
+        if fallback is None:
+            return None
+        return ("optimal", scheduler.exact_limit, fallback)
+    return None
+
+
 @dataclass
 class TcmDesignTimeResult:
     """Output of the TCM design-time exploration for a whole application."""
 
     platform: Platform
     curves: Dict[CurveKey, ParetoCurve] = field(default_factory=dict)
+    #: Memoized design stores keyed by the hybrid heuristic's signature
+    #: (latency + design engine).  Excluded from comparisons/repr: it is a
+    #: pure cache over the immutable curves above.
+    _store_cache: Dict[Tuple, DesignTimeStore] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def curve(self, task_name: str, scenario_name: str) -> ParetoCurve:
         """Pareto curve of one scenario."""
@@ -72,8 +98,23 @@ class TcmDesignTimeResult:
 
     def build_design_store(self, hybrid: HybridPrefetchHeuristic
                            ) -> DesignTimeStore:
-        """Run the hybrid design-time phase for every Pareto point."""
-        return hybrid.build_store(self.schedules())
+        """Run the hybrid design-time phase for every Pareto point.
+
+        The store only depends on the (immutable) explored schedules and
+        the heuristic's configuration, so repeated builds with equivalent
+        heuristics — e.g. every hybrid sweep point in one engine group, or
+        every test sharing a session exploration — return one memoized
+        store instead of re-running the critical-subtask selection.
+        """
+        engine_signature = _scheduler_signature(hybrid.design_scheduler)
+        if engine_signature is None:
+            return hybrid.build_store(self.schedules())
+        key = (hybrid.reconfiguration_latency, engine_signature)
+        store = self._store_cache.get(key)
+        if store is None:
+            store = hybrid.build_store(self.schedules())
+            self._store_cache[key] = store
+        return store
 
 
 class TcmDesignTimeScheduler:

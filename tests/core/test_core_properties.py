@@ -10,9 +10,12 @@ from repro.platform.description import Platform
 from repro.scheduling.list_scheduler import build_initial_schedule
 from repro.scheduling.prefetch_list import ListPrefetchScheduler
 
-#: Instances small enough for the exact design-time engine.
+#: Instances small enough for the exact design-time engine.  The critical
+#: subtask selection runs one branch-and-bound search per candidate subset,
+#: and the search is exponential in the number of *independent* loads, so
+#: the subtask count is capped where sparse DAGs stay tractable.
 instance_params = st.tuples(
-    st.integers(min_value=1, max_value=8),
+    st.integers(min_value=1, max_value=7),
     st.floats(min_value=0.0, max_value=0.7),
     st.integers(min_value=0, max_value=4000),
     st.integers(min_value=1, max_value=8),
@@ -74,6 +77,7 @@ def test_hybrid_with_full_critical_reuse_is_overhead_free(params):
     assert execution.overhead <= 1e-6
 
 
+@pytest.mark.slow
 @settings(max_examples=30, deadline=None)
 @given(params=instance_params, subset_seed=st.integers(0, 999))
 def test_hybrid_overhead_bounded_by_missing_critical_loads(params, subset_seed):

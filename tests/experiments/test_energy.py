@@ -4,6 +4,9 @@ import pytest
 
 from repro.experiments.energy import run_energy_study
 
+#: Simulates four approaches on a 12-tile pool: a heavyweight sweep.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def result():

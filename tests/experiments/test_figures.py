@@ -10,7 +10,12 @@ from repro.experiments.figure6 import run_figure6
 from repro.experiments.figure7 import measure_critical_fraction, run_figure7
 from repro.workloads.pocketgl import POCKETGL_REFERENCE
 
-ITERATIONS = 60
+from tests.conftest import SMALL_ITERATIONS
+
+#: Full figure sweeps are the heaviest tests of the suite.
+pytestmark = pytest.mark.slow
+
+ITERATIONS = SMALL_ITERATIONS
 
 
 @pytest.fixture(scope="module")
@@ -114,3 +119,11 @@ class TestCriticalFractionHelper:
     def test_standalone_measurement(self):
         fraction = measure_critical_fraction(tile_count=8)
         assert 0.4 <= fraction <= 0.8
+
+    def test_precomputed_exploration_matches_fresh(self):
+        """Passing a shared exploration skips re-exploring, same number."""
+        from repro.runner import WorkloadSpec, explore_platform
+
+        _, _, design = explore_platform(WorkloadSpec.of("pocketgl"), 8)
+        shared = measure_critical_fraction(tile_count=8, design_result=design)
+        assert shared == measure_critical_fraction(tile_count=8)

@@ -4,6 +4,9 @@ import pytest
 
 from repro.experiments.latency_sweep import run_latency_sweep
 
+#: Simulates three latencies x three approaches: a heavyweight sweep.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def result():

@@ -1,0 +1,159 @@
+"""Tests for the content-addressed sweep result cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.runner import ApproachSpec, ResultCache, SweepPoint, WorkloadSpec
+from repro.runner.cache import metrics_from_dict, metrics_to_dict
+from repro.sim.metrics import SimulationMetrics
+
+
+def make_point(**overrides) -> SweepPoint:
+    fields = dict(
+        workload=WorkloadSpec.of("multimedia"),
+        approach=ApproachSpec.of("hybrid"),
+        tile_count=8,
+        seed=2005,
+        iterations=100,
+    )
+    fields.update(overrides)
+    return SweepPoint(**fields)
+
+
+def make_metrics(**overrides) -> SimulationMetrics:
+    fields = dict(
+        approach="hybrid", workload="multimedia", tile_count=8,
+        iterations=100, task_executions=250, total_ideal_time=1234.5,
+        total_actual_time=1300.25, total_overhead=65.75, total_loads=400,
+        total_reused=120, total_cancelled=30, total_initialization_loads=55,
+        total_intertask_prefetches=44, total_scheduler_operations=900,
+        total_reuse_operations=700, total_energy=4321.125,
+    )
+    fields.update(overrides)
+    return SimulationMetrics(**fields)
+
+
+class TestMetricsRoundTrip:
+    def test_round_trip_is_exact(self):
+        metrics = make_metrics()
+        assert metrics_from_dict(metrics_to_dict(metrics)) == metrics
+
+    def test_json_round_trip_is_exact(self):
+        metrics = make_metrics()
+        payload = json.loads(json.dumps(metrics_to_dict(metrics)))
+        assert metrics_from_dict(payload) == metrics
+
+    def test_missing_field_rejected(self):
+        payload = metrics_to_dict(make_metrics())
+        payload.pop("total_energy")
+        with pytest.raises(ValueError):
+            metrics_from_dict(payload)
+
+    def test_extra_field_rejected(self):
+        payload = metrics_to_dict(make_metrics())
+        payload["bogus"] = 1
+        with pytest.raises(ValueError):
+            metrics_from_dict(payload)
+
+    def test_wrong_type_rejected(self):
+        payload = metrics_to_dict(make_metrics())
+        payload["total_loads"] = "many"
+        with pytest.raises(ValueError):
+            metrics_from_dict(payload)
+        payload = metrics_to_dict(make_metrics())
+        payload["total_loads"] = 400.5  # int field silently becoming float
+        with pytest.raises(ValueError):
+            metrics_from_dict(payload)
+
+
+class TestResultCache:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.load(make_point()) is None
+        assert len(cache) == 0
+
+    def test_store_then_load_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point, metrics = make_point(), make_metrics()
+        path = cache.store(point, metrics)
+        assert path.exists()
+        assert cache.load(point) == metrics
+        assert len(cache) == 1
+
+    def test_entries_are_keyed_by_point(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_point(), make_metrics())
+        assert cache.load(make_point(seed=7)) is None
+        assert cache.load(make_point(tile_count=9)) is None
+        assert cache.load(
+            make_point(approach=ApproachSpec.of("run-time"))
+        ) is None
+
+    def test_corrupted_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = make_point()
+        cache.store(point, make_metrics())
+        cache.path_for(point).write_text("{ not json at all")
+        assert cache.load(point) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = make_point()
+        cache.store(point, make_metrics())
+        path = cache.path_for(point)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(point) is None
+
+    def test_stale_format_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = make_point()
+        cache.store(point, make_metrics())
+        path = cache.path_for(point)
+        entry = json.loads(path.read_text())
+        entry["format"] = -1
+        path.write_text(json.dumps(entry))
+        assert cache.load(point) is None
+
+    def test_tampered_point_payload_is_a_miss(self, tmp_path):
+        """A key collision (or hand-edit) must never serve foreign metrics."""
+        cache = ResultCache(tmp_path)
+        point = make_point()
+        cache.store(point, make_metrics())
+        path = cache.path_for(point)
+        entry = json.loads(path.read_text())
+        entry["point"]["seed"] = 999
+        path.write_text(json.dumps(entry))
+        assert cache.load(point) is None
+
+    def test_partial_metrics_are_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = make_point()
+        cache.store(point, make_metrics())
+        path = cache.path_for(point)
+        entry = json.loads(path.read_text())
+        del entry["metrics"]["total_energy"]
+        path.write_text(json.dumps(entry))
+        assert cache.load(point) is None
+
+    def test_store_overwrites_corrupted_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point, metrics = make_point(), make_metrics()
+        cache.path_for(point).write_text("garbage")
+        cache.store(point, metrics)
+        assert cache.load(point) == metrics
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_point(), make_metrics())
+        cache.store(make_point(seed=1), make_metrics())
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_point(), make_metrics())
+        leftovers = [p for p in cache.directory.iterdir()
+                     if p.name.startswith(".tmp-")]
+        assert leftovers == []

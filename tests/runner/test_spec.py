@@ -1,0 +1,186 @@
+"""Tests for the declarative sweep specifications and their cache keys."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
+from repro.runner.spec import workload_spec_for
+from repro.workloads.multimedia import MultimediaWorkload
+from repro.workloads.pocketgl import PocketGLWorkload
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+
+def make_point(**overrides) -> SweepPoint:
+    """A baseline point; keyword overrides patch individual fields."""
+    fields = dict(
+        workload=WorkloadSpec.of("multimedia"),
+        approach=ApproachSpec.of("hybrid"),
+        tile_count=8,
+        seed=2005,
+        iterations=100,
+    )
+    fields.update(overrides)
+    return SweepPoint(**fields)
+
+
+class TestWorkloadSpec:
+    def test_accepts_name(self):
+        spec = WorkloadSpec.of("multimedia")
+        assert spec.name == "multimedia"
+        assert spec.build().name == "multimedia"
+
+    def test_options_reach_the_constructor(self):
+        spec = WorkloadSpec.of("multimedia", reconfiguration_latency=2.0)
+        assert spec.build().reconfiguration_latency == 2.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.of("quake")
+
+    def test_non_scalar_option_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.of("multimedia", reconfiguration_latency=[4.0])
+
+    def test_option_order_does_not_matter(self):
+        first = WorkloadSpec.of("synthetic", task_count=2, seed=5)
+        second = WorkloadSpec.of("synthetic", seed=5, task_count=2)
+        assert first == second
+
+    def test_label(self):
+        assert WorkloadSpec.of("multimedia").label == "multimedia"
+        assert "reconfiguration_latency=2.0" in \
+            WorkloadSpec.of("multimedia", reconfiguration_latency=2.0).label
+
+
+class TestWorkloadSpecFor:
+    def test_multimedia_round_trip(self):
+        workload = MultimediaWorkload(reconfiguration_latency=2.5)
+        spec = workload_spec_for(workload)
+        rebuilt = spec.build()
+        assert rebuilt.reconfiguration_latency == 2.5
+        assert rebuilt.min_tasks_per_iteration == \
+            workload.min_tasks_per_iteration
+
+    def test_pocketgl_round_trip(self):
+        workload = PocketGLWorkload(inter_task_scenarios=10)
+        rebuilt = workload_spec_for(workload).build()
+        assert rebuilt.inter_task_scenarios == workload.inter_task_scenarios
+
+    def test_synthetic_round_trip(self):
+        workload = SyntheticWorkload(spec=SyntheticSpec(task_count=2,
+                                                        subtasks_per_task=5))
+        rebuilt = workload_spec_for(workload).build()
+        assert rebuilt.spec == workload.spec
+
+    def test_subclass_is_not_representable(self):
+        class Custom(MultimediaWorkload):
+            pass
+
+        assert workload_spec_for(Custom()) is None
+
+
+class TestApproachSpec:
+    def test_accepts_name(self):
+        spec = ApproachSpec.of("run-time")
+        assert spec.build().name == "run-time"
+
+    def test_options_reach_the_constructor(self):
+        spec = ApproachSpec.of("hybrid", use_intertask=False)
+        assert spec.build().uses_intertask is False
+
+    def test_replacement_builds_policy(self):
+        spec = ApproachSpec.of("hybrid", replacement="fifo")
+        assert spec.build_replacement().name == "fifo"
+        assert ApproachSpec.of("hybrid").build_replacement() is None
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ApproachSpec.of("oracle")
+
+    def test_labels_distinguish_variants(self):
+        labels = {
+            ApproachSpec.of("hybrid").label,
+            ApproachSpec.of("hybrid", use_intertask=False).label,
+            ApproachSpec.of("hybrid", replacement="fifo").label,
+        }
+        assert len(labels) == 3
+
+
+class TestSweepSpec:
+    def test_names_are_normalized_to_specs(self):
+        spec = SweepSpec(workloads=("multimedia",),
+                         approaches=("hybrid", "run-time"),
+                         tile_counts=(8,))
+        assert all(isinstance(w, WorkloadSpec) for w in spec.workloads)
+        assert all(isinstance(a, ApproachSpec) for a in spec.approaches)
+
+    def test_expansion_is_the_full_cross_product(self):
+        spec = SweepSpec(workloads=("multimedia", "pocketgl"),
+                         approaches=("hybrid", "run-time", "no-prefetch"),
+                         tile_counts=(8, 10), seeds=(1, 2), iterations=50)
+        points = spec.expand()
+        assert len(points) == spec.point_count == 2 * 3 * 2 * 2
+        assert len(set(points)) == len(points)
+
+    def test_expansion_order_is_deterministic(self):
+        spec = SweepSpec(workloads=("multimedia",),
+                         approaches=("hybrid", "run-time"),
+                         tile_counts=(8, 10), seeds=(1, 2))
+        assert spec.expand() == spec.expand()
+        first = spec.expand()[0]
+        assert (first.approach.name, first.tile_count, first.seed) == \
+            ("hybrid", 8, 1)
+
+    def test_config_fields_propagate(self):
+        spec = SweepSpec(workloads=("multimedia",), approaches=("hybrid",),
+                         tile_counts=(8,), iterations=70,
+                         configuration_fault_rate=0.25)
+        config = spec.expand()[0].config()
+        assert config.iterations == 70
+        assert config.configuration_fault_rate == 0.25
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(workloads=(), approaches=("hybrid",), tile_counts=(8,)),
+        dict(workloads=("multimedia",), approaches=(), tile_counts=(8,)),
+        dict(workloads=("multimedia",), approaches=("hybrid",),
+             tile_counts=()),
+        dict(workloads=("multimedia",), approaches=("hybrid",),
+             tile_counts=(8,), seeds=()),
+        dict(workloads=("multimedia",), approaches=("hybrid",),
+             tile_counts=(0,)),
+        dict(workloads=("multimedia",), approaches=("hybrid",),
+             tile_counts=(8,), iterations=0),
+        dict(workloads=("multimedia",), approaches=("hybrid",),
+             tile_counts=(8,), configuration_fault_rate=2.0),
+    ])
+    def test_invalid_grids_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(**kwargs)
+
+
+class TestCacheKey:
+    def test_key_is_stable(self):
+        assert make_point().cache_key() == make_point().cache_key()
+
+    @pytest.mark.parametrize("overrides", [
+        dict(workload=WorkloadSpec.of("pocketgl")),
+        dict(workload=WorkloadSpec.of("multimedia",
+                                      reconfiguration_latency=2.0)),
+        dict(approach=ApproachSpec.of("run-time")),
+        dict(approach=ApproachSpec.of("hybrid", use_intertask=False)),
+        dict(approach=ApproachSpec.of("hybrid", replacement="fifo")),
+        dict(tile_count=9),
+        dict(seed=2006),
+        dict(iterations=101),
+        dict(configuration_fault_rate=0.1),
+        dict(keep_state_between_iterations=False),
+        dict(point_selection="deadline", deadline=100.0),
+    ])
+    def test_key_changes_with_every_ingredient(self, overrides):
+        assert make_point(**overrides).cache_key() != make_point().cache_key()
+
+    def test_group_key_ignores_approach_and_seed(self):
+        base = make_point()
+        assert make_point(approach=ApproachSpec.of("run-time"),
+                          seed=1).group_key == base.group_key
+        assert make_point(tile_count=9).group_key != base.group_key

@@ -23,10 +23,10 @@ from repro.workloads.multimedia import multimedia_task_set
 LATENCY = 4.0
 
 
-@pytest.fixture(scope="module")
-def design_result():
-    platform = Platform(tile_count=8, reconfiguration_latency=LATENCY)
-    return TcmDesignTimeScheduler(platform).explore(multimedia_task_set())
+@pytest.fixture
+def design_result(multimedia_design8):
+    """The shared session-scoped exploration (8 tiles, 4 ms latency)."""
+    return multimedia_design8
 
 
 def make_scheduled(design_result, task_name="jpeg_decoder",

@@ -11,14 +11,25 @@ from repro.workloads.multimedia import MultimediaWorkload
 ITERATIONS = 40
 
 
-def run_with_fault_rate(approach_factory, fault_rate, tile_count=16, seed=3):
+def run_with_fault_rate(approach_factory, fault_rate, seed=3,
+                        design_result=None):
     workload = MultimediaWorkload()
-    platform = Platform(tile_count=tile_count,
+    platform = Platform(tile_count=16,
                         reconfiguration_latency=workload.reconfiguration_latency)
     config = SimulationConfig(iterations=ITERATIONS, seed=seed,
                               configuration_fault_rate=fault_rate)
-    simulator = SystemSimulator(workload, platform, approach_factory(), config)
+    simulator = SystemSimulator(workload, platform, approach_factory(), config,
+                                design_result=design_result)
     return simulator.run().metrics
+
+
+@pytest.fixture
+def faulty(multimedia_design16):
+    """run_with_fault_rate bound to the shared 16-tile exploration."""
+    def run(approach_factory, fault_rate, seed=3):
+        return run_with_fault_rate(approach_factory, fault_rate, seed=seed,
+                                   design_result=multimedia_design16)
+    return run
 
 
 class TestFaultInjection:
@@ -28,30 +39,30 @@ class TestFaultInjection:
         with pytest.raises(ConfigurationError):
             SimulationConfig(configuration_fault_rate=-0.1)
 
-    def test_zero_fault_rate_is_default_behaviour(self):
-        baseline = run_with_fault_rate(RunTimeApproach, 0.0)
-        explicit = run_with_fault_rate(RunTimeApproach, 0.0)
+    def test_zero_fault_rate_is_default_behaviour(self, faulty):
+        baseline = faulty(RunTimeApproach, 0.0)
+        explicit = faulty(RunTimeApproach, 0.0)
         assert baseline.overhead_percent == pytest.approx(
             explicit.overhead_percent
         )
 
-    def test_faults_reduce_reuse(self):
-        healthy = run_with_fault_rate(RunTimeApproach, 0.0)
-        faulty = run_with_fault_rate(RunTimeApproach, 1.0)
-        assert faulty.reuse_rate < healthy.reuse_rate
-        assert faulty.total_loads > healthy.total_loads
+    def test_faults_reduce_reuse(self, faulty):
+        healthy = faulty(RunTimeApproach, 0.0)
+        upset = faulty(RunTimeApproach, 1.0)
+        assert upset.reuse_rate < healthy.reuse_rate
+        assert upset.total_loads > healthy.total_loads
 
-    def test_faults_increase_hybrid_overhead_but_keep_it_bounded(self):
-        healthy = run_with_fault_rate(HybridApproach, 0.0)
-        faulty = run_with_fault_rate(HybridApproach, 1.0)
-        assert faulty.overhead_percent >= healthy.overhead_percent
+    def test_faults_increase_hybrid_overhead_but_keep_it_bounded(self, faulty):
+        healthy = faulty(HybridApproach, 0.0)
+        upset = faulty(HybridApproach, 1.0)
+        assert upset.overhead_percent >= healthy.overhead_percent
         # Even with every configuration lost between iterations the hybrid
         # heuristic only pays its initialization phases, far below the
         # no-reuse design-time level of ~7%.
-        assert faulty.overhead_percent < 10.0
+        assert upset.overhead_percent < 10.0
 
-    def test_partial_fault_rate_sits_between_extremes(self):
-        none = run_with_fault_rate(RunTimeApproach, 0.0)
-        some = run_with_fault_rate(RunTimeApproach, 0.3)
-        all_faults = run_with_fault_rate(RunTimeApproach, 1.0)
+    def test_partial_fault_rate_sits_between_extremes(self, faulty):
+        none = faulty(RunTimeApproach, 0.0)
+        some = faulty(RunTimeApproach, 0.3)
+        all_faults = faulty(RunTimeApproach, 1.0)
         assert none.reuse_rate >= some.reuse_rate >= all_faults.reuse_rate

@@ -27,6 +27,24 @@ def workload():
     return MultimediaWorkload()
 
 
+@pytest.fixture
+def sim8(workload, multimedia_design8):
+    """simulate() on the 8-tile platform with the shared exploration."""
+    def run(approach, iterations=ITERATIONS, seed=3):
+        return simulate(workload, 8, approach, iterations=iterations,
+                        seed=seed, design_result=multimedia_design8)
+    return run
+
+
+@pytest.fixture
+def sim16(workload, multimedia_design16):
+    """simulate() on the 16-tile platform with the shared exploration."""
+    def run(approach, iterations=ITERATIONS, seed=3):
+        return simulate(workload, 16, approach, iterations=iterations,
+                        seed=seed, design_result=multimedia_design16)
+    return run
+
+
 class TestSimulationConfig:
     def test_invalid_iterations(self):
         with pytest.raises(ConfigurationError):
@@ -42,54 +60,55 @@ class TestSimulationConfig:
 
 
 class TestBasicRuns:
-    def test_no_prefetch_run(self, workload):
-        result = simulate(workload, 8, NoPrefetchApproach(),
-                          iterations=ITERATIONS, seed=3)
+    def test_no_prefetch_run(self, sim8):
+        result = sim8(NoPrefetchApproach())
         metrics = result.metrics
         assert metrics.iterations == ITERATIONS
         assert metrics.task_executions > ITERATIONS
         assert 10.0 < metrics.overhead_percent < 40.0
         assert metrics.total_actual_time >= metrics.total_ideal_time
 
-    def test_hybrid_beats_no_prefetch(self, workload):
-        baseline = simulate(workload, 8, NoPrefetchApproach(),
-                            iterations=ITERATIONS, seed=3)
-        hybrid = simulate(workload, 8, HybridApproach(),
-                          iterations=ITERATIONS, seed=3)
+    def test_hybrid_beats_no_prefetch(self, sim8):
+        baseline = sim8(NoPrefetchApproach())
+        hybrid = sim8(HybridApproach())
         assert hybrid.overhead_percent < baseline.overhead_percent
         assert hybrid.metrics.hidden_fraction(
             baseline.metrics.total_overhead) > 0.8
 
-    def test_deterministic_given_seed(self, workload):
-        first = simulate(workload, 8, RunTimeApproach(),
-                         iterations=ITERATIONS, seed=11)
-        second = simulate(workload, 8, RunTimeApproach(),
-                          iterations=ITERATIONS, seed=11)
+    def test_deterministic_given_seed(self, sim8):
+        first = sim8(RunTimeApproach(), seed=11)
+        second = sim8(RunTimeApproach(), seed=11)
         assert first.overhead_percent == pytest.approx(second.overhead_percent)
         assert first.metrics.total_loads == second.metrics.total_loads
 
-    def test_different_seeds_differ(self, workload):
-        first = simulate(workload, 8, NoPrefetchApproach(),
-                         iterations=ITERATIONS, seed=1)
-        second = simulate(workload, 8, NoPrefetchApproach(),
-                          iterations=ITERATIONS, seed=2)
+    def test_shared_exploration_matches_fresh_exploration(self, workload,
+                                                          sim8):
+        """A precomputed design_result changes nothing about the metrics."""
+        shared = sim8(RunTimeApproach(), iterations=10, seed=11)
+        fresh = simulate(workload, 8, RunTimeApproach(),
+                         iterations=10, seed=11)
+        assert fresh.metrics == shared.metrics
+
+    def test_different_seeds_differ(self, sim8):
+        first = sim8(NoPrefetchApproach(), seed=1)
+        second = sim8(NoPrefetchApproach(), seed=2)
         assert first.metrics.total_ideal_time != \
             pytest.approx(second.metrics.total_ideal_time)
 
-    def test_trace_collection(self, workload):
+    def test_trace_collection(self, workload, multimedia_design8):
         platform = Platform(tile_count=8,
                             reconfiguration_latency=workload.reconfiguration_latency)
         config = SimulationConfig(iterations=5, seed=1, collect_trace=True)
         simulator = SystemSimulator(workload, platform, NoPrefetchApproach(),
-                                    config)
+                                    config,
+                                    design_result=multimedia_design8)
         result = simulator.run()
         assert result.trace is not None
         assert len(result.trace) == result.metrics.task_executions
         assert "task" in result.trace.format_table()
 
-    def test_iteration_records_structure(self, workload):
-        result = simulate(workload, 8, NoPrefetchApproach(),
-                          iterations=10, seed=5)
+    def test_iteration_records_structure(self, sim8):
+        result = sim8(NoPrefetchApproach(), iterations=10, seed=5)
         assert len(result.iterations) == 10
         for iteration in result.iterations:
             assert iteration.tasks
@@ -97,33 +116,31 @@ class TestBasicRuns:
 
 
 class TestReuseDynamics:
-    def test_more_tiles_more_reuse(self, workload):
-        small = simulate(workload, 8, RunTimeApproach(),
-                         iterations=ITERATIONS, seed=3)
-        large = simulate(workload, 16, RunTimeApproach(),
-                         iterations=ITERATIONS, seed=3)
+    def test_more_tiles_more_reuse(self, sim8, sim16):
+        small = sim8(RunTimeApproach())
+        large = sim16(RunTimeApproach())
         assert large.metrics.reuse_rate > small.metrics.reuse_rate
         assert large.overhead_percent <= small.overhead_percent + 0.5
 
-    def test_state_wipe_kills_reuse(self, workload):
+    def test_state_wipe_kills_reuse(self, workload, multimedia_design16):
         platform = Platform(tile_count=16,
                             reconfiguration_latency=workload.reconfiguration_latency)
         persistent = SystemSimulator(
             workload, platform, RunTimeApproach(),
             SimulationConfig(iterations=ITERATIONS, seed=3),
+            design_result=multimedia_design16,
         ).run()
         wiped = SystemSimulator(
             workload, platform, RunTimeApproach(),
             SimulationConfig(iterations=ITERATIONS, seed=3,
                              keep_state_between_iterations=False),
+            design_result=multimedia_design16,
         ).run()
         assert wiped.metrics.reuse_rate < persistent.metrics.reuse_rate
 
-    def test_intertask_reduces_overhead(self, workload):
-        plain = simulate(workload, 8, RunTimeApproach(),
-                         iterations=ITERATIONS, seed=3)
-        intertask = simulate(workload, 8, RunTimeInterTaskApproach(),
-                             iterations=ITERATIONS, seed=3)
+    def test_intertask_reduces_overhead(self, sim8):
+        plain = sim8(RunTimeApproach())
+        intertask = sim8(RunTimeInterTaskApproach())
         assert intertask.overhead_percent < plain.overhead_percent
 
 
