@@ -12,10 +12,13 @@ import pytest
 
 from repro.platform.description import Platform
 from repro.reuse.reuse import ReuseModule
-from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.base import PrefetchProblem, SchedulerStats
 from repro.scheduling.evaluator import replay_schedule
 from repro.scheduling.list_scheduler import ListScheduler
-from repro.scheduling.prefetch_bb import OptimalPrefetchScheduler
+from repro.scheduling.prefetch_bb import (
+    BranchAndBoundScheduler,
+    OptimalPrefetchScheduler,
+)
 from repro.sim.approaches import HybridApproach
 from repro.sim.simulator import SimulationConfig, SystemSimulator
 from repro.workloads.multimedia import (
@@ -53,6 +56,55 @@ def test_branch_and_bound_search(benchmark):
     scheduler = OptimalPrefetchScheduler()
     result = benchmark(scheduler.schedule, problem)
     assert result.overhead >= 0.0
+    stats = result.stats
+    benchmark.extra_info.update(
+        evaluations=stats.evaluations,
+        states_extended=stats.states_extended,
+        nodes_pruned_bound=stats.nodes_pruned_bound,
+        nodes_pruned_dominance=stats.nodes_pruned_dominance,
+    )
+
+
+@pytest.mark.benchmark(group="substrate")
+def test_branch_and_bound_corpus_pruning(benchmark):
+    """The regression corpus (Figure-6/7 graphs at tight tile budgets).
+
+    Prints the per-problem pruning efficacy so the incremental search
+    stays observable: ``evals`` counts complete schedules reached (the
+    seed engine replayed hundreds to hundreds of thousands per problem,
+    see ``BENCH_schedulers.json``'s ``seed_evaluations``), ``ext`` the
+    incremental state extensions, ``pb``/``pd`` the subtrees cut by the
+    lower bound and by prefix dominance.
+    """
+    import check_regression
+
+    problems = check_regression.corpus_problems()
+
+    def run_corpus():
+        return [(name, BranchAndBoundScheduler().schedule(problem))
+                for name, problem in problems]
+
+    results = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
+    print()
+    print(f"{'problem':26s} {'loads':>5s} {'evals':>6s} {'ext':>6s} "
+          f"{'pruned:bound':>12s} {'pruned:dom':>10s}")
+    totals = SchedulerStats()
+    for name, result in results:
+        stats = result.stats
+        totals = totals.merged(stats)
+        print(f"{name:26s} {result.load_count:5d} {stats.evaluations:6d} "
+              f"{stats.states_extended:6d} {stats.nodes_pruned_bound:12d} "
+              f"{stats.nodes_pruned_dominance:10d}")
+        assert result.overhead >= 0.0
+    print(f"{'TOTAL':26s} {'':5s} {totals.evaluations:6d} "
+          f"{totals.states_extended:6d} {totals.nodes_pruned_bound:12d} "
+          f"{totals.nodes_pruned_dominance:10d}")
+    benchmark.extra_info.update(
+        evaluations=totals.evaluations,
+        states_extended=totals.states_extended,
+        nodes_pruned_bound=totals.nodes_pruned_bound,
+        nodes_pruned_dominance=totals.nodes_pruned_dominance,
+    )
 
 
 @pytest.mark.benchmark(group="substrate")

@@ -1,0 +1,224 @@
+"""Scheduler performance regression check against a committed baseline.
+
+``BENCH_schedulers.json`` (checked into ``benchmarks/``) records, for a
+fixed corpus of branch-and-bound problems (the Figure-6/7 workload graphs
+at small tile budgets plus 9-load random instances — the historical
+``DEFAULT_EXACT_LIMIT`` frontier):
+
+* the deterministic search counters (``evaluations`` — complete schedules
+  reached, ``states_extended``, pruning counters) and the optimal
+  makespans, which must match **exactly**: any drift is a semantic change
+  to the search engine and must be reviewed (and the baseline regenerated
+  deliberately);
+* wall-clock times on the machine that generated the baseline, checked
+  with a >20 % slowdown budget (plus a small absolute floor to absorb
+  scheduler noise on sub-second corpora);
+* the evaluation counts of the *seed* engine (the pre-kernel search that
+  replayed full priority orders at the leaves), used to assert the
+  headline ``>= 5x`` reduction in evaluated leaves.
+
+Run ``python benchmarks/check_regression.py`` to regenerate the baseline
+after an intentional engine change; the slow-marked test in
+``tests/test_bench_regression.py`` runs :func:`run_check` in the suite.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+from repro.graphs.generators import ExecutionTimeModel, random_dag
+from repro.platform.description import Platform
+from repro.scheduling.base import PrefetchProblem
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.prefetch_bb import BranchAndBoundScheduler
+from repro.workloads.multimedia import (
+    jpeg_decoder_graph,
+    mpeg_encoder_graph,
+    parallel_jpeg_graph,
+    pattern_recognition_graph,
+)
+
+#: Committed baseline location.
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_schedulers.json"
+
+#: Reconfiguration latency of the corpus problems (the paper's 4 ms).
+LATENCY = 4.0
+
+#: Allowed wall-clock slowdown versus the baseline total (20 %).
+SLOWDOWN_LIMIT = 1.20
+
+#: Absolute slack (ms) added to the wall-time budget: sub-second corpora
+#: otherwise fail on scheduler noise alone.
+WALL_FLOOR_MS = 250.0
+
+#: Required reduction in evaluated leaves versus the seed engine.
+LEAF_REDUCTION_FACTOR = 5.0
+
+
+def _nine_load_graph(seed: int):
+    """A 9-subtask random DAG: the historical exact-limit frontier."""
+    return random_dag(
+        "nine_loads", count=9, edge_probability=0.3,
+        time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+        seed=seed,
+    )
+
+
+#: The corpus: (name, graph factory, tile count).  Multimedia graphs at the
+#: small tile budgets are where the Figure-6/7 exploration actually runs the
+#: exact engine hard (at 8 tiles the list seed is already optimal).
+CORPUS: List[Tuple[str, Callable, int]] = [
+    ("pattern_recognition@1t", pattern_recognition_graph, 1),
+    ("pattern_recognition@2t", pattern_recognition_graph, 2),
+    ("jpeg_decoder@1t", jpeg_decoder_graph, 1),
+    ("parallel_jpeg@1t", parallel_jpeg_graph, 1),
+    ("parallel_jpeg@2t", parallel_jpeg_graph, 2),
+    ("mpeg_encoder_B@1t", lambda: mpeg_encoder_graph("B"), 1),
+    ("mpeg_encoder_B@2t", lambda: mpeg_encoder_graph("B"), 2),
+    ("nine_loads_s0@2t", lambda: _nine_load_graph(0), 2),
+    ("nine_loads_s1@3t", lambda: _nine_load_graph(1), 3),
+    ("nine_loads_s2@2t", lambda: _nine_load_graph(2), 2),
+]
+
+
+def corpus_problems() -> List[Tuple[str, PrefetchProblem]]:
+    """Instantiate the benchmark corpus."""
+    problems = []
+    for name, factory, tiles in CORPUS:
+        placed = build_initial_schedule(
+            factory(), Platform(tile_count=tiles,
+                                reconfiguration_latency=LATENCY)
+        )
+        problems.append((name, PrefetchProblem(placed, LATENCY)))
+    return problems
+
+
+def measure(repeats: int = 3) -> Dict[str, Dict[str, object]]:
+    """Run the corpus; per entry, counters plus best-of-``repeats`` wall time."""
+    entries: Dict[str, Dict[str, object]] = {}
+    for name, problem in corpus_problems():
+        scheduler = BranchAndBoundScheduler()
+        best_wall = None
+        result = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            result = scheduler.schedule(problem)
+            elapsed = (time.perf_counter() - start) * 1000.0
+            best_wall = elapsed if best_wall is None else min(best_wall,
+                                                             elapsed)
+        stats = result.stats
+        entries[name] = {
+            "loads": problem.load_count,
+            "makespan": result.makespan,
+            "evaluations": stats.evaluations,
+            "states_extended": stats.states_extended,
+            "nodes_pruned_bound": stats.nodes_pruned_bound,
+            "nodes_pruned_dominance": stats.nodes_pruned_dominance,
+            "wall_ms": round(best_wall, 3),
+        }
+    return entries
+
+
+def run_check(baseline_path: Path = BASELINE_PATH,
+              repeats: int = 3) -> List[str]:
+    """Compare a fresh measurement against the baseline; return failures."""
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot read baseline {baseline_path}: {exc}"]
+    recorded = baseline.get("entries", {})
+    measured = measure(repeats=repeats)
+    failures: List[str] = []
+
+    if set(recorded) != set(measured):
+        failures.append(
+            f"corpus drifted: baseline has {sorted(recorded)}, "
+            f"measured {sorted(measured)}; regenerate the baseline"
+        )
+        return failures
+
+    for name, entry in measured.items():
+        reference = recorded[name]
+        for counter in ("loads", "evaluations", "states_extended",
+                        "nodes_pruned_bound", "nodes_pruned_dominance"):
+            if entry[counter] != reference[counter]:
+                failures.append(
+                    f"{name}: {counter} changed "
+                    f"{reference[counter]} -> {entry[counter]} "
+                    "(semantic engine change; regenerate the baseline "
+                    "deliberately if intended)"
+                )
+        if abs(entry["makespan"] - reference["makespan"]) > 1e-6:
+            failures.append(
+                f"{name}: optimal makespan changed "
+                f"{reference['makespan']} -> {entry['makespan']}"
+            )
+
+    baseline_wall = sum(e["wall_ms"] for e in recorded.values())
+    measured_wall = sum(e["wall_ms"] for e in measured.values())
+    budget = baseline_wall * SLOWDOWN_LIMIT + WALL_FLOOR_MS
+    if measured_wall > budget:
+        failures.append(
+            f"corpus wall time regressed: {measured_wall:.1f} ms vs "
+            f"baseline {baseline_wall:.1f} ms "
+            f"(budget {budget:.1f} ms = x{SLOWDOWN_LIMIT} + "
+            f"{WALL_FLOOR_MS:.0f} ms floor)"
+        )
+
+    seed_evaluations = baseline.get("seed_evaluations", {})
+    seed_total = sum(seed_evaluations.get(name, 0) for name in measured)
+    measured_total = sum(entry["evaluations"] for entry in measured.values())
+    if seed_total and measured_total * LEAF_REDUCTION_FACTOR > seed_total:
+        failures.append(
+            f"evaluated-leaf reduction lost: {measured_total} leaves vs "
+            f"{seed_total} seed evaluations "
+            f"(need >= {LEAF_REDUCTION_FACTOR}x fewer)"
+        )
+    return failures
+
+
+def regenerate(baseline_path: Path = BASELINE_PATH,
+               seed_evaluations: Dict[str, int] = None) -> Dict[str, object]:
+    """Measure and write a fresh baseline, preserving seed counters."""
+    previous_seed: Dict[str, int] = {}
+    if seed_evaluations is not None:
+        previous_seed = dict(seed_evaluations)
+    elif baseline_path.exists():
+        try:
+            previous = json.loads(baseline_path.read_text(encoding="utf-8"))
+            previous_seed = dict(previous.get("seed_evaluations", {}))
+        except (OSError, ValueError):
+            previous_seed = {}
+    baseline = {
+        "format": 1,
+        "description": (
+            "Branch-and-bound corpus baseline: deterministic search "
+            "counters plus wall times from the machine that generated it. "
+            "seed_evaluations records the leaf replays of the pre-kernel "
+            "engine for the >=5x reduction check. Regenerate with "
+            "'python benchmarks/check_regression.py'."
+        ),
+        "latency_ms": LATENCY,
+        "entries": measure(),
+        "seed_evaluations": previous_seed,
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=1, sort_keys=True)
+                             + "\n", encoding="utf-8")
+    return baseline
+
+
+if __name__ == "__main__":
+    fresh = regenerate()
+    total_wall = sum(e["wall_ms"] for e in fresh["entries"].values())
+    total_evals = sum(e["evaluations"] for e in fresh["entries"].values())
+    seed_total = sum(fresh["seed_evaluations"].get(name, 0)
+                     for name in fresh["entries"])
+    print(f"baseline written to {BASELINE_PATH}")
+    print(f"corpus wall time: {total_wall:.1f} ms, "
+          f"evaluated leaves: {total_evals}"
+          + (f" (seed engine: {seed_total}, "
+             f"reduction x{seed_total / max(1, total_evals):.1f})"
+             if seed_total else ""))

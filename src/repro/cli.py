@@ -16,9 +16,11 @@ available programmatically through :mod:`repro.experiments`.
 
 The simulation sweeps run through :mod:`repro.runner`: ``--jobs N`` fans
 the sweep out over N worker processes (``--jobs 0`` picks one per CPU)
-and ``--cache-dir PATH`` memoizes completed sweep points so a rerun with
-the same parameters returns instantly.  Both keep results bit-identical
-to a sequential uncached run.
+and ``--cache-dir PATH`` memoizes completed sweep points — and, under
+``PATH/explorations``, the TCM design-time explorations — so a rerun with
+the same parameters returns instantly and even partially-warm sweeps skip
+the Pareto-curve generation.  Both keep results bit-identical to a
+sequential uncached run.
 """
 
 from __future__ import annotations
@@ -82,8 +84,9 @@ def build_parser() -> argparse.ArgumentParser:
     def add_cache_flag(subparser) -> None:
         subparser.add_argument(
             "--cache-dir", default=None, metavar="PATH",
-            help="directory memoizing completed sweep points; a warm "
-                 "rerun with identical parameters skips simulation",
+            help="directory memoizing completed sweep points and TCM "
+                 "design-time explorations; a warm rerun with identical "
+                 "parameters skips simulation and exploration",
         )
 
     table1 = subparsers.add_parser("table1", help="Regenerate Table 1")

@@ -27,6 +27,8 @@ are one :class:`SweepSpec` away.
 
 from .cache import (
     CACHE_FORMAT_VERSION,
+    EXPLORATION_FORMAT_VERSION,
+    ExplorationCache,
     ResultCache,
     metrics_from_dict,
     metrics_to_dict,
@@ -51,6 +53,8 @@ from .spec import (
 __all__ = [
     "ApproachSpec",
     "CACHE_FORMAT_VERSION",
+    "EXPLORATION_FORMAT_VERSION",
+    "ExplorationCache",
     "ResultCache",
     "SweepEngine",
     "SweepOutcome",

@@ -1,31 +1,71 @@
-"""Content-addressed result cache for sweep points.
+"""Content-addressed on-disk caches for sweep execution.
 
-Every completed :class:`~repro.runner.spec.SweepPoint` can be memoized as
-one JSON file named after the point's :meth:`cache_key`.  The file stores
-the full point payload next to the metrics, so a lookup only trusts an
-entry whose recorded payload matches the requested point exactly — a hash
-collision, a stale format or a hand-edited file all fall back to
-recomputation.  Loads never raise on bad entries: a corrupted or partial
-file (e.g. an interrupted writer from a crashed run) is treated as a miss
-and silently overwritten by the fresh result.  Writes are atomic
-(temp file + :func:`os.replace`) so concurrent sweeps sharing a cache
-directory can never observe a torn entry.
+Two kinds of entries live here:
+
+* :class:`ResultCache` memoizes the final metrics of every completed
+  :class:`~repro.runner.spec.SweepPoint` as one JSON file named after the
+  point's :meth:`cache_key`.
+* :class:`ExplorationCache` memoizes the TCM design-time exploration of a
+  (workload spec, tile count) group, so a warm sweep skips the Pareto-curve
+  generation — not just the final simulation — entirely.
+
+Both stores follow the same trust model: the file records the full request
+payload next to the data, so a lookup only trusts an entry whose recorded
+payload matches the request exactly — a hash collision, a stale format or a
+hand-edited file all fall back to recomputation.  Loads never raise on bad
+entries: a corrupted or partial file (e.g. an interrupted writer from a
+crashed run) is treated as a miss and silently overwritten by the fresh
+result.  Writes are atomic (temp file + :func:`os.replace`) so concurrent
+sweeps sharing a cache directory can never observe a torn entry.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..errors import ReproError
+from ..platform.description import Platform
 from ..sim.metrics import SimulationMetrics
-from .spec import SweepPoint
+from ..tcm.design_time import (
+    TcmDesignTimeResult,
+    exploration_from_dict,
+    exploration_to_dict,
+)
+from .spec import SPEC_FORMAT_VERSION, SweepPoint, WorkloadSpec
 
-#: Bump when the on-disk representation of an entry changes.
-CACHE_FORMAT_VERSION = 1
+#: Bump when the on-disk representation of an entry changes — or when the
+#: simulation semantics behind identical payloads change (e.g. version 2:
+#: ``DEFAULT_EXACT_LIMIT`` rose from 9 to 12, so points over workloads with
+#: 10–12-load graphs produce different metrics than version-1 entries).
+CACHE_FORMAT_VERSION = 2
+
+#: Bump when the on-disk representation of an exploration changes.
+EXPLORATION_FORMAT_VERSION = 1
+
+
+def _atomic_write_json(directory: Path, path: Path,
+                       entry: Dict[str, object]) -> Path:
+    """Write ``entry`` to ``path`` atomically (temp file + rename)."""
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(entry, stream, sort_keys=True, indent=1)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
 
 #: Expected type of every metrics field (int fields must not become floats
 #: through a lossy or corrupted cache entry).
@@ -93,27 +133,20 @@ class ResultCache:
             "point": point.payload(),
             "metrics": metrics_to_dict(metrics),
         }
-        handle, temp_name = tempfile.mkstemp(
-            dir=str(self.directory), prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(handle, "w", encoding="utf-8") as stream:
-                json.dump(entry, stream, sort_keys=True, indent=1)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        return _atomic_write_json(self.directory, path, entry)
 
     def __len__(self) -> int:
         """Number of (well-named) entries currently in the directory."""
         return sum(1 for _ in self.directory.glob("*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns how many files were removed."""
+        """Delete every entry; returns how many files were removed.
+
+        The engine co-locates the design-time exploration store under
+        ``<directory>/explorations`` — clearing the results also clears
+        those entries, so "invalidate the cache" means the whole cache.
+        (``len()`` still counts only point results.)
+        """
         removed = 0
         for path in self.directory.glob("*.json"):
             try:
@@ -121,4 +154,77 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        exploration_dir = self.directory / "explorations"
+        if exploration_dir.is_dir():
+            for path in exploration_dir.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed
+
+
+class ExplorationCache:
+    """A directory of memoized TCM design-time explorations.
+
+    The exploration of one (workload spec, tile count) group is
+    deterministic — the workload builds from its registry name plus frozen
+    options, and the platform derives from the tile count and the
+    workload's reconfiguration latency — so the serialized Pareto curves
+    can be trusted as long as the recorded request payload matches.  This
+    closes the gap the JSON result cache left open: a warm sweep used to
+    skip the simulations but still redo every exploration.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _payload(workload: WorkloadSpec, tile_count: int) -> Dict[str, object]:
+        """Canonical description of one exploration request."""
+        return {
+            "format": EXPLORATION_FORMAT_VERSION,
+            "spec_format": SPEC_FORMAT_VERSION,
+            "workload": {"name": workload.name,
+                         "options": [list(pair)
+                                     for pair in workload.options]},
+            "tile_count": tile_count,
+        }
+
+    def path_for(self, workload: WorkloadSpec, tile_count: int) -> Path:
+        """Path of the entry that would hold this exploration."""
+        canonical = json.dumps(self._payload(workload, tile_count),
+                               sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return self.directory / f"explore-{digest}.json"
+
+    def load(self, workload: WorkloadSpec, tile_count: int,
+             platform: Platform) -> Optional[TcmDesignTimeResult]:
+        """Return the cached exploration, or ``None`` on any miss.
+
+        Corrupted, partial, stale-format or mismatched entries are treated
+        exactly like absent ones — never trusted, never raised.  Every
+        placed schedule is revalidated while rebuilding, so a tampered
+        entry cannot produce an inconsistent exploration.
+        """
+        path = self.path_for(workload, tile_count)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("request") != self._payload(workload, tile_count):
+                return None
+            return exploration_from_dict(data["exploration"], platform)
+        except (OSError, ValueError, KeyError, TypeError, AttributeError,
+                ReproError):
+            return None
+
+    def store(self, workload: WorkloadSpec, tile_count: int,
+              result: TcmDesignTimeResult) -> Path:
+        """Atomically persist one exploration; returns the path."""
+        path = self.path_for(workload, tile_count)
+        entry = {
+            "request": self._payload(workload, tile_count),
+            "exploration": exploration_to_dict(result),
+        }
+        return _atomic_write_json(self.directory, path, entry)

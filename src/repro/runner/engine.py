@@ -34,6 +34,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
+from pathlib import Path
 from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
                     Tuple, Union)
 
@@ -42,7 +44,7 @@ from ..platform.description import Platform
 from ..sim.metrics import SimulationMetrics
 from ..sim.simulator import SystemSimulator
 from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
-from .cache import ResultCache
+from .cache import ExplorationCache, ResultCache
 from .spec import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
 
 
@@ -54,24 +56,43 @@ def default_jobs() -> int:
 # --------------------------------------------------------------------- #
 # Worker-side execution (top-level functions: must be picklable)
 # --------------------------------------------------------------------- #
-def explore_platform(workload_spec: WorkloadSpec, tile_count: int
+def explore_platform(workload_spec: WorkloadSpec, tile_count: int,
+                     exploration_dir: Optional[str] = None
                      ) -> Tuple[object, Platform, TcmDesignTimeResult]:
-    """Build (workload, platform, design-time exploration) for one group."""
+    """Build (workload, platform, design-time exploration) for one group.
+
+    With ``exploration_dir`` set, the exploration is memoized on disk
+    through :class:`~repro.runner.cache.ExplorationCache`: a warm sweep
+    loads the stored Pareto curves instead of re-running the design-time
+    scheduler for the group.
+    """
     workload = workload_spec.build()
     platform = Platform(
         tile_count=tile_count,
         reconfiguration_latency=workload.reconfiguration_latency,
     )
+    if exploration_dir is not None:
+        cache = ExplorationCache(exploration_dir)
+        design = cache.load(workload_spec, tile_count, platform)
+        if design is None:
+            design = TcmDesignTimeScheduler(platform).explore(
+                workload.task_set
+            )
+            cache.store(workload_spec, tile_count, design)
+        return workload, platform, design
     explorer = TcmDesignTimeScheduler(platform)
     return workload, platform, explorer.explore(workload.task_set)
 
 
-def run_group(points: Sequence[SweepPoint]) -> List[SimulationMetrics]:
+def run_group(points: Sequence[SweepPoint],
+              exploration_dir: Optional[str] = None
+              ) -> List[SimulationMetrics]:
     """Run every point of one (workload, tile count) group.
 
     The group shares a single workload instance, platform and TCM
-    design-time exploration; each point still gets a fresh approach
-    object (approaches carry per-run design-time state).
+    design-time exploration (optionally memoized in ``exploration_dir``);
+    each point still gets a fresh approach object (approaches carry
+    per-run design-time state).
     """
     if not points:
         return []
@@ -83,7 +104,8 @@ def run_group(points: Sequence[SweepPoint]) -> List[SimulationMetrics]:
                 f"{head.workload.label}@{head.tile_count}t"
             )
     workload, platform, design = explore_platform(head.workload,
-                                                  head.tile_count)
+                                                  head.tile_count,
+                                                  exploration_dir)
     metrics: List[SimulationMetrics] = []
     for point in points:
         simulator = SystemSimulator(
@@ -236,6 +258,14 @@ class SweepEngine:
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
+        # Design-time explorations persist next to the point results: a warm
+        # sweep that still has to compute some points (new seed, new
+        # approach) at a known (workload, tile count) group then skips the
+        # exploration too.
+        self.exploration_dir: Optional[str] = (
+            str(Path(cache.directory) / "explorations")
+            if cache is not None else None
+        )
 
     # ------------------------------------------------------------------ #
     def run(self, spec: Union[SweepSpec, Sequence[SweepPoint]]
@@ -279,11 +309,12 @@ class SweepEngine:
                     ) -> Iterable[Tuple[List[SweepPoint],
                                         List[SimulationMetrics]]]:
         """Run every group, in parallel when it pays off."""
+        runner = partial(run_group, exploration_dir=self.exploration_dir)
         workers = min(self.max_workers, len(groups))
         if workers > 1:
             try:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(zip(groups, pool.map(run_group, groups)))
+                    return list(zip(groups, pool.map(runner, groups)))
             except (OSError, PermissionError, ImportError):
                 pass  # no subprocess support here: fall through to inline
-        return [(group, run_group(group)) for group in groups]
+        return [(group, runner(group)) for group in groups]

@@ -19,6 +19,7 @@ from .prefetch_bb import (
     OptimalPrefetchScheduler,
 )
 from .prefetch_list import ListPrefetchScheduler, PRIORITY_METRICS
+from .replay import ReplayState, priority_rank
 from .schedule import (
     ExecutionEntry,
     LoadEntry,
@@ -49,6 +50,7 @@ __all__ = [
     "PrefetchProblem",
     "PrefetchResult",
     "PrefetchScheduler",
+    "ReplayState",
     "ResourceId",
     "ResourceKind",
     "SchedulerStats",
@@ -58,6 +60,7 @@ __all__ = [
     "build_initial_schedule",
     "isp_resource",
     "needed_loads",
+    "priority_rank",
     "replay_schedule",
     "tile_resource",
 ]

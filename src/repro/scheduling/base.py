@@ -97,17 +97,36 @@ class SchedulerStats:
     every task execution, whereas the hybrid heuristic only performs a
     handful of set-membership checks at run-time.  ``operations`` counts the
     elementary scheduling decisions taken (comparisons / evaluations), and
-    ``evaluations`` the number of full schedule replays, so experiments can
-    report the run-time cost without depending on wall-clock noise.
+    ``evaluations`` the number of complete-schedule evaluations (full
+    replays, or leaves reached by the incremental branch-and-bound search),
+    so experiments can report the run-time cost without depending on
+    wall-clock noise.
+
+    The remaining counters make the branch-and-bound pruning efficacy
+    observable: ``states_extended`` counts the incremental
+    :meth:`~repro.scheduling.replay.ReplayState.extend` steps performed,
+    ``nodes_pruned_bound`` the subtrees cut by the admissible lower bound
+    and ``nodes_pruned_dominance`` the subtrees cut by the prefix-dominance
+    table.  They stay zero for the non-exact schedulers.
     """
 
     operations: int = 0
     evaluations: int = 0
+    states_extended: int = 0
+    nodes_pruned_bound: int = 0
+    nodes_pruned_dominance: int = 0
 
     def merged(self, other: "SchedulerStats") -> "SchedulerStats":
         """Combine two stats records."""
-        return SchedulerStats(operations=self.operations + other.operations,
-                              evaluations=self.evaluations + other.evaluations)
+        return SchedulerStats(
+            operations=self.operations + other.operations,
+            evaluations=self.evaluations + other.evaluations,
+            states_extended=self.states_extended + other.states_extended,
+            nodes_pruned_bound=(self.nodes_pruned_bound
+                                + other.nodes_pruned_bound),
+            nodes_pruned_dominance=(self.nodes_pruned_dominance
+                                    + other.nodes_pruned_dominance),
+        )
 
 
 @dataclass(frozen=True)

@@ -20,27 +20,21 @@ The function returns a :class:`~repro.scheduling.schedule.TimedSchedule`
 recording every load and execution together with the binding constraint of
 every start time, which the critical-subtask selection uses to find the
 subtasks "that generate delays".
+
+Since the introduction of the incremental replay kernel this is a thin
+wrapper over :class:`repro.scheduling.replay.ReplayState`: the state is
+driven to completion with the greedy dispatcher in place, so every caller
+of this function — the list heuristics, the no-prefetch baseline, the
+hybrid run-time phase and the simulator — shares one timing engine with
+the stateful branch-and-bound search.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Optional, Sequence
 
-from ..errors import InfeasibleScheduleError, SchedulingError
-from ..graphs.subtask import ResourceClass
-from .schedule import (
-    ExecutionEntry,
-    LoadEntry,
-    PlacedSchedule,
-    ResourceId,
-    StartConstraint,
-    TIME_EPSILON,
-    TimedSchedule,
-)
-
-#: Signature of an optional communication-latency callback:
-#: ``(producer, consumer, producer_resource, consumer_resource) -> latency``.
-CommunicationFn = Callable[[str, str, ResourceId, ResourceId], float]
+from .replay import CommunicationFn, ReplayState, priority_rank
+from .schedule import PlacedSchedule, TimedSchedule
 
 
 def replay_schedule(placed: PlacedSchedule,
@@ -86,178 +80,17 @@ def replay_schedule(placed: PlacedSchedule,
         Optional callback adding inter-resource communication latency
         between a producer finishing and a consumer becoming ready.
     """
-    if reconfiguration_latency < 0:
-        raise SchedulingError("reconfiguration latency must be non-negative")
-    graph = placed.graph
-
-    drhw_names = set(placed.drhw_names)
-    pending_loads: Set[str] = set()
-    for name in loads_needed:
-        placed.placement(name)
-        if name in drhw_names:
-            pending_loads.add(name)
-
-    controller_time = max(release_time,
-                          controller_available if controller_available is not None
-                          else release_time)
-
-    explicit_rank: Dict[str, int] = {}
-    if priority_order is not None:
-        for index, name in enumerate(priority_order):
-            explicit_rank.setdefault(name, index)
-    fallback_base = len(explicit_rank)
-    fallback_order = sorted(
-        (name for name in pending_loads if name not in explicit_rank),
-        key=lambda n: (placed.ideal_start(n), n),
-    )
-    rank = dict(explicit_rank)
-    for offset, name in enumerate(fallback_order):
-        rank[name] = fallback_base + offset
-
-    resource_sequences: Dict[ResourceId, List[str]] = {
-        resource: placed.resource_order(resource)
-        for resource in placed.resources
-    }
-    next_index: Dict[ResourceId, int] = {r: 0 for r in resource_sequences}
-    resource_free: Dict[ResourceId, float] = {r: release_time
-                                              for r in resource_sequences}
-
-    executions: Dict[str, ExecutionEntry] = {}
-    load_finish: Dict[str, float] = {}
-    load_entries: List[LoadEntry] = []
-
-    total = len(graph)
-
-    def predecessor_ready_time(name: str, resource: ResourceId) -> float:
-        ready = release_time
-        for predecessor in graph.predecessors(name):
-            finish = executions[predecessor].finish
-            if communication is not None:
-                finish += communication(predecessor, name,
-                                        executions[predecessor].resource,
-                                        resource)
-            ready = max(ready, finish)
-        return ready
-
-    def executable_head(resource: ResourceId) -> Optional[str]:
-        sequence = resource_sequences[resource]
-        index = next_index[resource]
-        if index >= len(sequence):
-            return None
-        name = sequence[index]
-        if any(p not in executions for p in graph.predecessors(name)):
-            return None
-        if name in pending_loads:
-            return None
-        return name
-
-    def execute(name: str, resource: ResourceId) -> None:
-        ready = predecessor_ready_time(name, resource)
-        free = resource_free[resource]
-        load_done = load_finish.get(name)
-        candidates: List[Tuple[StartConstraint, float]] = [
-            (StartConstraint.RELEASE, release_time),
-            (StartConstraint.PREDECESSOR, ready),
-            (StartConstraint.RESOURCE, free),
-        ]
-        if load_done is not None:
-            candidates.append((StartConstraint.LOAD, load_done))
-        start = max(value for _, value in candidates)
-        constraint = StartConstraint.RELEASE
-        for kind, value in candidates:
-            if value >= start - TIME_EPSILON:
-                constraint = kind
-                break
-        # Prefer reporting LOAD only when it is strictly the binding reason.
-        if constraint is not StartConstraint.LOAD and load_done is not None:
-            non_load_max = max(value for kind, value in candidates
-                               if kind is not StartConstraint.LOAD)
-            if load_done > non_load_max + TIME_EPSILON:
-                constraint = StartConstraint.LOAD
-        execution_time = graph.execution_time(name)
-        entry = ExecutionEntry(
-            subtask=name,
-            resource=resource,
-            start=start,
-            finish=start + execution_time,
-            constraint=constraint,
-            ideal_start=release_time + placed.ideal_start(name),
-        )
-        executions[name] = entry
-        resource_free[resource] = entry.finish
-        next_index[resource] += 1
-
-    def issuable_loads() -> List[Tuple[str, float]]:
-        found: List[Tuple[str, float]] = []
-        for name in pending_loads:
-            resource = placed.resource_of(name)
-            if placed.position_on_resource(name) != next_index[resource]:
-                continue
-            enable = resource_free[resource]
-            if on_demand:
-                if any(p not in executions for p in graph.predecessors(name)):
-                    continue
-                enable = max(enable, predecessor_ready_time(name, resource))
-            found.append((name, enable))
-        return found
-
-    while len(executions) < total:
-        progressed = False
-        while True:
-            ready_names = []
-            for resource in resource_sequences:
-                head = executable_head(resource)
-                if head is not None:
-                    ready_names.append((head, resource))
-            if not ready_names:
-                break
-            for name, resource in ready_names:
-                execute(name, resource)
-                progressed = True
-        if len(executions) >= total:
-            break
-
-        candidates = issuable_loads()
-        if candidates:
-            horizon = max(controller_time,
-                          min(enable for _, enable in candidates))
-            enabled = [(name, enable) for name, enable in candidates
-                       if enable <= horizon + TIME_EPSILON]
-            name, enable = min(
-                enabled,
-                key=lambda item: (rank.get(item[0], len(rank)), item[1], item[0]),
-            )
-            start = max(controller_time, enable)
-            finish = start + reconfiguration_latency
-            resource = placed.resource_of(name)
-            load_entries.append(
-                LoadEntry(
-                    subtask=name,
-                    configuration=graph.subtask(name).configuration,
-                    resource=resource,
-                    start=start,
-                    finish=finish,
-                )
-            )
-            load_finish[name] = finish
-            controller_time = finish
-            pending_loads.discard(name)
-            progressed = True
-
-        if not progressed:
-            blocked = sorted(set(graph.subtask_names) - set(executions))
-            raise InfeasibleScheduleError(
-                f"schedule replay for graph {graph.name!r} stalled; blocked "
-                f"subtasks: {blocked}"
-            )
-
-    return TimedSchedule(
-        placed=placed,
-        executions=executions,
-        loads=tuple(load_entries),
+    state = ReplayState.start(
+        placed,
+        reconfiguration_latency,
+        loads_needed,
+        on_demand=on_demand,
         release_time=release_time,
-        controller_start=controller_time if not load_entries else load_entries[0].start,
+        controller_available=controller_available,
+        communication=communication,
     )
+    rank = priority_rank(placed, state.pending_loads, priority_order)
+    return state.run(rank).finish()
 
 
 def needed_loads(placed: PlacedSchedule,

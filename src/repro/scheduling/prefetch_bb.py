@@ -5,7 +5,7 @@ algorithm that always finds the optimal solution and for large graphs we
 keep the heuristic presented in [7] since it generates near optimal
 schedules in an affordable time" (Section 5).  This module provides both:
 
-* :class:`BranchAndBoundScheduler` exhaustively explores load priority
+* :class:`BranchAndBoundScheduler` exhaustively explores load dispatch
   orders (with pruning) and returns the order whose greedy dispatch yields
   the smallest makespan.
 * :class:`OptimalPrefetchScheduler` applies branch and bound up to a
@@ -17,6 +17,33 @@ the greedy single-port dispatcher of
 :func:`repro.scheduling.evaluator.replay_schedule`; that is the same
 schedule space the heuristics draw from, so the branch-and-bound result is a
 true lower bound for them.
+
+The search is *incremental*: instead of replaying every candidate order
+from time zero at the leaves, it carries a
+:class:`~repro.scheduling.replay.ReplayState` down the depth-first tree and
+branches over the dispatcher's horizon-enabled load choices, which
+enumerate exactly the priority-order schedule space (see the replay-kernel
+invariants).  Three prunings keep the tree small:
+
+* an **admissible lower bound** built from the prefix's *actual* port-free
+  time, the realized finish floors of the executed subtasks and the
+  per-load earliest-enable floors;
+* a **prefix-dominance table**: two prefixes over the same remaining-load
+  set whose dispatcher states are indistinguishable for the future
+  (:meth:`~repro.scheduling.replay.ReplayState.signature`) share one
+  subtree, and among them only the one with the smallest realized makespan
+  needs exploring.  Note that *pointwise-earlier* states must **not** be
+  pruned against: the non-idling dispatcher restricts the choice set of an
+  earlier state (an earlier-enabled low-priority load can be forced ahead
+  of a critical one), so an earlier prefix can be strictly worse — only
+  future-identical states are comparable;
+* **incumbent seeding** with the list heuristic so pruning bites from the
+  first node.
+
+The incremental search evaluates one state per tree edge in
+``O(affected subtasks)`` instead of ``O(n)`` full replays per leaf, which
+is what allows :data:`DEFAULT_EXACT_LIMIT` to rise from the historical 9
+loads to 12.
 """
 
 from __future__ import annotations
@@ -28,11 +55,14 @@ from ..graphs.analysis import subtask_weights
 from .base import PrefetchProblem, PrefetchResult, PrefetchScheduler, SchedulerStats
 from .evaluator import replay_schedule
 from .prefetch_list import ListPrefetchScheduler
+from .replay import ReplayState
 from .schedule import TIME_EPSILON, TimedSchedule
 
 #: Problem sizes (number of loads) up to which exhaustive search is attempted
-#: by default.  9! = 362 880 permutations is still fast with pruning.
-DEFAULT_EXACT_LIMIT = 9
+#: by default.  The incremental replay kernel plus realized-state bounds and
+#: prefix dominance keep 12-load searches cheaper than the old 9-load limit
+#: was with leaf replays (see benchmarks/BENCH_schedulers.json).
+DEFAULT_EXACT_LIMIT = 12
 
 
 class BranchAndBoundScheduler(PrefetchScheduler):
@@ -44,6 +74,9 @@ class BranchAndBoundScheduler(PrefetchScheduler):
         self.exact_limit = exact_limit
         self._evaluations = 0
         self._operations = 0
+        self._states_extended = 0
+        self._pruned_bound = 0
+        self._pruned_dominance = 0
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
         loads = list(problem.loads)
@@ -54,6 +87,9 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             )
         self._evaluations = 0
         self._operations = 0
+        self._states_extended = 0
+        self._pruned_bound = 0
+        self._pruned_dominance = 0
 
         seed = ListPrefetchScheduler("ideal-start").load_order(problem)
         best_timed = self._evaluate(problem, seed)
@@ -65,8 +101,13 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                                         best_order, best_timed)
             best_order, best_timed = order, timed
 
-        stats = SchedulerStats(operations=self._operations,
-                               evaluations=self._evaluations)
+        stats = SchedulerStats(
+            operations=self._operations,
+            evaluations=self._evaluations,
+            states_extended=self._states_extended,
+            nodes_pruned_bound=self._pruned_bound,
+            nodes_pruned_dominance=self._pruned_dominance,
+        )
         return PrefetchResult(problem=problem, timed=best_timed,
                               load_order=best_order, stats=stats,
                               scheduler_name=self.name)
@@ -89,59 +130,110 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 best_order: Tuple[str, ...],
                 best_timed: TimedSchedule
                 ) -> Tuple[Tuple[str, ...], TimedSchedule]:
-        """Depth-first exploration of load orders with pruning."""
+        """Depth-first exploration of load dispatch orders with pruning."""
+        placed = problem.placed
         latency = problem.reconfiguration_latency
         release = problem.release_time
-        controller_start = max(
-            release,
-            problem.controller_available if problem.controller_available is not None
-            else release,
-        )
-        best_makespan = best_timed.makespan
+        ideal_floor = release + placed.makespan
+        ideal_start = {name: placed.ideal_start(name) for name in loads}
+        # Earliest time each load's tile can possibly become reconfigurable:
+        # the ideal finish of the subtask preceding it on the tile (eager
+        # placed schedules never run earlier than their ideal times).
+        enable_floor: Dict[str, float] = {}
+        for name in loads:
+            previous = placed.previous_on_resource(name)
+            enable_floor[name] = release + (placed.ideal_finish(previous)
+                                            if previous is not None else 0.0)
 
-        def lower_bound(prefix_count: int, remaining: List[str]) -> float:
+        best_makespan = best_timed.makespan
+        best_state: Optional[ReplayState] = None
+        # Prefix-dominance table: future-identical dispatcher states keyed by
+        # their replay signature, valued by the best realized makespan seen.
+        seen: Dict[Tuple, float] = {}
+
+        def lower_bound(state: ReplayState, remaining: frozenset) -> float:
             """Admissible bound on the absolute makespan of any completion.
 
-            The k-th load still to be issued cannot finish before
-            ``controller_start + (prefix_count + k + 1) * latency`` and the
-            graph cannot finish before that load's subtask plus its longest
-            successor chain have run.  Pairing the largest weights with the
-            earliest possible finishes gives a valid lower bound.
+            The k-th load still to be issued cannot finish before the
+            prefix's realized port-free time plus ``k + 1`` latencies — nor
+            before its own tile's earliest-enable floor plus one latency —
+            and the graph cannot finish before that load's subtask plus its
+            longest successor chain have run.  Pairing the largest weights
+            with the earliest possible port slots gives a valid lower
+            bound; the realized floors of the executed prefix
+            (``critical_floor``) sharpen it further.
             """
-            bound = release + problem.placed.makespan
-            ordered = sorted((weights[name] for name in remaining), reverse=True)
+            bound = ideal_floor
+            floor = state.critical_floor
+            if floor > bound:
+                bound = floor
+            port = state.controller_time
+            ordered = sorted((weights[name] for name in remaining),
+                             reverse=True)
             for position, weight in enumerate(ordered):
-                finish_floor = (controller_start
-                                + (prefix_count + position + 1) * latency)
-                bound = max(bound, finish_floor + weight)
+                candidate = port + (position + 1) * latency + weight
+                if candidate > bound:
+                    bound = candidate
+            for name in remaining:
+                start_floor = enable_floor[name]
+                if port > start_floor:
+                    start_floor = port
+                candidate = start_floor + latency + weights[name]
+                if candidate > bound:
+                    bound = candidate
             return bound
 
-        def recurse(prefix: List[str], remaining: List[str]) -> None:
-            nonlocal best_order, best_timed, best_makespan
+        def recurse(state: ReplayState) -> None:
+            nonlocal best_makespan, best_state
             self._operations += 1
+            remaining = state.pending_loads
             if not remaining:
-                timed = self._evaluate(problem, prefix)
-                if timed.makespan < best_makespan - TIME_EPSILON:
-                    best_makespan = timed.makespan
-                    best_order = tuple(prefix)
-                    best_timed = timed
+                # Complete schedule: the prefix *is* the evaluation — no
+                # replay from time zero happens here.
+                self._evaluations += 1
+                makespan = state.makespan
+                if makespan < best_makespan - TIME_EPSILON:
+                    best_makespan = makespan
+                    best_state = state
                 return
-            if lower_bound(len(prefix), remaining) >= best_makespan - TIME_EPSILON:
+            if lower_bound(state, remaining) >= best_makespan - TIME_EPSILON:
+                self._pruned_bound += 1
                 return
+            signature = state.signature()
+            realized = state.makespan
+            previous = seen.get(signature)
+            if previous is not None and realized >= previous - TIME_EPSILON:
+                self._pruned_dominance += 1
+                return
+            seen[signature] = realized
             # Explore the most promising loads first (earliest ideal start)
             # so that good incumbents are found early and pruning bites.
-            ordered = sorted(
-                remaining,
-                key=lambda n: (problem.placed.ideal_start(n), -weights[n], n),
+            choices = sorted(
+                state.choices(),
+                key=lambda item: (ideal_start[item[0]],
+                                  -weights[item[0]], item[0]),
             )
-            for name in ordered:
-                rest = [other for other in remaining if other != name]
-                prefix.append(name)
-                recurse(prefix, rest)
-                prefix.pop()
+            if not choices:
+                raise SchedulingError(
+                    f"branch and bound stalled with pending loads "
+                    f"{sorted(remaining)} on graph {placed.graph.name!r}"
+                )
+            for name, enable in choices:
+                self._states_extended += 1
+                recurse(state.extend_choice(name, enable))
 
-        recurse([], loads)
-        return best_order, best_timed
+        root = ReplayState.start(
+            placed,
+            latency,
+            loads,
+            release_time=release,
+            controller_available=problem.controller_available,
+            weights=weights,
+        )
+        recurse(root)
+        if best_state is None:
+            return best_order, best_timed
+        return best_state.load_sequence, best_state.finish()
 
 
 class OptimalPrefetchScheduler(PrefetchScheduler):

@@ -18,9 +18,13 @@ the TCM run-time scheduler selects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.hybrid import HybridPrefetchHeuristic
+from ..core.serialization import (
+    placed_schedule_from_dict,
+    placed_schedule_to_dict,
+)
 from ..core.store import DesignTimeStore
 from ..errors import ConfigurationError
 from ..graphs.analysis import max_parallelism
@@ -115,6 +119,67 @@ class TcmDesignTimeResult:
             store = hybrid.build_store(self.schedules())
             self._store_cache[key] = store
         return store
+
+
+# ---------------------------------------------------------------------- #
+# (De)serialization — used by the runner's on-disk exploration cache
+# ---------------------------------------------------------------------- #
+def exploration_to_dict(result: TcmDesignTimeResult) -> Dict[str, Any]:
+    """Convert an exploration result into a JSON-serializable dictionary.
+
+    Only the curves are stored: the platform is cheap to rebuild and the
+    memoized design stores are pure caches over the curves.
+    """
+    curves = []
+    for (task_name, scenario_name), curve in sorted(result.curves.items()):
+        curves.append({
+            "task": task_name,
+            "scenario": scenario_name,
+            "points": [
+                {
+                    "key": point.key,
+                    "execution_time": point.execution_time,
+                    "energy": point.energy,
+                    "tile_count": point.tile_count,
+                    "placed": placed_schedule_to_dict(point.placed),
+                }
+                for point in curve
+            ],
+        })
+    return {"curves": curves}
+
+
+def exploration_from_dict(payload: Dict[str, Any],
+                          platform: Platform) -> TcmDesignTimeResult:
+    """Rebuild an exploration result written by :func:`exploration_to_dict`.
+
+    Every placed schedule is revalidated by its constructor, so a corrupted
+    payload raises :class:`~repro.errors.ConfigurationError` (or a schedule
+    validation error) instead of producing a silently broken exploration.
+    """
+    result = TcmDesignTimeResult(platform=platform)
+    try:
+        for curve_payload in payload["curves"]:
+            task_name = str(curve_payload["task"])
+            scenario_name = str(curve_payload["scenario"])
+            points = [
+                ParetoPoint(
+                    key=str(item["key"]),
+                    execution_time=float(item["execution_time"]),
+                    energy=float(item["energy"]),
+                    tile_count=int(item["tile_count"]),
+                    placed=placed_schedule_from_dict(item["placed"]),
+                )
+                for item in curve_payload["points"]
+            ]
+            result.curves[(task_name, scenario_name)] = ParetoCurve(
+                task_name, scenario_name, points
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed design-time exploration payload: {exc}"
+        ) from exc
+    return result
 
 
 class TcmDesignTimeScheduler:

@@ -1,0 +1,432 @@
+"""Tests for the incremental replay kernel (:mod:`repro.scheduling.replay`).
+
+The central guarantee is *bit-identity*: driving a
+:class:`~repro.scheduling.replay.ReplayState` load by load must produce
+exactly the schedule the monolithic replay produced before the kernel
+existed.  To pin that against the historical behaviour (not just against
+the current wrapper), this module carries a verbatim copy of the seed's
+monolithic ``replay_schedule`` as a reference implementation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InfeasibleScheduleError, SchedulingError
+from repro.graphs.analysis import subtask_weights
+from repro.graphs.generators import ExecutionTimeModel, random_dag
+from repro.platform.description import Platform
+from repro.scheduling.evaluator import replay_schedule
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.replay import ReplayState, priority_rank
+from repro.scheduling.schedule import (
+    ExecutionEntry,
+    LoadEntry,
+    PlacedSchedule,
+    ResourceId,
+    StartConstraint,
+    TIME_EPSILON,
+    TimedSchedule,
+)
+
+
+# ---------------------------------------------------------------------- #
+# Reference: the seed's monolithic replay loop, copied verbatim
+# ---------------------------------------------------------------------- #
+def reference_replay_schedule(placed: PlacedSchedule,
+                              reconfiguration_latency: float,
+                              loads_needed,
+                              priority_order: Optional[Sequence[str]] = None,
+                              *,
+                              on_demand: bool = False,
+                              release_time: float = 0.0,
+                              controller_available: Optional[float] = None,
+                              communication=None) -> TimedSchedule:
+    """The pre-kernel monolithic replay (regression oracle)."""
+    if reconfiguration_latency < 0:
+        raise SchedulingError("reconfiguration latency must be non-negative")
+    graph = placed.graph
+
+    drhw_names = set(placed.drhw_names)
+    pending_loads: Set[str] = set()
+    for name in loads_needed:
+        placed.placement(name)
+        if name in drhw_names:
+            pending_loads.add(name)
+
+    controller_time = max(release_time,
+                          controller_available if controller_available is not None
+                          else release_time)
+
+    explicit_rank: Dict[str, int] = {}
+    if priority_order is not None:
+        for index, name in enumerate(priority_order):
+            explicit_rank.setdefault(name, index)
+    fallback_base = len(explicit_rank)
+    fallback_order = sorted(
+        (name for name in pending_loads if name not in explicit_rank),
+        key=lambda n: (placed.ideal_start(n), n),
+    )
+    rank = dict(explicit_rank)
+    for offset, name in enumerate(fallback_order):
+        rank[name] = fallback_base + offset
+
+    resource_sequences: Dict[ResourceId, List[str]] = {
+        resource: placed.resource_order(resource)
+        for resource in placed.resources
+    }
+    next_index: Dict[ResourceId, int] = {r: 0 for r in resource_sequences}
+    resource_free: Dict[ResourceId, float] = {r: release_time
+                                              for r in resource_sequences}
+
+    executions: Dict[str, ExecutionEntry] = {}
+    load_finish: Dict[str, float] = {}
+    load_entries: List[LoadEntry] = []
+
+    total = len(graph)
+
+    def predecessor_ready_time(name: str, resource: ResourceId) -> float:
+        ready = release_time
+        for predecessor in graph.predecessors(name):
+            finish = executions[predecessor].finish
+            if communication is not None:
+                finish += communication(predecessor, name,
+                                        executions[predecessor].resource,
+                                        resource)
+            ready = max(ready, finish)
+        return ready
+
+    def executable_head(resource: ResourceId) -> Optional[str]:
+        sequence = resource_sequences[resource]
+        index = next_index[resource]
+        if index >= len(sequence):
+            return None
+        name = sequence[index]
+        if any(p not in executions for p in graph.predecessors(name)):
+            return None
+        if name in pending_loads:
+            return None
+        return name
+
+    def execute(name: str, resource: ResourceId) -> None:
+        ready = predecessor_ready_time(name, resource)
+        free = resource_free[resource]
+        load_done = load_finish.get(name)
+        candidates: List[Tuple[StartConstraint, float]] = [
+            (StartConstraint.RELEASE, release_time),
+            (StartConstraint.PREDECESSOR, ready),
+            (StartConstraint.RESOURCE, free),
+        ]
+        if load_done is not None:
+            candidates.append((StartConstraint.LOAD, load_done))
+        start = max(value for _, value in candidates)
+        constraint = StartConstraint.RELEASE
+        for kind, value in candidates:
+            if value >= start - TIME_EPSILON:
+                constraint = kind
+                break
+        if constraint is not StartConstraint.LOAD and load_done is not None:
+            non_load_max = max(value for kind, value in candidates
+                               if kind is not StartConstraint.LOAD)
+            if load_done > non_load_max + TIME_EPSILON:
+                constraint = StartConstraint.LOAD
+        execution_time = graph.execution_time(name)
+        entry = ExecutionEntry(
+            subtask=name,
+            resource=resource,
+            start=start,
+            finish=start + execution_time,
+            constraint=constraint,
+            ideal_start=release_time + placed.ideal_start(name),
+        )
+        executions[name] = entry
+        resource_free[resource] = entry.finish
+        next_index[resource] += 1
+
+    def issuable_loads() -> List[Tuple[str, float]]:
+        found: List[Tuple[str, float]] = []
+        for name in pending_loads:
+            resource = placed.resource_of(name)
+            if placed.position_on_resource(name) != next_index[resource]:
+                continue
+            enable = resource_free[resource]
+            if on_demand:
+                if any(p not in executions for p in graph.predecessors(name)):
+                    continue
+                enable = max(enable, predecessor_ready_time(name, resource))
+            found.append((name, enable))
+        return found
+
+    while len(executions) < total:
+        progressed = False
+        while True:
+            ready_names = []
+            for resource in resource_sequences:
+                head = executable_head(resource)
+                if head is not None:
+                    ready_names.append((head, resource))
+            if not ready_names:
+                break
+            for name, resource in ready_names:
+                execute(name, resource)
+                progressed = True
+        if len(executions) >= total:
+            break
+
+        candidates = issuable_loads()
+        if candidates:
+            horizon = max(controller_time,
+                          min(enable for _, enable in candidates))
+            enabled = [(name, enable) for name, enable in candidates
+                       if enable <= horizon + TIME_EPSILON]
+            name, enable = min(
+                enabled,
+                key=lambda item: (rank.get(item[0], len(rank)), item[1], item[0]),
+            )
+            start = max(controller_time, enable)
+            finish = start + reconfiguration_latency
+            resource = placed.resource_of(name)
+            load_entries.append(
+                LoadEntry(
+                    subtask=name,
+                    configuration=graph.subtask(name).configuration,
+                    resource=resource,
+                    start=start,
+                    finish=finish,
+                )
+            )
+            load_finish[name] = finish
+            controller_time = finish
+            pending_loads.discard(name)
+            progressed = True
+
+        if not progressed:
+            blocked = sorted(set(graph.subtask_names) - set(executions))
+            raise InfeasibleScheduleError(
+                f"schedule replay for graph {graph.name!r} stalled; blocked "
+                f"subtasks: {blocked}"
+            )
+
+    return TimedSchedule(
+        placed=placed,
+        executions=executions,
+        loads=tuple(load_entries),
+        release_time=release_time,
+        controller_start=controller_time if not load_entries else load_entries[0].start,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Helpers
+# ---------------------------------------------------------------------- #
+def assert_bit_identical(left: TimedSchedule, right: TimedSchedule) -> None:
+    """Strict structural equality, including entry insertion order."""
+    assert list(left.executions) == list(right.executions)
+    assert left.executions == right.executions
+    assert left.loads == right.loads
+    assert left.release_time == right.release_time
+    assert left.controller_start == right.controller_start
+
+
+def incremental_replay(placed: PlacedSchedule, latency: float, loads,
+                       priority_order=None, *, on_demand=False,
+                       release_time=0.0, controller_available=None
+                       ) -> TimedSchedule:
+    """Drive the kernel one public ``extend`` at a time (greedy picks)."""
+    state = ReplayState.start(
+        placed, latency, loads, on_demand=on_demand,
+        release_time=release_time, controller_available=controller_available,
+    )
+    rank = priority_rank(placed, state.pending_loads, priority_order)
+    fallback = len(rank)
+    states = [state]
+    while not state.is_complete:
+        choices = state.choices()
+        assert choices, "kernel stalled where the dispatcher would not"
+        name, _ = min(choices,
+                      key=lambda item: (rank.get(item[0], fallback),
+                                        item[1], item[0]))
+        state = state.extend(name)
+        states.append(state)
+    # Earlier snapshots must remain untouched by the extensions.
+    for earlier, later in zip(states, states[1:]):
+        assert len(later.executions) >= len(earlier.executions)
+        assert set(earlier.load_sequence).issubset(set(later.load_sequence))
+    return state.finish()
+
+
+#: Problem instances: (subtask count, edge probability, seed, tiles, latency).
+problem_params = st.tuples(
+    st.integers(min_value=1, max_value=9),
+    st.floats(min_value=0.0, max_value=0.7),
+    st.integers(min_value=0, max_value=5000),
+    st.integers(min_value=1, max_value=10),
+    st.floats(min_value=0.0, max_value=8.0),
+)
+
+
+def build_placed(params):
+    count, probability, seed, tiles, latency = params
+    graph = random_dag("replay", count=count, edge_probability=probability,
+                       time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+                       seed=seed)
+    placed = build_initial_schedule(graph, Platform(tile_count=tiles))
+    return placed, latency
+
+
+def shuffled_order(placed, order_seed):
+    loads = sorted(placed.drhw_names)
+    random.Random(order_seed).shuffle(loads)
+    return tuple(loads)
+
+
+# ---------------------------------------------------------------------- #
+# Property tests: bit-identity across the three replay paths
+# ---------------------------------------------------------------------- #
+class TestBitIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(params=problem_params, order_seed=st.integers(0, 1000),
+           on_demand=st.booleans(),
+           release=st.floats(min_value=0.0, max_value=50.0),
+           controller_offset=st.floats(min_value=-5.0, max_value=30.0))
+    def test_incremental_matches_monolithic_and_reference(
+            self, params, order_seed, on_demand, release, controller_offset):
+        """Kernel-driven, wrapper and seed-reference replays are identical."""
+        placed, latency = build_placed(params)
+        order = shuffled_order(placed, order_seed)
+        kwargs = dict(
+            priority_order=order,
+            on_demand=on_demand,
+            release_time=release,
+            controller_available=release + controller_offset,
+        )
+        reference = reference_replay_schedule(placed, latency,
+                                              placed.drhw_names, **kwargs)
+        monolithic = replay_schedule(placed, latency, placed.drhw_names,
+                                     **kwargs)
+        incremental = incremental_replay(placed, latency, placed.drhw_names,
+                                         **kwargs)
+        assert_bit_identical(monolithic, reference)
+        assert_bit_identical(incremental, reference)
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=problem_params, reuse_seed=st.integers(0, 1000))
+    def test_partial_load_sets_match_reference(self, params, reuse_seed):
+        """Identity also holds when only a subset of loads is needed."""
+        placed, latency = build_placed(params)
+        drhw = sorted(placed.drhw_names)
+        rng = random.Random(reuse_seed)
+        loads = [name for name in drhw if rng.random() < 0.6]
+        reference = reference_replay_schedule(placed, latency, loads)
+        monolithic = replay_schedule(placed, latency, loads)
+        incremental = incremental_replay(placed, latency, loads)
+        assert_bit_identical(monolithic, reference)
+        assert_bit_identical(incremental, reference)
+
+    @settings(max_examples=30, deadline=None)
+    @given(params=problem_params)
+    def test_no_priority_order_falls_back_identically(self, params):
+        """The ideal-start fallback ranking matches the reference."""
+        placed, latency = build_placed(params)
+        reference = reference_replay_schedule(placed, latency,
+                                              placed.drhw_names)
+        monolithic = replay_schedule(placed, latency, placed.drhw_names)
+        assert_bit_identical(monolithic, reference)
+
+
+# ---------------------------------------------------------------------- #
+# Kernel unit tests
+# ---------------------------------------------------------------------- #
+class TestReplayState:
+    def _state(self, chain4, latency=4.0, **kwargs):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        return placed, ReplayState.start(placed, latency, placed.drhw_names,
+                                         **kwargs)
+
+    def test_negative_latency_rejected(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        with pytest.raises(SchedulingError):
+            ReplayState.start(placed, -1.0, placed.drhw_names)
+
+    def test_unknown_load_rejected(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        with pytest.raises(Exception):
+            ReplayState.start(placed, 4.0, ["ghost"])
+
+    def test_extend_rejects_non_choice(self, chain4):
+        # On a single tile the chain shares one queue: only the first
+        # subtask's load is at the tile head.
+        placed = build_initial_schedule(chain4, Platform(tile_count=1))
+        state = ReplayState.start(placed, 4.0, placed.drhw_names)
+        choice_names = {name for name, _ in state.choices()}
+        assert choice_names == {"s0"}
+        with pytest.raises(SchedulingError):
+            state.extend("s2")
+
+    def test_extend_does_not_mutate_parent(self, chain4):
+        _, state = self._state(chain4)
+        pending_before = state.pending_loads
+        executed_before = dict(state.executions)
+        child = state.extend("s0")
+        assert state.pending_loads == pending_before
+        assert dict(state.executions) == executed_before
+        assert child.pending_loads == pending_before - {"s0"}
+        assert child.load_sequence == ("s0",)
+
+    def test_finish_requires_completion(self, chain4):
+        _, state = self._state(chain4)
+        with pytest.raises(InfeasibleScheduleError):
+            state.finish()
+
+    def test_complete_without_loads(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        state = ReplayState.start(placed, 4.0, [])
+        assert state.is_complete
+        timed = state.finish()
+        assert timed.load_count == 0
+        assert timed.makespan == pytest.approx(placed.makespan)
+
+    def test_makespan_and_floor_grow_monotonically(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        weights = subtask_weights(placed.graph)
+        state = ReplayState.start(placed, 4.0, placed.drhw_names,
+                                  weights=weights)
+        floors = [state.critical_floor]
+        while not state.is_complete:
+            name, _ = state.choices()[0]
+            state = state.extend(name)
+            floors.append(state.critical_floor)
+        assert floors == sorted(floors)
+        # The floor is admissible: never above the realized makespan at the end.
+        assert floors[-1] <= state.makespan + 1e-9
+
+    def test_signature_collides_for_interchangeable_prefixes(self, diamond):
+        """Permuting two already-consumed loads converges to one signature."""
+        placed = build_initial_schedule(diamond, Platform(tile_count=4))
+        state = ReplayState.start(placed, 1.0, placed.drhw_names)
+        first = {name for name, _ in state.choices()}
+        assert "src" in first
+        after_src = state.extend("src")
+        names = {name for name, _ in after_src.choices()}
+        assert {"left", "right"}.issubset(names)
+        left_right = after_src.extend("left").extend("right")
+        right_left = after_src.extend("right").extend("left")
+        # Both branch loads consumed in either order: once the realized
+        # history that cannot influence later starts is forgotten, the
+        # dispatcher states are indistinguishable for the future.
+        assert left_right.executions == right_left.executions
+        assert left_right.signature() == right_left.signature()
+
+    def test_run_matches_extend_greedy(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        order = tuple(sorted(placed.drhw_names))
+        rank = priority_rank(placed, placed.drhw_names, order)
+        driven = ReplayState.start(placed, 4.0, placed.drhw_names)
+        while not driven.is_complete:
+            driven = driven.extend_greedy(rank)
+        run = ReplayState.start(placed, 4.0, placed.drhw_names).run(rank)
+        assert_bit_identical(driven.finish(), run.finish())

@@ -1,0 +1,51 @@
+"""Scheduler performance regression gate (benchmarks/check_regression.py).
+
+The committed ``benchmarks/BENCH_schedulers.json`` baseline pins the
+branch-and-bound engine's deterministic search counters (which must match
+exactly — they drift only on semantic engine changes), its wall time
+(>20 % slowdown budget) and the >=5x evaluated-leaf reduction versus the
+seed engine.  Regenerate the baseline deliberately with
+``python benchmarks/check_regression.py`` after an intended engine change.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+_BENCHMARKS = Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def _load_check_regression():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", _BENCHMARKS / "check_regression.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_regression", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.slow
+def test_scheduler_corpus_has_not_regressed():
+    module = _load_check_regression()
+    failures = module.run_check()
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.slow
+def test_leaf_reduction_versus_seed_engine():
+    """The headline claim: >=5x fewer evaluated leaves than the seed."""
+    import json
+
+    module = _load_check_regression()
+    baseline = json.loads(module.BASELINE_PATH.read_text(encoding="utf-8"))
+    seed = baseline["seed_evaluations"]
+    measured = module.measure(repeats=1)
+    assert set(seed) == set(measured)
+    seed_total = sum(seed.values())
+    measured_total = sum(entry["evaluations"] for entry in measured.values())
+    assert measured_total * module.LEAF_REDUCTION_FACTOR <= seed_total
