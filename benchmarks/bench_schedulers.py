@@ -62,19 +62,24 @@ def test_branch_and_bound_search(benchmark):
         states_extended=stats.states_extended,
         nodes_pruned_bound=stats.nodes_pruned_bound,
         nodes_pruned_dominance=stats.nodes_pruned_dominance,
+        tt_hits=stats.tt_hits,
+        tt_evictions=stats.tt_evictions,
+        tt_peak_size=stats.tt_peak_size,
+        undo_depth=stats.undo_depth,
     )
 
 
 @pytest.mark.benchmark(group="substrate")
 def test_branch_and_bound_corpus_pruning(benchmark):
-    """The regression corpus (Figure-6/7 graphs at tight tile budgets).
+    """The regression corpus (Figure-6/7 graphs plus 9/12/15-load randoms).
 
-    Prints the per-problem pruning efficacy so the incremental search
-    stays observable: ``evals`` counts complete schedules reached (the
-    seed engine replayed hundreds to hundreds of thousands per problem,
-    see ``BENCH_schedulers.json``'s ``seed_evaluations``), ``ext`` the
-    incremental state extensions, ``pb``/``pd`` the subtrees cut by the
-    lower bound and by prefix dominance.
+    Prints the per-problem pruning efficacy so the memoizing search stays
+    observable: ``evals`` counts complete schedules reached (the seed
+    engine replayed hundreds to hundreds of thousands per problem, see
+    ``BENCH_schedulers.json``'s ``seed_evaluations``), ``ext`` the
+    in-place push steps, ``pb``/``pd`` the subtrees cut by the lower
+    bound and by prefix dominance, ``tt`` the nodes answered from the
+    transposition table and ``peak`` its high-water entry count.
     """
     import check_regression
 
@@ -87,23 +92,30 @@ def test_branch_and_bound_corpus_pruning(benchmark):
     results = benchmark.pedantic(run_corpus, rounds=1, iterations=1)
     print()
     print(f"{'problem':26s} {'loads':>5s} {'evals':>6s} {'ext':>6s} "
-          f"{'pruned:bound':>12s} {'pruned:dom':>10s}")
+          f"{'pruned:bound':>12s} {'pruned:dom':>10s} {'tt':>5s} "
+          f"{'peak':>6s}")
     totals = SchedulerStats()
     for name, result in results:
         stats = result.stats
         totals = totals.merged(stats)
         print(f"{name:26s} {result.load_count:5d} {stats.evaluations:6d} "
               f"{stats.states_extended:6d} {stats.nodes_pruned_bound:12d} "
-              f"{stats.nodes_pruned_dominance:10d}")
+              f"{stats.nodes_pruned_dominance:10d} {stats.tt_hits:5d} "
+              f"{stats.tt_peak_size:6d}")
         assert result.overhead >= 0.0
     print(f"{'TOTAL':26s} {'':5s} {totals.evaluations:6d} "
           f"{totals.states_extended:6d} {totals.nodes_pruned_bound:12d} "
-          f"{totals.nodes_pruned_dominance:10d}")
+          f"{totals.nodes_pruned_dominance:10d} {totals.tt_hits:5d} "
+          f"{totals.tt_peak_size:6d}")
     benchmark.extra_info.update(
         evaluations=totals.evaluations,
         states_extended=totals.states_extended,
         nodes_pruned_bound=totals.nodes_pruned_bound,
         nodes_pruned_dominance=totals.nodes_pruned_dominance,
+        tt_hits=totals.tt_hits,
+        tt_evictions=totals.tt_evictions,
+        tt_peak_size=totals.tt_peak_size,
+        undo_depth=totals.undo_depth,
     )
 
 

@@ -3,19 +3,28 @@
 ``BENCH_schedulers.json`` (checked into ``benchmarks/``) records, for a
 fixed corpus of branch-and-bound problems (the Figure-6/7 workload graphs
 at small tile budgets plus 9-load random instances — the historical
-``DEFAULT_EXACT_LIMIT`` frontier):
+``DEFAULT_EXACT_LIMIT`` frontier — and 12/15-load random instances that
+pin the memoized search's current frontier):
 
 * the deterministic search counters (``evaluations`` — complete schedules
-  reached, ``states_extended``, pruning counters) and the optimal
-  makespans, which must match **exactly**: any drift is a semantic change
-  to the search engine and must be reviewed (and the baseline regenerated
-  deliberately);
+  reached, ``states_extended``, pruning and transposition counters) and
+  the optimal makespans, which must match **exactly**: any drift is a
+  semantic change to the search engine and must be reviewed (and the
+  baseline regenerated deliberately);
 * wall-clock times on the machine that generated the baseline, checked
   with a >20 % slowdown budget (plus a small absolute floor to absorb
   scheduler noise on sub-second corpora);
 * the evaluation counts of the *seed* engine (the pre-kernel search that
   replayed full priority orders at the leaves), used to assert the
-  headline ``>= 5x`` reduction in evaluated leaves.
+  headline ``>= 5x`` reduction in evaluated leaves over the problems the
+  seed engine could still solve;
+* aggregate gates on the memoization itself: the corpus-wide
+  transposition *reuse rate* (table hits plus dominance answers per
+  visited node) must not collapse below :data:`REUSE_RATE_FLOOR` of the
+  baseline's, and the total visited node count must not balloon past
+  :data:`NODE_DRIFT_LIMIT` times the baseline's — both catch "still
+  correct, quietly exponential" engine changes even if someone relaxes
+  the exact counter equality above.
 
 Run ``python benchmarks/check_regression.py`` to regenerate the baseline
 after an intentional engine change; the slow-marked test in
@@ -57,11 +66,47 @@ WALL_FLOOR_MS = 250.0
 #: Required reduction in evaluated leaves versus the seed engine.
 LEAF_REDUCTION_FACTOR = 5.0
 
+#: The measured transposition reuse rate may not drop below this fraction
+#: of the baseline's (reuse = table hits + dominance answers per node).
+REUSE_RATE_FLOOR = 0.8
 
-def _nine_load_graph(seed: int):
-    """A 9-subtask random DAG: the historical exact-limit frontier."""
+#: The measured total node count may not exceed this multiple of the
+#: baseline's.
+NODE_DRIFT_LIMIT = 1.25
+
+#: Search counters that must match the baseline exactly.
+EXACT_COUNTERS = ("loads", "evaluations", "states_extended",
+                  "nodes_pruned_bound", "nodes_pruned_dominance",
+                  "tt_hits", "tt_evictions", "tt_peak_size", "undo_depth")
+
+
+def _random_load_graph(count: int, seed: int):
+    """A ``count``-subtask random DAG at a ``DEFAULT_EXACT_LIMIT`` frontier.
+
+    ``count=9`` is the historical (pre-kernel) frontier, 12 the PR-2
+    incremental-search frontier and 15 the memoized-search frontier.
+    """
+    names = {9: "nine_loads", 12: "twelve_loads", 15: "fifteen_loads"}
     return random_dag(
-        "nine_loads", count=9, edge_probability=0.3,
+        names.get(count, f"{count}_loads"), count=count,
+        edge_probability=0.3,
+        time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+        seed=seed,
+    )
+
+
+def _wide_load_graph(count: int, probability: float, seed: int):
+    """A sparse, wide random DAG: the transposition-heavy problem shape.
+
+    Near-independent loads over several tiles make permuted prefixes
+    converge to shared dispatcher signatures, so these entries keep the
+    table's hit counters (and the reuse-rate gate) non-vacuous — the
+    dense corpus entries above are answered almost entirely by the lower
+    bound and would let a silently broken table pass every exact-equality
+    check with zeros.
+    """
+    return random_dag(
+        f"wide_{count}_loads", count=count, edge_probability=probability,
         time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
         seed=seed,
     )
@@ -69,7 +114,8 @@ def _nine_load_graph(seed: int):
 
 #: The corpus: (name, graph factory, tile count).  Multimedia graphs at the
 #: small tile budgets are where the Figure-6/7 exploration actually runs the
-#: exact engine hard (at 8 tiles the list seed is already optimal).
+#: exact engine hard (at 8 tiles the list seed is already optimal); the
+#: 12/15-load random instances pin the frontier the memoized search opened.
 CORPUS: List[Tuple[str, Callable, int]] = [
     ("pattern_recognition@1t", pattern_recognition_graph, 1),
     ("pattern_recognition@2t", pattern_recognition_graph, 2),
@@ -78,9 +124,17 @@ CORPUS: List[Tuple[str, Callable, int]] = [
     ("parallel_jpeg@2t", parallel_jpeg_graph, 2),
     ("mpeg_encoder_B@1t", lambda: mpeg_encoder_graph("B"), 1),
     ("mpeg_encoder_B@2t", lambda: mpeg_encoder_graph("B"), 2),
-    ("nine_loads_s0@2t", lambda: _nine_load_graph(0), 2),
-    ("nine_loads_s1@3t", lambda: _nine_load_graph(1), 3),
-    ("nine_loads_s2@2t", lambda: _nine_load_graph(2), 2),
+    ("nine_loads_s0@2t", lambda: _random_load_graph(9, 0), 2),
+    ("nine_loads_s1@3t", lambda: _random_load_graph(9, 1), 3),
+    ("nine_loads_s2@2t", lambda: _random_load_graph(9, 2), 2),
+    ("twelve_loads_s0@2t", lambda: _random_load_graph(12, 0), 2),
+    ("twelve_loads_s1@3t", lambda: _random_load_graph(12, 1), 3),
+    ("fifteen_loads_s0@2t", lambda: _random_load_graph(15, 0), 2),
+    ("fifteen_loads_s1@3t", lambda: _random_load_graph(15, 1), 3),
+    ("fifteen_loads_s2@4t", lambda: _random_load_graph(15, 2), 4),
+    ("wide_ten_s0@5t", lambda: _wide_load_graph(10, 0.1, 0), 5),
+    ("wide_ten_s1@5t", lambda: _wide_load_graph(10, 0.1, 1), 5),
+    ("wide_fifteen_s5@8t", lambda: _wide_load_graph(15, 0.0, 5), 8),
 ]
 
 
@@ -114,12 +168,26 @@ def measure(repeats: int = 3) -> Dict[str, Dict[str, object]]:
             "loads": problem.load_count,
             "makespan": result.makespan,
             "evaluations": stats.evaluations,
+            "operations": stats.operations,
             "states_extended": stats.states_extended,
             "nodes_pruned_bound": stats.nodes_pruned_bound,
             "nodes_pruned_dominance": stats.nodes_pruned_dominance,
+            "tt_hits": stats.tt_hits,
+            "tt_evictions": stats.tt_evictions,
+            "tt_peak_size": stats.tt_peak_size,
+            "undo_depth": stats.undo_depth,
             "wall_ms": round(best_wall, 3),
         }
     return entries
+
+
+def _reuse_rate(entries: Dict[str, Dict[str, object]]) -> float:
+    """Corpus-wide fraction of visited nodes answered without exploration."""
+    nodes = sum(int(entry.get("operations", 0)) for entry in entries.values())
+    reused = sum(int(entry.get("tt_hits", 0))
+                 + int(entry.get("nodes_pruned_dominance", 0))
+                 for entry in entries.values())
+    return reused / nodes if nodes else 0.0
 
 
 def run_check(baseline_path: Path = BASELINE_PATH,
@@ -142,9 +210,13 @@ def run_check(baseline_path: Path = BASELINE_PATH,
 
     for name, entry in measured.items():
         reference = recorded[name]
-        for counter in ("loads", "evaluations", "states_extended",
-                        "nodes_pruned_bound", "nodes_pruned_dominance"):
-            if entry[counter] != reference[counter]:
+        for counter in EXACT_COUNTERS:
+            if counter not in reference:
+                failures.append(
+                    f"{name}: baseline lacks counter {counter!r}; "
+                    "regenerate it (python benchmarks/check_regression.py)"
+                )
+            elif entry[counter] != reference[counter]:
                 failures.append(
                     f"{name}: {counter} changed "
                     f"{reference[counter]} -> {entry[counter]} "
@@ -168,14 +240,36 @@ def run_check(baseline_path: Path = BASELINE_PATH,
             f"{WALL_FLOOR_MS:.0f} ms floor)"
         )
 
+    # The seed engine never solved the 12/15-load instances, so the leaf
+    # reduction is asserted over the problems it has recorded counts for.
     seed_evaluations = baseline.get("seed_evaluations", {})
     seed_total = sum(seed_evaluations.get(name, 0) for name in measured)
-    measured_total = sum(entry["evaluations"] for entry in measured.values())
+    measured_total = sum(entry["evaluations"]
+                         for name, entry in measured.items()
+                         if seed_evaluations.get(name, 0))
     if seed_total and measured_total * LEAF_REDUCTION_FACTOR > seed_total:
         failures.append(
             f"evaluated-leaf reduction lost: {measured_total} leaves vs "
             f"{seed_total} seed evaluations "
             f"(need >= {LEAF_REDUCTION_FACTOR}x fewer)"
+        )
+
+    baseline_rate = _reuse_rate(recorded)
+    measured_rate = _reuse_rate(measured)
+    if baseline_rate and measured_rate < baseline_rate * REUSE_RATE_FLOOR:
+        failures.append(
+            f"transposition reuse rate collapsed: {measured_rate:.3f} vs "
+            f"baseline {baseline_rate:.3f} "
+            f"(floor {REUSE_RATE_FLOOR:.0%} of baseline)"
+        )
+    baseline_nodes = sum(int(entry.get("operations", 0))
+                         for entry in recorded.values())
+    measured_nodes = sum(int(entry["operations"])
+                         for entry in measured.values())
+    if baseline_nodes and measured_nodes > baseline_nodes * NODE_DRIFT_LIMIT:
+        failures.append(
+            f"search node count drifted: {measured_nodes} visited nodes vs "
+            f"baseline {baseline_nodes} (limit x{NODE_DRIFT_LIMIT})"
         )
     return failures
 
@@ -195,10 +289,11 @@ def regenerate(baseline_path: Path = BASELINE_PATH,
     baseline = {
         "format": 1,
         "description": (
-            "Branch-and-bound corpus baseline: deterministic search "
-            "counters plus wall times from the machine that generated it. "
-            "seed_evaluations records the leaf replays of the pre-kernel "
-            "engine for the >=5x reduction check. Regenerate with "
+            "Branch-and-bound corpus baseline: deterministic search and "
+            "transposition-table counters plus wall times from the machine "
+            "that generated it. seed_evaluations records the leaf replays "
+            "of the pre-kernel engine (for the problems it could solve) "
+            "for the >=5x reduction check. Regenerate with "
             "'python benchmarks/check_regression.py'."
         ),
         "latency_ms": LATENCY,
@@ -214,11 +309,15 @@ if __name__ == "__main__":
     fresh = regenerate()
     total_wall = sum(e["wall_ms"] for e in fresh["entries"].values())
     total_evals = sum(e["evaluations"] for e in fresh["entries"].values())
-    seed_total = sum(fresh["seed_evaluations"].get(name, 0)
-                     for name in fresh["entries"])
+    seed_names = [name for name in fresh["entries"]
+                  if fresh["seed_evaluations"].get(name, 0)]
+    seed_total = sum(fresh["seed_evaluations"][name] for name in seed_names)
+    seed_leaves = sum(fresh["entries"][name]["evaluations"]
+                      for name in seed_names)
     print(f"baseline written to {BASELINE_PATH}")
     print(f"corpus wall time: {total_wall:.1f} ms, "
-          f"evaluated leaves: {total_evals}"
-          + (f" (seed engine: {seed_total}, "
-             f"reduction x{seed_total / max(1, total_evals):.1f})"
+          f"evaluated leaves: {total_evals}, "
+          f"reuse rate: {_reuse_rate(fresh['entries']):.3f}"
+          + (f" (seed engine: {seed_total} leaves on its corpus, "
+             f"reduction x{seed_total / max(1, seed_leaves):.1f})"
              if seed_total else ""))

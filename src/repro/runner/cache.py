@@ -42,8 +42,11 @@ from .spec import SPEC_FORMAT_VERSION, SweepPoint, WorkloadSpec
 #: Bump when the on-disk representation of an entry changes — or when the
 #: simulation semantics behind identical payloads change (e.g. version 2:
 #: ``DEFAULT_EXACT_LIMIT`` rose from 9 to 12, so points over workloads with
-#: 10–12-load graphs produce different metrics than version-1 entries).
-CACHE_FORMAT_VERSION = 2
+#: 10–12-load graphs produce different metrics than version-1 entries;
+#: version 3: the limit rose again to 15 with the transposition-memoized
+#: exact search, shifting 13–15-load graphs from the heuristic to the
+#: optimum).
+CACHE_FORMAT_VERSION = 3
 
 #: Bump when the on-disk representation of an exploration changes.
 EXPLORATION_FORMAT_VERSION = 1

@@ -104,10 +104,17 @@ class SchedulerStats:
 
     The remaining counters make the branch-and-bound pruning efficacy
     observable: ``states_extended`` counts the incremental
-    :meth:`~repro.scheduling.replay.ReplayState.extend` steps performed,
+    :meth:`~repro.scheduling.replay.ReplayState.push` steps performed,
     ``nodes_pruned_bound`` the subtrees cut by the admissible lower bound
-    and ``nodes_pruned_dominance`` the subtrees cut by the prefix-dominance
-    table.  They stay zero for the non-exact schedulers.
+    and ``nodes_pruned_dominance`` the subtrees cut because a
+    future-identical dispatcher state had already been explored from a
+    no-worse prefix.  The transposition-table counters describe the
+    memoizing search: ``tt_hits`` counts nodes answered from a memoized
+    subtree result (exact reuse or barrier certificate), ``tt_evictions``
+    the entries dropped by the LRU capacity bound, ``tt_peak_size`` the
+    largest number of live table entries and ``undo_depth`` the deepest
+    push stack the search walked (its depth-first frontier).  All of them
+    stay zero for the non-exact schedulers.
     """
 
     operations: int = 0
@@ -115,9 +122,13 @@ class SchedulerStats:
     states_extended: int = 0
     nodes_pruned_bound: int = 0
     nodes_pruned_dominance: int = 0
+    tt_hits: int = 0
+    tt_evictions: int = 0
+    tt_peak_size: int = 0
+    undo_depth: int = 0
 
     def merged(self, other: "SchedulerStats") -> "SchedulerStats":
-        """Combine two stats records."""
+        """Combine two stats records (sums, except high-water marks)."""
         return SchedulerStats(
             operations=self.operations + other.operations,
             evaluations=self.evaluations + other.evaluations,
@@ -126,6 +137,10 @@ class SchedulerStats:
                                 + other.nodes_pruned_bound),
             nodes_pruned_dominance=(self.nodes_pruned_dominance
                                     + other.nodes_pruned_dominance),
+            tt_hits=self.tt_hits + other.tt_hits,
+            tt_evictions=self.tt_evictions + other.tt_evictions,
+            tt_peak_size=max(self.tt_peak_size, other.tt_peak_size),
+            undo_depth=max(self.undo_depth, other.undo_depth),
         )
 
 

@@ -18,36 +18,81 @@ the greedy single-port dispatcher of
 schedule space the heuristics draw from, so the branch-and-bound result is a
 true lower bound for them.
 
-The search is *incremental*: instead of replaying every candidate order
-from time zero at the leaves, it carries a
-:class:`~repro.scheduling.replay.ReplayState` down the depth-first tree and
-branches over the dispatcher's horizon-enabled load choices, which
-enumerate exactly the priority-order schedule space (see the replay-kernel
-invariants).  Three prunings keep the tree small:
+The search walks the dispatch tree depth-first **on a single**
+:class:`~repro.scheduling.replay.ReplayState` using the kernel's
+``push``/``pop`` undo log — one ``O(affected entries)`` state mutation per
+tree edge, no snapshot copies — and branches over the dispatcher's
+horizon-enabled load choices, which enumerate exactly the priority-order
+schedule space (see the replay-kernel invariants).  Four mechanisms keep
+the tree small:
 
 * an **admissible lower bound** built from the prefix's *actual* port-free
   time, the realized finish floors of the executed subtasks and the
   per-load earliest-enable floors;
-* a **prefix-dominance table**: two prefixes over the same remaining-load
-  set whose dispatcher states are indistinguishable for the future
-  (:meth:`~repro.scheduling.replay.ReplayState.signature`) share one
-  subtree, and among them only the one with the smallest realized makespan
-  needs exploring.  Note that *pointwise-earlier* states must **not** be
-  pruned against: the non-idling dispatcher restricts the choice set of an
-  earlier state (an earlier-enabled low-priority load can be forced ahead
-  of a critical one), so an earlier prefix can be strictly worse — only
-  future-identical states are comparable;
+* a **transposition table** memoizing, per replay
+  :meth:`~repro.scheduling.replay.ReplayState.signature`, the best
+  completion *subtree* found below a future-identical state (see
+  "Transposition safety" below), so permuted prefixes that converge to the
+  same dispatcher state share one exploration instead of one per prefix;
+* **prefix dominance** as the degenerate case of the table: a revisit from
+  a no-better realized prefix is answered without any work at all.  Note
+  that *pointwise-earlier* states must **not** be pruned against: the
+  non-idling dispatcher restricts the choice set of an earlier state (an
+  earlier-enabled low-priority load can be forced ahead of a critical
+  one), so an earlier prefix can be strictly worse — only future-identical
+  states are comparable;
 * **incumbent seeding** with the list heuristic so pruning bites from the
   first node.
 
-The incremental search evaluates one state per tree edge in
-``O(affected subtasks)`` instead of ``O(n)`` full replays per leaf, which
-is what allows :data:`DEFAULT_EXACT_LIMIT` to rise from the historical 9
-loads to 12.
+Transposition safety
+--------------------
+Signature-equal states evolve through *identical absolute-time futures*
+(kernel invariant), so a completion makespan from such a state decomposes
+as ``max(realized, F)`` where ``F`` — the **future contribution**, the
+latest finish among executions performed after the state — depends only on
+the signature and the issue suffix.  Memoizing ``F`` would be trivial in
+an exhaustive search; the subtlety is that subtrees are *cut* by the
+incumbent bound, so the table must not present a partially explored
+subtree as exhaustive.  Each entry therefore stores:
+
+``ref``
+    the realized makespan of the prefix the subtree was explored from,
+``barrier``
+    the incumbent makespan at the moment that exploration *returned*,
+``future``/``suffix``
+    the smallest future contribution found below, and the issue suffix
+    achieving it (``inf``/``None`` when every branch was cut).
+
+The entry invariant (provable by induction over the DFS, using that the
+incumbent only decreases): **if ``ref < barrier``, every completion from a
+signature-equal state has ``F >= min(future, barrier)``** — a completion
+lost to a bound cut satisfied ``max(ref, F) >= incumbent-at-cut >=
+barrier``, and ``ref < barrier`` forces ``F >= barrier``.  A revisit with
+realized makespan ``r`` is then answered without exploration:
+
+* ``r >= ref`` — classic prefix dominance: the memoized suffix (if any) is
+  still achievable, and nothing below can beat what the ``ref``-visit
+  already accounted for;
+* ``r < ref`` and ``future < barrier`` — **exact reuse**: the optimum
+  below is exactly ``max(r, future)``, achieved by replaying ``suffix``;
+* ``r < ref`` and ``future >= barrier`` — **barrier certificate**: every
+  completion has ``F >= barrier >= current incumbent``, so nothing below
+  can improve it;
+* only ``ref >= barrier`` (the incumbent overtook the prefix mid-subtree,
+  voiding the invariant's premise) forces a re-exploration, which
+  overwrites the entry.
+
+The table is LRU-bounded (``table_limit``): a pathological instance
+degrades to bound-plus-dominance pruning instead of exhausting memory,
+because losing an entry only ever costs a re-exploration, never
+correctness.  The undo-log walk plus memoized subtrees are what allow
+:data:`DEFAULT_EXACT_LIMIT` to rise from 12 (PR 2's incremental search)
+to 15 loads.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
@@ -59,24 +104,45 @@ from .replay import ReplayState
 from .schedule import TIME_EPSILON, TimedSchedule
 
 #: Problem sizes (number of loads) up to which exhaustive search is attempted
-#: by default.  The incremental replay kernel plus realized-state bounds and
-#: prefix dominance keep 12-load searches cheaper than the old 9-load limit
-#: was with leaf replays (see benchmarks/BENCH_schedulers.json).
-DEFAULT_EXACT_LIMIT = 12
+#: by default.  The undo-log replay kernel plus the memoizing transposition
+#: table keep 15-load searches affordable (random worst cases stay under the
+#: ~2 s the 12-load limit needed before memoization; see
+#: benchmarks/BENCH_schedulers.json).
+DEFAULT_EXACT_LIMIT = 15
+
+#: Default LRU capacity of the transposition table (entries).  A 15-load
+#: problem has at most 2^15 pending-set classes, each with a handful of
+#: timing contexts; one million entries covers every corpus instance with
+#: room to spare while bounding worst-case memory to a few hundred MB.
+DEFAULT_TABLE_LIMIT = 1 << 20
+
+_INF = float("inf")
+_NEG_INF = float("-inf")
 
 
 class BranchAndBoundScheduler(PrefetchScheduler):
-    """Exhaustive search over load orders with lower-bound pruning."""
+    """Exhaustive search over load orders with pruning and memoization."""
 
     name = "branch-and-bound"
 
-    def __init__(self, exact_limit: Optional[int] = None) -> None:
+    def __init__(self, exact_limit: Optional[int] = None,
+                 table_limit: Optional[int] = DEFAULT_TABLE_LIMIT) -> None:
+        if table_limit is not None and table_limit < 0:
+            raise SchedulingError("table_limit must be non-negative or None")
         self.exact_limit = exact_limit
+        self.table_limit = table_limit
+        self._reset_counters()
+
+    def _reset_counters(self) -> None:
         self._evaluations = 0
         self._operations = 0
         self._states_extended = 0
         self._pruned_bound = 0
         self._pruned_dominance = 0
+        self._tt_hits = 0
+        self._tt_evictions = 0
+        self._tt_peak = 0
+        self._undo_peak = 0
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
         loads = list(problem.loads)
@@ -85,11 +151,7 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 f"branch and bound limited to {self.exact_limit} loads, the "
                 f"problem has {len(loads)}"
             )
-        self._evaluations = 0
-        self._operations = 0
-        self._states_extended = 0
-        self._pruned_bound = 0
-        self._pruned_dominance = 0
+        self._reset_counters()
 
         seed = ListPrefetchScheduler("ideal-start").load_order(problem)
         best_timed = self._evaluate(problem, seed)
@@ -107,6 +169,10 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             states_extended=self._states_extended,
             nodes_pruned_bound=self._pruned_bound,
             nodes_pruned_dominance=self._pruned_dominance,
+            tt_hits=self._tt_hits,
+            tt_evictions=self._tt_evictions,
+            tt_peak_size=self._tt_peak,
+            undo_depth=self._undo_peak,
         )
         return PrefetchResult(problem=problem, timed=best_timed,
                               load_order=best_order, stats=stats,
@@ -130,7 +196,7 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 best_order: Tuple[str, ...],
                 best_timed: TimedSchedule
                 ) -> Tuple[Tuple[str, ...], TimedSchedule]:
-        """Depth-first exploration of load dispatch orders with pruning."""
+        """Depth-first undo-log walk of the dispatch tree with memoization."""
         placed = problem.placed
         latency = problem.reconfiguration_latency
         release = problem.release_time
@@ -146,10 +212,12 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                                             if previous is not None else 0.0)
 
         best_makespan = best_timed.makespan
-        best_state: Optional[ReplayState] = None
-        # Prefix-dominance table: future-identical dispatcher states keyed by
-        # their replay signature, valued by the best realized makespan seen.
-        seen: Dict[Tuple, float] = {}
+        best_sequence: Optional[Tuple[str, ...]] = None
+        # Transposition table: signature -> [ref, barrier, future, suffix]
+        # (see the module docstring for the entry invariant).  An OrderedDict
+        # doubles as the LRU: hits move to the back, evictions pop the front.
+        table: "OrderedDict[Tuple, List]" = OrderedDict()
+        table_limit = self.table_limit
 
         def lower_bound(state: ReplayState, remaining: frozenset) -> float:
             """Admissible bound on the absolute makespan of any completion.
@@ -183,8 +251,17 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                     bound = candidate
             return bound
 
-        def recurse(state: ReplayState) -> None:
-            nonlocal best_makespan, best_state
+        def recurse(state: ReplayState
+                    ) -> Tuple[float, Optional[Tuple[str, ...]]]:
+            """Explore the completions of ``state``'s prefix.
+
+            Returns ``(future, suffix)``: the smallest future contribution
+            (latest finish among executions performed *after* this state)
+            accounted for in this subtree and the issue suffix achieving
+            it, or ``(inf, None)`` when every branch was cut.  Updates the
+            incumbent as completions are reached or reused.
+            """
+            nonlocal best_makespan, best_sequence
             self._operations += 1
             remaining = state.pending_loads
             if not remaining:
@@ -194,18 +271,45 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 makespan = state.makespan
                 if makespan < best_makespan - TIME_EPSILON:
                     best_makespan = makespan
-                    best_state = state
-                return
+                    best_sequence = state.load_sequence
+                return _NEG_INF, ()
             if lower_bound(state, remaining) >= best_makespan - TIME_EPSILON:
                 self._pruned_bound += 1
-                return
+                return _INF, None
             signature = state.signature()
             realized = state.makespan
-            previous = seen.get(signature)
-            if previous is not None and realized >= previous - TIME_EPSILON:
-                self._pruned_dominance += 1
-                return
-            seen[signature] = realized
+            entry = table.get(signature)
+            if entry is not None:
+                table.move_to_end(signature)
+                ref, barrier, future, suffix = entry
+                if realized >= ref - TIME_EPSILON:
+                    # Prefix dominance: a no-worse prefix already explored
+                    # this future; its best suffix stays achievable here.
+                    self._pruned_dominance += 1
+                    return future, suffix
+                if ref < barrier - TIME_EPSILON:
+                    # Entry invariant holds (module docstring): reuse the
+                    # memoized subtree instead of re-walking it.
+                    self._tt_hits += 1
+                    entry[0] = realized
+                    if future < barrier - TIME_EPSILON:
+                        # Exact reuse: optimum below is max(realized, future).
+                        candidate = max(realized, future)
+                        if candidate < best_makespan - TIME_EPSILON:
+                            best_makespan = candidate
+                            best_sequence = state.load_sequence + suffix
+                    # else: barrier certificate — no completion below can
+                    # beat the incumbent (future >= barrier >= incumbent).
+                    return future, suffix
+                # ref >= barrier: the incumbent overtook the reference
+                # prefix mid-subtree, voiding the invariant's premise —
+                # re-explore below and overwrite the entry.
+            best_future = _INF
+            best_suffix: Optional[Tuple[str, ...]] = None
+            if entry is not None and entry[3] is not None:
+                # The previously found suffix remains achievable; seed the
+                # re-exploration's accounting with it.
+                best_future, best_suffix = entry[2], entry[3]
             # Explore the most promising loads first (earliest ideal start)
             # so that good incumbents are found early and pruning bites.
             choices = sorted(
@@ -220,7 +324,25 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 )
             for name, enable in choices:
                 self._states_extended += 1
-                recurse(state.extend_choice(name, enable))
+                delta = state.push_choice(name, enable)
+                if state.undo_depth > self._undo_peak:
+                    self._undo_peak = state.undo_depth
+                child_future, child_suffix = recurse(state)
+                state.pop()
+                if child_suffix is not None:
+                    through = max(delta, child_future)
+                    if through < best_future:
+                        best_future = through
+                        best_suffix = (name,) + child_suffix
+            table[signature] = [realized, best_makespan,
+                                best_future, best_suffix]
+            table.move_to_end(signature)
+            if len(table) > self._tt_peak:
+                self._tt_peak = len(table)
+            if table_limit is not None and len(table) > table_limit:
+                table.popitem(last=False)
+                self._tt_evictions += 1
+            return best_future, best_suffix
 
         root = ReplayState.start(
             placed,
@@ -231,9 +353,21 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             weights=weights,
         )
         recurse(root)
-        if best_state is None:
+        if best_sequence is None:
             return best_order, best_timed
-        return best_state.load_sequence, best_state.finish()
+        # Rebuild the winning schedule by replaying its dispatch sequence on
+        # the (fully unwound) root state; the undo log guarantees the root
+        # is back at its initial snapshot.
+        for name in best_sequence:
+            root.push(name)
+        timed = root.finish()
+        if abs(timed.makespan - best_makespan) > 1e-6:
+            raise SchedulingError(
+                f"transposition reuse produced an inconsistent schedule for "
+                f"graph {placed.graph.name!r}: replayed makespan "
+                f"{timed.makespan!r} != searched {best_makespan!r}"
+            )
+        return best_sequence, timed
 
 
 class OptimalPrefetchScheduler(PrefetchScheduler):
@@ -246,12 +380,13 @@ class OptimalPrefetchScheduler(PrefetchScheduler):
     name = "optimal-prefetch"
 
     def __init__(self, exact_limit: int = DEFAULT_EXACT_LIMIT,
-                 fallback: Optional[PrefetchScheduler] = None) -> None:
+                 fallback: Optional[PrefetchScheduler] = None,
+                 table_limit: Optional[int] = DEFAULT_TABLE_LIMIT) -> None:
         if exact_limit < 0:
             raise SchedulingError("exact_limit must be non-negative")
         self.exact_limit = exact_limit
         self.fallback = fallback or ListPrefetchScheduler("ideal-start")
-        self._exact = BranchAndBoundScheduler()
+        self._exact = BranchAndBoundScheduler(table_limit=table_limit)
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
         if problem.load_count <= self.exact_limit:

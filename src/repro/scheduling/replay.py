@@ -12,6 +12,10 @@ dispatcher of the paper as an explicit state machine:
 * :meth:`ReplayState.extend` issues one of those loads and advances the
   executions to quiescence, returning a **new** state (the parent stays
   valid, so a branch-and-bound search can fan out from one prefix);
+* :meth:`ReplayState.push` / :meth:`ReplayState.pop` issue and *undo* a
+  load **in place** through an explicit undo log, so a depth-first search
+  can walk the whole dispatch tree on one state with ``O(affected
+  entries)`` work per edge — no snapshot copies at all;
 * :meth:`ReplayState.finish` materializes a
   :class:`~repro.scheduling.schedule.TimedSchedule` bit-identical to the
   one the monolithic :func:`repro.scheduling.evaluator.replay_schedule`
@@ -37,6 +41,30 @@ Invariants the kernel maintains (and that its users rely on):
   classic ``release + placed.makespan`` floor this assumes the placed
   schedule is eager (no subtask could start earlier than its ideal
   start), which holds for every schedule the list scheduler builds.
+* **Exact undo** — :meth:`pop` restores, bit for bit, the state that
+  existed before the matching :meth:`push`: the undo frame records the
+  previous controller time, floor, realized makespan and, per execution
+  the push triggered, the previous port-free time of its resource.  Any
+  interleaving of pushes and pops therefore leaves the state with the
+  same :meth:`signature`, makespan and :meth:`finish` output as a fresh
+  :meth:`start` replay of the surviving load sequence (property-tested).
+  ``pop`` only undoes ``push``; mixing it with the in-place :meth:`run`
+  driver is unsupported.
+* **Transposition safety** — :meth:`signature` captures *everything*
+  that shapes the future, so two signature-equal states evolve through
+  identical absolute-time futures: the same choice sets, the same
+  execution starts/finishes for the same issue suffix.  A search may
+  therefore memoize the best completion *suffix* found below one state
+  and replay it verbatim below any signature-equal state; the completion
+  makespan there is ``max(realized makespan, future contribution)`` with
+  the identical future contribution.  What signature equality does
+  **not** license is pruning against *pointwise-earlier* states: the
+  non-idling dispatcher restricts the choice set of an earlier state (an
+  earlier-enabled low-priority load can be forced ahead of a critical
+  one), so "earlier everywhere" does not imply "better completions" —
+  only future-identical states are interchangeable.  The memoizing
+  search in :mod:`repro.scheduling.prefetch_bb` documents how its table
+  stays exact in the presence of bound pruning.
 
 The per-schedule static context (resource sequences, predecessor lists,
 execution times) is precomputed once per :class:`PlacedSchedule` and
@@ -171,7 +199,7 @@ class ReplayState:
         "_core", "_placed", "latency", "on_demand", "release",
         "communication", "_weights", "_tails", "controller_time", "_pending",
         "_executions", "_loads", "_load_finish", "_next_index",
-        "_resource_free", "_floor",
+        "_resource_free", "_floor", "_realized", "_undo", "_frame",
     )
 
     # ------------------------------------------------------------------ #
@@ -231,6 +259,9 @@ class ReplayState:
         state._next_index = {r: 0 for r in core.resources}
         state._resource_free = {r: release_time for r in core.resources}
         state._floor = release_time
+        state._realized = release_time
+        state._undo = []
+        state._frame = None
         state._advance()
         return state
 
@@ -252,6 +283,9 @@ class ReplayState:
         child._next_index = dict(self._next_index)
         child._resource_free = dict(self._resource_free)
         child._floor = self._floor
+        child._realized = self._realized
+        child._undo = []  # undo frames are not inherited: pops stay local
+        child._frame = None
         return child
 
     # ------------------------------------------------------------------ #
@@ -274,10 +308,17 @@ class ReplayState:
 
     @property
     def makespan(self) -> float:
-        """Finish time of the latest execution so far (absolute time)."""
-        if not self._executions:
-            return self.release
-        return max(entry.finish for entry in self._executions.values())
+        """Finish time of the latest execution so far (absolute time).
+
+        Tracked incrementally (and restored by :meth:`pop`), so reading it
+        per search node costs O(1) instead of a scan over the executions.
+        """
+        return self._realized
+
+    @property
+    def undo_depth(self) -> int:
+        """Number of pushed loads that :meth:`pop` could currently undo."""
+        return len(self._undo)
 
     @property
     def critical_floor(self) -> float:
@@ -366,8 +407,12 @@ class ReplayState:
             ideal_start=self.release + self._core.ideal_start[name],
         )
         self._executions[name] = entry
+        if self._frame is not None:
+            self._frame.append((name, resource, free))
         self._resource_free[resource] = entry.finish
         self._next_index[resource] += 1
+        if entry.finish > self._realized:
+            self._realized = entry.finish
         if self._weights is not None:
             floor = entry.finish + self._tails[name]
             if floor > self._floor:
@@ -473,6 +518,74 @@ class ReplayState:
         child = self._clone()
         child._issue(name, enable)
         return child
+
+    def push(self, name: str) -> float:
+        """Issue ``name`` next **in place**, recording an undo frame.
+
+        ``name`` must be one of :meth:`choices`.  Returns the latest finish
+        time among the executions this push triggered (``-inf`` when the
+        load unblocked nothing yet) — the *future contribution* of this
+        dispatch step, which memoizing searches aggregate per subtree.  The
+        matching :meth:`pop` restores the pre-push state exactly.
+        """
+        for candidate, enable in self.choices():
+            if candidate == name:
+                return self.push_choice(candidate, enable)
+        raise SchedulingError(
+            f"load {name!r} cannot be pushed next: not a horizon-enabled "
+            f"candidate of this replay state"
+        )
+
+    def push_choice(self, name: str, enable: float) -> float:
+        """Unchecked :meth:`push` for a ``(name, enable)`` pair from
+        :meth:`choices` (same contract as :meth:`extend_choice`)."""
+        records: List[Tuple[str, ResourceId, float]] = []
+        self._undo.append((name, self.controller_time, self._floor,
+                           self._realized, records))
+        self._frame = records
+        try:
+            self._issue(name, enable)
+        finally:
+            self._frame = None
+        if not records:
+            return float("-inf")
+        executions = self._executions
+        return max(executions[executed].finish for executed, _, _ in records)
+
+    def pop(self) -> str:
+        """Undo the most recent :meth:`push` in place; returns its load.
+
+        Every quantity a push touched is restored from its undo frame:
+        executions are deleted in reverse batch order, each affected
+        resource gets its pre-execution free time and frontier index back,
+        and the load entry, controller time, floors and realized makespan
+        revert to their recorded values.
+        """
+        if not self._undo:
+            raise SchedulingError(
+                "pop() without a matching push() on this replay state"
+            )
+        name, controller, floor, realized, records = self._undo.pop()
+        executions = self._executions
+        resource_free = self._resource_free
+        next_index = self._next_index
+        for executed, resource, previous_free in reversed(records):
+            del executions[executed]
+            resource_free[resource] = previous_free
+            next_index[resource] -= 1
+        load = self._loads.pop()
+        if load.subtask != name:
+            raise SchedulingError(
+                f"undo log out of sync: frame recorded {name!r} but the "
+                f"latest load is {load.subtask!r} (pop() cannot undo loads "
+                "issued by run()/extend_greedy())"
+            )
+        del self._load_finish[name]
+        self._pending.add(name)
+        self.controller_time = controller
+        self._floor = floor
+        self._realized = realized
+        return name
 
     def extend_greedy(self, rank: Mapping[str, int]) -> "ReplayState":
         """Issue the highest-priority enabled load (the dispatcher's pick)."""

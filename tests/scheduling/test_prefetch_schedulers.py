@@ -158,6 +158,72 @@ class TestBranchAndBound:
                 )
                 assert replayed.makespan == pytest.approx(result.makespan)
 
+    def test_transposition_table_is_exercised(self):
+        """Wide transposition-heavy problems actually reuse subtrees.
+
+        A sparse random DAG over many tiles maximizes interchangeable
+        prefixes (permutations of already-consumed loads converge to one
+        dispatcher signature), which is exactly the workload shape the
+        memoized table is for.
+        """
+        totals = SchedulerStats()
+        for seed in range(4):
+            graph = random_dag(
+                "tt_corpus", count=10, edge_probability=0.1,
+                time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+                seed=seed,
+            )
+            placed = build_initial_schedule(graph, Platform(tile_count=5))
+            result = BranchAndBoundScheduler().schedule(
+                PrefetchProblem(placed, LATENCY)
+            )
+            stats = result.stats
+            assert stats.tt_evictions == 0  # default cap is never reached
+            assert stats.undo_depth <= result.load_count
+            totals = totals.merged(stats)
+        assert totals.tt_peak_size > 0
+        assert totals.tt_hits + totals.nodes_pruned_dominance > 0
+
+    def test_table_limit_zero_degrades_to_pruning_only(self):
+        """A zero-capacity table still finds the optimum, memo-free."""
+        graph = random_dag(
+            "lru_corpus", count=7, edge_probability=0.2,
+            time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+            seed=3,
+        )
+        placed = build_initial_schedule(graph, Platform(tile_count=3))
+        problem = PrefetchProblem(placed, LATENCY)
+        unbounded = BranchAndBoundScheduler().schedule(problem)
+        bounded = BranchAndBoundScheduler(table_limit=0).schedule(problem)
+        assert bounded.makespan == pytest.approx(unbounded.makespan)
+        # Nothing survives in a zero-capacity table: no hit or dominance
+        # prune can ever fire, and every stored entry is evicted at once.
+        assert bounded.stats.tt_hits == 0
+        assert bounded.stats.nodes_pruned_dominance == 0
+        assert bounded.stats.tt_peak_size <= 1
+        assert bounded.stats.tt_evictions > 0
+
+    def test_small_table_limit_evicts_but_stays_optimal(self):
+        """LRU eviction degrades speed, never the result."""
+        for seed in range(4):
+            graph = random_dag(
+                "lru_corpus", count=8, edge_probability=0.15,
+                time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+                seed=seed,
+            )
+            placed = build_initial_schedule(graph, Platform(tile_count=4))
+            problem = PrefetchProblem(placed, LATENCY)
+            unbounded = BranchAndBoundScheduler().schedule(problem)
+            bounded = BranchAndBoundScheduler(table_limit=8).schedule(problem)
+            assert bounded.makespan == pytest.approx(unbounded.makespan)
+            assert bounded.stats.tt_peak_size <= 9
+            if unbounded.stats.tt_peak_size > 8:
+                assert bounded.stats.tt_evictions > 0
+
+    def test_negative_table_limit_rejected(self):
+        with pytest.raises(SchedulingError):
+            BranchAndBoundScheduler(table_limit=-1)
+
     def test_optimal_versus_brute_force(self):
         """B&B equals the minimum over *all* load priority permutations.
 
@@ -191,11 +257,11 @@ class TestOptimalPrefetchScheduler:
         assert result.scheduler_name == "optimal-prefetch"
         assert result.overhead == pytest.approx(4.0)
 
-    def test_default_exact_limit_covers_twelve_loads(self):
-        """The incremental kernel affords exact search up to 12 loads."""
-        assert DEFAULT_EXACT_LIMIT >= 12
-        graph = chain_graph("twelve", [6.0] * 12)
-        placed = build_initial_schedule(graph, Platform(tile_count=12))
+    def test_default_exact_limit_covers_fifteen_loads(self):
+        """The memoizing undo-log search affords exact search to 15 loads."""
+        assert DEFAULT_EXACT_LIMIT >= 15
+        graph = chain_graph("fifteen", [6.0] * 15)
+        placed = build_initial_schedule(graph, Platform(tile_count=15))
         result = OptimalPrefetchScheduler().schedule(
             PrefetchProblem(placed, LATENCY)
         )
@@ -205,7 +271,7 @@ class TestOptimalPrefetchScheduler:
         # fallback keeps every search counter at zero.
         stats = result.stats
         assert stats.states_extended + stats.nodes_pruned_bound > 0
-        assert result.load_count == 12
+        assert result.load_count == 15
 
     def test_large_problems_fall_back_to_heuristic(self):
         graph = chain_graph("long", [6.0] * 15)
@@ -237,3 +303,15 @@ class TestSchedulerStats:
         assert merged.states_extended == 12
         assert merged.nodes_pruned_bound == 5
         assert merged.nodes_pruned_dominance == 5
+
+    def test_merge_transposition_counters(self):
+        """Hits and evictions add up; peaks are high-water marks."""
+        merged = SchedulerStats(tt_hits=3, tt_evictions=1, tt_peak_size=40,
+                                undo_depth=7).merged(
+            SchedulerStats(tt_hits=2, tt_evictions=5, tt_peak_size=25,
+                           undo_depth=9)
+        )
+        assert merged.tt_hits == 5
+        assert merged.tt_evictions == 6
+        assert merged.tt_peak_size == 40
+        assert merged.undo_depth == 9

@@ -421,6 +421,49 @@ class TestReplayState:
         assert left_right.executions == right_left.executions
         assert left_right.signature() == right_left.signature()
 
+    def test_push_matches_extend(self, chain4):
+        """A push mutates in place to exactly the extend() child state."""
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        state = ReplayState.start(placed, 4.0, placed.drhw_names)
+        child = state.extend("s0")
+        executed_before = set(state.executions)
+        delta = state.push("s0")
+        assert state.signature() == child.signature()
+        assert state.makespan == child.makespan
+        assert state.load_sequence == child.load_sequence
+        # The reported future contribution is exactly the latest finish
+        # among the executions this push triggered (not the prefix's).
+        new_finishes = [entry.finish for name, entry in
+                        state.executions.items()
+                        if name not in executed_before]
+        assert new_finishes, "the chain head load must unblock s0"
+        assert delta == max(new_finishes)
+
+    def test_pop_restores_the_pre_push_state(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        state = ReplayState.start(placed, 4.0, placed.drhw_names)
+        before = (state.signature(), state.makespan, state.pending_loads,
+                  dict(state.executions))
+        state.push("s0")
+        assert state.undo_depth == 1
+        assert state.pop() == "s0"
+        assert state.undo_depth == 0
+        after = (state.signature(), state.makespan, state.pending_loads,
+                 dict(state.executions))
+        assert before == after
+
+    def test_push_rejects_non_choice(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=1))
+        state = ReplayState.start(placed, 4.0, placed.drhw_names)
+        with pytest.raises(SchedulingError):
+            state.push("s2")
+
+    def test_pop_without_push_rejected(self, chain4):
+        placed = build_initial_schedule(chain4, Platform(tile_count=8))
+        state = ReplayState.start(placed, 4.0, placed.drhw_names)
+        with pytest.raises(SchedulingError):
+            state.pop()
+
     def test_run_matches_extend_greedy(self, chain4):
         placed = build_initial_schedule(chain4, Platform(tile_count=8))
         order = tuple(sorted(placed.drhw_names))
@@ -430,3 +473,87 @@ class TestReplayState:
             driven = driven.extend_greedy(rank)
         run = ReplayState.start(placed, 4.0, placed.drhw_names).run(rank)
         assert_bit_identical(driven.finish(), run.finish())
+
+
+# ---------------------------------------------------------------------- #
+# Undo correctness: push/pop interleavings equal fresh replays
+# ---------------------------------------------------------------------- #
+class TestUndoCorrectness:
+    """Any interleaving of ``push``/``pop`` equals a fresh replay.
+
+    The branch-and-bound search leans entirely on this: it walks the whole
+    dispatch tree on one state, so a single stale dict entry or missed
+    restore after ``pop`` silently corrupts every sibling subtree explored
+    afterwards.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=problem_params, walk_seed=st.integers(0, 10_000),
+           push_bias=st.floats(min_value=0.3, max_value=0.9))
+    def test_interleaved_walk_matches_fresh_replay(self, params, walk_seed,
+                                                   push_bias):
+        """After a random push/pop walk, the state is bit-equal to a fresh
+        ``start`` + pushes of the surviving load sequence."""
+        placed, latency = build_placed(params)
+        state = ReplayState.start(placed, latency, placed.drhw_names)
+        rng = random.Random(walk_seed)
+        surviving: List[str] = []
+        for _ in range(50):
+            choices = state.choices()
+            if choices and (not surviving or rng.random() < push_bias):
+                name, enable = rng.choice(choices)
+                state.push_choice(name, enable)
+                surviving.append(name)
+            elif surviving:
+                popped = state.pop()
+                assert popped == surviving.pop()
+        assert state.undo_depth == len(surviving)
+        assert state.load_sequence == tuple(surviving)
+
+        fresh = ReplayState.start(placed, latency, placed.drhw_names)
+        for name in surviving:
+            fresh.push(name)
+        assert state.signature() == fresh.signature()
+        assert state.makespan == fresh.makespan
+        assert state.critical_floor == fresh.critical_floor
+        assert dict(state.executions) == dict(fresh.executions)
+        assert state.pending_loads == fresh.pending_loads
+
+        # Drive both to completion identically: the finished schedules must
+        # be bit-identical, entry order included.
+        while not state.is_complete:
+            name, enable = state.choices()[0]
+            state.push_choice(name, enable)
+            fresh.push(name)
+        assert_bit_identical(state.finish(), fresh.finish())
+
+    @settings(max_examples=30, deadline=None)
+    @given(params=problem_params, order_seed=st.integers(0, 1000))
+    def test_full_unwind_restores_the_root(self, params, order_seed):
+        """Pushing to completion and popping everything is the identity."""
+        placed, latency = build_placed(params)
+        state = ReplayState.start(placed, latency, placed.drhw_names)
+        reference = ReplayState.start(placed, latency, placed.drhw_names)
+        before = (state.signature(), state.makespan, state.pending_loads,
+                  dict(state.executions), state.controller_time)
+        rank = priority_rank(placed, state.pending_loads,
+                             shuffled_order(placed, order_seed))
+        fallback = len(rank)
+        pushed = 0
+        while not state.is_complete:
+            choices = state.choices()
+            if not choices:
+                break
+            name, enable = min(
+                choices,
+                key=lambda item: (rank.get(item[0], fallback),
+                                  item[1], item[0]),
+            )
+            state.push_choice(name, enable)
+            pushed += 1
+        for _ in range(pushed):
+            state.pop()
+        after = (state.signature(), state.makespan, state.pending_loads,
+                 dict(state.executions), state.controller_time)
+        assert before == after
+        assert state.signature() == reference.signature()

@@ -38,14 +38,21 @@ def test_scheduler_corpus_has_not_regressed():
 
 @pytest.mark.slow
 def test_leaf_reduction_versus_seed_engine():
-    """The headline claim: >=5x fewer evaluated leaves than the seed."""
+    """The headline claim: >=5x fewer evaluated leaves than the seed.
+
+    The seed engine only ever solved the Figure-6/7 graphs and the 9-load
+    randoms; the 12/15-load corpus entries added for the memoized search
+    have no seed counterpart, so the reduction is asserted over the
+    problems ``seed_evaluations`` records.
+    """
     import json
 
     module = _load_check_regression()
     baseline = json.loads(module.BASELINE_PATH.read_text(encoding="utf-8"))
     seed = baseline["seed_evaluations"]
     measured = module.measure(repeats=1)
-    assert set(seed) == set(measured)
+    assert set(seed) <= set(measured)
     seed_total = sum(seed.values())
-    measured_total = sum(entry["evaluations"] for entry in measured.values())
+    measured_total = sum(entry["evaluations"]
+                         for name, entry in measured.items() if name in seed)
     assert measured_total * module.LEAF_REDUCTION_FACTOR <= seed_total
