@@ -120,6 +120,63 @@ def test_branch_and_bound_corpus_pruning(benchmark):
 
 
 @pytest.mark.benchmark(group="substrate")
+def test_branch_and_bound_cold_vs_warm(benchmark):
+    """Cold engines vs one warm :class:`SchedulerPool` engine per problem.
+
+    Replays the regression corpus' warm scenarios (each problem's
+    ``with_reused`` ladder plus an identical repeat — the design-time
+    exploration and sweep-point shapes) both ways and prints what the
+    persistent transposition table saves.  Schedules are asserted
+    identical: warm tables only ever prune, they never answer.
+    """
+    import time
+
+    import check_regression
+    from repro.scheduling.pool import SchedulerPool
+
+    scenarios = [(name, check_regression.warm_problem_sequence(problem))
+                 for name, problem in check_regression.corpus_problems()]
+
+    def run_warm():
+        pool = SchedulerPool()
+        return pool, [(name, [pool.schedule(p) for p in sequence])
+                      for name, sequence in scenarios]
+
+    start = time.perf_counter()
+    cold_results = [(name, [BranchAndBoundScheduler().schedule(p)
+                            for p in sequence])
+                    for name, sequence in scenarios]
+    cold_seconds = time.perf_counter() - start
+    pool, warm_results = benchmark.pedantic(run_warm, rounds=1, iterations=1)
+
+    print()
+    print(f"{'problem':26s} {'calls':>5s} {'cold ops':>9s} {'warm ops':>9s} "
+          f"{'tt_warm':>7s}")
+    cold_total = warm_total = 0
+    for (name, cold), (_, warm) in zip(cold_results, warm_results):
+        for one_cold, one_warm in zip(cold, warm):
+            assert one_warm.load_order == one_cold.load_order
+        cold_ops = sum(r.stats.operations for r in cold)
+        warm_ops = sum(r.stats.operations for r in warm)
+        warm_hits = sum(r.stats.tt_warm_hits for r in warm)
+        cold_total += cold_ops
+        warm_total += warm_ops
+        print(f"{name:26s} {len(cold):5d} {cold_ops:9d} {warm_ops:9d} "
+              f"{warm_hits:7d}")
+    print(f"{'TOTAL':26s} {'':5s} {cold_total:9d} {warm_total:9d} "
+          f"{pool.tt_warm_hits:7d}  (cold pass {cold_seconds*1000:.1f} ms)")
+    assert pool.tt_warm_hits > 0
+    assert warm_total < cold_total
+    benchmark.extra_info.update(
+        cold_operations=cold_total,
+        warm_operations=warm_total,
+        tt_warm_hits=pool.tt_warm_hits,
+        pool_hits=pool.pool_hits,
+        pool_misses=pool.pool_misses,
+    )
+
+
+@pytest.mark.benchmark(group="substrate")
 def test_reuse_analysis(benchmark):
     graph = pattern_recognition_graph()
     placed = ListScheduler(PLATFORM).schedule(graph)

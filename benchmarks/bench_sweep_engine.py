@@ -56,9 +56,16 @@ def test_sequential_vs_parallel_figure6_sweep(benchmark, tmp_path):
     cpus = max(1, os.cpu_count() or 1)
     workers = min(4, cpus)
 
+    from repro.scheduling.pool import (
+        process_scheduler_pool,
+        reset_process_scheduler_pool,
+    )
+
+    reset_process_scheduler_pool()
     start = time.perf_counter()
     sequential = SweepEngine(max_workers=1).run(spec)
     sequential_seconds = time.perf_counter() - start
+    scheduler_pool = process_scheduler_pool()
 
     start = time.perf_counter()
     parallel = SweepEngine(max_workers=workers).run(spec)
@@ -84,6 +91,9 @@ def test_sequential_vs_parallel_figure6_sweep(benchmark, tmp_path):
     print(f"  parallel ({workers} workers):    {parallel_seconds:8.2f} s  "
           f"(speedup {speedup:.2f}x)")
     print(f"  warm cache:              {warm_seconds:8.2f} s")
+    print(f"  scheduler pool (seq):    {scheduler_pool.pool_hits} engine "
+          f"hits / {scheduler_pool.pool_misses} misses, "
+          f"{scheduler_pool.tt_warm_hits} warm tt answers")
 
     # Determinism: every execution mode returns bit-identical metrics.
     assert [o.metrics for o in parallel] == [o.metrics for o in sequential]

@@ -24,7 +24,18 @@ pin the memoized search's current frontier):
   baseline's, and the total visited node count must not balloon past
   :data:`NODE_DRIFT_LIMIT` times the baseline's — both catch "still
   correct, quietly exponential" engine changes even if someone relaxes
-  the exact counter equality above.
+  the exact counter equality above;
+* a **cold-vs-warm comparison** over the same corpus: every problem is
+  solved as the sequence of ``with_reused`` variants the design-time
+  critical-selection walks, followed by an identical repeat (the
+  sweep-point scenario), once on fresh engines per call (cold) and once
+  on a single persistent-table engine (warm, the
+  :class:`~repro.scheduling.pool.SchedulerPool` deployment).  The warm
+  pass must report a *warm reuse rate* (``tt_warm_hits`` per visited
+  node) no lower than :data:`WARM_REUSE_FLOOR` of the baseline's, visit
+  at most :data:`WARM_NODE_RATIO_LIMIT` of the cold pass's nodes, and
+  not exceed the cold pass's wall time (plus a noise floor) — a warm
+  engine that stops reusing, or quietly got slower than cold, fails.
 
 Run ``python benchmarks/check_regression.py`` to regenerate the baseline
 after an intentional engine change; the slow-marked test in
@@ -38,6 +49,7 @@ import time
 from pathlib import Path
 from typing import Callable, Dict, List, Tuple
 
+from repro.graphs.analysis import subtask_weights
 from repro.graphs.generators import ExecutionTimeModel, random_dag
 from repro.platform.description import Platform
 from repro.scheduling.base import PrefetchProblem
@@ -74,10 +86,38 @@ REUSE_RATE_FLOOR = 0.8
 #: baseline's.
 NODE_DRIFT_LIMIT = 1.25
 
-#: Search counters that must match the baseline exactly.
+#: Search counters that must match the baseline exactly.  ``tt_warm_hits``
+#: belongs here too: a *cold* engine reporting warm answers would mean the
+#: per-call table isolation broke.
 EXACT_COUNTERS = ("loads", "evaluations", "states_extended",
                   "nodes_pruned_bound", "nodes_pruned_dominance",
-                  "tt_hits", "tt_evictions", "tt_peak_size", "undo_depth")
+                  "tt_hits", "tt_warm_hits", "tt_evictions", "tt_peak_size",
+                  "undo_depth")
+
+#: Length of the reused-prefix ladder in the warm scenario (the
+#: critical-selection loop's first iterations), before the identical
+#: repeat that models a second sweep point.
+WARM_VARIANTS = 3
+
+#: The measured warm reuse rate (tt_warm_hits per visited node of the
+#: warm pass) may not drop below this fraction of the baseline's.
+WARM_REUSE_FLOOR = 0.8
+
+#: The warm pass may visit at most this fraction of the cold pass's
+#: nodes.  The corpus-wide measured ratio is ~0.75 (identical repeats are
+#: answered in a handful of nodes; with_reused variants overlap less), so
+#: 0.95 leaves headroom while still failing an engine that stops reusing.
+WARM_NODE_RATIO_LIMIT = 0.95
+
+#: Wall-time budget of the warm pass relative to the cold pass: warm must
+#: never be slower than cold beyond scheduler noise.
+WARM_WALL_RATIO = 1.0
+WARM_WALL_FLOOR_MS = 150.0
+
+#: Warm-scenario counters that must match the baseline exactly (they are
+#: as deterministic as the cold ones).
+WARM_EXACT_COUNTERS = ("calls", "cold_operations", "warm_operations",
+                       "tt_warm_hits")
 
 
 def _random_load_graph(count: int, seed: int):
@@ -173,12 +213,86 @@ def measure(repeats: int = 3) -> Dict[str, Dict[str, object]]:
             "nodes_pruned_bound": stats.nodes_pruned_bound,
             "nodes_pruned_dominance": stats.nodes_pruned_dominance,
             "tt_hits": stats.tt_hits,
+            "tt_warm_hits": stats.tt_warm_hits,
             "tt_evictions": stats.tt_evictions,
             "tt_peak_size": stats.tt_peak_size,
             "undo_depth": stats.undo_depth,
             "wall_ms": round(best_wall, 3),
         }
     return entries
+
+
+def warm_problem_sequence(problem: PrefetchProblem) -> List[PrefetchProblem]:
+    """The warm scenario for one corpus problem.
+
+    First the ``with_reused`` ladder the design-time critical selection
+    walks (reused prefixes of the weight-ordered loads), then an identical
+    repeat of the base problem — the shape ``run_group`` produces when a
+    second sweep point replays the same scenario.
+    """
+    weights = subtask_weights(problem.placed.graph)
+    ordered = sorted(problem.loads, key=lambda name: (-weights[name], name))
+    sequence = [problem]
+    for prefix in range(1, min(WARM_VARIANTS, len(ordered)) + 1):
+        sequence.append(problem.with_reused(ordered[:prefix]))
+    sequence.append(problem)
+    return sequence
+
+
+def measure_warm(repeats: int = 3) -> Dict[str, Dict[str, object]]:
+    """Cold-vs-warm comparison over the corpus' warm scenarios.
+
+    Cold solves every problem of a scenario on a fresh engine; warm
+    solves the same sequence on one persistent-table engine (what a
+    :class:`~repro.scheduling.pool.SchedulerPool` hands out).  Schedules
+    are asserted identical — the counters and best-of-``repeats`` wall
+    times quantify what the warm table saves.
+    """
+    entries: Dict[str, Dict[str, object]] = {}
+    for name, problem in corpus_problems():
+        sequence = warm_problem_sequence(problem)
+        cold_wall = warm_wall = None
+        cold_results = warm_results = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            cold_results = [BranchAndBoundScheduler().schedule(p)
+                            for p in sequence]
+            elapsed = (time.perf_counter() - start) * 1000.0
+            cold_wall = elapsed if cold_wall is None else min(cold_wall,
+                                                              elapsed)
+            engine = BranchAndBoundScheduler(persistent_table=True)
+            start = time.perf_counter()
+            warm_results = [engine.schedule(p) for p in sequence]
+            elapsed = (time.perf_counter() - start) * 1000.0
+            warm_wall = elapsed if warm_wall is None else min(warm_wall,
+                                                              elapsed)
+        for cold, warm in zip(cold_results, warm_results):
+            if cold.load_order != warm.load_order:
+                raise AssertionError(
+                    f"warm engine diverged from cold on {name}: "
+                    f"{warm.load_order} != {cold.load_order}"
+                )
+        entries[name] = {
+            "calls": len(sequence),
+            "cold_operations": sum(r.stats.operations
+                                   for r in cold_results),
+            "warm_operations": sum(r.stats.operations
+                                   for r in warm_results),
+            "tt_warm_hits": sum(r.stats.tt_warm_hits
+                                for r in warm_results),
+            "cold_wall_ms": round(cold_wall, 3),
+            "warm_wall_ms": round(warm_wall, 3),
+        }
+    return entries
+
+
+def _warm_reuse_rate(entries: Dict[str, Dict[str, object]]) -> float:
+    """Corpus-wide warm answers per visited node of the warm pass."""
+    nodes = sum(int(entry.get("warm_operations", 0))
+                for entry in entries.values())
+    hits = sum(int(entry.get("tt_warm_hits", 0))
+               for entry in entries.values())
+    return hits / nodes if nodes else 0.0
 
 
 def _reuse_rate(entries: Dict[str, Dict[str, object]]) -> float:
@@ -271,6 +385,64 @@ def run_check(baseline_path: Path = BASELINE_PATH,
             f"search node count drifted: {measured_nodes} visited nodes vs "
             f"baseline {baseline_nodes} (limit x{NODE_DRIFT_LIMIT})"
         )
+
+    # ---------------- cold-vs-warm (persistent-table) gates ------------- #
+    recorded_warm = baseline.get("warm", {})
+    if not recorded_warm:
+        failures.append(
+            "baseline lacks the 'warm' cold-vs-warm section; regenerate it "
+            "(python benchmarks/check_regression.py)"
+        )
+        return failures
+    measured_warm = measure_warm(repeats=repeats)
+    if set(recorded_warm) != set(measured_warm):
+        failures.append(
+            "warm corpus drifted: regenerate the baseline"
+        )
+        return failures
+    for name, entry in measured_warm.items():
+        reference = recorded_warm[name]
+        for counter in WARM_EXACT_COUNTERS:
+            if counter not in reference:
+                failures.append(
+                    f"warm {name}: baseline lacks counter {counter!r}; "
+                    "regenerate it"
+                )
+            elif entry[counter] != reference[counter]:
+                failures.append(
+                    f"warm {name}: {counter} changed "
+                    f"{reference[counter]} -> {entry[counter]} "
+                    "(semantic engine change; regenerate deliberately)"
+                )
+    baseline_warm_rate = _warm_reuse_rate(recorded_warm)
+    measured_warm_rate = _warm_reuse_rate(measured_warm)
+    if measured_warm_rate <= 0.0:
+        failures.append("warm engines report zero tt_warm_hits: cross-call "
+                        "table reuse is dead")
+    elif baseline_warm_rate and \
+            measured_warm_rate < baseline_warm_rate * WARM_REUSE_FLOOR:
+        failures.append(
+            f"warm reuse rate collapsed: {measured_warm_rate:.3f} vs "
+            f"baseline {baseline_warm_rate:.3f} "
+            f"(floor {WARM_REUSE_FLOOR:.0%} of baseline)"
+        )
+    cold_nodes = sum(int(e["cold_operations"]) for e in measured_warm.values())
+    warm_nodes = sum(int(e["warm_operations"]) for e in measured_warm.values())
+    if cold_nodes and warm_nodes > cold_nodes * WARM_NODE_RATIO_LIMIT:
+        failures.append(
+            f"warm pass stopped saving work: {warm_nodes} visited nodes vs "
+            f"{cold_nodes} cold (limit x{WARM_NODE_RATIO_LIMIT})"
+        )
+    cold_wall = sum(e["cold_wall_ms"] for e in measured_warm.values())
+    warm_wall = sum(e["warm_wall_ms"] for e in measured_warm.values())
+    warm_budget = cold_wall * WARM_WALL_RATIO + WARM_WALL_FLOOR_MS
+    if warm_wall > warm_budget:
+        failures.append(
+            f"warm pass slower than cold: {warm_wall:.1f} ms vs "
+            f"{cold_wall:.1f} ms cold "
+            f"(budget {warm_budget:.1f} ms = x{WARM_WALL_RATIO} + "
+            f"{WARM_WALL_FLOOR_MS:.0f} ms floor)"
+        )
     return failures
 
 
@@ -287,17 +459,20 @@ def regenerate(baseline_path: Path = BASELINE_PATH,
         except (OSError, ValueError):
             previous_seed = {}
     baseline = {
-        "format": 1,
+        "format": 2,
         "description": (
             "Branch-and-bound corpus baseline: deterministic search and "
             "transposition-table counters plus wall times from the machine "
             "that generated it. seed_evaluations records the leaf replays "
             "of the pre-kernel engine (for the problems it could solve) "
-            "for the >=5x reduction check. Regenerate with "
+            "for the >=5x reduction check. 'warm' compares fresh engines "
+            "against one persistent-table engine over each problem's "
+            "with_reused ladder plus an identical repeat. Regenerate with "
             "'python benchmarks/check_regression.py'."
         ),
         "latency_ms": LATENCY,
         "entries": measure(),
+        "warm": measure_warm(),
         "seed_evaluations": previous_seed,
     }
     baseline_path.write_text(json.dumps(baseline, indent=1, sort_keys=True)
@@ -321,3 +496,13 @@ if __name__ == "__main__":
           + (f" (seed engine: {seed_total} leaves on its corpus, "
              f"reduction x{seed_total / max(1, seed_leaves):.1f})"
              if seed_total else ""))
+    warm = fresh["warm"]
+    cold_nodes = sum(e["cold_operations"] for e in warm.values())
+    warm_nodes = sum(e["warm_operations"] for e in warm.values())
+    cold_wall = sum(e["cold_wall_ms"] for e in warm.values())
+    warm_wall = sum(e["warm_wall_ms"] for e in warm.values())
+    print(f"cold-vs-warm: {cold_nodes} -> {warm_nodes} visited nodes "
+          f"(x{warm_nodes / max(1, cold_nodes):.2f}), "
+          f"{cold_wall:.1f} -> {warm_wall:.1f} ms "
+          f"(x{warm_wall / max(1e-9, cold_wall):.2f}), "
+          f"warm reuse rate {_warm_reuse_rate(warm):.3f}")

@@ -30,6 +30,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from ..errors import SchedulingError
 from ..scheduling.base import PrefetchScheduler
 from ..scheduling.evaluator import replay_schedule
+from ..scheduling.pool import SchedulerPool
 from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
 from ..scheduling.schedule import LoadEntry, PlacedSchedule, TimedSchedule
 from .critical import CriticalSubtaskSelector
@@ -118,19 +119,42 @@ class HybridExecution:
 
 
 class HybridPrefetchHeuristic:
-    """Facade bundling the design-time and run-time phases."""
+    """Facade bundling the design-time and run-time phases.
+
+    The design-time phase repeatedly solves ``with_reused`` variants of
+    the *same* prefetch problem (the Figure-4 critical-selection loop
+    grows the reused set one subtask at a time), so the default design
+    engine routes its exact searches through a
+    :class:`~repro.scheduling.pool.SchedulerPool`: every variant after the
+    first starts from a warm transposition table.  ``scheduler_pool``
+    shares a caller-owned pool (e.g. one per design-time exploration or
+    per sweep worker) instead of a private one; passing an explicit
+    ``design_scheduler`` takes precedence and is used as-is.  Warm engines
+    return bit-identical schedules to cold ones, so this is purely a
+    design-time wall-clock optimization.
+    """
 
     name = "hybrid"
 
     def __init__(self, reconfiguration_latency: float,
-                 design_scheduler: Optional[PrefetchScheduler] = None) -> None:
+                 design_scheduler: Optional[PrefetchScheduler] = None,
+                 scheduler_pool: Optional[SchedulerPool] = None) -> None:
         if reconfiguration_latency < 0:
             raise SchedulingError(
                 "reconfiguration latency must be non-negative, got "
                 f"{reconfiguration_latency}"
             )
         self.reconfiguration_latency = reconfiguration_latency
-        self.design_scheduler = design_scheduler or OptimalPrefetchScheduler()
+        if design_scheduler is None:
+            if scheduler_pool is None:
+                scheduler_pool = SchedulerPool()
+            self.scheduler_pool = scheduler_pool
+            design_scheduler = OptimalPrefetchScheduler(
+                pool=self.scheduler_pool
+            )
+        else:
+            self.scheduler_pool = scheduler_pool
+        self.design_scheduler = design_scheduler
         self._selector = CriticalSubtaskSelector(scheduler=self.design_scheduler)
 
     # ------------------------------------------------------------------ #

@@ -41,6 +41,7 @@ from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
 
 from ..errors import ConfigurationError
 from ..platform.description import Platform
+from ..scheduling.pool import process_scheduler_pool
 from ..sim.metrics import SimulationMetrics
 from ..sim.simulator import SystemSimulator
 from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
@@ -92,7 +93,13 @@ def run_group(points: Sequence[SweepPoint],
     The group shares a single workload instance, platform and TCM
     design-time exploration (optionally memoized in ``exploration_dir``);
     each point still gets a fresh approach object (approaches carry
-    per-run design-time state).
+    per-run design-time state).  Every approach is bound to this worker
+    process's shared :class:`~repro.scheduling.pool.SchedulerPool`, so the
+    exact design-time searches the points repeat over the group's placed
+    schedules run on warm transposition tables after the first point —
+    with results bit-identical to cold engines (warm tables only prune,
+    they never answer), so cached/parallel/sequential runs stay
+    interchangeable.
     """
     if not points:
         return []
@@ -106,12 +113,15 @@ def run_group(points: Sequence[SweepPoint],
     workload, platform, design = explore_platform(head.workload,
                                                   head.tile_count,
                                                   exploration_dir)
+    scheduler_pool = process_scheduler_pool()
     metrics: List[SimulationMetrics] = []
     for point in points:
+        approach = point.approach.build()
+        approach.bind_scheduler_pool(scheduler_pool)
         simulator = SystemSimulator(
             workload=workload,
             platform=platform,
-            approach=point.approach.build(),
+            approach=approach,
             config=point.config(),
             replacement=point.approach.build_replacement(),
             design_result=design,

@@ -278,8 +278,10 @@ class SweepSpec:
 
     ``workloads`` and ``approaches`` accept plain registry names, which are
     normalized to :class:`WorkloadSpec`/:class:`ApproachSpec`;
-    ``tile_counts`` and ``seeds`` are swept as full cross products.  The
-    remaining fields are shared :class:`SimulationConfig` overrides.
+    ``tile_counts`` and ``seeds`` are swept as full cross products.  Every
+    axis is deduplicated order-preservingly, so a repeated entry never
+    inflates ``point_count`` or the executed grid.  The remaining fields
+    are shared :class:`SimulationConfig` overrides.
     """
 
     workloads: Tuple[WorkloadSpec, ...]
@@ -293,14 +295,19 @@ class SweepSpec:
     configuration_fault_rate: float = 0.0
 
     def __post_init__(self) -> None:
-        object.__setattr__(self, "workloads", tuple(
+        # Duplicate grid entries (a repeated seed, a tile count listed
+        # twice, `range(...)` glued to an explicit list) used to inflate
+        # `point_count` and the executed grid silently; a sweep axis is a
+        # set swept in first-seen order, so deduplicate order-preservingly.
+        object.__setattr__(self, "workloads", tuple(dict.fromkeys(
             WorkloadSpec.of(workload) for workload in self.workloads
-        ))
-        object.__setattr__(self, "approaches", tuple(
+        )))
+        object.__setattr__(self, "approaches", tuple(dict.fromkeys(
             ApproachSpec.of(approach) for approach in self.approaches
-        ))
-        object.__setattr__(self, "tile_counts", tuple(self.tile_counts))
-        object.__setattr__(self, "seeds", tuple(self.seeds))
+        )))
+        object.__setattr__(self, "tile_counts",
+                           tuple(dict.fromkeys(self.tile_counts)))
+        object.__setattr__(self, "seeds", tuple(dict.fromkeys(self.seeds)))
         if not self.workloads:
             raise ConfigurationError("a sweep needs at least one workload")
         if not self.approaches:

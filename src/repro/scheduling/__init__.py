@@ -13,6 +13,7 @@ from .list_scheduler import (
     build_initial_schedule,
 )
 from .noprefetch import OnDemandScheduler
+from .pool import SchedulerPool, process_scheduler_pool
 from .prefetch_bb import (
     BranchAndBoundScheduler,
     DEFAULT_EXACT_LIMIT,
@@ -53,6 +54,7 @@ __all__ = [
     "ReplayState",
     "ResourceId",
     "ResourceKind",
+    "SchedulerPool",
     "SchedulerStats",
     "StartConstraint",
     "TIME_EPSILON",
@@ -61,6 +63,7 @@ __all__ = [
     "isp_resource",
     "needed_loads",
     "priority_rank",
+    "process_scheduler_pool",
     "replay_schedule",
     "tile_resource",
 ]

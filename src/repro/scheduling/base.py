@@ -110,11 +110,16 @@ class SchedulerStats:
     future-identical dispatcher state had already been explored from a
     no-worse prefix.  The transposition-table counters describe the
     memoizing search: ``tt_hits`` counts nodes answered from a memoized
-    subtree result (exact reuse or barrier certificate), ``tt_evictions``
-    the entries dropped by the LRU capacity bound, ``tt_peak_size`` the
-    largest number of live table entries and ``undo_depth`` the deepest
-    push stack the search walked (its depth-first frontier).  All of them
-    stay zero for the non-exact schedulers.
+    subtree result (a barrier certificate proving nothing below can
+    improve the incumbent), ``tt_warm_hits`` the subset of those answered
+    from an entry a *previous* ``schedule()`` call of a persistent engine
+    wrote (zero for cold engines — this is the cross-call reuse the
+    :class:`~repro.scheduling.pool.SchedulerPool` exists for),
+    ``tt_evictions`` the entries dropped by the LRU capacity bound,
+    ``tt_peak_size`` the largest number of live table entries and
+    ``undo_depth`` the deepest push stack the search walked (its
+    depth-first frontier).  All of them stay zero for the non-exact
+    schedulers.
     """
 
     operations: int = 0
@@ -123,6 +128,7 @@ class SchedulerStats:
     nodes_pruned_bound: int = 0
     nodes_pruned_dominance: int = 0
     tt_hits: int = 0
+    tt_warm_hits: int = 0
     tt_evictions: int = 0
     tt_peak_size: int = 0
     undo_depth: int = 0
@@ -138,6 +144,7 @@ class SchedulerStats:
             nodes_pruned_dominance=(self.nodes_pruned_dominance
                                     + other.nodes_pruned_dominance),
             tt_hits=self.tt_hits + other.tt_hits,
+            tt_warm_hits=self.tt_warm_hits + other.tt_warm_hits,
             tt_evictions=self.tt_evictions + other.tt_evictions,
             tt_peak_size=max(self.tt_peak_size, other.tt_peak_size),
             undo_depth=max(self.undo_depth, other.undo_depth),

@@ -59,41 +59,97 @@ subtree as exhaustive.  Each entry therefore stores:
     the realized makespan of the prefix the subtree was explored from,
 ``barrier``
     the incumbent makespan at the moment that exploration *returned*,
-``future``/``suffix``
-    the smallest future contribution found below, and the issue suffix
-    achieving it (``inf``/``None`` when every branch was cut).
+``future``
+    the smallest future contribution accounted for below (``inf`` when
+    every branch was cut),
+``generation``
+    which :meth:`~BranchAndBoundScheduler.schedule` call of this engine
+    wrote the entry (see "Cross-call reuse" below).
 
 The entry invariant (provable by induction over the DFS, using that the
 incumbent only decreases): **if ``ref < barrier``, every completion from a
 signature-equal state has ``F >= min(future, barrier)``** — a completion
 lost to a bound cut satisfied ``max(ref, F) >= incumbent-at-cut >=
-barrier``, and ``ref < barrier`` forces ``F >= barrier``.  A revisit with
-realized makespan ``r`` is then answered without exploration:
+barrier``, and ``ref < barrier`` forces ``F >= barrier``.  Crucially, this
+consequent mentions only the signature's (immutable) completion set and
+the two stored constants, never the search that wrote it: once true it is
+true forever.  A revisit with realized makespan ``r`` is answered without
+exploration in two cases:
 
-* ``r >= ref`` — classic prefix dominance: the memoized suffix (if any) is
-  still achievable, and nothing below can beat what the ``ref``-visit
-  already accounted for;
-* ``r < ref`` and ``future < barrier`` — **exact reuse**: the optimum
-  below is exactly ``max(r, future)``, achieved by replaying ``suffix``;
-* ``r < ref`` and ``future >= barrier`` — **barrier certificate**: every
-  completion has ``F >= barrier >= current incumbent``, so nothing below
-  can improve it;
-* only ``ref >= barrier`` (the incumbent overtook the prefix mid-subtree,
-  voiding the invariant's premise) forces a re-exploration, which
-  overwrites the entry.
+* **prefix dominance** (``r >= ref``, *same generation only*): the
+  ``ref``-visit explored this subtree earlier in the same call, so every
+  completion below was either realized against this call's incumbent or
+  validly cut against a no-smaller incumbent — nothing below can strictly
+  improve the current incumbent;
+* **barrier certificate** (``ref < barrier`` and ``max(r, min(future,
+  barrier)) >= incumbent``): by the entry invariant every completion below
+  has makespan ``max(r, F) >= max(r, min(future, barrier))``, so nothing
+  below can strictly improve the incumbent either.
+
+Everything else — a voided premise (``ref >= barrier``: the incumbent
+overtook the prefix mid-subtree) or a certificate too weak for the
+current incumbent — forces a re-exploration, which overwrites the entry.
+A pruned revisit returns ``min(future, barrier)`` (the invariant's floor)
+to its parent's ``future`` aggregation when the premise holds and ``inf``
+otherwise; cuts justified by a *makespan* floor (bound prunes, dominance
+prunes) likewise return ``inf`` and are covered by the ``ref < barrier``
+case split in the induction above.
+
+Cross-call reuse (warm tables)
+------------------------------
+With ``persistent_table=True`` the engine retains its table across
+:meth:`~BranchAndBoundScheduler.schedule` calls, so the near-identical
+problems the design-time exploration solves back to back — every
+``with_reused`` variant of one placed schedule, every sweep point
+replaying the same scenario — share one warm table instead of re-deriving
+the same suffix floors (:class:`repro.scheduling.pool.SchedulerPool`
+hands out such engines keyed by placed schedule and latency).  Two rules
+make this exact:
+
+* **Invalidation** — the table is keyed by replay signatures, which are
+  only comparable while the static replay core, the reconfiguration
+  latency and the release time are unchanged; the engine pins all three
+  (the placed schedule by identity) and discards the table whenever any
+  of them differs from the previous call.  A different ``reused`` set or
+  ``controller_available`` needs no invalidation: both are captured by
+  the signature itself (the pending-load set and the port-free time), so
+  states from different variants either collide *because* their futures
+  are identical or do not collide at all.
+* **Demotion** — entries from a previous call keep their timeless barrier
+  certificate (the invariant above), but the two call-local arguments die
+  with their call: prefix dominance is disabled for old-generation
+  entries (the ``ref``-visit fed a *different* incumbent), and PR 3's
+  "exact reuse" — splicing the memoized best suffix into the answer — is
+  retired entirely, because a previous incumbent's ``barrier`` says
+  nothing about the *current* incumbent when ``barrier <
+  incumbent-now``.  A revisit whose certificate cannot prune simply
+  re-explores, and the retained child entries turn that re-exploration
+  into a guided walk down the improving path (every non-improving sibling
+  is answered by its own certificate), so a warm hit costs ``O(depth x
+  branching)`` instead of a fresh subtree.
+
+Retiring suffix splicing has a second, deliberate effect: the incumbent
+is now only ever updated at *leaves* the DFS actually reaches, and every
+table answer is a pure pruning decision ("nothing below strictly beats
+the incumbent").  Warm and cold searches therefore walk the same
+canonical child order, realize the same sequence of strict improvements
+and return **bit-identical schedules** — a warm table can change how fast
+the optimum is found, never which optimum (or which tie) is returned.
+This is property-tested in ``tests/scheduling/test_scheduler_pool.py``.
 
 The table is LRU-bounded (``table_limit``): a pathological instance
 degrades to bound-plus-dominance pruning instead of exhausting memory,
 because losing an entry only ever costs a re-exploration, never
-correctness.  The undo-log walk plus memoized subtrees are what allow
-:data:`DEFAULT_EXACT_LIMIT` to rise from 12 (PR 2's incremental search)
-to 15 loads.
+correctness.  The undo-log walk plus memoized subtree floors are what
+allow :data:`DEFAULT_EXACT_LIMIT` to rise from 12 (PR 2's incremental
+search) to 15 loads.
 """
 
 from __future__ import annotations
 
+import weakref
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulingError
 from ..graphs.analysis import subtask_weights
@@ -102,6 +158,9 @@ from .evaluator import replay_schedule
 from .prefetch_list import ListPrefetchScheduler
 from .replay import ReplayState
 from .schedule import TIME_EPSILON, TimedSchedule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
+    from .pool import SchedulerPool
 
 #: Problem sizes (number of loads) up to which exhaustive search is attempted
 #: by default.  The undo-log replay kernel plus the memoizing transposition
@@ -121,16 +180,30 @@ _NEG_INF = float("-inf")
 
 
 class BranchAndBoundScheduler(PrefetchScheduler):
-    """Exhaustive search over load orders with pruning and memoization."""
+    """Exhaustive search over load orders with pruning and memoization.
+
+    With ``persistent_table=True`` the transposition table survives across
+    :meth:`schedule` calls for as long as the (placed schedule, latency,
+    release time) context stays the same — any change of that context
+    discards the table (see "Cross-call reuse" in the module docstring).
+    Warm answers are surfaced as ``tt_warm_hits`` in the returned stats;
+    results are bit-identical to a cold engine's either way.
+    """
 
     name = "branch-and-bound"
 
     def __init__(self, exact_limit: Optional[int] = None,
-                 table_limit: Optional[int] = DEFAULT_TABLE_LIMIT) -> None:
+                 table_limit: Optional[int] = DEFAULT_TABLE_LIMIT,
+                 persistent_table: bool = False) -> None:
         if table_limit is not None and table_limit < 0:
             raise SchedulingError("table_limit must be non-negative or None")
         self.exact_limit = exact_limit
         self.table_limit = table_limit
+        self.persistent_table = persistent_table
+        self._table: "Optional[OrderedDict[Tuple, List]]" = None
+        self._table_placed: Optional[weakref.ref] = None
+        self._table_token: Optional[Tuple[float, float]] = None
+        self._generation = 0
         self._reset_counters()
 
     def _reset_counters(self) -> None:
@@ -140,9 +213,45 @@ class BranchAndBoundScheduler(PrefetchScheduler):
         self._pruned_bound = 0
         self._pruned_dominance = 0
         self._tt_hits = 0
+        self._tt_warm_hits = 0
         self._tt_evictions = 0
         self._tt_peak = 0
         self._undo_peak = 0
+
+    def _acquire_table(self, problem: PrefetchProblem
+                       ) -> "OrderedDict[Tuple, List]":
+        """The transposition table for this call (warm when still valid).
+
+        Replay signatures are only comparable while the static replay core
+        (pinned via the placed schedule's identity), the reconfiguration
+        latency and the release time are unchanged; any difference from the
+        previous call's context starts a fresh table.  ``reused`` and
+        ``controller_available`` are captured by the signatures themselves
+        and therefore never require invalidation.
+        """
+        if not self.persistent_table:
+            self._generation = 0
+            return OrderedDict()
+        placed = problem.placed
+        token = (problem.reconfiguration_latency, problem.release_time)
+        anchor = (self._table_placed()
+                  if self._table_placed is not None else None)
+        if self._table is None or anchor is not placed \
+                or self._table_token != token:
+            self._table = OrderedDict()
+            self._table_placed = weakref.ref(placed)
+            self._table_token = token
+            self._generation = 0
+        else:
+            self._generation += 1
+        return self._table
+
+    def invalidate(self) -> None:
+        """Drop any retained transposition table (explicit invalidation)."""
+        self._table = None
+        self._table_placed = None
+        self._table_token = None
+        self._generation = 0
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
         loads = list(problem.loads)
@@ -170,6 +279,7 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             nodes_pruned_bound=self._pruned_bound,
             nodes_pruned_dominance=self._pruned_dominance,
             tt_hits=self._tt_hits,
+            tt_warm_hits=self._tt_warm_hits,
             tt_evictions=self._tt_evictions,
             tt_peak_size=self._tt_peak,
             undo_depth=self._undo_peak,
@@ -213,11 +323,17 @@ class BranchAndBoundScheduler(PrefetchScheduler):
 
         best_makespan = best_timed.makespan
         best_sequence: Optional[Tuple[str, ...]] = None
-        # Transposition table: signature -> [ref, barrier, future, suffix]
+        # Transposition table: signature -> [ref, barrier, future, generation]
         # (see the module docstring for the entry invariant).  An OrderedDict
         # doubles as the LRU: hits move to the back, evictions pop the front.
-        table: "OrderedDict[Tuple, List]" = OrderedDict()
+        # With a persistent engine this is the retained cross-call table;
+        # entries from earlier calls are recognizable by their generation.
+        table = self._acquire_table(problem)
+        generation = self._generation
         table_limit = self.table_limit
+        # A warm call starts with every retained entry live: tt_peak_size
+        # reports the largest *live* table, not just this call's inserts.
+        self._tt_peak = len(table)
 
         def lower_bound(state: ReplayState, remaining: frozenset) -> float:
             """Admissible bound on the absolute makespan of any completion.
@@ -251,15 +367,16 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                     bound = candidate
             return bound
 
-        def recurse(state: ReplayState
-                    ) -> Tuple[float, Optional[Tuple[str, ...]]]:
+        def recurse(state: ReplayState) -> float:
             """Explore the completions of ``state``'s prefix.
 
-            Returns ``(future, suffix)``: the smallest future contribution
-            (latest finish among executions performed *after* this state)
-            accounted for in this subtree and the issue suffix achieving
-            it, or ``(inf, None)`` when every branch was cut.  Updates the
-            incumbent as completions are reached or reused.
+            Returns the subtree's *future floor*: a value ``f`` such that
+            every completion below either has future contribution
+            ``F >= min(f, incumbent-at-return)`` or was cut against a
+            makespan floor no smaller than the incumbent at the cut (the
+            two cases of the entry-invariant induction in the module
+            docstring).  The incumbent is updated **only at leaves**, which
+            is what keeps warm and cold searches bit-identical.
             """
             nonlocal best_makespan, best_sequence
             self._operations += 1
@@ -272,44 +389,44 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 if makespan < best_makespan - TIME_EPSILON:
                     best_makespan = makespan
                     best_sequence = state.load_sequence
-                return _NEG_INF, ()
+                return _NEG_INF
             if lower_bound(state, remaining) >= best_makespan - TIME_EPSILON:
                 self._pruned_bound += 1
-                return _INF, None
+                return _INF
             signature = state.signature()
             realized = state.makespan
             entry = table.get(signature)
             if entry is not None:
                 table.move_to_end(signature)
-                ref, barrier, future, suffix = entry
-                if realized >= ref - TIME_EPSILON:
-                    # Prefix dominance: a no-worse prefix already explored
-                    # this future; its best suffix stays achievable here.
+                ref, barrier, future, written = entry
+                if written == generation and realized >= ref - TIME_EPSILON:
+                    # Prefix dominance (same call only): the ref-visit
+                    # already realized or validly cut every completion
+                    # below against this call's incumbent history, and a
+                    # no-better prefix cannot beat what it accounted for.
                     self._pruned_dominance += 1
-                    return future, suffix
+                    return (min(future, barrier)
+                            if ref < barrier - TIME_EPSILON else _INF)
                 if ref < barrier - TIME_EPSILON:
-                    # Entry invariant holds (module docstring): reuse the
-                    # memoized subtree instead of re-walking it.
-                    self._tt_hits += 1
-                    entry[0] = realized
-                    if future < barrier - TIME_EPSILON:
-                        # Exact reuse: optimum below is max(realized, future).
-                        candidate = max(realized, future)
-                        if candidate < best_makespan - TIME_EPSILON:
-                            best_makespan = candidate
-                            best_sequence = state.load_sequence + suffix
-                    # else: barrier certificate — no completion below can
-                    # beat the incumbent (future >= barrier >= incumbent).
-                    return future, suffix
-                # ref >= barrier: the incumbent overtook the reference
-                # prefix mid-subtree, voiding the invariant's premise —
-                # re-explore below and overwrite the entry.
+                    # Entry invariant holds (module docstring): every
+                    # completion below has F >= min(future, barrier) — a
+                    # claim about the signature's completion set, valid
+                    # across calls.  Prune when that floor cannot strictly
+                    # beat the current incumbent.
+                    certified = min(future, barrier)
+                    if max(realized, certified) \
+                            >= best_makespan - TIME_EPSILON:
+                        self._tt_hits += 1
+                        if written != generation:
+                            self._tt_warm_hits += 1
+                        return certified
+                # Re-explore: either the premise is void (the incumbent
+                # overtook the reference prefix mid-subtree) or the
+                # certificate is too weak for the current incumbent (a
+                # strictly better completion may hide below — descend and
+                # realize it at a leaf; retained child entries answer the
+                # non-improving siblings).  The entry is overwritten below.
             best_future = _INF
-            best_suffix: Optional[Tuple[str, ...]] = None
-            if entry is not None and entry[3] is not None:
-                # The previously found suffix remains achievable; seed the
-                # re-exploration's accounting with it.
-                best_future, best_suffix = entry[2], entry[3]
             # Explore the most promising loads first (earliest ideal start)
             # so that good incumbents are found early and pruning bites.
             choices = sorted(
@@ -327,22 +444,20 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 delta = state.push_choice(name, enable)
                 if state.undo_depth > self._undo_peak:
                     self._undo_peak = state.undo_depth
-                child_future, child_suffix = recurse(state)
+                child_future = recurse(state)
                 state.pop()
-                if child_suffix is not None:
-                    through = max(delta, child_future)
-                    if through < best_future:
-                        best_future = through
-                        best_suffix = (name,) + child_suffix
-            table[signature] = [realized, best_makespan,
-                                best_future, best_suffix]
+                through = delta if delta > child_future else child_future
+                if through < best_future:
+                    best_future = through
+            table[signature] = [realized, best_makespan, best_future,
+                                generation]
             table.move_to_end(signature)
             if len(table) > self._tt_peak:
                 self._tt_peak = len(table)
             if table_limit is not None and len(table) > table_limit:
                 table.popitem(last=False)
                 self._tt_evictions += 1
-            return best_future, best_suffix
+            return best_future
 
         root = ReplayState.start(
             placed,
@@ -375,22 +490,45 @@ class OptimalPrefetchScheduler(PrefetchScheduler):
 
     This mirrors the design-time engine of the paper: exact scheduling where
     affordable, the near-optimal heuristic of ref. [7] for larger graphs.
+
+    ``pool`` optionally names a
+    :class:`~repro.scheduling.pool.SchedulerPool`: exact problems are then
+    solved on the pool's warm per-(placed schedule, latency) engines
+    instead of this instance's private cold engine.  Results are
+    bit-identical either way (see the module docstring); only the amount
+    of search work changes, which is why the pool is excluded from the
+    design-store signature in :mod:`repro.tcm.design_time`.
     """
 
     name = "optimal-prefetch"
 
     def __init__(self, exact_limit: int = DEFAULT_EXACT_LIMIT,
                  fallback: Optional[PrefetchScheduler] = None,
-                 table_limit: Optional[int] = DEFAULT_TABLE_LIMIT) -> None:
+                 table_limit: Optional[int] = DEFAULT_TABLE_LIMIT,
+                 pool: Optional["SchedulerPool"] = None) -> None:
         if exact_limit < 0:
             raise SchedulingError("exact_limit must be non-negative")
         self.exact_limit = exact_limit
         self.fallback = fallback or ListPrefetchScheduler("ideal-start")
+        self.table_limit = table_limit
+        self.pool = pool
         self._exact = BranchAndBoundScheduler(table_limit=table_limit)
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
         if problem.load_count <= self.exact_limit:
-            result = self._exact.schedule(problem)
+            if self.pool is not None:
+                # exact_limit=None: this scheduler's own gate (above) is
+                # the size policy — a pooled engine must never re-gate.
+                # table_limit passes through verbatim (None = unbounded),
+                # matching the private cold engine's configuration.
+                engine = self.pool.engine_for(
+                    problem.placed, problem.reconfiguration_latency,
+                    exact_limit=None,
+                    table_limit=self.table_limit,
+                )
+                result = self.pool.run(engine, problem)
+            else:
+                result = self._exact.schedule(problem)
         else:
             result = self.fallback.schedule(problem)
         return PrefetchResult(problem=result.problem, timed=result.timed,

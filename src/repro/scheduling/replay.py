@@ -66,6 +66,23 @@ Invariants the kernel maintains (and that its users rely on):
   search in :mod:`repro.scheduling.prefetch_bb` documents how its table
   stays exact in the presence of bound pruning.
 
+  Because the signature quantifies over the state's whole completion set,
+  the interchangeability argument holds **across searches, not just
+  within one**: a table entry derived below one state remains a true
+  statement about every signature-equal state any *later* problem
+  reaches, provided signatures are comparable at all — which requires the
+  same static replay core (the same :class:`PlacedSchedule`), the same
+  reconfiguration latency and the same release time.  (The ``reused``
+  set and ``controller_available`` need no such guard: both are captured
+  *inside* the signature via the pending-load set and the port-free
+  time.)  What does **not** carry across searches is anything phrased in
+  terms of a search's incumbent — dominance against an earlier visit, or
+  a memoized suffix's optimality relative to a bound cut — which is why
+  the cross-call reuse in :mod:`repro.scheduling.prefetch_bb` demotes
+  retained entries to incumbent-free *floor certificates* (and the
+  :class:`repro.scheduling.pool.SchedulerPool` keys warm engines by
+  exactly the comparability context above).
+
 The per-schedule static context (resource sequences, predecessor lists,
 execution times) is precomputed once per :class:`PlacedSchedule` and
 cached weakly, which also speeds up plain monolithic replays — the

@@ -49,6 +49,7 @@ from ..reuse.reuse import ReuseDecision, ReuseModule
 from ..scheduling.base import PrefetchProblem
 from ..scheduling.evaluator import replay_schedule
 from ..scheduling.noprefetch import OnDemandScheduler
+from ..scheduling.pool import SchedulerPool
 from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
 from ..scheduling.prefetch_list import ListPrefetchScheduler
 from ..scheduling.schedule import ExecutionEntry, PlacedSchedule, ResourceId
@@ -102,6 +103,20 @@ class SchedulingApproach(abc.ABC):
     uses_reuse: bool = True
     #: Whether the approach prefetches for the next task in the sequence.
     uses_intertask: bool = False
+    #: Warm branch-and-bound engine pool bound by the execution driver
+    #: (``run_group`` binds one per worker process); ``None`` keeps each
+    #: approach on its private engines.  Approaches without an exact
+    #: design engine simply ignore it.
+    scheduler_pool: Optional[SchedulerPool] = None
+
+    def bind_scheduler_pool(self, pool: Optional[SchedulerPool]) -> None:
+        """Share ``pool``'s warm engines for this approach's exact searches.
+
+        Must be called before :meth:`prepare`; warm engines return
+        bit-identical schedules, so binding (or not) never changes any
+        simulation result — only the design-time search effort.
+        """
+        self.scheduler_pool = pool
 
     def prepare(self, design_result: TcmDesignTimeResult,
                 reconfiguration_latency: float) -> None:
@@ -317,6 +332,13 @@ class DesignTimePrefetchApproach(SchedulingApproach):
                 reconfiguration_latency: float) -> None:
         self._orders.clear()
         self._pending_prefetched.clear()
+        # Re-preparing against the same exploration (every sweep point of a
+        # group does) re-solves the same placed schedules: route the exact
+        # searches through the bound worker pool — or, failing that, the
+        # exploration's own pool — so later points start warm.
+        self._scheduler.pool = (self.scheduler_pool
+                                if self.scheduler_pool is not None
+                                else design_result.scheduler_pool)
         for task_name, scenario_name, point_key, placed in design_result.schedules():
             problem = PrefetchProblem(
                 placed=placed,
@@ -544,7 +566,12 @@ class HybridApproach(SchedulingApproach):
 
     def prepare(self, design_result: TcmDesignTimeResult,
                 reconfiguration_latency: float) -> None:
-        self._heuristic = HybridPrefetchHeuristic(reconfiguration_latency)
+        self._heuristic = HybridPrefetchHeuristic(
+            reconfiguration_latency,
+            scheduler_pool=(self.scheduler_pool
+                            if self.scheduler_pool is not None
+                            else design_result.scheduler_pool),
+        )
         self._store = design_result.build_design_store(self._heuristic)
         # Critical configurations of *any* task are the expensive ones to
         # lose: keeping them resident is what the weight-aware replacement

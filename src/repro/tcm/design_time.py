@@ -30,6 +30,7 @@ from ..errors import ConfigurationError
 from ..graphs.analysis import max_parallelism
 from ..platform.description import Platform
 from ..scheduling.list_scheduler import ListScheduler, ListSchedulerOptions
+from ..scheduling.pool import SchedulerPool
 from ..scheduling.schedule import PlacedSchedule
 from .pareto import ParetoCurve, ParetoPoint
 from .scenario import DynamicTask, Scenario, TaskSet
@@ -47,9 +48,24 @@ def _scheduler_signature(scheduler) -> Optional[Tuple]:
     """A hashable description of a prefetch scheduler's configuration.
 
     Used to memoize design-store builds: two heuristics whose engines have
-    the same signature produce identical stores.  Returns ``None`` (do not
-    cache) for scheduler types this module does not know how to describe.
+    the same signature produce identical stores.  Exact instances of the
+    known scheduler types keep their historical compact signatures.  Any
+    other :class:`~repro.scheduling.base.PrefetchScheduler` — including
+    *subclasses* of the known types, which the former ``type(...) is``
+    checks silently rejected, disabling memoization — falls back to a
+    conservative signature built from the class identity plus every public
+    scalar (and nested-scheduler) attribute, on the standing assumption
+    that schedulers are deterministic functions of their type and public
+    configuration.  A scheduler carrying public state this description
+    cannot capture (a non-scalar attribute) still returns ``None``, but
+    the miss is now *observable*: callers count it (see
+    ``TcmDesignTimeResult.store_cache_uncached``) instead of silently
+    rebuilding the store forever.  A :class:`~repro.scheduling.pool
+    .SchedulerPool` attribute is deliberately skipped — warm tables change
+    how fast the engine searches, never which schedule it returns.
     """
+    from ..scheduling.base import PrefetchScheduler
+    from ..scheduling.pool import SchedulerPool
     from ..scheduling.prefetch_bb import OptimalPrefetchScheduler
     from ..scheduling.prefetch_list import ListPrefetchScheduler
 
@@ -60,7 +76,27 @@ def _scheduler_signature(scheduler) -> Optional[Tuple]:
         if fallback is None:
             return None
         return ("optimal", scheduler.exact_limit, fallback)
-    return None
+    if not isinstance(scheduler, PrefetchScheduler):
+        return None
+    config: List[Tuple[str, object]] = []
+    for key in sorted(vars(scheduler)):
+        if key.startswith("_"):
+            continue  # private attributes: counters, caches, scratch state
+        value = vars(scheduler)[key]
+        if isinstance(value, SchedulerPool) or key in ("pool",
+                                                       "scheduler_pool"):
+            continue  # warm pools (bound or not) are perf-only
+        if isinstance(value, (str, int, float, bool, type(None))):
+            config.append((key, value))
+        elif isinstance(value, PrefetchScheduler):
+            nested = _scheduler_signature(value)
+            if nested is None:
+                return None
+            config.append((key, nested))
+        else:
+            return None
+    return ("scheduler", type(scheduler).__module__,
+            type(scheduler).__qualname__, tuple(config))
 
 
 @dataclass
@@ -75,6 +111,23 @@ class TcmDesignTimeResult:
     _store_cache: Dict[Tuple, DesignTimeStore] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Warm-engine pool shared by every design-store build over this
+    #: exploration's placed schedules (the natural owner: the pool's
+    #: engines are keyed on exactly those schedules, so their lifetimes
+    #: coincide).  Hybrid heuristics prepared against this result route
+    #: their ``with_reused`` critical-selection variants through it, so the
+    #: transposition work of one build warms every later one at the same
+    #: latency.  A pure cache like ``_store_cache``: excluded from
+    #: comparisons/repr, dropped on (de)serialization.
+    scheduler_pool: SchedulerPool = field(
+        default_factory=SchedulerPool, repr=False, compare=False
+    )
+    #: Observability of the design-store memoization (see
+    #: :func:`_scheduler_signature`): how many ``build_design_store`` calls
+    #: hit the cache, missed it, or could not be cached at all.
+    store_cache_hits: int = field(default=0, repr=False, compare=False)
+    store_cache_misses: int = field(default=0, repr=False, compare=False)
+    store_cache_uncached: int = field(default=0, repr=False, compare=False)
 
     def curve(self, task_name: str, scenario_name: str) -> ParetoCurve:
         """Pareto curve of one scenario."""
@@ -109,15 +162,26 @@ class TcmDesignTimeResult:
         heuristics — e.g. every hybrid sweep point in one engine group, or
         every test sharing a session exploration — return one memoized
         store instead of re-running the critical-subtask selection.
+
+        Warm tables make even the *misses* cheap: a heuristic whose design
+        engine is pooled (the default) keeps the transposition suffixes of
+        one placed schedule's ``with_reused`` variants across the whole
+        critical-selection loop, and heuristics sharing this result's
+        :attr:`scheduler_pool` extend that across builds.
         """
         engine_signature = _scheduler_signature(hybrid.design_scheduler)
         if engine_signature is None:
+            # Unknown engine state: build uncached, but observably so.
+            self.store_cache_uncached += 1
             return hybrid.build_store(self.schedules())
         key = (hybrid.reconfiguration_latency, engine_signature)
         store = self._store_cache.get(key)
         if store is None:
+            self.store_cache_misses += 1
             store = hybrid.build_store(self.schedules())
             self._store_cache[key] = store
+        else:
+            self.store_cache_hits += 1
         return store
 
 

@@ -18,7 +18,11 @@ from pathlib import Path
 import pytest
 
 from repro.runner import ApproachSpec, ResultCache, SweepEngine, SweepSpec
-from repro.runner.cache import CACHE_FORMAT_VERSION
+from repro.runner.cache import (
+    CACHE_FORMAT_VERSION,
+    EXPLORATION_FORMAT_VERSION,
+    ExplorationCache,
+)
 
 
 ITERATIONS = 5
@@ -140,3 +144,73 @@ class TestPoisonedWarmRuns:
         healed = run_warm(cache_dir, spec)
         assert healed.computed_count == 0
         assert healed.outcomes[0].metrics == reference_metrics
+
+
+class TestVersionSkewDowngrade:
+    """Entries written by a *newer* code version (the downgrade path).
+
+    A shared cache directory outlives any single checkout: after a roll
+    back, this (older) code meets structurally valid entries stamped with
+    format versions from its future.  Their payloads may encode semantics
+    this version cannot reproduce, so they must be treated as misses —
+    recomputed bit-identically, never crashed on, never half-trusted —
+    and healed in place to this version's format.
+    """
+
+    @staticmethod
+    def _stamp_future_versions(cache_dir: Path) -> int:
+        """Rewrite every (valid) entry as if written by a newer release."""
+        stamped = 0
+        for path in entry_paths(cache_dir):
+            entry = json.loads(path.read_text(encoding="utf-8"))
+            if "format" in entry:                       # result entry
+                entry["format"] = CACHE_FORMAT_VERSION + 1
+            if "request" in entry and isinstance(entry["request"], dict):
+                entry["request"]["format"] = EXPLORATION_FORMAT_VERSION + 1
+            path.write_text(json.dumps(entry), encoding="utf-8")
+            stamped += 1
+        return stamped
+
+    def test_future_entries_recompute_and_heal(self, tmp_path, spec,
+                                               reference_metrics):
+        cache_dir = tmp_path / "cache"
+        seed_cache(cache_dir, spec)
+        assert self._stamp_future_versions(cache_dir) >= 2
+        downgraded = run_warm(cache_dir, spec)
+        assert downgraded.computed_count == 1  # nothing from the future ran
+        assert downgraded.outcomes[0].metrics == reference_metrics
+        # The recompute overwrote the future entries with this version's.
+        healed = run_warm(cache_dir, spec)
+        assert healed.computed_count == 0
+        assert healed.outcomes[0].metrics == reference_metrics
+
+    def test_result_cache_load_rejects_newer_format(self, tmp_path, spec,
+                                                    reference_metrics):
+        """Unit level: a valid entry with a future format is a miss."""
+        cache = ResultCache(tmp_path / "cache")
+        point = spec.expand()[0]
+        path = cache.store(point, reference_metrics)
+        assert cache.load(point) == reference_metrics
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["format"] = CACHE_FORMAT_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(point) is None
+
+    def test_exploration_cache_load_rejects_newer_format(self, tmp_path,
+                                                         spec):
+        """Unit level: a future exploration request payload is a miss."""
+        from repro.runner.engine import explore_platform
+        from repro.tcm.design_time import exploration_to_dict
+
+        workload_spec = spec.workloads[0]
+        tile_count = spec.tile_counts[0]
+        workload, platform, design = explore_platform(workload_spec,
+                                                      tile_count)
+        cache = ExplorationCache(tmp_path / "explorations")
+        path = cache.store(workload_spec, tile_count, design)
+        loaded = cache.load(workload_spec, tile_count, platform)
+        assert exploration_to_dict(loaded) == exploration_to_dict(design)
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["request"]["format"] = EXPLORATION_FORMAT_VERSION + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(workload_spec, tile_count, platform) is None

@@ -114,6 +114,28 @@ class TestSweepSpec:
         assert all(isinstance(w, WorkloadSpec) for w in spec.workloads)
         assert all(isinstance(a, ApproachSpec) for a in spec.approaches)
 
+    def test_duplicate_axis_entries_are_deduplicated(self):
+        """Repeated seeds/tile counts no longer inflate the executed grid.
+
+        A duplicated entry used to double ``point_count`` and run the same
+        point twice (the engine deduplicated execution, but every report
+        listed the point twice); axes are now deduplicated preserving
+        first-seen order.
+        """
+        spec = SweepSpec(
+            workloads=("multimedia", "multimedia"),
+            approaches=("hybrid", "run-time", "hybrid"),
+            tile_counts=(8, 4, 8, 4),
+            seeds=(3, 1, 3, 2, 1),
+        )
+        assert spec.tile_counts == (8, 4)
+        assert spec.seeds == (3, 1, 2)
+        assert [w.name for w in spec.workloads] == ["multimedia"]
+        assert [a.name for a in spec.approaches] == ["hybrid", "run-time"]
+        points = spec.expand()
+        assert len(points) == spec.point_count == 1 * 2 * 2 * 3
+        assert len(set(points)) == len(points)
+
     def test_expansion_is_the_full_cross_product(self):
         spec = SweepSpec(workloads=("multimedia", "pocketgl"),
                          approaches=("hybrid", "run-time", "no-prefetch"),

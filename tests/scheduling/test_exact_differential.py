@@ -15,10 +15,11 @@ Three independent engines answer every random instance:
 All three must agree on the optimal makespan, and each returned dispatch
 order must be *self-consistent*: replaying it as a priority order through
 the greedy dispatcher reproduces the claimed schedule bit for bit.  (The
-engines may return *different* optimal orders on ties — exploration order
-and memoized suffixes legitimately break ties differently — so schedule
-identity is asserted per engine against the dispatcher, and optimality
-across engines via the makespan.)
+engines may return *different* optimal orders on ties — their exploration
+orders legitimately break ties differently — so schedule identity is
+asserted per engine against the dispatcher, and optimality across engines
+via the makespan.  Within the production engine, warm-vs-cold tie
+*identity* is pinned separately in ``test_scheduler_pool.py``.)
 
 Hypothesis runs derandomized (see ``tests/conftest.py``), so the corpus is
 stable run to run.

@@ -1,0 +1,266 @@
+"""Warm scheduler pool: bit-identical results, observable reuse.
+
+The :class:`~repro.scheduling.pool.SchedulerPool` promise is twofold:
+
+* **Exactness across calls** — a pooled (warm-table) engine returns
+  schedules *bit-identical* to a fresh cold engine for every problem, no
+  matter how problems over different placed schedules, latencies, reused
+  sets and release times are interleaved between the calls.  This is the
+  cross-call extension of PR 3's transposition-safety argument (see
+  "Cross-call reuse" in :mod:`repro.scheduling.prefetch_bb`): warm
+  entries only ever *prune* subtrees that provably cannot strictly beat
+  the current incumbent, so warm and cold searches realize the same
+  sequence of strict improvements at the same leaves.
+* **Observable reuse** — repeat solves report non-zero ``tt_warm_hits``,
+  the pool's routing counters add up, and the aggregated ``total_stats``
+  is exactly the merge of the per-call stats.
+"""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.critical import CriticalSubtaskSelector
+from repro.graphs.generators import ExecutionTimeModel, random_dag
+from repro.platform.description import Platform
+from repro.scheduling.base import PrefetchProblem, SchedulerStats
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.pool import (
+    SchedulerPool,
+    process_scheduler_pool,
+    reset_process_scheduler_pool,
+)
+from repro.scheduling.prefetch_bb import (
+    BranchAndBoundScheduler,
+    OptimalPrefetchScheduler,
+)
+
+from .test_replay_state import assert_bit_identical
+
+LATENCY = 4.0
+
+
+def make_placed(count: int, probability: float, seed: int, tiles: int):
+    graph = random_dag(
+        "pooled", count=count, edge_probability=probability,
+        time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+        seed=seed,
+    )
+    return build_initial_schedule(
+        graph, Platform(tile_count=tiles, reconfiguration_latency=LATENCY)
+    )
+
+
+#: One interleaving step: (graph seed, edge probability, tile count,
+#: latency, reused-prefix length, release time).  Few distinct values per
+#: axis on purpose: repeats are what make warm tables (and their hazards)
+#: reachable.
+step_params = st.tuples(
+    st.integers(min_value=0, max_value=2),            # graph seed
+    st.sampled_from([0.1, 0.4]),                      # edge probability
+    st.integers(min_value=2, max_value=4),            # tile count
+    st.sampled_from([2.0, 4.0]),                      # latency
+    st.integers(min_value=0, max_value=3),            # reused prefix
+    st.sampled_from([0.0, 7.5]),                      # release time
+)
+
+
+class TestWarmPoolBitIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(steps=st.lists(step_params, min_size=2, max_size=10))
+    def test_interleaved_problems_match_cold_engines(self, steps):
+        """Warm pool == fresh cold engine, for every interleaved problem.
+
+        Problems vary graph, tile count, latency, reused set and release
+        time; the pool routes them onto shared engines whose tables stay
+        warm between revisits of the same (placed, latency) core.  Every
+        single answer must be bit-identical to a cold engine's, and the
+        merged pool stats must equal the merge of the per-call stats.
+        """
+        pool = SchedulerPool()
+        placed_cache = {}
+        expected_stats = SchedulerStats()
+        for seed, probability, tiles, latency, reuse_len, release in steps:
+            key = (seed, probability, tiles)
+            placed = placed_cache.get(key)
+            if placed is None:
+                placed = make_placed(8, probability, seed, tiles)
+                placed_cache[key] = placed
+            reused = sorted(placed.drhw_names)[:reuse_len]
+            problem = PrefetchProblem(
+                placed, latency, reused=frozenset(reused),
+                release_time=release,
+            )
+            warm = pool.schedule(problem)
+            cold = BranchAndBoundScheduler().schedule(problem)
+            assert warm.load_order == cold.load_order
+            assert_bit_identical(warm.timed, cold.timed)
+            expected_stats = expected_stats.merged(warm.stats)
+        assert pool.total_stats == expected_stats
+        assert pool.pool_hits + pool.pool_misses == len(steps)
+        assert pool.pool_misses == pool.engine_count
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=5))
+    def test_repeat_solves_hit_warm_entries(self, seed):
+        """Re-solving the same problem is answered from the warm table."""
+        placed = make_placed(9, 0.15, seed, 4)
+        problem = PrefetchProblem(placed, LATENCY)
+        pool = SchedulerPool()
+        first = pool.schedule(problem)
+        second = pool.schedule(problem)
+        assert second.load_order == first.load_order
+        assert_bit_identical(second.timed, first.timed)
+        if first.stats.operations > 1:
+            # Any non-trivial search leaves a warm root certificate behind.
+            assert second.stats.tt_warm_hits > 0
+            assert second.stats.operations < first.stats.operations
+        assert first.stats.tt_warm_hits == 0  # first call is always cold
+        # The warm call inherits the first call's live entries: its peak
+        # reports the retained table, not just its own (few) inserts.
+        assert second.stats.tt_peak_size >= first.stats.tt_peak_size
+
+
+class TestPoolBookkeeping:
+    def test_engine_reused_per_core_and_keyed_by_latency(self):
+        pool = SchedulerPool()
+        placed = make_placed(6, 0.3, 1, 3)
+        engine_a = pool.engine_for(placed, 4.0)
+        engine_b = pool.engine_for(placed, 4.0)
+        engine_c = pool.engine_for(placed, 2.0)
+        assert engine_a is engine_b
+        assert engine_a is not engine_c
+        assert (pool.pool_hits, pool.pool_misses) == (1, 2)
+
+    def test_explicit_none_config_overrides_pool_defaults(self):
+        """``None`` keeps its engine-level meaning; omission inherits.
+
+        An :class:`OptimalPrefetchScheduler` gates problem sizes itself, so
+        its pooled engines must never re-gate — even when the pool was
+        configured with a tighter ``exact_limit`` — and an explicit
+        ``table_limit=None`` (unbounded) must not be silently replaced by
+        the pool's bounded default.
+        """
+        placed = make_placed(12, 0.2, 0, 3)
+        problem = PrefetchProblem(placed, LATENCY)
+        pool = SchedulerPool(exact_limit=5)
+        scheduler = OptimalPrefetchScheduler(exact_limit=15,
+                                             table_limit=None, pool=pool)
+        assert problem.load_count > 5
+        result = scheduler.schedule(problem)  # must not re-gate at 5
+        cold = BranchAndBoundScheduler().schedule(problem)
+        assert result.load_order == cold.load_order
+        engine = pool.engine_for(placed, LATENCY, exact_limit=None,
+                                 table_limit=None)
+        assert engine.exact_limit is None
+        assert engine.table_limit is None
+        inherited = pool.engine_for(placed, LATENCY)
+        assert inherited is not engine
+        assert inherited.exact_limit == 5
+
+    def test_engine_invalidates_on_context_change(self):
+        """One engine fed different contexts stays exact (fresh tables)."""
+        placed = make_placed(8, 0.2, 2, 3)
+        other = make_placed(8, 0.2, 3, 3)
+        engine = BranchAndBoundScheduler(persistent_table=True)
+        for problem in (
+            PrefetchProblem(placed, LATENCY),
+            PrefetchProblem(placed, 2.0),               # latency change
+            PrefetchProblem(placed, 2.0, release_time=5.0),  # release change
+            PrefetchProblem(other, 2.0, release_time=5.0),   # placed change
+        ):
+            warm = engine.schedule(problem)
+            cold = BranchAndBoundScheduler().schedule(problem)
+            assert_bit_identical(warm.timed, cold.timed)
+            # Every context component changed => table discarded => no
+            # cross-call answers possible.
+            assert warm.stats.tt_warm_hits == 0
+
+    def test_explicit_invalidate_drops_warmth(self):
+        placed = make_placed(9, 0.15, 0, 4)
+        problem = PrefetchProblem(placed, LATENCY)
+        pool = SchedulerPool()
+        pool.schedule(problem)
+        engine = pool.engine_for(placed, LATENCY)
+        engine.invalidate()
+        again = pool.run(engine, problem)
+        assert again.stats.tt_warm_hits == 0
+
+    def test_lru_bounds_live_engines(self):
+        pool = SchedulerPool(max_engines=2)
+        schedules = [make_placed(5, 0.3, seed, 2) for seed in range(4)]
+        for placed in schedules:
+            pool.engine_for(placed, LATENCY)
+        assert pool.engine_count == 2
+        assert pool.engines_evicted == 2
+
+    def test_dead_placed_schedule_releases_its_engine(self):
+        pool = SchedulerPool()
+        placed = make_placed(5, 0.3, 0, 2)
+        pool.engine_for(placed, LATENCY)
+        assert pool.engine_count == 1
+        del placed
+        gc.collect()
+        assert pool.engine_count == 0
+
+    def test_process_pool_is_shared_and_resettable(self):
+        reset_process_scheduler_pool()
+        pool = process_scheduler_pool()
+        assert process_scheduler_pool() is pool
+        reset_process_scheduler_pool()
+        assert process_scheduler_pool() is not pool
+
+    def test_pickles_as_an_empty_pool(self):
+        import pickle
+
+        pool = SchedulerPool()
+        placed = make_placed(5, 0.3, 0, 2)
+        pool.schedule(PrefetchProblem(placed, LATENCY))
+        clone = pickle.loads(pickle.dumps(pool))
+        assert clone.engine_count == 0
+        assert clone.max_engines == pool.max_engines
+        # Routing counters survive; only the engines (weakrefs) are shed.
+        assert clone.pool_misses == pool.pool_misses
+
+
+class TestWithReusedExploration:
+    @pytest.mark.parametrize("count,probability,tiles,seed", [
+        (10, 0.1, 5, 0),
+        (12, 0.3, 3, 2),
+        (8, 0.2, 4, 1),
+    ])
+    def test_critical_selection_matches_cold(self, count, probability,
+                                             tiles, seed):
+        """The with_reused variant loop is bit-identical warm vs cold."""
+        placed = make_placed(count, probability, seed, tiles)
+        cold = CriticalSubtaskSelector(
+            scheduler=OptimalPrefetchScheduler()
+        ).select(placed, LATENCY)
+        pool = SchedulerPool()
+        warm = CriticalSubtaskSelector(
+            scheduler=OptimalPrefetchScheduler(pool=pool)
+        ).select(placed, LATENCY)
+        assert warm.critical == cold.critical
+        assert warm.load_order == cold.load_order
+        assert warm.schedule.load_order == cold.schedule.load_order
+        assert_bit_identical(warm.schedule.timed, cold.schedule.timed)
+        assert [step.overhead for step in warm.steps] \
+            == [step.overhead for step in cold.steps]
+        # Every variant of one placed schedule shares a single engine.
+        assert pool.pool_misses == 1
+        assert pool.pool_hits == warm.iterations - 1
+
+    def test_optimal_scheduler_reports_pool_stats_per_call(self):
+        """Per-call stats stay per-call even on a shared engine."""
+        placed = make_placed(9, 0.15, 4, 4)
+        problem = PrefetchProblem(placed, LATENCY)
+        pool = SchedulerPool()
+        scheduler = OptimalPrefetchScheduler(pool=pool)
+        first = scheduler.schedule(problem)
+        second = scheduler.schedule(problem)
+        merged = first.stats.merged(second.stats)
+        assert pool.total_stats == merged
+        assert pool.total_stats.tt_warm_hits == second.stats.tt_warm_hits
