@@ -8,6 +8,12 @@ three ways and records the wall times:
 * on a process pool with one worker per CPU;
 * against a warm result cache (no simulation at all).
 
+A second benchmark quantifies the persisted transposition tables: the
+same grid computed twice into an empty result cache (the rerun has its
+point/exploration caches wiped so every simulation re-runs), once with
+``tt_cache`` off and once warm-starting from ``<cache>/ttables`` — the
+restart/fresh-fleet scenario of the warm-table store.
+
 Correctness is asserted unconditionally: all three executions must return
 bit-identical metrics, and the warm-cache pass must not recompute any
 point.  The speedup assertion is conditional on the hardware — on a
@@ -107,3 +113,60 @@ def test_sequential_vs_parallel_figure6_sweep(benchmark, tmp_path):
         # On a multi-core machine the pool must win measurably; 1.2x is a
         # deliberately conservative floor for a sweep this parallel.
         assert speedup >= 1.2
+
+
+@pytest.mark.benchmark(group="sweep-engine")
+def test_tt_store_warm_start_restart(benchmark, tmp_path):
+    """Restart scenario: persisted tables must not slow a recompute down.
+
+    Both passes simulate every point from scratch (the result and
+    exploration caches are wiped between runs); the second pass may only
+    differ by warm-starting its exact searches from the persisted
+    certificates.  Results must stay bit-identical and the store must
+    actually serve certificates; wall times are reported (the search is a
+    modest share of a full simulation, so the win is measured in visited
+    nodes by ``check_regression.py`` — here we only insist it is not a
+    regression beyond noise).
+    """
+    import shutil
+
+    from repro.scheduling.pool import (
+        process_scheduler_pool,
+        reset_process_scheduler_pool,
+    )
+
+    iterations = bench_iterations(default=50)
+    spec = _figure6_spec(iterations)
+
+    def wipe_results(cache_dir) -> None:
+        for path in cache_dir.glob("*.json"):
+            path.unlink()
+        shutil.rmtree(cache_dir / "explorations", ignore_errors=True)
+
+    cache_dir = tmp_path / "tt-cache"
+    reset_process_scheduler_pool()
+    start = time.perf_counter()
+    first = SweepEngine(cache_dir=cache_dir).run(spec)
+    first_seconds = time.perf_counter() - start
+    wipe_results(cache_dir)
+
+    reset_process_scheduler_pool()
+
+    def restarted_run():
+        return SweepEngine(cache_dir=cache_dir).run(spec)
+
+    start = time.perf_counter()
+    restarted = benchmark.pedantic(restarted_run, rounds=1, iterations=1)
+    restart_seconds = time.perf_counter() - start
+    warm_hits = process_scheduler_pool().tt_warm_hits
+
+    print()
+    print(f"tt-store restart ({spec.point_count} points, {iterations} "
+          f"iterations):")
+    print(f"  first run (cold tables): {first_seconds:8.2f} s")
+    print(f"  restart (warm tables):   {restart_seconds:8.2f} s  "
+          f"({warm_hits} warm tt answers)")
+
+    assert restarted.computed_count == spec.point_count  # results wiped
+    assert [o.metrics for o in restarted] == [o.metrics for o in first]
+    assert warm_hits > 0, "persisted tables served no certificates"

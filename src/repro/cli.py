@@ -21,6 +21,18 @@ and ``--cache-dir PATH`` memoizes completed sweep points — and, under
 the same parameters returns instantly and even partially-warm sweeps skip
 the Pareto-curve generation.  Both keep results bit-identical to a
 sequential uncached run.
+
+Cached commands also persist the exact scheduler's transposition tables
+under ``PATH/ttables`` (disable with ``--no-tt-cache``): reruns and fresh
+worker fleets warm-start their branch-and-bound searches from the floor
+certificates earlier runs proved, again without changing any result.
+
+``repro-drhw sweep`` exposes the sweep engine directly: an arbitrary
+workloads x approaches x tiles x seeds grid, reported as mean ± 95 % CI
+per curve when several seeds are given, and — with ``--distributed`` — a
+cooperative multi-worker mode where any number of processes or machines
+pointed at one shared ``--cache-dir`` partition the grid through claim
+files without duplicating work (see :mod:`repro.runner.engine`).
 """
 
 from __future__ import annotations
@@ -88,6 +100,14 @@ def build_parser() -> argparse.ArgumentParser:
                  "design-time explorations; a warm rerun with identical "
                  "parameters skips simulation and exploration",
         )
+        subparser.add_argument(
+            "--tt-cache", action=argparse.BooleanOptionalAction,
+            default=True,
+            help="with --cache-dir: persist exact-search transposition "
+                 "tables under PATH/ttables so reruns and fresh workers "
+                 "warm-start the branch-and-bound engine (results are "
+                 "bit-identical either way)",
+        )
 
     table1 = subparsers.add_parser("table1", help="Regenerate Table 1")
     add_jobs_flag(table1)
@@ -130,6 +150,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_flag(ablation)
     add_cache_flag(ablation)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="Run an arbitrary sweep grid (mean ± CI over seeds; "
+             "optionally distributed over a shared cache directory)",
+    )
+    sweep.add_argument("--workloads", nargs="+", default=["multimedia"],
+                       metavar="NAME",
+                       help="workload registry names (default: multimedia)")
+    sweep.add_argument("--approaches", nargs="+", default=["hybrid"],
+                       metavar="NAME",
+                       help="approach registry names (default: hybrid)")
+    sweep.add_argument("--tiles", type=int, nargs="+", default=[8],
+                       help="tile counts to sweep")
+    sweep.add_argument("--seeds", type=int, nargs="+", default=[2005],
+                       help="simulation seeds; several seeds turn the "
+                            "report into a mean ± 95%% CI ensemble")
+    sweep.add_argument("--iterations", type=int, default=300,
+                       help="simulated iterations per point")
+    sweep.add_argument("--metric", default="overhead_percent",
+                       help="SimulationMetrics attribute to report "
+                            "(default: overhead_percent)")
+    sweep.add_argument("--distributed", action="store_true",
+                       help="cooperate with other workers sharing "
+                            "--cache-dir: claim files partition the grid "
+                            "so no point is computed twice")
+    sweep.add_argument("--worker-id", default=None, metavar="ID",
+                       help="label identifying this worker in claim files "
+                            "(default: hostname-pid)")
+    sweep.add_argument("--claim-ttl", type=float, default=None,
+                       metavar="SECONDS",
+                       help="seconds after which another worker's claim "
+                            "counts as abandoned and is taken over")
+    add_jobs_flag(sweep)
+    add_cache_flag(sweep)
+
     demo = subparsers.add_parser(
         "demo", help="Show the prefetch schedules of one benchmark task"
     )
@@ -138,6 +193,43 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--tiles", type=int, default=8)
     demo.add_argument("--latency", type=float, default=4.0)
     return parser
+
+
+def _run_sweep(args, jobs: int, cache_dir: Optional[str]) -> str:
+    """Execute the ``sweep`` sub-command and render its report."""
+    from .errors import ConfigurationError
+    from .runner import (DEFAULT_CLAIM_TTL, ApproachSpec, SeedEnsemble,
+                         SweepEngine, SweepSpec)
+
+    if args.distributed and cache_dir is None:
+        raise ConfigurationError(
+            "--distributed needs --cache-dir: the shared directory is the "
+            "bus workers exchange results and claims through"
+        )
+    spec = SweepSpec(
+        workloads=tuple(args.workloads),
+        approaches=tuple(ApproachSpec.of(name) for name in args.approaches),
+        tile_counts=tuple(args.tiles),
+        seeds=tuple(args.seeds),
+        iterations=args.iterations,
+    )
+    engine = SweepEngine(
+        max_workers=jobs,
+        cache_dir=cache_dir,
+        tt_cache=args.tt_cache,
+        distributed=args.distributed,
+        worker_id=args.worker_id,
+        claim_ttl=(args.claim_ttl if args.claim_ttl is not None
+                   else DEFAULT_CLAIM_TTL),
+    )
+    ensemble = SeedEnsemble(spec, metric=args.metric).run(engine)
+    lines = [ensemble.format_table()]
+    sweep = ensemble.sweep
+    lines.append("")
+    lines.append(f"points: {len(sweep)} "
+                 f"(computed {sweep.computed_count}, "
+                 f"cached {sweep.cached_count})")
+    return "\n".join(lines)
 
 
 def _run_demo(task: str, tiles: int, latency: float) -> str:
@@ -181,18 +273,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if jobs == 0:
         jobs = default_jobs()
     cache_dir = getattr(args, "cache_dir", None)
+    tt_cache = getattr(args, "tt_cache", True)
 
     if args.command == "table1":
         print(run_table1(jobs=jobs).format_table())
     elif args.command == "figure6":
         result = run_figure6(tile_counts=tuple(args.tiles),
                              iterations=args.iterations, seed=args.seed,
-                             jobs=jobs, cache_dir=cache_dir)
+                             jobs=jobs, cache_dir=cache_dir,
+                             tt_cache=tt_cache)
         print(result.format_table())
     elif args.command == "figure7":
         result = run_figure7(tile_counts=tuple(args.tiles),
                              iterations=args.iterations, seed=args.seed,
-                             jobs=jobs, cache_dir=cache_dir)
+                             jobs=jobs, cache_dir=cache_dir,
+                             tt_cache=tt_cache)
         print(result.format_table())
     elif args.command == "scalability":
         print(run_scalability(sizes=tuple(args.sizes)).format_table())
@@ -206,17 +301,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             outputs.append(
                 run_intertask_ablation(iterations=args.iterations,
                                        jobs=jobs,
-                                       cache_dir=cache_dir).format_table()
+                                       cache_dir=cache_dir,
+                                       tt_cache=tt_cache).format_table()
             )
         if args.study in ("replacement", "all"):
             outputs.append(
                 run_replacement_ablation(iterations=args.iterations,
                                          jobs=jobs,
-                                         cache_dir=cache_dir).format_table()
+                                         cache_dir=cache_dir,
+                                         tt_cache=tt_cache).format_table()
             )
         if args.study in ("engine", "all"):
             outputs.append(run_engine_ablation().format_table())
         print("\n\n".join(outputs))
+    elif args.command == "sweep":
+        print(_run_sweep(args, jobs=jobs, cache_dir=cache_dir))
     elif args.command == "demo":
         print(_run_demo(args.task, args.tiles, args.latency))
     else:  # pragma: no cover - argparse enforces the choices

@@ -140,7 +140,8 @@ class InterTaskAblationResult:
 
 def run_intertask_ablation(tile_count: int = 8, iterations: int = 200,
                            seed: int = 2005, jobs: int = 1,
-                           cache_dir: Optional[str] = None
+                           cache_dir: Optional[str] = None,
+                            tt_cache: bool = True
                            ) -> InterTaskAblationResult:
     """Measure the contribution of the Section 6 inter-task optimization."""
     variants = {use_intertask: ApproachSpec.of("hybrid",
@@ -153,7 +154,8 @@ def run_intertask_ablation(tile_count: int = 8, iterations: int = 200,
         seeds=(seed,),
         iterations=iterations,
     )
-    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                        tt_cache=tt_cache).run(spec)
     results = {
         use_intertask:
             sweep.metrics_for(approach=approach_spec).overhead_percent
@@ -196,7 +198,8 @@ def run_replacement_ablation(tile_count: int = 8, iterations: int = 200,
                              seed: int = 2005,
                              policies: Optional[Sequence[ReplacementPolicy]] = None,
                              jobs: int = 1,
-                             cache_dir: Optional[str] = None
+                             cache_dir: Optional[str] = None,
+                              tt_cache: bool = True
                              ) -> ReplacementAblationResult:
     """Compare replacement policies under the hybrid approach.
 
@@ -223,7 +226,8 @@ def run_replacement_ablation(tile_count: int = 8, iterations: int = 200,
             seeds=(seed,),
             iterations=iterations,
         )
-        sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+        sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                        tt_cache=tt_cache).run(spec)
         for policy_name, approach_spec in variants.items():
             metrics = sweep.metrics_for(approach=approach_spec)
             overhead[policy_name] = metrics.overhead_percent

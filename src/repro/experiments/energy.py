@@ -77,7 +77,8 @@ class EnergyStudyResult:
 
 def run_energy_study(tile_count: int = 12, iterations: int = 200,
                      seed: int = 2005, jobs: int = 1,
-                     cache_dir: Optional[str] = None) -> EnergyStudyResult:
+                     cache_dir: Optional[str] = None,
+                     tt_cache: bool = True) -> EnergyStudyResult:
     """Compare loads and energy across the approaches on the multimedia mix.
 
     All four approaches share one design-time exploration through the
@@ -91,7 +92,8 @@ def run_energy_study(tile_count: int = 12, iterations: int = 200,
         seeds=(seed,),
         iterations=iterations,
     )
-    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                        tt_cache=tt_cache).run(spec)
     rows = []
     for outcome in sweep:
         metrics: SimulationMetrics = outcome.metrics

@@ -79,7 +79,8 @@ class Figure6Result:
 def run_figure6(tile_counts: Sequence[int] = FIGURE6_TILE_COUNTS,
                 iterations: int = 300, seed: int = 2005,
                 include_baselines: bool = True, jobs: int = 1,
-                cache_dir: Optional[str] = None) -> Figure6Result:
+                cache_dir: Optional[str] = None,
+                tt_cache: bool = True) -> Figure6Result:
     """Rerun the Figure 6 sweep through the sweep engine.
 
     ``iterations`` defaults to 300 to keep the harness fast; the paper uses
@@ -101,7 +102,8 @@ def run_figure6(tile_counts: Sequence[int] = FIGURE6_TILE_COUNTS,
         seeds=(seed,),
         iterations=iterations,
     )
-    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                        tt_cache=tt_cache).run(spec)
     metrics: Dict[Tuple[str, int], SimulationMetrics] = {
         (outcome.point.approach.name, outcome.point.tile_count):
             outcome.metrics

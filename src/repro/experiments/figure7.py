@@ -110,7 +110,8 @@ def measure_critical_fraction(tile_count: int = 8,
 def run_figure7(tile_counts: Sequence[int] = FIGURE7_TILE_COUNTS,
                 iterations: int = 300, seed: int = 2005,
                 include_baselines: bool = True, jobs: int = 1,
-                cache_dir: Optional[str] = None) -> Figure7Result:
+                cache_dir: Optional[str] = None,
+                tt_cache: bool = True) -> Figure7Result:
     """Rerun the Figure 7 sweep on the Pocket GL workload."""
     approaches = (
         ApproachSpec.of("no-prefetch"),
@@ -133,7 +134,8 @@ def run_figure7(tile_counts: Sequence[int] = FIGURE7_TILE_COUNTS,
         seeds=(seed,),
         iterations=iterations,
     )
-    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                        tt_cache=tt_cache).run(spec)
     metrics: Dict[Tuple[str, int], SimulationMetrics] = {
         (outcome.point.approach.name, outcome.point.tile_count):
             outcome.metrics

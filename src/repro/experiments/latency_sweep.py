@@ -89,7 +89,8 @@ def _critical_fraction(latency: float, tile_count: int) -> float:
 def run_latency_sweep(latencies: Sequence[float] = DEFAULT_LATENCIES,
                       tile_count: int = 8, iterations: int = 150,
                       seed: int = 2005, jobs: int = 1,
-                      cache_dir: Optional[str] = None) -> LatencySweepResult:
+                      cache_dir: Optional[str] = None,
+                      tt_cache: bool = True) -> LatencySweepResult:
     """Measure the overhead of three approaches for each latency value.
 
     Every latency is a distinct workload spec, so one engine run covers
@@ -109,7 +110,8 @@ def run_latency_sweep(latencies: Sequence[float] = DEFAULT_LATENCIES,
         seeds=(seed,),
         iterations=iterations,
     )
-    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir).run(spec)
+    sweep = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                        tt_cache=tt_cache).run(spec)
     rows: List[LatencyRow] = []
     for latency in latencies:
         workload_spec = workload_specs[latency]

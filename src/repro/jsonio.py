@@ -1,0 +1,41 @@
+"""Atomic JSON file writes, shared by every on-disk cache.
+
+One implementation of the temp-file + :func:`os.replace` dance (used by
+the sweep result/exploration caches and the transposition store), so a
+future durability fix — fsync, replace semantics on exotic filesystems,
+temp naming — lands everywhere at once.  Readers of these files never
+observe a torn entry: the rename is atomic on POSIX filesystems (and on
+NFS, which the shared-directory distributed mode relies on).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict
+
+
+def atomic_write_json(directory: Path, path: Path,
+                      entry: Dict[str, object]) -> Path:
+    """Write ``entry`` to ``path`` atomically (temp file + rename).
+
+    The temp file is created in ``directory`` (which must be on the same
+    filesystem as ``path`` for the rename to stay atomic) with a
+    ``.tmp-`` prefix, so crashed writers leave only recognizable debris.
+    """
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(directory), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as stream:
+            json.dump(entry, stream, sort_keys=True, indent=1)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path

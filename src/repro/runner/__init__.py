@@ -33,6 +33,7 @@ from .cache import (
     metrics_from_dict,
     metrics_to_dict,
 )
+from .claims import DEFAULT_CLAIM_TTL, ClaimDirectory, default_worker_id
 from .engine import (
     SweepEngine,
     SweepOutcome,
@@ -41,6 +42,13 @@ from .engine import (
     explore_platform,
     parallel_map,
     run_group,
+)
+from .ensemble import (
+    EnsembleCell,
+    EnsembleResult,
+    SeedEnsemble,
+    aggregate,
+    t_quantile_95,
 )
 from .spec import (
     ApproachSpec,
@@ -53,9 +61,14 @@ from .spec import (
 __all__ = [
     "ApproachSpec",
     "CACHE_FORMAT_VERSION",
+    "ClaimDirectory",
+    "DEFAULT_CLAIM_TTL",
     "EXPLORATION_FORMAT_VERSION",
+    "EnsembleCell",
+    "EnsembleResult",
     "ExplorationCache",
     "ResultCache",
+    "SeedEnsemble",
     "SweepEngine",
     "SweepOutcome",
     "SweepPoint",
@@ -63,10 +76,13 @@ __all__ = [
     "SweepSpec",
     "WORKLOAD_FACTORIES",
     "WorkloadSpec",
+    "aggregate",
     "default_jobs",
+    "default_worker_id",
     "explore_platform",
     "metrics_from_dict",
     "metrics_to_dict",
     "parallel_map",
     "run_group",
+    "t_quantile_95",
 ]

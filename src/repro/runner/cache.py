@@ -24,12 +24,11 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from ..errors import ReproError
+from ..jsonio import atomic_write_json as _atomic_write_json
 from ..platform.description import Platform
 from ..sim.metrics import SimulationMetrics
 from ..tcm.design_time import (
@@ -51,24 +50,6 @@ CACHE_FORMAT_VERSION = 3
 #: Bump when the on-disk representation of an exploration changes.
 EXPLORATION_FORMAT_VERSION = 1
 
-
-def _atomic_write_json(directory: Path, path: Path,
-                       entry: Dict[str, object]) -> Path:
-    """Write ``entry`` to ``path`` atomically (temp file + rename)."""
-    handle, temp_name = tempfile.mkstemp(
-        dir=str(directory), prefix=".tmp-", suffix=".json"
-    )
-    try:
-        with os.fdopen(handle, "w", encoding="utf-8") as stream:
-            json.dump(entry, stream, sort_keys=True, indent=1)
-        os.replace(temp_name, path)
-    except BaseException:
-        try:
-            os.unlink(temp_name)
-        except OSError:
-            pass
-        raise
-    return path
 
 #: Expected type of every metrics field (int fields must not become floats
 #: through a lossy or corrupted cache entry).
@@ -146,10 +127,15 @@ class ResultCache:
         """Delete every entry; returns how many files were removed.
 
         The engine co-locates the design-time exploration store under
-        ``<directory>/explorations`` — clearing the results also clears
-        those entries, so "invalidate the cache" means the whole cache.
+        ``<directory>/explorations``, the persisted transposition tables
+        under ``<directory>/ttables`` and the distributed claim files
+        under ``<directory>/claims`` — clearing the results also clears
+        all of those, so "invalidate the cache" means the whole cache.
         (``len()`` still counts only point results.)
         """
+        from ..scheduling.ttstore import TranspositionStore
+        from .claims import ClaimDirectory
+
         removed = 0
         for path in self.directory.glob("*.json"):
             try:
@@ -165,6 +151,12 @@ class ResultCache:
                     removed += 1
                 except OSError:
                     pass
+        # The co-located stores own their file-name schemes: delegate, so
+        # a changed scheme can never silently survive a clear.
+        if (self.directory / "ttables").is_dir():
+            removed += TranspositionStore(self.directory / "ttables").clear()
+        if (self.directory / "claims").is_dir():
+            removed += ClaimDirectory(self.directory / "claims").clear()
         return removed
 
 

@@ -1,0 +1,170 @@
+"""Claim files: cooperative work partitioning over a shared directory.
+
+The sweep caches are content-addressed and atomically written, so any
+number of workers can *share results* through one directory without
+coordination.  What they cannot do without coordination is avoid
+*duplicating work*: two fresh workers pointed at the same
+:class:`~repro.runner.spec.SweepSpec` would both simulate every point.
+:class:`ClaimDirectory` closes that gap with the smallest primitive a
+shared filesystem offers — exclusive file creation:
+
+* **Acquire** — a worker claims a unit of work (a sweep group) by creating
+  ``<key>.claim`` with ``O_CREAT | O_EXCL``.  Exactly one creator
+  succeeds; everyone else observes the existing claim and moves on to
+  other work (results flow back through the result cache, so a loser
+  never needs the claim released — it polls the cache instead).
+* **Stale takeover** — a crashed worker leaves its claim behind.  A claim
+  whose file is older than ``ttl`` seconds is considered abandoned: a
+  challenger atomically *renames* it to a unique tombstone and then
+  re-creates it exclusively.  POSIX rename semantics make the takeover
+  race-free: if two challengers race, the second rename fails with
+  ``ENOENT`` (the file is gone), so exactly one challenger proceeds to
+  the ``O_EXCL`` creation — the unlink-then-create alternative would let
+  a slow challenger unlink the *winner's* fresh claim.
+* **Heartbeat** — a long-running holder may :meth:`refresh` its claim
+  (bump the mtime) so it never looks abandoned; ``ttl`` must exceed the
+  longest un-refreshed gap (for sweep groups: the longest group runtime).
+
+Claim files are advisory and tiny (a JSON note naming the worker, for
+``repro sweep --distributed`` debugging); completed work is never
+re-claimed because its results are already in the cache — a completed
+claim file is simply inert.  The protocol needs nothing but atomic
+``open(O_EXCL)`` and ``rename`` from the filesystem, which NFS and every
+local filesystem provide.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+#: Default seconds after which an un-refreshed claim counts as abandoned.
+#: Generous enough for any corpus-sized sweep group; distributed callers
+#: with longer groups must either raise it or refresh mid-group.
+DEFAULT_CLAIM_TTL = 900.0
+
+
+def default_worker_id() -> str:
+    """A claim-owner label unique enough to debug a shared directory."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class ClaimDirectory:
+    """Advisory claim files under one directory (see the module docstring)."""
+
+    def __init__(self, directory: Union[str, Path],
+                 worker_id: Optional[str] = None,
+                 ttl: float = DEFAULT_CLAIM_TTL) -> None:
+        if ttl <= 0:
+            raise ValueError("claim ttl must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.worker_id = worker_id or default_worker_id()
+        self.ttl = ttl
+        self._sequence = 0
+        self.claims_acquired = 0
+        self.claims_lost = 0
+        self.takeovers = 0
+
+    # ------------------------------------------------------------------ #
+    def path_for(self, key: str) -> Path:
+        """The claim file backing ``key``."""
+        return self.directory / f"{key}.claim"
+
+    def _create(self, path: Path) -> bool:
+        """Exclusive creation; ``False`` when somebody else holds it.
+
+        Only ``FileExistsError`` means "held" — any other ``OSError``
+        (permissions, read-only mount, disk full) propagates, so a worker
+        with an unusable claims directory fails fast instead of polling
+        for results nobody is computing until ``wait_timeout``.
+        """
+        try:
+            handle = os.open(str(path),
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                json.dump({"worker": self.worker_id,
+                           "claimed_at": time.time()}, stream)
+        except OSError:
+            pass  # an empty claim file still claims
+        return True
+
+    def _is_stale(self, path: Path) -> bool:
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:
+            return False  # gone already: the next acquire() settles it
+        return age > self.ttl
+
+    def acquire(self, key: str) -> bool:
+        """Try to claim ``key``; take over an abandoned claim if needed."""
+        path = self.path_for(key)
+        if self._create(path):
+            self.claims_acquired += 1
+            return True
+        if self._is_stale(path):
+            self._sequence += 1
+            tombstone = self.directory / (
+                f".stale-{key}-{self.worker_id}-{self._sequence}"
+            )
+            try:
+                os.replace(str(path), str(tombstone))
+            except OSError:
+                # Another challenger renamed it first; it now owns the
+                # takeover attempt — fall through and report a loss.
+                self.claims_lost += 1
+                return False
+            try:
+                tombstone.unlink()
+            except OSError:
+                pass
+            if self._create(path):
+                self.claims_acquired += 1
+                self.takeovers += 1
+                return True
+        self.claims_lost += 1
+        return False
+
+    def refresh(self, key: str) -> bool:
+        """Bump the claim's mtime (heartbeat); ``False`` if it vanished."""
+        try:
+            os.utime(str(self.path_for(key)))
+        except OSError:
+            return False
+        return True
+
+    def release(self, key: str) -> bool:
+        """Delete a claim (only meaningful for abandoned-on-purpose work)."""
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    def held_keys(self) -> List[str]:
+        """Keys with a live (non-stale) claim file."""
+        keys = []
+        for path in sorted(self.directory.glob("*.claim")):
+            if not self._is_stale(path):
+                keys.append(path.name[: -len(".claim")])
+        return keys
+
+    def clear(self) -> int:
+        """Delete every claim and tombstone; returns files removed."""
+        removed = 0
+        for pattern in ("*.claim", ".stale-*"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -27,11 +27,71 @@ than failing the sweep.
 :func:`parallel_map` is the lower-level primitive behind the
 non-simulation drivers (Table 1, hide-rate, scalability): an ordered,
 deterministic map over picklable items with the same in-process fallback.
+
+Warm-table persistence
+----------------------
+With a cache directory configured (and ``tt_cache=True``, the default),
+the exact-search transposition tables earned while computing a group are
+persisted next to the other caches under ``<cache-dir>/ttables`` through
+:class:`~repro.scheduling.ttstore.TranspositionStore`: workers attach the
+store to their process-wide :class:`~repro.scheduling.pool.SchedulerPool`
+(and the group exploration's own pool) and flush certificates back when
+the group completes, so later workers, fresh fleets and *reruns* start
+their searches from the floors earlier processes already proved.  Results
+stay bit-identical — persisted entries are pruning certificates, never
+answers.
+
+Distributed sweeps and the claim-file protocol
+----------------------------------------------
+``distributed=True`` turns N independent :class:`SweepEngine` processes
+(any mix of machines) pointed at **one shared cache directory** into a
+cooperating fleet that partitions a spec without double work:
+
+* The unit of claiming is the (workload, tile count) **group** — the same
+  unit the executor schedules — identified by a content hash over the
+  payloads of *all* of the group's points, so every worker running the
+  same spec derives the same claim key while a different spec sharing the
+  directory never false-shares a claim.
+* Before computing a group, a worker re-checks the result cache point by
+  point (another worker may have finished meanwhile) and then tries to
+  create ``<cache-dir>/claims/<key>.claim`` with ``O_CREAT | O_EXCL`` —
+  the atomic test-and-set of shared filesystems.  Exactly one worker
+  wins and computes the group's uncached points; everyone else moves on
+  to unclaimed groups and later *polls the result cache* (never the
+  claim, and with exponential backoff while nothing changes) for the
+  winner's results, which arrive via the cache's atomic writes.  A
+  worker claims at most ``max_workers`` groups per scan and computes
+  that batch concurrently before claiming more, so a claim is held
+  un-refreshed for roughly one group runtime and late-joining workers
+  still find unclaimed work.
+* **Crash/stale-takeover semantics**: a claim is never released on
+  success — completed work is shielded by the cache, so an inert claim
+  file costs nothing.  A worker that died mid-group leaves a claim whose
+  mtime stops advancing; once it is older than ``claim_ttl`` seconds any
+  other worker may take it over by atomically *renaming* the stale claim
+  to a unique tombstone and re-creating it with ``O_EXCL``.  Rename-
+  then-create is what makes concurrent takeovers safe: the second
+  challenger's rename fails (the source is gone), so exactly one
+  challenger can ever reach the exclusive create — an unlink-based
+  takeover could instead delete the winner's *fresh* claim.  Takeover
+  therefore duplicates at most the work of the crashed worker's
+  unfinished group, and never corrupts results (the cache recomputes
+  bit-identically and last-writer-wins on identical content).
+* A worker whose remaining groups are all claimed by live workers waits
+  ``poll_interval`` seconds between cache polls and gives up with an
+  error after ``wait_timeout`` seconds — a dead fleet should fail
+  loudly, not hang (``claim_ttl`` must exceed the longest group runtime,
+  or takeover will duplicate live work; see
+  :mod:`repro.runner.claims` for the primitive's full contract).
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -42,16 +102,25 @@ from typing import (Callable, Dict, Iterable, List, Optional, Sequence,
 from ..errors import ConfigurationError
 from ..platform.description import Platform
 from ..scheduling.pool import process_scheduler_pool
+from ..scheduling.ttstore import TranspositionStore
 from ..sim.metrics import SimulationMetrics
 from ..sim.simulator import SystemSimulator
 from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
 from .cache import ExplorationCache, ResultCache
+from .claims import DEFAULT_CLAIM_TTL, ClaimDirectory, default_worker_id
 from .spec import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
 
 
 def default_jobs() -> int:
     """A sensible worker count for this machine (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+#: Reentrancy guard for run_group's process-pool store binding: the first
+#: in-flight group records the outer binding, the last one restores it.
+_TT_BINDING_LOCK = threading.Lock()
+_TT_BINDING_DEPTH = 0
+_TT_OUTER_STORE = None
 
 
 # --------------------------------------------------------------------- #
@@ -86,8 +155,8 @@ def explore_platform(workload_spec: WorkloadSpec, tile_count: int,
 
 
 def run_group(points: Sequence[SweepPoint],
-              exploration_dir: Optional[str] = None
-              ) -> List[SimulationMetrics]:
+              exploration_dir: Optional[str] = None,
+              tt_dir: Optional[str] = None) -> List[SimulationMetrics]:
     """Run every point of one (workload, tile count) group.
 
     The group shares a single workload instance, platform and TCM
@@ -100,6 +169,14 @@ def run_group(points: Sequence[SweepPoint],
     with results bit-identical to cold engines (warm tables only prune,
     they never answer), so cached/parallel/sequential runs stay
     interchangeable.
+
+    With ``tt_dir`` set, those warm tables additionally persist: a
+    :class:`~repro.scheduling.ttstore.TranspositionStore` over the
+    directory is attached to both the process pool and the exploration's
+    own pool before any point runs (so fresh engines seed from earlier
+    processes' certificates), and both pools flush their certificates
+    back when the group finishes — even on failure, since everything
+    proved until then is still true.
     """
     if not points:
         return []
@@ -114,19 +191,44 @@ def run_group(points: Sequence[SweepPoint],
                                                   head.tile_count,
                                                   exploration_dir)
     scheduler_pool = process_scheduler_pool()
+    tt_store = TranspositionStore(tt_dir) if tt_dir is not None else None
+    with _TT_BINDING_LOCK:
+        global _TT_BINDING_DEPTH, _TT_OUTER_STORE
+        if _TT_BINDING_DEPTH == 0:
+            _TT_OUTER_STORE = scheduler_pool.tt_store
+        _TT_BINDING_DEPTH += 1
+        scheduler_pool.attach_tt_store(tt_store)
+    design.attach_tt_store(tt_store)
     metrics: List[SimulationMetrics] = []
-    for point in points:
-        approach = point.approach.build()
-        approach.bind_scheduler_pool(scheduler_pool)
-        simulator = SystemSimulator(
-            workload=workload,
-            platform=platform,
-            approach=approach,
-            config=point.config(),
-            replacement=point.approach.build_replacement(),
-            design_result=design,
-        )
-        metrics.append(simulator.run().metrics)
+    try:
+        for point in points:
+            approach = point.approach.build()
+            approach.bind_scheduler_pool(scheduler_pool)
+            simulator = SystemSimulator(
+                workload=workload,
+                platform=platform,
+                approach=approach,
+                config=point.config(),
+                replacement=point.approach.build_replacement(),
+                design_result=design,
+            )
+            metrics.append(simulator.run().metrics)
+    finally:
+        if tt_store is not None:
+            scheduler_pool.flush()
+            design.scheduler_pool.flush()
+        # The process pool outlives this group: once the *last* in-flight
+        # group of this process finishes, restore the binding the first
+        # one found, so a finished sweep's cache directory is never
+        # written again (nor resurrected after deletion) by unrelated
+        # later work.  The depth counter keeps concurrent run_group
+        # threads (e.g. distributed workers sharing one process) from
+        # detaching each other's store mid-group.
+        with _TT_BINDING_LOCK:
+            _TT_BINDING_DEPTH -= 1
+            if _TT_BINDING_DEPTH == 0:
+                scheduler_pool.attach_tt_store(_TT_OUTER_STORE)
+                _TT_OUTER_STORE = None
     return metrics
 
 
@@ -257,17 +359,37 @@ class SweepResult:
 # The engine
 # --------------------------------------------------------------------- #
 class SweepEngine:
-    """Executes sweep specs on worker processes with cached results."""
+    """Executes sweep specs on worker processes with cached results.
+
+    ``tt_cache`` (on by default, meaningful only with a cache directory)
+    persists exact-search transposition tables under
+    ``<cache-dir>/ttables`` — see "Warm-table persistence" in the module
+    docstring.  ``distributed=True`` makes :meth:`run` cooperate with
+    other engines sharing the same cache directory through the claim-file
+    protocol ("Distributed sweeps" above); it requires a cache, since the
+    shared directory is the only bus between workers.
+    """
 
     def __init__(self, max_workers: int = 1,
                  cache_dir: Optional[Union[str, os.PathLike]] = None,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 tt_cache: bool = True,
+                 distributed: bool = False,
+                 worker_id: Optional[str] = None,
+                 claim_ttl: float = DEFAULT_CLAIM_TTL,
+                 poll_interval: float = 0.5,
+                 wait_timeout: float = 3600.0) -> None:
         if max_workers < 1:
             raise ConfigurationError("max_workers must be at least 1")
         self.max_workers = max_workers
         if cache is None and cache_dir is not None:
             cache = ResultCache(cache_dir)
         self.cache = cache
+        if distributed and cache is None:
+            raise ConfigurationError(
+                "a distributed sweep needs a shared cache directory "
+                "(results and claims travel through it)"
+            )
         # Design-time explorations persist next to the point results: a warm
         # sweep that still has to compute some points (new seed, new
         # approach) at a known (workload, tile count) group then skips the
@@ -276,12 +398,26 @@ class SweepEngine:
             str(Path(cache.directory) / "explorations")
             if cache is not None else None
         )
+        # Warm transposition tables persist there as well (tentpole of the
+        # warm-table store): workers seed exact searches from certificates
+        # earlier processes proved, and flush their own back per group.
+        self.tt_dir: Optional[str] = (
+            str(Path(cache.directory) / "ttables")
+            if cache is not None and tt_cache else None
+        )
+        self.distributed = distributed
+        self.worker_id = worker_id or default_worker_id()
+        self.claim_ttl = claim_ttl
+        self.poll_interval = poll_interval
+        self.wait_timeout = wait_timeout
 
     # ------------------------------------------------------------------ #
     def run(self, spec: Union[SweepSpec, Sequence[SweepPoint]]
             ) -> SweepResult:
         """Execute a spec (or an explicit point list) and gather results."""
         points = spec.expand() if isinstance(spec, SweepSpec) else list(spec)
+        if self.distributed:
+            return self._run_distributed(points)
         resolved: Dict[SweepPoint, SweepOutcome] = {}
 
         pending: List[SweepPoint] = []
@@ -319,7 +455,8 @@ class SweepEngine:
                     ) -> Iterable[Tuple[List[SweepPoint],
                                         List[SimulationMetrics]]]:
         """Run every group, in parallel when it pays off."""
-        runner = partial(run_group, exploration_dir=self.exploration_dir)
+        runner = partial(run_group, exploration_dir=self.exploration_dir,
+                         tt_dir=self.tt_dir)
         workers = min(self.max_workers, len(groups))
         if workers > 1:
             try:
@@ -328,3 +465,104 @@ class SweepEngine:
             except (OSError, PermissionError, ImportError):
                 pass  # no subprocess support here: fall through to inline
         return [(group, runner(group)) for group in groups]
+
+    # ------------------------------------------------------------------ #
+    # Distributed execution (claim-file protocol; module docstring)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def group_claim_key(group: Sequence[SweepPoint]) -> str:
+        """Content hash identifying one group's work unit across workers.
+
+        Hashed over the payloads of **all** the group's points (cached or
+        not), so every worker expanding the same spec derives the same
+        key regardless of how much of the group it already sees cached,
+        while a different spec sharing the directory (same workload and
+        tiles, different iterations, say) gets a different key and is
+        never blocked by this one's claims.
+        """
+        canonical = json.dumps([point.payload() for point in group],
+                               sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return f"group-{digest}"
+
+    def _claims(self) -> ClaimDirectory:
+        """The claim directory of this engine's shared cache."""
+        return ClaimDirectory(Path(self.cache.directory) / "claims",
+                              worker_id=self.worker_id, ttl=self.claim_ttl)
+
+    def _run_distributed(self, points: List[SweepPoint]) -> SweepResult:
+        """Cooperatively execute ``points`` with other workers (see module
+        docstring for the protocol)."""
+        unique: List[SweepPoint] = list(dict.fromkeys(points))
+        groups = self._group(unique)
+        claims = self._claims()
+        resolved: Dict[SweepPoint, SweepOutcome] = {}
+        incomplete = list(groups)
+        deadline = time.monotonic() + self.wait_timeout
+        delay = self.poll_interval
+        while incomplete:
+            progressed = False
+            waiting: List[List[SweepPoint]] = []
+            claimed: List[List[SweepPoint]] = []
+            for group in incomplete:
+                pending: List[SweepPoint] = []
+                for point in group:
+                    if point in resolved:
+                        continue
+                    cached = self.cache.load(point)
+                    if cached is not None:
+                        resolved[point] = SweepOutcome(
+                            point=point, metrics=cached, from_cache=True
+                        )
+                        progressed = True
+                    else:
+                        pending.append(point)
+                if not pending:
+                    continue  # group fully resolved (here or elsewhere)
+                # Claim at most one batch of ``max_workers`` groups per
+                # scan: the batch runs concurrently, so a claim is held
+                # un-refreshed for roughly one group runtime (the
+                # ``claim_ttl`` contract) — claiming everything up front
+                # would freeze claim mtimes for the whole sweep and both
+                # invite mid-computation takeovers and starve workers
+                # that join a moment later.
+                if len(claimed) < self.max_workers \
+                        and claims.acquire(self.group_claim_key(group)):
+                    claimed.append(pending)
+                else:
+                    waiting.append(group)  # a live worker owns it: poll
+            if claimed:
+                # The batch runs through the normal executor, so
+                # ``max_workers`` applies inside a distributed worker
+                # exactly as it does outside one.
+                for pending, metrics_list in self._run_groups(claimed):
+                    for point, metrics in zip(pending, metrics_list):
+                        self.cache.store(point, metrics)
+                        resolved[point] = SweepOutcome(
+                            point=point, metrics=metrics, from_cache=False
+                        )
+                progressed = True
+            incomplete = waiting
+            if not incomplete:
+                break
+            if progressed:
+                # The fleet is alive (or this worker just worked): a stall
+                # is only declared after wait_timeout of *uninterrupted*
+                # silence, so push the deadline out again.
+                deadline = time.monotonic() + self.wait_timeout
+                delay = self.poll_interval
+                continue  # something moved: re-scan without sleeping
+            if time.monotonic() > deadline:
+                held = claims.held_keys()
+                raise ConfigurationError(
+                    f"distributed sweep stalled for {self.wait_timeout:.0f}s "
+                    f"waiting on {len(incomplete)} claimed group(s) "
+                    f"(live claims: {held[:4]}...); if their workers are "
+                    "gone, lower claim_ttl to allow stale takeover"
+                )
+            time.sleep(delay)
+            # Quiet directories get polled less and less (the cache reads
+            # behind each scan are not free on a network filesystem);
+            # any progress resets the cadence above.
+            delay = min(delay * 2, max(self.poll_interval, 5.0))
+        return SweepResult([resolved[point] for point in points])

@@ -21,6 +21,7 @@ from .prefetch_bb import (
 )
 from .prefetch_list import ListPrefetchScheduler, PRIORITY_METRICS
 from .replay import ReplayState, priority_rank
+from .ttstore import TTSTORE_FORMAT_VERSION, TableContext, TranspositionStore
 from .schedule import (
     ExecutionEntry,
     LoadEntry,
@@ -58,7 +59,10 @@ __all__ = [
     "SchedulerStats",
     "StartConstraint",
     "TIME_EPSILON",
+    "TTSTORE_FORMAT_VERSION",
+    "TableContext",
     "TimedSchedule",
+    "TranspositionStore",
     "build_initial_schedule",
     "isp_resource",
     "needed_loads",

@@ -41,6 +41,13 @@ One pool per *worker process* is the intended deployment for sweeps
 additionally owns a pool per
 :class:`~repro.tcm.design_time.TcmDesignTimeResult`, aligning engine
 lifetimes with the placed schedules they are keyed on.
+
+With a :class:`~repro.scheduling.ttstore.TranspositionStore` attached
+(:meth:`SchedulerPool.attach_tt_store`), warmth additionally survives the
+pool itself: engines seed fresh tables from the store's content-addressed
+certificate files and persist back on eviction, schedule death and
+:meth:`SchedulerPool.flush` — which is how a sweep's warm tables reach
+fresh worker fleets and reruns (see :mod:`repro.scheduling.ttstore`).
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from typing import Dict, List, Optional, Tuple
 from .base import PrefetchProblem, PrefetchResult, SchedulerStats
 from .prefetch_bb import DEFAULT_TABLE_LIMIT, BranchAndBoundScheduler
 from .schedule import PlacedSchedule
+from .ttstore import TranspositionStore
 
 #: Default bound on the number of live engines a pool retains.  Each engine
 #: caps its own table (``table_limit``), so this bounds total pool memory at
@@ -71,12 +79,17 @@ class SchedulerPool:
 
     def __init__(self, exact_limit: Optional[int] = None,
                  table_limit: Optional[int] = DEFAULT_TABLE_LIMIT,
-                 max_engines: int = DEFAULT_MAX_ENGINES) -> None:
+                 max_engines: int = DEFAULT_MAX_ENGINES,
+                 tt_store: Optional[TranspositionStore] = None) -> None:
         if max_engines < 1:
             raise ValueError("max_engines must be at least 1")
         self.exact_limit = exact_limit
         self.table_limit = table_limit
         self.max_engines = max_engines
+        #: Optional on-disk certificate store shared by every engine this
+        #: pool hands out: fresh engines warm-start from whatever earlier
+        #: processes persisted, and evicted/flushed engines persist back.
+        self.tt_store = tt_store
         #: key -> (weakref to the placed schedule, engine).  The OrderedDict
         #: doubles as the LRU: hits move to the back, evictions pop front.
         self._engines: "OrderedDict[Tuple, Tuple[weakref.ref, BranchAndBoundScheduler]]" = (
@@ -132,18 +145,23 @@ class SchedulerPool:
             exact_limit=exact_limit,
             table_limit=table_limit,
             persistent_table=True,
+            tt_store=self.tt_store,
         )
         self_ref = weakref.ref(self)
 
-        def _drop(_reference, key=key, self_ref=self_ref):
+        def _drop(_reference, key=key, self_ref=self_ref, engine=engine):
             pool = self_ref()
             if pool is not None:
                 pool._engines.pop(key, None)
+            # The dying schedule's certificates outlive it on disk (the
+            # engine captured the content-addressed context up front).
+            engine.flush_table()
 
         self._engines[key] = (weakref.ref(placed, _drop), engine)
         self.pool_misses += 1
         if len(self._engines) > self.max_engines:
-            self._engines.popitem(last=False)
+            _, (_, evicted) = self._engines.popitem(last=False)
+            evicted.flush_table()
             self.engines_evicted += 1
         return engine
 
@@ -161,8 +179,42 @@ class SchedulerPool:
                                  problem.reconfiguration_latency)
         return self.run(engine, problem)
 
+    def attach_tt_store(self, store: Optional[TranspositionStore]) -> None:
+        """(Re)bind the on-disk certificate store, ``None`` to detach.
+
+        Live engines switch stores immediately: their *next* fresh table
+        loads from (and their next flush saves to) the new store.  Tables
+        already retained in memory are unaffected — they were loaded under
+        the old store's trust checks and stay valid certificates.
+        """
+        self.tt_store = store
+        # Snapshot: a weakref drop can mutate the dict mid-iteration.
+        for _, engine in list(self._engines.values()):
+            engine.tt_store = store
+
+    def flush(self) -> int:
+        """Persist every live engine's certificates; returns tables saved.
+
+        The complement of load-on-miss: sweep workers call this at the end
+        of a group (see :func:`repro.runner.engine.run_group`) so later
+        workers — and reruns after a restart — start warm.
+        """
+        saved = 0
+        # Snapshot: flushing allocates, which can run a GC whose weakref
+        # callbacks mutate the dict mid-iteration.
+        for _, engine in list(self._engines.values()):
+            if engine.flush_table() is not None:
+                saved += 1
+        return saved
+
     def clear(self) -> None:
-        """Drop every retained engine (and thus every warm table)."""
+        """Drop every retained engine (and thus every warm table).
+
+        With a store attached the engines' certificates are flushed
+        first — clearing frees memory, it does not unlearn facts.
+        """
+        if self.tt_store is not None:
+            self.flush()
         self._engines.clear()
 
     # ------------------------------------------------------------------ #

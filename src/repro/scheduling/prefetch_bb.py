@@ -143,6 +143,20 @@ because losing an entry only ever costs a re-exploration, never
 correctness.  The undo-log walk plus memoized subtree floors are what
 allow :data:`DEFAULT_EXACT_LIMIT` to rise from 12 (PR 2's incremental
 search) to 15 loads.
+
+Cross-process reuse (persisted tables)
+--------------------------------------
+The demotion rule above is what makes tables *serializable*: a floor
+certificate mentions nothing process-local, so a persistent engine given a
+:class:`~repro.scheduling.ttstore.TranspositionStore` flushes its
+certificates to a content-addressed file whenever it discards a table (and
+on :meth:`~BranchAndBoundScheduler.flush_table`), and seeds fresh tables
+from whatever a previous process proved for the same (placed-schedule
+content, latency, release, engine-config) context.  Restored entries carry
+:data:`~repro.scheduling.ttstore.LOADED_GENERATION` (never equal to a live
+generation), so they are barrier certificates only — warm-from-disk
+searches stay bit-identical to cold ones for exactly the reasons warm
+in-process calls do.
 """
 
 from __future__ import annotations
@@ -158,6 +172,7 @@ from .evaluator import replay_schedule
 from .prefetch_list import ListPrefetchScheduler
 from .replay import ReplayState
 from .schedule import TIME_EPSILON, TimedSchedule
+from .ttstore import TableContext, TranspositionStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
     from .pool import SchedulerPool
@@ -194,15 +209,20 @@ class BranchAndBoundScheduler(PrefetchScheduler):
 
     def __init__(self, exact_limit: Optional[int] = None,
                  table_limit: Optional[int] = DEFAULT_TABLE_LIMIT,
-                 persistent_table: bool = False) -> None:
+                 persistent_table: bool = False,
+                 tt_store: Optional[TranspositionStore] = None) -> None:
         if table_limit is not None and table_limit < 0:
             raise SchedulingError("table_limit must be non-negative or None")
         self.exact_limit = exact_limit
         self.table_limit = table_limit
         self.persistent_table = persistent_table
+        #: Optional on-disk certificate store ("Cross-process reuse" above);
+        #: only consulted by persistent engines.
+        self.tt_store = tt_store
         self._table: "Optional[OrderedDict[Tuple, List]]" = None
         self._table_placed: Optional[weakref.ref] = None
         self._table_token: Optional[Tuple[float, float]] = None
+        self._table_context: Optional[TableContext] = None
         self._generation = 0
         self._reset_counters()
 
@@ -238,7 +258,23 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                   if self._table_placed is not None else None)
         if self._table is None or anchor is not placed \
                 or self._table_token != token:
-            self._table = OrderedDict()
+            # The outgoing table's certificates are still true statements
+            # about their own context: persist them before discarding.
+            self.flush_table()
+            self._table_context = None
+            self._table = None
+            if self.tt_store is not None:
+                self._table_context = self.tt_store.context_for(
+                    placed, token[0], token[1],
+                    self.exact_limit, self.table_limit,
+                )
+                # No capacity trim needed: table_limit is part of the
+                # store key, so a loaded table was written by an engine
+                # with this very limit (and the store's own max_entries
+                # cap only ever shrinks it further).
+                self._table = self.tt_store.load(self._table_context)
+            if self._table is None:
+                self._table = OrderedDict()
             self._table_placed = weakref.ref(placed)
             self._table_token = token
             self._generation = 0
@@ -246,11 +282,42 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             self._generation += 1
         return self._table
 
+    def flush_table(self) -> Optional[object]:
+        """Persist the retained table's floor certificates; best-effort.
+
+        A no-op (returning ``None``) without a store, a retained table or
+        anything certifiable in it.  Called automatically whenever the
+        engine is about to discard a table, and by
+        :meth:`repro.scheduling.pool.SchedulerPool.flush` /
+        pool eviction for engines that never discard one themselves.
+        """
+        if self.tt_store is None or not self._table:
+            return None
+        if self._table_context is None:
+            # The table predates the store binding (attach_tt_store on a
+            # live pool): derive the context now, while the schedule is
+            # alive — once it is gone, the content key is unrecoverable.
+            placed = (self._table_placed()
+                      if self._table_placed is not None else None)
+            if placed is None or self._table_token is None:
+                return None
+            self._table_context = self.tt_store.context_for(
+                placed, self._table_token[0], self._table_token[1],
+                self.exact_limit, self.table_limit,
+            )
+        return self.tt_store.save(self._table_context, self._table)
+
     def invalidate(self) -> None:
-        """Drop any retained transposition table (explicit invalidation)."""
+        """Drop any retained transposition table (explicit invalidation).
+
+        With a :attr:`tt_store` attached the certificates are flushed
+        first — invalidation frees memory, it does not unlearn facts.
+        """
+        self.flush_table()
         self._table = None
         self._table_placed = None
         self._table_token = None
+        self._table_context = None
         self._generation = 0
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:

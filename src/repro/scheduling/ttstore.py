@@ -1,0 +1,366 @@
+"""Persistent transposition tables: warm-starting exact search across processes.
+
+:class:`~repro.scheduling.pool.SchedulerPool` (PR 4) made the exact
+branch-and-bound engine warm *within* one process: near-identical problems
+share a persistent transposition table whose retained entries act as
+pruning certificates.  This module extends that warmth across process and
+machine boundaries: :class:`TranspositionStore` serializes a persistent
+engine's table to content-addressed JSON files under a shared directory
+(``<cache-dir>/ttables`` in the sweep deployment), so a *fresh* worker
+fleet — or a rerun after a restart — starts from the floors a previous
+fleet already proved.
+
+What is persisted — and why it stays exact
+------------------------------------------
+Only **floor certificates** survive serialization: entries whose invariant
+premise ``ref < barrier`` holds (see "Transposition safety" in
+:mod:`repro.scheduling.prefetch_bb`).  Such an entry states that *every*
+completion below a signature-equal state has future contribution
+``F >= min(future, barrier)`` — a fact about the signature's (immutable)
+completion set, not about the search that derived it.  It is therefore as
+true in another process as it was in the one that wrote it, **provided the
+signatures are comparable at all**: the same placed-schedule *content*,
+the same reconfiguration latency and the same release time.  The store
+enforces that by keying every table file on exactly that context (plus the
+engine's exact/table-limit configuration, mirroring the pool key), by
+recording the full request payload inside the file, and by refusing any
+entry whose recorded payload does not match the request — the same trust
+model as :class:`repro.runner.cache.ResultCache`.
+
+Loaded entries are tagged with :data:`LOADED_GENERATION`, which can never
+equal a live search generation, so they behave exactly like PR 4's
+cross-call entries: prefix dominance (incumbent-relative, call-local)
+never applies to them, and every answer they give is a pure "nothing below
+strictly beats the incumbent" prune.  Warm-from-disk searches are
+therefore **bit-identical** to cold ones — the store changes how fast the
+optimum is found, never which optimum (or which tie) is returned
+(property-tested in ``tests/scheduling/test_ttstore.py``).
+
+Robustness
+----------
+Writes are atomic (temp file + :func:`os.replace`), so concurrent workers
+flushing the same key can never produce a torn file — last writer wins,
+and both writers' tables contain only true certificates, so either
+outcome is correct.  Loads never raise: a truncated file, a stale or
+future format version, a mismatched request payload or a hand-edited
+entry all degrade to a (partial) miss, and the next flush heals the file
+in place.  Two size bounds keep a shared directory from growing without
+limit: ``max_entries`` caps how many (most-recently-used) entries one
+table file records, and ``max_tables`` LRU-prunes the oldest table files
+by modification time on save.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from collections import OrderedDict
+
+from ..graphs.serialization import graph_to_dict
+from ..jsonio import atomic_write_json
+from .schedule import PlacedSchedule, ResourceId, ResourceKind, TIME_EPSILON
+
+#: Bump when the on-disk representation of a table (or the semantics of
+#: the entries, e.g. the signature layout in
+#: :meth:`repro.scheduling.replay.ReplayState.signature`) changes.
+TTSTORE_FORMAT_VERSION = 1
+
+#: Generation tag of entries restored from disk.  Live searches use
+#: generations >= 0, so a restored entry can never satisfy the same-call
+#: prefix-dominance test — it is demoted to a pure barrier certificate,
+#: exactly like a warm entry from a previous call of the same engine.
+LOADED_GENERATION = -1
+
+#: Default cap on the number of (most recent) entries one table file
+#: records.  Sized for the exact-limit-15 frontier: corpus tables peak in
+#: the low thousands, so 32k persists everything that matters while
+#: bounding a pathological table's file to a few MB.
+DEFAULT_MAX_ENTRIES = 32768
+
+#: Default cap on the number of table files retained in one store
+#: directory; the oldest (by mtime) are pruned on save.
+DEFAULT_MAX_TABLES = 512
+
+
+def placed_payload(placed: PlacedSchedule) -> Dict[str, object]:
+    """Canonical JSON description of a placed schedule's *content*.
+
+    The in-process pool keys engines by ``id(placed)``; across processes
+    only content identity exists, so the store hashes the full schedule —
+    graph structure, execution times, placements and ideal start times
+    (placements sorted by subtask so dict construction order cannot
+    perturb the digest).  Identical content means an identical replay
+    core, which is what makes signatures comparable across processes.
+    """
+    return {
+        "graph": graph_to_dict(placed.graph),
+        "placements": [
+            {
+                "subtask": placement.name,
+                "resource_kind": placement.resource.kind.value,
+                "resource_index": placement.resource.index,
+                "start": placement.start,
+                "finish": placement.finish,
+            }
+            for placement in sorted(placed.placements.values(),
+                                    key=lambda item: item.name)
+        ],
+    }
+
+
+# --------------------------------------------------------------------- #
+# Signature (de)serialization
+# --------------------------------------------------------------------- #
+def _signature_to_json(signature: Tuple) -> List[object]:
+    """Flatten one replay signature into JSON-compatible lists.
+
+    JSON floats round-trip exactly through Python's serializer, so the
+    reconstructed tuple compares equal to a live
+    :meth:`~repro.scheduling.replay.ReplayState.signature`.
+    """
+    pending, controller, frontier, live, issued = signature
+    return [
+        sorted(pending),
+        controller,
+        [[resource.kind.value, resource.index, index, free]
+         for resource, index, free in frontier],
+        [[name, finish] for name, finish in live],
+        [[name, finish] for name, finish in issued],
+    ]
+
+
+def _number(value: object) -> float:
+    """A finite-or-float JSON number (bools are not numbers here)."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def _signature_from_json(data: object) -> Tuple:
+    """Rebuild a replay signature tuple; raises ``ValueError`` on damage."""
+    if not isinstance(data, (list, tuple)) or len(data) != 5:
+        raise ValueError("signature payload has wrong shape")
+    pending, controller, frontier, live, issued = data
+    if not isinstance(pending, list) \
+            or not all(isinstance(name, str) for name in pending):
+        raise ValueError("pending-load set is not a list of names")
+    frontier_items = []
+    for item in frontier:
+        kind, index, position, free = item
+        frontier_items.append((ResourceId(ResourceKind(kind), int(index)),
+                               int(position), _number(free)))
+    def pairs(items: object) -> Tuple[Tuple[str, float], ...]:
+        result = []
+        for item in items:
+            name, finish = item
+            if not isinstance(name, str):
+                raise ValueError("entry name is not a string")
+            result.append((name, _number(finish)))
+        return tuple(result)
+    return (frozenset(pending), _number(controller),
+            tuple(frontier_items), pairs(live), pairs(issued))
+
+
+@dataclass(frozen=True)
+class TableContext:
+    """Precomputed identity of one persisted table.
+
+    A persistent engine captures this when it starts a table, so the table
+    can still be flushed after the placed schedule it was keyed on has
+    been garbage collected (the payload carries the content, not the
+    object).
+    """
+
+    digest: str
+    payload: Dict[str, object]
+
+    @property
+    def filename(self) -> str:
+        """Name of the table file inside the store directory."""
+        return f"tt-{self.digest}.json"
+
+
+class TranspositionStore:
+    """A directory of persisted transposition-table floor certificates."""
+
+    def __init__(self, directory: Union[str, Path],
+                 max_entries: int = DEFAULT_MAX_ENTRIES,
+                 max_tables: int = DEFAULT_MAX_TABLES) -> None:
+        if max_entries < 1 or max_tables < 1:
+            raise ValueError("max_entries and max_tables must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_tables = max_tables
+        #: Observability counters (per store instance, i.e. per process).
+        self.tables_loaded = 0
+        self.tables_missed = 0
+        self.tables_saved = 0
+        self.entries_loaded = 0
+        self.entries_rejected = 0
+
+    # ------------------------------------------------------------------ #
+    def context_for(self, placed: PlacedSchedule,
+                    reconfiguration_latency: float,
+                    release_time: float,
+                    exact_limit: Optional[int],
+                    table_limit: Optional[int]) -> TableContext:
+        """The on-disk identity of a table for this problem context.
+
+        Mirrors the :class:`~repro.scheduling.pool.SchedulerPool` key
+        (placed-schedule identity, latency, engine config) with the
+        content digest standing in for ``id(placed)``, plus the release
+        time the engine's own invalidation token tracks — entries are only
+        comparable within all five.
+        """
+        payload = {
+            "format": TTSTORE_FORMAT_VERSION,
+            "placed": placed_payload(placed),
+            "reconfiguration_latency": reconfiguration_latency,
+            "release_time": release_time,
+            "exact_limit": exact_limit,
+            "table_limit": table_limit,
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return TableContext(digest=digest, payload=payload)
+
+    def path_for(self, context: TableContext) -> Path:
+        """Path of the table file this context addresses."""
+        return self.directory / context.filename
+
+    # ------------------------------------------------------------------ #
+    def load(self, context: TableContext) -> "Optional[OrderedDict]":
+        """Restore the persisted table for ``context``, or ``None``.
+
+        Corrupted, truncated, stale/future-format or mismatched files are
+        treated as misses — never trusted, never raised; an individually
+        damaged entry is skipped while the rest of the file is still used
+        (the floor certificates are independent facts).  Restored entries
+        carry :data:`LOADED_GENERATION` and keep the writer's
+        most-recently-used ordering, capped to ``max_entries``.
+        """
+        path = self.path_for(context)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            if data.get("format") != TTSTORE_FORMAT_VERSION:
+                self.tables_missed += 1
+                return None
+            if data.get("request") != context.payload:
+                self.tables_missed += 1
+                return None
+            items = data["entries"]
+            if not isinstance(items, list):
+                raise ValueError("entries payload is not a list")
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            self.tables_missed += 1
+            return None
+        table: "OrderedDict[Tuple, List]" = OrderedDict()
+        rejected = 0
+        for item in items[-self.max_entries:]:
+            try:
+                signature_data, ref, barrier, future = item
+                signature = _signature_from_json(signature_data)
+                ref = _number(ref)
+                barrier = _number(barrier)
+                future = float("inf") if future is None else _number(future)
+                if not ref < barrier - TIME_EPSILON:
+                    raise ValueError("certificate premise ref < barrier "
+                                     "does not hold")
+            except (ValueError, KeyError, TypeError):
+                rejected += 1
+                continue
+            table[signature] = [ref, barrier, future, LOADED_GENERATION]
+        self.entries_rejected += rejected
+        if not table:
+            self.tables_missed += 1
+            return None
+        self.tables_loaded += 1
+        self.entries_loaded += len(table)
+        return table
+
+    def save(self, context: TableContext,
+             table: "OrderedDict[Tuple, List]") -> Optional[Path]:
+        """Persist the floor certificates of ``table``; best-effort.
+
+        Only entries whose invariant premise holds (``ref < barrier``, the
+        timeless certificate) are written; incumbent-relative information
+        dies with its process, exactly as it dies with its call in PR 4.
+        Returns the written path, or ``None`` when there was nothing
+        certifiable to write or the filesystem refused (a persistence
+        failure never fails the search that triggered it).
+        """
+        items: List[List[object]] = []
+        for signature, entry in table.items():
+            ref, barrier, future = entry[0], entry[1], entry[2]
+            if not ref < barrier - TIME_EPSILON:
+                continue
+            items.append([
+                _signature_to_json(signature),
+                ref,
+                barrier,
+                None if future == float("inf") else future,
+            ])
+        if not items:
+            return None
+        # Keep the most-recently-used tail: the OrderedDict back is what
+        # the engine's LRU would have kept under pressure too.
+        items = items[-self.max_entries:]
+        payload = {
+            "format": TTSTORE_FORMAT_VERSION,
+            "request": context.payload,
+            "entries": items,
+        }
+        path = self.path_for(context)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            grew = not path.exists()
+            atomic_write_json(self.directory, path, payload)
+        except OSError:
+            return None
+        self.tables_saved += 1
+        if grew:
+            # Overwrites cannot change the file count, so the directory
+            # scan behind prune() only runs when a new table appeared.
+            self.prune()
+        return path
+
+    # ------------------------------------------------------------------ #
+    def prune(self) -> int:
+        """Enforce ``max_tables`` by deleting the oldest files; best-effort."""
+        try:
+            paths = sorted(self.directory.glob("tt-*.json"),
+                           key=lambda p: p.stat().st_mtime)
+        except OSError:
+            return 0
+        removed = 0
+        excess = len(paths) - self.max_tables
+        for path in paths[:max(0, excess)]:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        """Number of table files currently in the directory."""
+        return sum(1 for _ in self.directory.glob("tt-*.json"))
+
+    def clear(self) -> int:
+        """Delete every table file (and any crashed-writer temp debris);
+        returns how many files were removed."""
+        removed = 0
+        for pattern in ("tt-*.json", ".tmp-*"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

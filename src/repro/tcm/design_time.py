@@ -144,6 +144,20 @@ class TcmDesignTimeResult:
         """Number of (task, scenario) curves explored."""
         return len(self.curves)
 
+    def attach_tt_store(self, store) -> None:
+        """Bind an on-disk transposition store to this exploration's pool.
+
+        A :class:`~repro.tcm.design_time.TcmDesignTimeResult` rebuilt from
+        the exploration cache starts with a cold
+        :attr:`scheduler_pool`; attaching the sweep's
+        :class:`~repro.scheduling.ttstore.TranspositionStore` (keyed by
+        placed-schedule *content*, so the freshly deserialized schedules
+        still hit) lets every design-store build over these curves start
+        from the certificates earlier processes persisted.  ``None``
+        detaches.
+        """
+        self.scheduler_pool.attach_tt_store(store)
+
     def schedules(self) -> List[Tuple[str, str, str, PlacedSchedule]]:
         """Every (task, scenario, point key, placed schedule) tuple."""
         result = []

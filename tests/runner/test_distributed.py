@@ -1,0 +1,262 @@
+"""Distributed sweeps: claim-file protocol and multi-worker partitioning.
+
+Two layers are pinned here.  The :class:`~repro.runner.claims
+.ClaimDirectory` primitive — exclusive acquisition, heartbeat refresh,
+stale takeover through the rename-tombstone dance and its race behaviour
+— and the :class:`~repro.runner.engine.SweepEngine` ``distributed`` mode
+built on it: N workers on one cache directory complete a spec with zero
+duplicated points, pick up each other's results through the cache, take
+over abandoned claims and fail loudly (instead of hanging) when the
+worker holding a live claim never delivers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ApproachSpec,
+    ClaimDirectory,
+    SweepEngine,
+    SweepSpec,
+)
+from repro.scheduling.pool import reset_process_scheduler_pool
+
+ITERATIONS = 5
+
+
+@pytest.fixture(autouse=True)
+def _fresh_process_pool():
+    """Thread-shared global pool state must not leak across tests."""
+    reset_process_scheduler_pool()
+    yield
+    reset_process_scheduler_pool()
+
+
+@pytest.fixture(scope="module")
+def spec() -> SweepSpec:
+    """Two groups (two tile counts), two points each."""
+    return SweepSpec(
+        workloads=("multimedia",),
+        approaches=(ApproachSpec("run-time"), ApproachSpec("no-prefetch")),
+        tile_counts=(4, 5),
+        seeds=(1,),
+        iterations=ITERATIONS,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_metrics(spec):
+    return [outcome.metrics for outcome in SweepEngine().run(spec)]
+
+
+class TestClaimDirectory:
+    def test_exactly_one_acquirer(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice")
+        bob = ClaimDirectory(tmp_path, worker_id="bob")
+        assert alice.acquire("group-1")
+        assert not bob.acquire("group-1")
+        assert not alice.acquire("group-1")  # not reentrant either
+        assert bob.acquire("group-2")
+        assert sorted(alice.held_keys()) == ["group-1", "group-2"]
+        payload = json.loads(alice.path_for("group-1").read_text())
+        assert payload["worker"] == "alice"
+
+    def test_threaded_race_has_single_winner(self, tmp_path):
+        winners = []
+        barrier = threading.Barrier(8)
+
+        def contend(index):
+            claims = ClaimDirectory(tmp_path, worker_id=f"w{index}")
+            barrier.wait(timeout=30)
+            if claims.acquire("contested"):
+                winners.append(index)
+
+        threads = [threading.Thread(target=contend, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert len(winners) == 1
+
+    def test_fresh_claim_resists_takeover(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice", ttl=60.0)
+        bob = ClaimDirectory(tmp_path, worker_id="bob", ttl=60.0)
+        assert alice.acquire("group-1")
+        assert not bob.acquire("group-1")
+        assert bob.takeovers == 0
+
+    def test_stale_claim_is_taken_over(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice", ttl=10.0)
+        assert alice.acquire("group-1")
+        path = alice.path_for("group-1")
+        stale = time.time() - 60.0
+        os.utime(path, (stale, stale))
+        bob = ClaimDirectory(tmp_path, worker_id="bob", ttl=10.0)
+        assert bob.acquire("group-1")
+        assert bob.takeovers == 1
+        assert json.loads(path.read_text())["worker"] == "bob"
+        # No tombstone debris survives a clean takeover.
+        assert not list(tmp_path.glob(".stale-*"))
+
+    def test_refresh_defends_a_long_running_claim(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice", ttl=10.0)
+        assert alice.acquire("group-1")
+        path = alice.path_for("group-1")
+        stale = time.time() - 60.0
+        os.utime(path, (stale, stale))
+        assert alice.refresh("group-1")  # heartbeat bumps the mtime back
+        bob = ClaimDirectory(tmp_path, worker_id="bob", ttl=10.0)
+        assert not bob.acquire("group-1")
+
+    def test_refresh_of_vanished_claim_reports_loss(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice")
+        assert alice.acquire("group-1")
+        alice.release("group-1")
+        assert not alice.refresh("group-1")
+
+    def test_clear_removes_claims_and_tombstones(self, tmp_path):
+        claims = ClaimDirectory(tmp_path, worker_id="w")
+        claims.acquire("a")
+        claims.acquire("b")
+        (tmp_path / ".stale-x-w-1").write_text("{}")
+        assert claims.clear() == 3
+        assert claims.held_keys() == []
+
+
+class TestClaimKeys:
+    def test_same_spec_same_keys_across_workers(self, spec):
+        groups = SweepEngine._group(spec.expand())
+        again = SweepEngine._group(spec.expand())
+        keys = [SweepEngine.group_claim_key(group) for group in groups]
+        assert keys == [SweepEngine.group_claim_key(group)
+                        for group in again]
+        assert len(set(keys)) == len(keys)  # distinct groups, distinct keys
+
+    def test_different_spec_never_false_shares(self, spec):
+        from dataclasses import replace
+
+        other = replace(spec, iterations=spec.iterations + 1)
+        ours = {SweepEngine.group_claim_key(group)
+                for group in SweepEngine._group(spec.expand())}
+        theirs = {SweepEngine.group_claim_key(group)
+                  for group in SweepEngine._group(other.expand())}
+        assert not ours & theirs
+
+
+class TestDistributedEngine:
+    def test_requires_a_cache_directory(self):
+        with pytest.raises(ConfigurationError):
+            SweepEngine(distributed=True)
+
+    def test_single_worker_completes_and_rerun_is_cached(self, tmp_path,
+                                                         spec,
+                                                         reference_metrics):
+        engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                             poll_interval=0.05, wait_timeout=60)
+        result = engine.run(spec)
+        assert result.computed_count == spec.point_count
+        assert [o.metrics for o in result] == reference_metrics
+        assert len(list((tmp_path / "claims").glob("*.claim"))) == 2
+        rerun = SweepEngine(cache_dir=tmp_path, distributed=True,
+                            poll_interval=0.05, wait_timeout=60).run(spec)
+        assert rerun.cached_count == spec.point_count
+        assert [o.metrics for o in rerun] == reference_metrics
+
+    def test_distributed_worker_uses_its_process_pool(self, tmp_path, spec,
+                                                      reference_metrics):
+        """Claimed groups run through the normal executor: max_workers
+        applies inside a distributed worker too (and results stay
+        bit-identical through the process boundary)."""
+        engine = SweepEngine(max_workers=2, cache_dir=tmp_path,
+                             distributed=True, poll_interval=0.05,
+                             wait_timeout=60)
+        result = engine.run(spec)
+        assert result.computed_count == spec.point_count
+        assert [o.metrics for o in result] == reference_metrics
+
+    def test_two_workers_partition_without_duplicates(self, tmp_path, spec,
+                                                      reference_metrics):
+        """The acceptance criterion: N workers, zero duplicated points."""
+        results = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            try:
+                engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                                     worker_id=name, poll_interval=0.05,
+                                     wait_timeout=120)
+                barrier.wait(timeout=30)
+                results[name] = engine.run(spec)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append((name, exc))
+
+        threads = [threading.Thread(target=worker, args=(name,))
+                   for name in ("alice", "bob")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors
+        assert set(results) == {"alice", "bob"}
+        # Every worker sees the complete, bit-identical sweep...
+        for result in results.values():
+            assert [o.metrics for o in result] == reference_metrics
+        # ...and every point was simulated exactly once across the fleet.
+        computed = sum(result.computed_count for result in results.values())
+        assert computed == spec.point_count
+
+    def test_stale_claim_takeover_completes_the_sweep(self, tmp_path, spec,
+                                                      reference_metrics):
+        """A crashed worker's abandoned claim does not strand its group."""
+        groups = SweepEngine._group(spec.expand())
+        claims = ClaimDirectory(tmp_path / "claims", worker_id="crashed")
+        for group in groups:
+            key = SweepEngine.group_claim_key(group)
+            assert claims.acquire(key)
+            path = claims.path_for(key)
+            stale = time.time() - 3600.0
+            os.utime(path, (stale, stale))
+        engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                             worker_id="survivor", claim_ttl=5.0,
+                             poll_interval=0.05, wait_timeout=60)
+        result = engine.run(spec)
+        assert result.computed_count == spec.point_count
+        assert [o.metrics for o in result] == reference_metrics
+
+    def test_live_claim_with_no_results_times_out_loudly(self, tmp_path,
+                                                         spec):
+        """A held claim whose worker never delivers must raise, not hang."""
+        groups = SweepEngine._group(spec.expand())
+        claims = ClaimDirectory(tmp_path / "claims", worker_id="zombie")
+        for group in groups:
+            assert claims.acquire(SweepEngine.group_claim_key(group))
+        engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                             worker_id="waiter", claim_ttl=3600.0,
+                             poll_interval=0.05, wait_timeout=0.5)
+        with pytest.raises(ConfigurationError, match="stalled"):
+            engine.run(spec)
+
+    def test_partial_crash_recomputes_only_missing_points(self, tmp_path,
+                                                          spec,
+                                                          reference_metrics):
+        """Takeover resumes a half-finished group from the cache."""
+        # A non-distributed run populates everything; drop one point's
+        # result to model a worker that died mid-group.
+        SweepEngine(cache_dir=tmp_path).run(spec)
+        entries = sorted(tmp_path.glob("*.json"))
+        assert len(entries) == spec.point_count
+        entries[0].unlink()
+        engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                             poll_interval=0.05, wait_timeout=60)
+        result = engine.run(spec)
+        assert result.computed_count == 1  # only the missing point reran
+        assert [o.metrics for o in result] == reference_metrics

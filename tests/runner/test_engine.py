@@ -212,3 +212,26 @@ class TestEngineApi:
         table = result.by_approach()
         assert set(table) == {"run-time", "hybrid"}
         assert set(table["hybrid"]) == {4, 6}
+
+
+class TestRunGroupStoreLifecycle:
+    def test_run_group_restores_previous_tt_binding(self, tmp_path):
+        """A finished group must not leave its store bound to the
+        process-global pool — later unrelated work in the same process
+        would otherwise keep writing (and resurrect) a dead sweep's
+        cache directory."""
+        from repro.runner.engine import run_group
+        from repro.scheduling.pool import (
+            process_scheduler_pool,
+            reset_process_scheduler_pool,
+        )
+
+        reset_process_scheduler_pool()
+        try:
+            points = synth_spec(tile_counts=(4,)).expand()
+            group = [p for p in points if p.approach.name == "hybrid"]
+            run_group(group, tt_dir=str(tmp_path / "ttables"))
+            assert list((tmp_path / "ttables").glob("tt-*.json"))
+            assert process_scheduler_pool().tt_store is None
+        finally:
+            reset_process_scheduler_pool()

@@ -1,0 +1,141 @@
+"""Seed-ensemble driver: CI math and sweep aggregation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner import (
+    ApproachSpec,
+    SeedEnsemble,
+    SweepEngine,
+    SweepSpec,
+    aggregate,
+    t_quantile_95,
+)
+
+
+class TestStudentT:
+    def test_table_values(self):
+        assert t_quantile_95(1) == pytest.approx(12.706)
+        assert t_quantile_95(9) == pytest.approx(2.262)
+        assert t_quantile_95(30) == pytest.approx(2.042)
+        assert t_quantile_95(40) == pytest.approx(2.021)
+
+    def test_interpolation_past_the_dense_table(self):
+        # True t_{0.975, 31} is 2.0395; a plain z fallback (1.96) would
+        # under-cover by ~4 % right past the table edge.
+        assert t_quantile_95(31) == pytest.approx(2.0395, abs=1e-3)
+        assert t_quantile_95(80) == pytest.approx(1.990, abs=2e-3)
+        assert t_quantile_95(1000) == pytest.approx(1.962, abs=2e-3)
+        assert t_quantile_95(10**9) == pytest.approx(1.960, abs=1e-4)
+
+    def test_rejects_zero_degrees_of_freedom(self):
+        with pytest.raises(ConfigurationError):
+            t_quantile_95(0)
+
+    def test_monotone_decreasing(self):
+        quantiles = [t_quantile_95(df) for df in range(1, 40)]
+        assert quantiles == sorted(quantiles, reverse=True)
+
+
+class TestAggregate:
+    def test_known_sample(self):
+        cell = aggregate([1.0, 2.0, 3.0])
+        assert cell.mean == pytest.approx(2.0)
+        assert cell.std == pytest.approx(1.0)
+        assert cell.count == 3
+        assert cell.ci_half_width == pytest.approx(4.303 / math.sqrt(3))
+        assert cell.low == pytest.approx(2.0 - cell.ci_half_width)
+        assert cell.high == pytest.approx(2.0 + cell.ci_half_width)
+        assert (cell.minimum, cell.maximum) == (1.0, 3.0)
+
+    def test_single_value_degenerates_to_zero_width(self):
+        cell = aggregate([7.5])
+        assert cell.mean == 7.5
+        assert cell.ci_half_width == 0.0
+        assert cell.count == 1
+
+    def test_constant_sample_has_zero_width(self):
+        cell = aggregate([4.0] * 10)
+        assert cell.ci_half_width == 0.0
+
+    def test_empty_sample_raises(self):
+        with pytest.raises(ConfigurationError):
+            aggregate([])
+
+    def test_interval_shrinks_with_sample_size(self):
+        small = aggregate([1.0, 3.0])
+        large = aggregate([1.0, 3.0] * 8)
+        assert large.ci_half_width < small.ci_half_width
+
+
+class TestSeedEnsemble:
+    @pytest.fixture(scope="class")
+    def spec(self) -> SweepSpec:
+        return SweepSpec(
+            workloads=("multimedia",),
+            approaches=(ApproachSpec("run-time"),),
+            tile_counts=(4, 5),
+            seeds=(1, 2, 3),
+            iterations=5,
+        )
+
+    @pytest.fixture(scope="class")
+    def ensemble(self, spec):
+        return SeedEnsemble(spec).run()
+
+    def test_rejects_unknown_metric(self, spec):
+        with pytest.raises(ConfigurationError):
+            SeedEnsemble(spec, metric="no_such_metric")
+
+    def test_accepts_fields_and_properties(self, spec):
+        SeedEnsemble(spec, metric="total_energy")       # dataclass field
+        SeedEnsemble(spec, metric="overhead_percent")   # property
+
+    def test_cells_aggregate_over_seeds_only(self, spec, ensemble):
+        assert len(ensemble.cells) == 2  # one per tile count
+        for tiles in spec.tile_counts:
+            cell = ensemble.cell("multimedia", "run-time", tiles)
+            assert cell.count == len(spec.seeds)
+            assert cell.minimum <= cell.mean <= cell.maximum
+
+    def test_matches_manual_aggregation(self, spec, ensemble):
+        sweep = SweepEngine().run(spec)
+        values = [sweep.metrics_for(tile_count=4, seed=seed)
+                  .overhead_percent for seed in spec.seeds]
+        manual = aggregate(values)
+        cell = ensemble.cell("multimedia", "run-time", 4)
+        assert cell.mean == pytest.approx(manual.mean)
+        assert cell.ci_half_width == pytest.approx(manual.ci_half_width)
+
+    def test_curve_view_is_tile_sorted(self, ensemble):
+        curve = ensemble.curve("multimedia", "run-time")
+        assert list(curve) == [4, 5]
+
+    def test_missing_cell_raises_with_inventory(self, ensemble):
+        with pytest.raises(KeyError, match="available"):
+            ensemble.cell("multimedia", "run-time", 99)
+
+    def test_format_table_reports_mean_and_interval(self, ensemble):
+        table = ensemble.format_table()
+        assert "mean overhead_percent" in table
+        assert "±" in table
+        assert "run-time" in table
+
+    def test_single_seed_renders_zero_width(self):
+        spec = SweepSpec(workloads=("multimedia",),
+                         approaches=(ApproachSpec("run-time"),),
+                         tile_counts=(4,), seeds=(1,), iterations=5)
+        ensemble = SeedEnsemble(spec).run()
+        assert ensemble.cell("multimedia", "run-time", 4).ci_half_width == 0
+
+    def test_rides_on_any_engine(self, spec, tmp_path, ensemble):
+        """Cached/distributed engines drop in without changing the math."""
+        engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                             poll_interval=0.05, wait_timeout=60)
+        distributed = SeedEnsemble(spec).run(engine)
+        for key, cell in ensemble.cells.items():
+            assert distributed.cells[key] == cell

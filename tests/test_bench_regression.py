@@ -31,8 +31,15 @@ def _load_check_regression():
 
 @pytest.mark.slow
 def test_scheduler_corpus_has_not_regressed():
+    """Deterministic counters always gate; wall gates only off-CI.
+
+    ``REPRO_CI=1`` (set by the CI workflow) switches to counters-only
+    mode: shared runners are too noisy for the 20 % wall budgets, but
+    every exact counter, makespan, reuse-rate and persisted-table gate
+    still applies there.
+    """
     module = _load_check_regression()
-    failures = module.run_check()
+    failures = module.run_check(counters_only=module.ci_mode_from_env())
     assert not failures, "\n".join(failures)
 
 

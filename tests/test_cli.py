@@ -13,7 +13,7 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for command in ("table1", "figure6", "figure7", "scalability",
-                        "hide-rate", "ablation", "demo"):
+                        "hide-rate", "ablation", "sweep", "demo"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -23,6 +23,26 @@ class TestParser:
         )
         assert args.iterations == 50
         assert args.tiles == [8, 10]
+
+    def test_tt_cache_flag_defaults_on_and_negates(self):
+        parser = build_parser()
+        assert parser.parse_args(["figure6"]).tt_cache is True
+        assert parser.parse_args(["figure6", "--no-tt-cache"]).tt_cache \
+            is False
+        assert parser.parse_args(["sweep", "--tt-cache"]).tt_cache is True
+
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--workloads", "multimedia", "--approaches", "hybrid",
+             "run-time", "--tiles", "4", "8", "--seeds", "1", "2",
+             "--distributed", "--worker-id", "w1", "--claim-ttl", "30"]
+        )
+        assert args.approaches == ["hybrid", "run-time"]
+        assert args.tiles == [4, 8]
+        assert args.seeds == [1, 2]
+        assert args.distributed is True
+        assert args.worker_id == "w1"
+        assert args.claim_ttl == 30.0
 
 
 class TestCommands:
@@ -58,3 +78,32 @@ class TestCommands:
     def test_figure7_tiny(self, capsys):
         assert main(["figure7", "--iterations", "5", "--tiles", "6"]) == 0
         assert "Figure 7" in capsys.readouterr().out
+
+    def test_sweep_ensemble_tiny(self, capsys):
+        assert main(["sweep", "--approaches", "run-time", "--tiles", "4",
+                     "--seeds", "1", "2", "--iterations", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "Seed ensemble" in output
+        assert "±" in output
+        assert "points: 2 (computed 2, cached 0)" in output
+
+    def test_sweep_distributed_tiny(self, capsys, tmp_path):
+        # hybrid (not run-time): only approaches with an exact design
+        # engine produce transposition tables worth persisting.
+        argv = ["sweep", "--approaches", "hybrid", "--tiles", "4",
+                "--seeds", "1", "--iterations", "5", "--distributed",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "computed 1" in capsys.readouterr().out
+        assert list((tmp_path / "claims").glob("*.claim"))
+        assert list((tmp_path / "ttables").glob("tt-*.json"))
+        # A second worker arriving later is served entirely by the cache.
+        assert main(argv) == 0
+        assert "cached 1" in capsys.readouterr().out
+
+    def test_sweep_distributed_requires_cache_dir(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="cache-dir"):
+            main(["sweep", "--distributed", "--iterations", "5",
+                  "--tiles", "4", "--approaches", "run-time"])
