@@ -32,7 +32,17 @@ workloads x approaches x tiles x seeds grid, reported as mean ± 95 % CI
 per curve when several seeds are given, and — with ``--distributed`` — a
 cooperative multi-worker mode where any number of processes or machines
 pointed at one shared ``--cache-dir`` partition the grid through claim
-files without duplicating work (see :mod:`repro.runner.engine`).
+files without duplicating work (see :mod:`repro.runner.engine`).  Held
+claims are heartbeat-refreshed automatically, so ``--claim-ttl`` only
+sets how fast a *crashed* worker is detected and taken over — it does
+not need to cover group runtime.
+
+``repro-drhw cache gc`` keeps a long-lived shared cache directory
+bounded: ``--max-bytes`` evicts memoized entries (results, explorations,
+transposition tables) least-recently-used-first down to the budget —
+always safe, evicted entries recompute bit-identically — and every run
+sweeps expired claim files, leaked takeover tombstones and crashed-writer
+temp debris.  ``--dry-run`` previews without deleting.
 """
 
 from __future__ import annotations
@@ -185,6 +195,41 @@ def build_parser() -> argparse.ArgumentParser:
     add_jobs_flag(sweep)
     add_cache_flag(sweep)
 
+    cache = subparsers.add_parser(
+        "cache",
+        help="Maintain a (shared) cache directory",
+    )
+    cache_commands = cache.add_subparsers(dest="cache_command",
+                                          required=True)
+    gc = cache_commands.add_parser(
+        "gc",
+        help="Bound a long-lived cache directory: evict memoized entries "
+             "LRU-by-mtime to a byte budget and sweep expired claims, "
+             "takeover tombstones and crashed-writer temp files",
+    )
+    gc.add_argument("--cache-dir", required=True, metavar="PATH",
+                    help="the cache directory to collect (the same PATH "
+                         "the sweeps were given)")
+    gc.add_argument("--max-bytes", type=parse_byte_size, default=None,
+                    metavar="N[k|M|G]",
+                    help="byte budget for memoized entries; the least "
+                         "recently modified results/explorations/ttables "
+                         "are evicted until the directory fits (eviction "
+                         "is always safe: evicted entries recompute "
+                         "bit-identically on the next run)")
+    gc.add_argument("--claim-ttl", type=float, default=None,
+                    metavar="SECONDS",
+                    help="claim files and tombstones older than this are "
+                         "debris (default: the fleet default TTL); pass "
+                         "the fleet's --claim-ttl if it was raised")
+    gc.add_argument("--temp-age", type=float, default=None,
+                    metavar="SECONDS",
+                    help="atomic-writer .tmp-* files older than this are "
+                         "crashed-writer debris (default: 3600)")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be freed without deleting "
+                         "anything")
+
     demo = subparsers.add_parser(
         "demo", help="Show the prefetch schedules of one benchmark task"
     )
@@ -193,6 +238,39 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--tiles", type=int, default=8)
     demo.add_argument("--latency", type=float, default=4.0)
     return parser
+
+
+def parse_byte_size(text: str) -> int:
+    """Parse a byte budget like ``1500000``, ``64k``, ``10M`` or ``2G``."""
+    units = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}
+    raw = text.strip()
+    scale = 1
+    if raw and raw[-1].lower() in units:
+        scale = units[raw[-1].lower()]
+        raw = raw[:-1]
+    try:
+        value = int(float(raw) * scale)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a byte size (use e.g. 1500000, 64k, 10M, 2G)"
+        )
+    if value < 0:
+        raise argparse.ArgumentTypeError("byte budget must be non-negative")
+    return value
+
+
+def _run_cache_gc(args) -> str:
+    """Execute ``cache gc`` and render its report."""
+    from .runner import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    kwargs = {"max_bytes": args.max_bytes, "dry_run": args.dry_run}
+    if args.claim_ttl is not None:
+        kwargs["claim_ttl"] = args.claim_ttl
+    if args.temp_age is not None:
+        kwargs["temp_age"] = args.temp_age
+    report = cache.gc(**kwargs)
+    return report.format_table()
 
 
 def _run_sweep(args, jobs: int, cache_dir: Optional[str]) -> str:
@@ -316,6 +394,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n\n".join(outputs))
     elif args.command == "sweep":
         print(_run_sweep(args, jobs=jobs, cache_dir=cache_dir))
+    elif args.command == "cache":
+        print(_run_cache_gc(args))
     elif args.command == "demo":
         print(_run_demo(args.task, args.tiles, args.latency))
     else:  # pragma: no cover - argparse enforces the choices

@@ -16,17 +16,24 @@ import tempfile
 from pathlib import Path
 from typing import Dict
 
+#: Prefix of the atomic writer's temp files.  A crashed writer leaves one
+#: behind; ``repro cache gc`` (via :func:`repro.storage.sweep_aged`)
+#: recognizes and removes aged ``.tmp-*`` debris by exactly this name.
+TEMP_PREFIX = ".tmp-"
+
 
 def atomic_write_json(directory: Path, path: Path,
                       entry: Dict[str, object]) -> Path:
     """Write ``entry`` to ``path`` atomically (temp file + rename).
 
     The temp file is created in ``directory`` (which must be on the same
-    filesystem as ``path`` for the rename to stay atomic) with a
-    ``.tmp-`` prefix, so crashed writers leave only recognizable debris.
+    filesystem as ``path`` for the rename to stay atomic) with the
+    :data:`TEMP_PREFIX`, so crashed writers leave only recognizable
+    debris — which :meth:`repro.runner.cache.ResultCache.gc` sweeps once
+    it is old enough to be certainly dead.
     """
     handle, temp_name = tempfile.mkstemp(
-        dir=str(directory), prefix=".tmp-", suffix=".json"
+        dir=str(directory), prefix=TEMP_PREFIX, suffix=".json"
     )
     try:
         with os.fdopen(handle, "w", encoding="utf-8") as stream:

@@ -29,12 +29,19 @@ from .cache import (
     CACHE_FORMAT_VERSION,
     EXPLORATION_FORMAT_VERSION,
     ExplorationCache,
+    GcReport,
     ResultCache,
     metrics_from_dict,
     metrics_to_dict,
 )
-from .claims import DEFAULT_CLAIM_TTL, ClaimDirectory, default_worker_id
+from .claims import (
+    DEFAULT_CLAIM_TTL,
+    ClaimDirectory,
+    ClaimHeartbeat,
+    default_worker_id,
+)
 from .engine import (
+    GroupClaim,
     SweepEngine,
     SweepOutcome,
     SweepResult,
@@ -62,11 +69,14 @@ __all__ = [
     "ApproachSpec",
     "CACHE_FORMAT_VERSION",
     "ClaimDirectory",
+    "ClaimHeartbeat",
     "DEFAULT_CLAIM_TTL",
     "EXPLORATION_FORMAT_VERSION",
     "EnsembleCell",
     "EnsembleResult",
     "ExplorationCache",
+    "GcReport",
+    "GroupClaim",
     "ResultCache",
     "SeedEnsemble",
     "SweepEngine",

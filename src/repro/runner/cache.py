@@ -17,6 +17,19 @@ entries: a corrupted or partial file (e.g. an interrupted writer from a
 crashed run) is treated as a miss and silently overwritten by the fresh
 result.  Writes are atomic (temp file + :func:`os.replace`) so concurrent
 sweeps sharing a cache directory can never observe a torn entry.
+
+Storage is pluggable: both stores (like the co-located
+:class:`~repro.scheduling.ttstore.TranspositionStore` and
+:class:`~repro.runner.claims.ClaimDirectory`) speak only the
+:class:`~repro.storage.Backend` primitives, with a path argument wrapped
+in the default :class:`~repro.storage.LocalDirBackend`.
+
+Long-lived shared directories are kept bounded by :meth:`ResultCache.gc`
+(the ``repro cache gc`` subcommand): a byte-size budget enforced by
+LRU-by-mtime eviction over results/explorations/ttables, plus sweeps of
+expired claims, leaked takeover tombstones and crashed-writer temp files.
+Eviction is always safe — every evicted entry is a memoized value the
+next run recomputes bit-identically.
 """
 
 from __future__ import annotations
@@ -24,13 +37,24 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import time
+import typing
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import ReproError
-from ..jsonio import atomic_write_json as _atomic_write_json
 from ..platform.description import Platform
 from ..sim.metrics import SimulationMetrics
+from ..storage import (
+    TEMP_PATTERN,
+    Backend,
+    EntryStat,
+    as_backend,
+    backend_root,
+    dumps_canonical,
+    list_entries,
+)
 from ..tcm.design_time import (
     TcmDesignTimeResult,
     exploration_from_dict,
@@ -50,13 +74,35 @@ CACHE_FORMAT_VERSION = 3
 #: Bump when the on-disk representation of an exploration changes.
 EXPLORATION_FORMAT_VERSION = 1
 
+#: Seconds after which an atomic writer's ``.tmp-*`` file counts as
+#: crashed-writer debris (no healthy writer holds one for more than
+#: milliseconds).
+DEFAULT_TEMP_AGE = 3600.0
+
+
+def resolve_metric_field_types(cls: type = SimulationMetrics
+                               ) -> Dict[str, type]:
+    """Expected runtime type of every field of a metrics dataclass.
+
+    Resolved through :func:`typing.get_type_hints`, which handles both
+    string annotations (``from __future__ import annotations``) and real
+    type objects — matching ``dataclasses.Field.type`` against the
+    *string* ``"int"`` would silently degrade every numeric field to
+    ``str`` (turning every warm load into a miss) the day the metrics
+    module drops the future import.  Anything that is not exactly ``int``
+    or ``float`` validates as ``str``, the conservative fallback.
+    """
+    hints = typing.get_type_hints(cls)
+    return {
+        field.name: (hints[field.name]
+                     if hints.get(field.name) in (int, float) else str)
+        for field in dataclasses.fields(cls)
+    }
+
 
 #: Expected type of every metrics field (int fields must not become floats
 #: through a lossy or corrupted cache entry).
-_METRIC_FIELDS: Dict[str, type] = {
-    f.name: (int if f.type == "int" else float if f.type == "float" else str)
-    for f in dataclasses.fields(SimulationMetrics)
-}
+_METRIC_FIELDS: Dict[str, type] = resolve_metric_field_types()
 
 
 def metrics_to_dict(metrics: SimulationMetrics) -> Dict[str, object]:
@@ -81,16 +127,106 @@ def metrics_from_dict(data: Dict[str, object]) -> SimulationMetrics:
     return SimulationMetrics(**data)
 
 
-class ResultCache:
-    """A directory of memoized sweep-point results."""
+# --------------------------------------------------------------------- #
+# Garbage collection report
+# --------------------------------------------------------------------- #
+@dataclass
+class StoreGcStats:
+    """One store's share of a :meth:`ResultCache.gc` pass."""
 
-    def __init__(self, directory: Union[str, Path]) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+    files: int = 0
+    bytes: int = 0
+    removed_files: int = 0
+    removed_bytes: int = 0
+
+    def count(self, stat: EntryStat) -> None:
+        self.files += 1
+        self.bytes += stat.size
+
+    def remove(self, stat: EntryStat) -> None:
+        self.removed_files += 1
+        self.removed_bytes += stat.size
+
+    @property
+    def retained_bytes(self) -> int:
+        return self.bytes - self.removed_bytes
+
+
+@dataclass
+class GcReport:
+    """What one :meth:`ResultCache.gc` pass found, freed and kept."""
+
+    max_bytes: Optional[int]
+    dry_run: bool
+    stores: Dict[str, StoreGcStats] = dataclass_field(default_factory=dict)
+
+    def store(self, name: str) -> StoreGcStats:
+        return self.stores.setdefault(name, StoreGcStats())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(stats.bytes for stats in self.stores.values())
+
+    @property
+    def freed_bytes(self) -> int:
+        return sum(stats.removed_bytes for stats in self.stores.values())
+
+    @property
+    def freed_files(self) -> int:
+        return sum(stats.removed_files for stats in self.stores.values())
+
+    @property
+    def retained_bytes(self) -> int:
+        return self.total_bytes - self.freed_bytes
+
+    def format_table(self) -> str:
+        """Plain-text per-store breakdown, CLI-ready."""
+        verb = "would free" if self.dry_run else "freed"
+        header = f"{'store':<14} {'files':>7} {'bytes':>12} " \
+                 f"{verb + ' files':>12} {verb + ' bytes':>12}"
+        lines = [header, "-" * len(header)]
+        for name, stats in self.stores.items():
+            lines.append(
+                f"{name:<14} {stats.files:>7} {stats.bytes:>12} "
+                f"{stats.removed_files:>12} {stats.removed_bytes:>12}"
+            )
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'total':<14} "
+            f"{sum(s.files for s in self.stores.values()):>7} "
+            f"{self.total_bytes:>12} {self.freed_files:>12} "
+            f"{self.freed_bytes:>12}"
+        )
+        budget = ("none" if self.max_bytes is None
+                  else f"{self.max_bytes} bytes")
+        lines.append(f"budget: {budget}; retained: {self.retained_bytes} "
+                     f"bytes{' (dry run)' if self.dry_run else ''}")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """A directory of memoized sweep-point results.
+
+    ``directory`` may be a filesystem path (wrapped in the default
+    :class:`~repro.storage.LocalDirBackend`) or any
+    :class:`~repro.storage.Backend`.
+    """
+
+    def __init__(self, directory: Union[str, Path, Backend]) -> None:
+        self.backend = as_backend(directory)
+        self.directory = backend_root(self.backend)
+
+    @staticmethod
+    def name_for(point: SweepPoint) -> str:
+        """Entry name holding this point's result."""
+        return f"{point.cache_key()}.json"
 
     def path_for(self, point: SweepPoint) -> Path:
         """Path of the entry that would hold this point's result."""
-        return self.directory / f"{point.cache_key()}.json"
+        if self.directory is None:
+            raise ValueError("this cache has no local path; "
+                             "use name_for() with the backend")
+        return self.directory / self.name_for(point)
 
     def load(self, point: SweepPoint) -> Optional[SimulationMetrics]:
         """Return the cached metrics of ``point``, or ``None`` on any miss.
@@ -98,9 +234,8 @@ class ResultCache:
         Corrupted, partial, stale-format or mismatched entries are treated
         exactly like absent ones — never trusted, never raised.
         """
-        path = self.path_for(point)
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            data = json.loads(self.backend.read_text(self.name_for(point)))
             if data.get("format") != CACHE_FORMAT_VERSION:
                 return None
             if data.get("point") != point.payload():
@@ -109,19 +244,35 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
 
-    def store(self, point: SweepPoint, metrics: SimulationMetrics) -> Path:
-        """Atomically persist the result of one point; returns the path."""
-        path = self.path_for(point)
+    def store(self, point: SweepPoint,
+              metrics: SimulationMetrics) -> Optional[Path]:
+        """Atomically persist the result of one point.
+
+        Returns the written path on path-backed stores (``None`` on a
+        backend with no local paths).
+        """
         entry = {
             "format": CACHE_FORMAT_VERSION,
             "point": point.payload(),
             "metrics": metrics_to_dict(metrics),
         }
-        return _atomic_write_json(self.directory, path, entry)
+        self.backend.write_json_atomic(self.name_for(point), entry)
+        return None if self.directory is None else self.path_for(point)
 
     def __len__(self) -> int:
         """Number of (well-named) entries currently in the directory."""
-        return sum(1 for _ in self.directory.glob("*.json"))
+        return len(self.backend.list("*.json"))
+
+    # ------------------------------------------------------------------ #
+    def _child(self, name: str) -> Optional[Backend]:
+        """The co-located sub-store backend, or ``None`` if never created.
+
+        (On path-backed stores the existence check avoids materializing
+        empty sub-directories during maintenance scans.)
+        """
+        if self.directory is not None and not (self.directory / name).is_dir():
+            return None
+        return self.backend.child(name)
 
     def clear(self) -> int:
         """Delete every entry; returns how many files were removed.
@@ -137,27 +288,107 @@ class ResultCache:
         from .claims import ClaimDirectory
 
         removed = 0
-        for path in self.directory.glob("*.json"):
-            try:
-                path.unlink()
+        for name in self.backend.list("*.json"):
+            if self.backend.delete(name):
                 removed += 1
-            except OSError:
-                pass
-        exploration_dir = self.directory / "explorations"
-        if exploration_dir.is_dir():
-            for path in exploration_dir.glob("*.json"):
-                try:
-                    path.unlink()
+        explorations = self._child("explorations")
+        if explorations is not None:
+            for name in explorations.list("*.json"):
+                if explorations.delete(name):
                     removed += 1
-                except OSError:
-                    pass
         # The co-located stores own their file-name schemes: delegate, so
         # a changed scheme can never silently survive a clear.
-        if (self.directory / "ttables").is_dir():
-            removed += TranspositionStore(self.directory / "ttables").clear()
-        if (self.directory / "claims").is_dir():
-            removed += ClaimDirectory(self.directory / "claims").clear()
+        ttables = self._child("ttables")
+        if ttables is not None:
+            removed += TranspositionStore(ttables).clear()
+        claims = self._child("claims")
+        if claims is not None:
+            removed += ClaimDirectory(claims).clear()
         return removed
+
+    def gc(self, max_bytes: Optional[int] = None,
+           claim_ttl: Optional[float] = None,
+           temp_age: float = DEFAULT_TEMP_AGE,
+           dry_run: bool = False) -> GcReport:
+        """Bound a long-lived shared cache directory; returns a report.
+
+        Three kinds of garbage are collected, across the results store
+        and the co-located ``explorations``/``ttables``/``claims``
+        sub-stores:
+
+        * **Debris** — ``.tmp-*`` files older than ``temp_age`` (crashed
+          atomic writers), ``.stale-*`` takeover tombstones and claim
+          files older than ``claim_ttl`` (leaked mid-takeover, abandoned
+          by a crash, or inert markers of long-completed work — live
+          claims heartbeat and are never this old).
+        * **Budget** — with ``max_bytes`` set, memoized entries (results,
+          explorations, transposition tables) are evicted
+          least-recently-modified-first until the directory's retained
+          size fits the budget.  Eviction never loses information a warm
+          run *needs*: every entry is a memoized value the next run
+          recomputes (and re-persists) bit-identically; only warm-start
+          time is traded for space.
+
+        ``claim_ttl`` defaults to
+        :data:`~repro.runner.claims.DEFAULT_CLAIM_TTL`; pass the fleet's
+        actual TTL when it was raised.  ``dry_run=True`` reports what a
+        real pass would free without deleting anything.
+        """
+        from .claims import DEFAULT_CLAIM_TTL
+
+        if claim_ttl is None:
+            claim_ttl = DEFAULT_CLAIM_TTL
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError("max_bytes must be non-negative")
+        now = time.time()
+        report = GcReport(max_bytes=max_bytes, dry_run=dry_run)
+
+        stores: List[Tuple[str, Backend, str, bool]] = [
+            ("results", self.backend, "*.json", True),
+        ]
+        explorations = self._child("explorations")
+        if explorations is not None:
+            stores.append(("explorations", explorations, "*.json", True))
+        ttables = self._child("ttables")
+        if ttables is not None:
+            stores.append(("ttables", ttables, "tt-*.json", True))
+        claims = self._child("claims")
+        if claims is not None:
+            stores.append(("claims", claims, "*.claim", False))
+            stores.append(("tombstones", claims, ".stale-*", False))
+
+        def sweep(backend: Backend, name: str, stat: EntryStat,
+                  stats: StoreGcStats) -> None:
+            if dry_run or backend.delete(name):
+                stats.remove(stat)
+
+        # Pass 1: age-based debris sweeps + inventory of live entries.
+        evictable: List[Tuple[float, EntryStat, Backend, str,
+                              StoreGcStats]] = []
+        for label, backend, pattern, lru in stores:
+            stats = report.store(label)
+            for name, stat in list_entries(backend, pattern):
+                stats.count(stat)
+                if label in ("claims", "tombstones"):
+                    if now - stat.mtime > claim_ttl:
+                        sweep(backend, name, stat, stats)
+                elif lru:
+                    evictable.append((stat.mtime, stat, backend, name,
+                                      stats))
+            temp_stats = report.store("temp")
+            for name, stat in list_entries(backend, TEMP_PATTERN):
+                temp_stats.count(stat)
+                if now - stat.mtime > temp_age:
+                    sweep(backend, name, stat, temp_stats)
+
+        # Pass 2: LRU-by-mtime eviction down to the byte budget.
+        if max_bytes is not None:
+            evictable.sort(key=lambda item: item[0])
+            for _, stat, backend, name, stats in evictable:
+                if report.retained_bytes <= max_bytes:
+                    break
+                sweep(backend, name, stat, stats)
+        return report
 
 
 class ExplorationCache:
@@ -172,9 +403,9 @@ class ExplorationCache:
     skip the simulations but still redo every exploration.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+    def __init__(self, directory: Union[str, Path, Backend]) -> None:
+        self.backend = as_backend(directory)
+        self.directory = backend_root(self.backend)
 
     @staticmethod
     def _payload(workload: WorkloadSpec, tile_count: int) -> Dict[str, object]:
@@ -188,12 +419,18 @@ class ExplorationCache:
             "tile_count": tile_count,
         }
 
+    def name_for(self, workload: WorkloadSpec, tile_count: int) -> str:
+        """Entry name holding this exploration."""
+        canonical = dumps_canonical(self._payload(workload, tile_count))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return f"explore-{digest}.json"
+
     def path_for(self, workload: WorkloadSpec, tile_count: int) -> Path:
         """Path of the entry that would hold this exploration."""
-        canonical = json.dumps(self._payload(workload, tile_count),
-                               sort_keys=True, separators=(",", ":"))
-        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-        return self.directory / f"explore-{digest}.json"
+        if self.directory is None:
+            raise ValueError("this cache has no local path; "
+                             "use name_for() with the backend")
+        return self.directory / self.name_for(workload, tile_count)
 
     def load(self, workload: WorkloadSpec, tile_count: int,
              platform: Platform) -> Optional[TcmDesignTimeResult]:
@@ -204,9 +441,10 @@ class ExplorationCache:
         placed schedule is revalidated while rebuilding, so a tampered
         entry cannot produce an inconsistent exploration.
         """
-        path = self.path_for(workload, tile_count)
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            data = json.loads(
+                self.backend.read_text(self.name_for(workload, tile_count))
+            )
             if data.get("request") != self._payload(workload, tile_count):
                 return None
             return exploration_from_dict(data["exploration"], platform)
@@ -215,11 +453,17 @@ class ExplorationCache:
             return None
 
     def store(self, workload: WorkloadSpec, tile_count: int,
-              result: TcmDesignTimeResult) -> Path:
-        """Atomically persist one exploration; returns the path."""
-        path = self.path_for(workload, tile_count)
+              result: TcmDesignTimeResult) -> Optional[Path]:
+        """Atomically persist one exploration.
+
+        Returns the written path on path-backed stores (``None`` on a
+        backend with no local paths).
+        """
         entry = {
             "request": self._payload(workload, tile_count),
             "exploration": exploration_to_dict(result),
         }
-        return _atomic_write_json(self.directory, path, entry)
+        self.backend.write_json_atomic(self.name_for(workload, tile_count),
+                                       entry)
+        return (None if self.directory is None
+                else self.path_for(workload, tile_count))

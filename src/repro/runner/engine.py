@@ -61,28 +61,43 @@ cooperating fleet that partitions a spec without double work:
   claim, and with exponential backoff while nothing changes) for the
   winner's results, which arrive via the cache's atomic writes.  A
   worker claims at most ``max_workers`` groups per scan and computes
-  that batch concurrently before claiming more, so a claim is held
-  un-refreshed for roughly one group runtime and late-joining workers
+  that batch concurrently before claiming more, so late-joining workers
   still find unclaimed work.
+* **Heartbeats — the TTL invariant**: every held claim is auto-refreshed
+  on a ``claim_ttl / 3`` cadence for as long as its holder lives, from
+  *two* places: the engine runs one
+  :class:`~repro.runner.claims.ClaimHeartbeat` over the whole claimed
+  batch while it computes, and :func:`run_group` heartbeats its own
+  group's claim from inside the worker process (via
+  :class:`GroupClaim`), so the claim stays fresh even if the
+  coordinating engine dies while orphaned workers keep computing.
+  ``claim_ttl`` therefore bounds **crash-detection latency, not group
+  runtime** — a 5-second TTL is safe under 30-minute groups, and a
+  SIGKILL'd worker's group is re-claimed within roughly one TTL (about
+  ``2 x claim_ttl`` end to end, counting the challenger's next scan)
+  instead of after a worst-case-runtime one.
 * **Crash/stale-takeover semantics**: a claim is never released on
   success — completed work is shielded by the cache, so an inert claim
-  file costs nothing.  A worker that died mid-group leaves a claim whose
-  mtime stops advancing; once it is older than ``claim_ttl`` seconds any
-  other worker may take it over by atomically *renaming* the stale claim
-  to a unique tombstone and re-creating it with ``O_EXCL``.  Rename-
-  then-create is what makes concurrent takeovers safe: the second
-  challenger's rename fails (the source is gone), so exactly one
-  challenger can ever reach the exclusive create — an unlink-based
-  takeover could instead delete the winner's *fresh* claim.  Takeover
-  therefore duplicates at most the work of the crashed worker's
-  unfinished group, and never corrupts results (the cache recomputes
-  bit-identically and last-writer-wins on identical content).
+  file costs nothing (``repro cache gc`` reaps expired ones).  A worker
+  that died mid-group leaves a claim whose mtime stops advancing; once
+  it is older than ``claim_ttl`` seconds any other worker may take it
+  over by atomically *renaming* the stale claim to a unique tombstone
+  and re-creating it with ``O_EXCL``.  Rename-then-create is what makes
+  concurrent takeovers safe: the second challenger's rename fails (the
+  source is gone), so exactly one challenger can ever reach the
+  exclusive create — an unlink-based takeover could instead delete the
+  winner's *fresh* claim.  Takeover therefore duplicates at most the
+  work of the crashed worker's unfinished group, and never corrupts
+  results (the cache recomputes bit-identically and last-writer-wins on
+  identical content).
 * A worker whose remaining groups are all claimed by live workers waits
   ``poll_interval`` seconds between cache polls and gives up with an
   error after ``wait_timeout`` seconds — a dead fleet should fail
-  loudly, not hang (``claim_ttl`` must exceed the longest group runtime,
-  or takeover will duplicate live work; see
-  :mod:`repro.runner.claims` for the primitive's full contract).
+  loudly, not hang.  Pick ``claim_ttl`` for how fast a crashed worker
+  should be detected, well above the longest heartbeat stall a *live*
+  holder might show (GC pause, NFS attribute-cache lag) — a spurious
+  takeover duplicates work but never corrupts it; see
+  :mod:`repro.runner.claims` for the primitive's full contract.
 """
 
 from __future__ import annotations
@@ -107,13 +122,42 @@ from ..sim.metrics import SimulationMetrics
 from ..sim.simulator import SystemSimulator
 from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
 from .cache import ExplorationCache, ResultCache
-from .claims import DEFAULT_CLAIM_TTL, ClaimDirectory, default_worker_id
+from .claims import (
+    DEFAULT_CLAIM_TTL,
+    ClaimDirectory,
+    ClaimHeartbeat,
+    default_worker_id,
+)
 from .spec import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
 
 
 def default_jobs() -> int:
     """A sensible worker count for this machine (at least 1)."""
     return max(1, os.cpu_count() or 1)
+
+
+@dataclass(frozen=True)
+class GroupClaim:
+    """Picklable pointer to a held claim a worker must keep heartbeating.
+
+    The distributed engine acquires a group's claim in its own process
+    but computes the group on a worker process; this carries everything
+    the worker needs to rebuild a :class:`ClaimDirectory` view of the
+    claim and heartbeat it from *inside* the computation, so the claim
+    stays fresh even if the coordinating engine dies while the worker
+    keeps going.
+    """
+
+    directory: str
+    key: str
+    worker_id: str
+    ttl: float
+
+    def heartbeat(self) -> ClaimHeartbeat:
+        """A started-on-enter heartbeat over this one claim."""
+        claims = ClaimDirectory(self.directory, worker_id=self.worker_id,
+                                ttl=self.ttl)
+        return ClaimHeartbeat(claims, [self.key])
 
 
 #: Reentrancy guard for run_group's process-pool store binding: the first
@@ -156,7 +200,8 @@ def explore_platform(workload_spec: WorkloadSpec, tile_count: int,
 
 def run_group(points: Sequence[SweepPoint],
               exploration_dir: Optional[str] = None,
-              tt_dir: Optional[str] = None) -> List[SimulationMetrics]:
+              tt_dir: Optional[str] = None,
+              claim: Optional[GroupClaim] = None) -> List[SimulationMetrics]:
     """Run every point of one (workload, tile count) group.
 
     The group shares a single workload instance, platform and TCM
@@ -177,6 +222,11 @@ def run_group(points: Sequence[SweepPoint],
     processes' certificates), and both pools flush their certificates
     back when the group finishes — even on failure, since everything
     proved until then is still true.
+
+    With ``claim`` set (the distributed deployment), the group's claim
+    file is heartbeat-refreshed every ``claim.ttl / 3`` seconds from this
+    process for the whole run — exploration included — so the claim TTL
+    bounds crash-detection latency rather than group runtime.
     """
     if not points:
         return []
@@ -187,6 +237,18 @@ def run_group(points: Sequence[SweepPoint],
                 f"point {point.label} does not belong to group "
                 f"{head.workload.label}@{head.tile_count}t"
             )
+    heartbeat = claim.heartbeat().start() if claim is not None else None
+    try:
+        return _run_group_points(points, head, exploration_dir, tt_dir)
+    finally:
+        if heartbeat is not None:
+            heartbeat.stop()
+
+
+def _run_group_points(points: Sequence[SweepPoint], head: SweepPoint,
+                      exploration_dir: Optional[str],
+                      tt_dir: Optional[str]) -> List[SimulationMetrics]:
+    """The body of :func:`run_group`, under its (optional) heartbeat."""
     workload, platform, design = explore_platform(head.workload,
                                                   head.tile_count,
                                                   exploration_dir)
@@ -230,6 +292,20 @@ def run_group(points: Sequence[SweepPoint],
                 scheduler_pool.attach_tt_store(_TT_OUTER_STORE)
                 _TT_OUTER_STORE = None
     return metrics
+
+
+def _run_group_item(item: Tuple[Sequence[SweepPoint], Optional[GroupClaim]],
+                    exploration_dir: Optional[str] = None,
+                    tt_dir: Optional[str] = None) -> List[SimulationMetrics]:
+    """Picklable adapter: one (group, claim) pair through :func:`run_group`.
+
+    ``pool.map`` hands workers exactly one argument per item, and the
+    distributed engine needs a *per-group* claim next to the shared
+    exploration/ttable configuration — so the pair travels as the item.
+    """
+    group, claim = item
+    return run_group(group, exploration_dir=exploration_dir, tt_dir=tt_dir,
+                     claim=claim)
 
 
 def parallel_map(function: Callable, items: Sequence,
@@ -451,20 +527,30 @@ class SweepEngine:
             groups.setdefault(point.group_key, []).append(point)
         return list(groups.values())
 
-    def _run_groups(self, groups: List[List[SweepPoint]]
+    def _run_groups(self, groups: List[List[SweepPoint]],
+                    claims: Optional[List[Optional[GroupClaim]]] = None
                     ) -> Iterable[Tuple[List[SweepPoint],
                                         List[SimulationMetrics]]]:
-        """Run every group, in parallel when it pays off."""
-        runner = partial(run_group, exploration_dir=self.exploration_dir,
+        """Run every group, in parallel when it pays off.
+
+        ``claims`` (aligned with ``groups``, distributed mode only) rides
+        along so each worker process heartbeats the claim of the group it
+        is computing.
+        """
+        if claims is None:
+            claims = [None] * len(groups)
+        items = list(zip(groups, claims))
+        runner = partial(_run_group_item,
+                         exploration_dir=self.exploration_dir,
                          tt_dir=self.tt_dir)
         workers = min(self.max_workers, len(groups))
         if workers > 1:
             try:
                 with ProcessPoolExecutor(max_workers=workers) as pool:
-                    return list(zip(groups, pool.map(runner, groups)))
+                    return list(zip(groups, pool.map(runner, items)))
             except (OSError, PermissionError, ImportError):
                 pass  # no subprocess support here: fall through to inline
-        return [(group, runner(group)) for group in groups]
+        return [(group, runner(item)) for group, item in zip(groups, items)]
 
     # ------------------------------------------------------------------ #
     # Distributed execution (claim-file protocol; module docstring)
@@ -496,6 +582,7 @@ class SweepEngine:
         unique: List[SweepPoint] = list(dict.fromkeys(points))
         groups = self._group(unique)
         claims = self._claims()
+        claim_dir = Path(self.cache.directory) / "claims"
         resolved: Dict[SweepPoint, SweepOutcome] = {}
         incomplete = list(groups)
         deadline = time.monotonic() + self.wait_timeout
@@ -504,6 +591,7 @@ class SweepEngine:
             progressed = False
             waiting: List[List[SweepPoint]] = []
             claimed: List[List[SweepPoint]] = []
+            claimed_keys: List[str] = []
             for group in incomplete:
                 pending: List[SweepPoint] = []
                 for point in group:
@@ -520,27 +608,41 @@ class SweepEngine:
                 if not pending:
                     continue  # group fully resolved (here or elsewhere)
                 # Claim at most one batch of ``max_workers`` groups per
-                # scan: the batch runs concurrently, so a claim is held
-                # un-refreshed for roughly one group runtime (the
-                # ``claim_ttl`` contract) — claiming everything up front
-                # would freeze claim mtimes for the whole sweep and both
-                # invite mid-computation takeovers and starve workers
-                # that join a moment later.
-                if len(claimed) < self.max_workers \
-                        and claims.acquire(self.group_claim_key(group)):
+                # scan: the batch runs concurrently, and claiming
+                # everything up front would starve workers that join a
+                # moment later.  (Held claims stay fresh regardless of
+                # batch runtime — both this engine and the computing
+                # workers heartbeat them below.)
+                key = self.group_claim_key(group)
+                if len(claimed) < self.max_workers and claims.acquire(key):
                     claimed.append(pending)
+                    claimed_keys.append(key)
                 else:
                     waiting.append(group)  # a live worker owns it: poll
             if claimed:
                 # The batch runs through the normal executor, so
                 # ``max_workers`` applies inside a distributed worker
-                # exactly as it does outside one.
-                for pending, metrics_list in self._run_groups(claimed):
-                    for point, metrics in zip(pending, metrics_list):
-                        self.cache.store(point, metrics)
-                        resolved[point] = SweepOutcome(
-                            point=point, metrics=metrics, from_cache=False
-                        )
+                # exactly as it does outside one.  Two heartbeat layers
+                # keep the claims fresh while it runs: this engine beats
+                # the whole batch (covering queue time and any worker
+                # that has not started yet), and every worker process
+                # beats its own group from inside run_group (covering
+                # orphaned workers whose engine died) — so ``claim_ttl``
+                # never needs to cover group runtime.
+                group_claims = [
+                    GroupClaim(directory=str(claim_dir), key=key,
+                               worker_id=self.worker_id, ttl=self.claim_ttl)
+                    for key in claimed_keys
+                ]
+                with claims.heartbeat(claimed_keys):
+                    for pending, metrics_list in self._run_groups(
+                            claimed, group_claims):
+                        for point, metrics in zip(pending, metrics_list):
+                            self.cache.store(point, metrics)
+                            resolved[point] = SweepOutcome(
+                                point=point, metrics=metrics,
+                                from_cache=False
+                            )
                 progressed = True
             incomplete = waiting
             if not incomplete:

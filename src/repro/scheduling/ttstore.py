@@ -61,7 +61,13 @@ from typing import Dict, List, Optional, Tuple, Union
 from collections import OrderedDict
 
 from ..graphs.serialization import graph_to_dict
-from ..jsonio import atomic_write_json
+from ..storage import (
+    TEMP_PATTERN,
+    Backend,
+    as_backend,
+    backend_root,
+    list_entries,
+)
 from .schedule import PlacedSchedule, ResourceId, ResourceKind, TIME_EPSILON
 
 #: Bump when the on-disk representation of a table (or the semantics of
@@ -185,15 +191,20 @@ class TableContext:
 
 
 class TranspositionStore:
-    """A directory of persisted transposition-table floor certificates."""
+    """A directory of persisted transposition-table floor certificates.
 
-    def __init__(self, directory: Union[str, Path],
+    ``directory`` may be a path (wrapped in the default
+    :class:`~repro.storage.LocalDirBackend`) or any
+    :class:`~repro.storage.Backend`.
+    """
+
+    def __init__(self, directory: Union[str, Path, Backend],
                  max_entries: int = DEFAULT_MAX_ENTRIES,
                  max_tables: int = DEFAULT_MAX_TABLES) -> None:
         if max_entries < 1 or max_tables < 1:
             raise ValueError("max_entries and max_tables must be positive")
-        self.directory = Path(directory)
-        self.directory.mkdir(parents=True, exist_ok=True)
+        self.backend = as_backend(directory)
+        self.directory = backend_root(self.backend)
         self.max_entries = max_entries
         self.max_tables = max_tables
         #: Observability counters (per store instance, i.e. per process).
@@ -231,7 +242,10 @@ class TranspositionStore:
         return TableContext(digest=digest, payload=payload)
 
     def path_for(self, context: TableContext) -> Path:
-        """Path of the table file this context addresses."""
+        """Path of the table file this context addresses (local backends)."""
+        if self.directory is None:
+            raise ValueError("this store has no local path; "
+                             "use context.filename with the backend")
         return self.directory / context.filename
 
     # ------------------------------------------------------------------ #
@@ -245,9 +259,8 @@ class TranspositionStore:
         carry :data:`LOADED_GENERATION` and keep the writer's
         most-recently-used ordering, capped to ``max_entries``.
         """
-        path = self.path_for(context)
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            data = json.loads(self.backend.read_text(context.filename))
             if data.get("format") != TTSTORE_FORMAT_VERSION:
                 self.tables_missed += 1
                 return None
@@ -316,11 +329,9 @@ class TranspositionStore:
             "request": context.payload,
             "entries": items,
         }
-        path = self.path_for(context)
         try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            grew = not path.exists()
-            atomic_write_json(self.directory, path, payload)
+            grew = self.backend.stat(context.filename) is None
+            self.backend.write_json_atomic(context.filename, payload)
         except OSError:
             return None
         self.tables_saved += 1
@@ -328,39 +339,31 @@ class TranspositionStore:
             # Overwrites cannot change the file count, so the directory
             # scan behind prune() only runs when a new table appeared.
             self.prune()
-        return path
+        return (self.directory / context.filename
+                if self.directory is not None else None)
 
     # ------------------------------------------------------------------ #
     def prune(self) -> int:
         """Enforce ``max_tables`` by deleting the oldest files; best-effort."""
-        try:
-            paths = sorted(self.directory.glob("tt-*.json"),
-                           key=lambda p: p.stat().st_mtime)
-        except OSError:
-            return 0
+        entries = sorted(list_entries(self.backend, "tt-*.json"),
+                         key=lambda item: item[1].mtime)
         removed = 0
-        excess = len(paths) - self.max_tables
-        for path in paths[:max(0, excess)]:
-            try:
-                path.unlink()
+        excess = len(entries) - self.max_tables
+        for name, _ in entries[:max(0, excess)]:
+            if self.backend.delete(name):
                 removed += 1
-            except OSError:
-                pass
         return removed
 
     def __len__(self) -> int:
         """Number of table files currently in the directory."""
-        return sum(1 for _ in self.directory.glob("tt-*.json"))
+        return len(self.backend.list("tt-*.json"))
 
     def clear(self) -> int:
         """Delete every table file (and any crashed-writer temp debris);
         returns how many files were removed."""
         removed = 0
-        for pattern in ("tt-*.json", ".tmp-*"):
-            for path in self.directory.glob(pattern):
-                try:
-                    path.unlink()
+        for pattern in ("tt-*.json", TEMP_PATTERN):
+            for name in self.backend.list(pattern):
+                if self.backend.delete(name):
                     removed += 1
-                except OSError:
-                    pass
         return removed

@@ -157,3 +157,68 @@ class TestResultCache:
         leftovers = [p for p in cache.directory.iterdir()
                      if p.name.startswith(".tmp-")]
         assert leftovers == []
+
+
+class TestMetricFieldTypes:
+    """The field-type map behind ``metrics_from_dict`` validation.
+
+    Regression guard for the ``dataclasses.Field.type == "int"`` string
+    comparison: with real type objects as annotations (no future import),
+    every numeric field silently degraded to ``str`` and every warm cache
+    load became a miss.
+    """
+
+    def test_every_metrics_field_is_numeric_unless_genuinely_string(self):
+        from repro.runner.cache import _METRIC_FIELDS
+
+        genuine_strings = {"approach", "workload"}
+        for name, expected in _METRIC_FIELDS.items():
+            if name in genuine_strings:
+                assert expected is str
+            else:
+                assert expected in (int, float), (
+                    f"metrics field {name!r} resolved to "
+                    f"{expected.__name__}; a str fallback here turns "
+                    f"every warm cache load into a miss"
+                )
+
+    def test_resolution_handles_real_type_object_annotations(self):
+        from repro.runner.cache import resolve_metric_field_types
+
+        # This module has no ``from __future__ import annotations``, so
+        # the dataclass below carries real type objects — the case the
+        # old string comparison got wrong.
+        @dataclasses.dataclass
+        class Sample:
+            count: int
+            ratio: float
+            label: str
+
+        assert dataclasses.fields(Sample)[0].type is int
+        assert resolve_metric_field_types(Sample) == {
+            "count": int, "ratio": float, "label": str,
+        }
+
+    def test_resolution_handles_string_annotations(self):
+        from repro.runner.cache import resolve_metric_field_types
+
+        @dataclasses.dataclass
+        class Sample:
+            count: "int"
+            ratio: "float"
+            label: "str"
+
+        assert resolve_metric_field_types(Sample) == {
+            "count": int, "ratio": float, "label": str,
+        }
+
+    def test_exotic_annotations_fall_back_to_str(self):
+        from repro.runner.cache import resolve_metric_field_types
+
+        @dataclasses.dataclass
+        class Sample:
+            flag: bool
+            note: bytes
+
+        resolved = resolve_metric_field_types(Sample)
+        assert resolved == {"flag": str, "note": str}

@@ -1,0 +1,164 @@
+"""Tests for ``ResultCache.gc`` — byte budgets, debris sweeps, reports.
+
+The gc contract: with no budget it only removes *debris* (expired claims,
+leaked takeover tombstones, crashed-writer temp files); with a budget it
+additionally evicts memoized entries least-recently-modified first until
+the retained size fits; and eviction is always safe because every evicted
+entry re-persists bit-identically on the next run.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.jsonio import TEMP_PREFIX
+from repro.runner import ClaimDirectory, ExplorationCache, ResultCache
+from repro.runner.cache import DEFAULT_TEMP_AGE
+from repro.runner.claims import DEFAULT_CLAIM_TTL
+from tests.runner.test_cache import make_metrics, make_point
+
+
+def backdate(path, age):
+    stale = time.time() - age
+    os.utime(path, (stale, stale))
+
+
+def populate_results(directory, count):
+    """Store ``count`` distinct results; returns their paths oldest-first."""
+    cache = ResultCache(directory)
+    paths = []
+    for index in range(count):
+        point = make_point(seed=index)
+        cache.store(point, make_metrics())
+        paths.append(cache.path_for(point))
+    # Stamp a strictly increasing mtime sequence so LRU order is exact.
+    for rank, path in enumerate(paths):
+        backdate(path, (count - rank) * 100.0)
+    return paths
+
+
+class TestGcWithoutBudget:
+    def test_noop_on_fresh_directory(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_point(), make_metrics())
+        report = cache.gc()
+        assert report.freed_files == 0
+        assert report.freed_bytes == 0
+        assert report.stores["results"].files == 1
+        assert len(cache) == 1
+
+    def test_debris_is_swept_and_fresh_claims_kept(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_point(), make_metrics())
+        claims = ClaimDirectory(tmp_path / "claims", worker_id="w1")
+        assert claims.acquire("fresh-group")
+        assert claims.acquire("dead-group")
+        backdate(claims.path_for("dead-group"), DEFAULT_CLAIM_TTL * 2)
+        tombstone = tmp_path / "claims" / ".stale-dead-w0-1"
+        tombstone.write_text("{}")
+        backdate(tombstone, DEFAULT_CLAIM_TTL * 2)
+        temp = tmp_path / f"{TEMP_PREFIX}crashed"
+        temp.write_text("partial")
+        backdate(temp, DEFAULT_TEMP_AGE * 2)
+
+        report = cache.gc()
+        assert report.stores["claims"].removed_files == 1
+        assert report.stores["tombstones"].removed_files == 1
+        assert report.stores["temp"].removed_files == 1
+        assert claims.path_for("fresh-group").exists()
+        assert not claims.path_for("dead-group").exists()
+        assert not tombstone.exists()
+        assert not temp.exists()
+        assert len(cache) == 1  # results untouched without a budget
+
+    def test_fresh_temp_files_survive(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        temp = tmp_path / f"{TEMP_PREFIX}inflight"
+        temp.write_text("partial")
+        report = cache.gc()
+        assert report.stores["temp"].removed_files == 0
+        assert temp.exists()
+
+    def test_claim_ttl_override_widens_the_sweep(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        claims = ClaimDirectory(tmp_path / "claims", worker_id="w1")
+        assert claims.acquire("group")
+        backdate(claims.path_for("group"), 30.0)
+        assert cache.gc().stores["claims"].removed_files == 0
+        assert cache.gc(claim_ttl=10.0).stores["claims"].removed_files == 1
+
+
+class TestGcWithBudget:
+    def test_evicts_oldest_first_until_under_budget(self, tmp_path):
+        paths = populate_results(tmp_path, 4)
+        per_file = paths[0].stat().st_size
+        cache = ResultCache(tmp_path)
+        report = cache.gc(max_bytes=2 * per_file)
+        assert report.stores["results"].removed_files == 2
+        assert report.retained_bytes <= 2 * per_file
+        # Oldest two gone, newest two kept.
+        assert [p.exists() for p in paths] == [False, False, True, True]
+
+    def test_budget_zero_clears_every_memoized_store(self, tmp_path):
+        populate_results(tmp_path, 3)
+        report = ResultCache(tmp_path).gc(max_bytes=0)
+        assert report.retained_bytes == 0
+        assert report.stores["results"].removed_files == 3
+
+    def test_generous_budget_evicts_nothing(self, tmp_path):
+        populate_results(tmp_path, 3)
+        report = ResultCache(tmp_path).gc(max_bytes=10**9)
+        assert report.freed_files == 0
+
+    def test_explorations_count_toward_the_budget(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(make_point(), make_metrics())
+        # A fake-but-well-placed exploration entry: gc only needs its
+        # size and mtime, not a loadable payload.
+        explorations = ExplorationCache(tmp_path / "explorations")
+        entry = explorations.path_for(make_point().workload, 8)
+        entry.write_text("x" * 10_000)
+        backdate(entry, 500.0)
+        report = cache.gc(max_bytes=100)
+        assert report.stores["explorations"].removed_files == 1
+        assert not entry.exists()
+        assert len(cache) <= 1
+
+    def test_negative_budget_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(tmp_path).gc(max_bytes=-1)
+
+    def test_eviction_preserves_bit_identical_restore(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = make_point()
+        path = cache.store(point, make_metrics())
+        original = path.read_bytes()
+        assert ResultCache(tmp_path).gc(max_bytes=0).retained_bytes == 0
+        assert cache.load(point) is None
+        cache.store(point, make_metrics())
+        assert path.read_bytes() == original
+
+
+class TestGcDryRunAndReport:
+    def test_dry_run_reports_without_deleting(self, tmp_path):
+        paths = populate_results(tmp_path, 3)
+        report = ResultCache(tmp_path).gc(max_bytes=0, dry_run=True)
+        assert report.freed_files == 3
+        assert all(path.exists() for path in paths)
+        # A dry run's accounting matches what the real pass then does.
+        real = ResultCache(tmp_path).gc(max_bytes=0)
+        assert real.freed_files == report.freed_files
+        assert real.freed_bytes == report.freed_bytes
+
+    def test_format_table_mentions_every_store(self, tmp_path):
+        populate_results(tmp_path, 2)
+        report = ResultCache(tmp_path).gc(max_bytes=0, dry_run=True)
+        table = report.format_table()
+        assert "results" in table
+        assert "would free" in table
+        assert "budget: 0 bytes" in table
+        assert "(dry run)" in table
+        wet = ResultCache(tmp_path).gc()
+        assert "freed" in wet.format_table()
+        assert "budget: none" in wet.format_table()

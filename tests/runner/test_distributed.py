@@ -16,6 +16,7 @@ import json
 import os
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -23,6 +24,7 @@ from repro.errors import ConfigurationError
 from repro.runner import (
     ApproachSpec,
     ClaimDirectory,
+    ClaimHeartbeat,
     SweepEngine,
     SweepSpec,
 )
@@ -260,3 +262,269 @@ class TestDistributedEngine:
         result = engine.run(spec)
         assert result.computed_count == 1  # only the missing point reran
         assert [o.metrics for o in result] == reference_metrics
+
+
+class TestAcquireRetry:
+    """The vanished-claim window between a failed create and the stat."""
+
+    def test_acquire_retries_once_when_claim_vanishes(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice")
+        assert alice.acquire("group-1")
+        bob = ClaimDirectory(tmp_path, worker_id="bob")
+
+        # Model the race: the claim exists during bob's exclusive-create
+        # attempt but is released before his staleness stat lands.
+        def vanishing_stat(name):
+            alice.release("group-1")
+            return None
+
+        bob.backend.stat = vanishing_stat
+        assert bob.acquire("group-1")
+        assert bob.claims_acquired == 1
+        assert bob.claims_lost == 0
+        assert bob.takeovers == 0  # a retry is not a takeover
+
+    def test_acquire_reports_loss_when_retry_also_fails(self, tmp_path):
+        alice = ClaimDirectory(tmp_path, worker_id="alice")
+        assert alice.acquire("group-1")
+        bob = ClaimDirectory(tmp_path, worker_id="bob")
+
+        # The claim vanishes mid-check but a third worker re-creates it
+        # before bob's retry: both creations fail, bob records a loss.
+        def contended_stat(name):
+            alice.release("group-1")
+            assert ClaimDirectory(tmp_path, worker_id="carol"
+                                  ).acquire("group-1")
+            return None
+
+        bob.backend.stat = contended_stat
+        assert not bob.acquire("group-1")
+        assert bob.claims_lost == 1
+
+
+class TestTombstoneSweeping:
+    """Leaked takeover tombstones must not accumulate forever."""
+
+    def _stale_claim(self, tmp_path, key="group-1", ttl=10.0):
+        alice = ClaimDirectory(tmp_path, worker_id="alice", ttl=ttl)
+        assert alice.acquire(key)
+        stale = time.time() - 3600.0
+        os.utime(alice.path_for(key), (stale, stale))
+
+    def test_takeover_survives_a_failed_tombstone_delete(self, tmp_path):
+        self._stale_claim(tmp_path)
+        bob = ClaimDirectory(tmp_path, worker_id="bob", ttl=10.0)
+        real_delete = bob.backend.delete
+
+        def failing_delete(name):
+            if name.startswith(".stale-"):
+                return False  # full disk / dropped permissions
+            return real_delete(name)
+
+        bob.backend.delete = failing_delete
+        assert bob.acquire("group-1")  # the takeover itself still works
+        assert bob.takeovers == 1
+        leaked = list(tmp_path.glob(".stale-*"))
+        assert len(leaked) == 1  # ...but the tombstone leaked
+
+        # The regression this pins: any later directory scan reaps it.
+        carol = ClaimDirectory(tmp_path, worker_id="carol", ttl=10.0)
+        assert carol.held_keys() == ["group-1"]
+        assert carol.tombstones_swept == 1
+        assert not list(tmp_path.glob(".stale-*"))
+
+    def test_tombstones_are_born_expired(self, tmp_path):
+        """The rename preserves the stale claim's frozen mtime, so a
+        leaked tombstone is sweepable immediately — no live takeover
+        dance ever owns a tombstone older than the TTL."""
+        self._stale_claim(tmp_path)
+        bob = ClaimDirectory(tmp_path, worker_id="bob", ttl=10.0)
+        bob.backend.delete = lambda name: False  # leak everything
+        bob.acquire("group-1")
+        leaked = list(tmp_path.glob(".stale-*"))
+        assert len(leaked) == 1
+        age = time.time() - leaked[0].stat().st_mtime
+        assert age > bob.ttl
+
+    def test_fresh_tombstone_is_left_alone(self, tmp_path):
+        """Age-gating the sweep keeps it safe even for hand-made or
+        clock-skewed tombstones that *do* look recent."""
+        claims = ClaimDirectory(tmp_path, worker_id="w", ttl=10.0)
+        (tmp_path / ".stale-x-other-1").write_text("{}")
+        assert claims.sweep_tombstones() == 0
+        assert (tmp_path / ".stale-x-other-1").exists()
+
+
+class TestHeartbeat:
+    @pytest.mark.parametrize("ttl", [0.5, 2.0, 30.0])
+    def test_refresh_always_restores_freshness(self, tmp_path, ttl):
+        """Property: after refresh(), a claim is never stale — whatever
+        the TTL and however far the mtime had drifted."""
+        claims = ClaimDirectory(tmp_path, worker_id="w", ttl=ttl)
+        assert claims.acquire("k")
+        name = claims.name_for("k")
+        for age_factor in (0.5, 1.5, 100.0):
+            stale = time.time() - ttl * age_factor
+            os.utime(claims.path_for("k"), (stale, stale))
+            assert claims.refresh("k")
+            assert not claims._is_stale(name)
+
+    def test_heartbeat_defends_claim_under_subsecond_ttl(self, tmp_path):
+        """A held claim survives a TTL far shorter than the hold time."""
+        alice = ClaimDirectory(tmp_path, worker_id="alice", ttl=0.5)
+        assert alice.acquire("group-1")
+        bob = ClaimDirectory(tmp_path, worker_id="bob", ttl=0.5)
+        with alice.heartbeat(["group-1"]) as beat:
+            deadline = time.monotonic() + 2.0
+            while time.monotonic() < deadline:
+                assert not bob.acquire("group-1")
+                time.sleep(0.1)
+        assert beat.beats >= 2
+        # Once the holder stops beating, the claim goes stale within one
+        # TTL and any challenger may take it over.
+        time.sleep(0.7)
+        assert bob.acquire("group-1")
+        assert bob.takeovers == 1
+
+    def test_heartbeat_without_keys_is_inert(self, tmp_path):
+        claims = ClaimDirectory(tmp_path, worker_id="w")
+        beat = claims.heartbeat([]).start()
+        assert beat._thread is None
+        beat.stop()  # idempotent no-op
+
+    def test_heartbeat_interval_defaults_to_a_third_of_ttl(self, tmp_path):
+        claims = ClaimDirectory(tmp_path, worker_id="w", ttl=9.0)
+        assert claims.heartbeat(["k"]).interval == pytest.approx(3.0)
+        with pytest.raises(ValueError):
+            ClaimHeartbeat(claims, ["k"], interval=0.0)
+
+    def test_group_claim_is_picklable_and_beats(self, tmp_path):
+        """The worker-side heartbeat handle survives the pool boundary."""
+        import pickle
+
+        from repro.runner import GroupClaim
+
+        holder = ClaimDirectory(tmp_path, worker_id="w", ttl=0.5)
+        assert holder.acquire("g")
+        claim = GroupClaim(directory=str(tmp_path), key="g",
+                           worker_id="w", ttl=0.5)
+        clone = pickle.loads(pickle.dumps(claim))
+        assert clone == claim
+        challenger = ClaimDirectory(tmp_path, worker_id="x", ttl=0.5)
+        with clone.heartbeat():
+            time.sleep(1.2)
+            assert not challenger.acquire("g")
+
+
+class TestSubRuntimeTtl:
+    def test_ttl_below_group_runtime_never_duplicates(self, tmp_path, spec,
+                                                      reference_metrics,
+                                                      monkeypatch):
+        """The acceptance criterion behind the heartbeat tentpole: a
+        claim TTL far below the group runtime must not cause takeovers
+        (= duplicated work) while the holders are alive and beating."""
+        import repro.runner.engine as engine_mod
+
+        real_explore = engine_mod.explore_platform
+
+        def slow_explore(workload_spec, tile_count, exploration_dir=None):
+            time.sleep(1.2)  # ~3x the 0.4s claim TTL below
+            return real_explore(workload_spec, tile_count, exploration_dir)
+
+        monkeypatch.setattr(engine_mod, "explore_platform", slow_explore)
+        results = {}
+        errors = []
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            try:
+                engine = SweepEngine(cache_dir=tmp_path, distributed=True,
+                                     worker_id=name, claim_ttl=0.4,
+                                     poll_interval=0.05, wait_timeout=120)
+                barrier.wait(timeout=30)
+                results[name] = engine.run(spec)
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append((name, exc))
+
+        threads = [threading.Thread(target=worker, args=(name,))
+                   for name in ("alice", "bob")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=180)
+        assert not errors, errors
+        for result in results.values():
+            assert [o.metrics for o in result] == reference_metrics
+        # Without heartbeats each 1.2s+ group would be "stale" twice over
+        # under a 0.4s TTL and get recomputed; with them, every point is
+        # simulated exactly once across the fleet.
+        computed = sum(result.computed_count for result in results.values())
+        assert computed == spec.point_count
+
+
+@pytest.mark.slow
+class TestCrashTakeover:
+    def test_sigkilled_worker_is_taken_over_quickly(self, tmp_path, spec,
+                                                    reference_metrics):
+        """End-to-end crash drill: SIGKILL a worker mid-group; a survivor
+        with a sub-runtime TTL re-claims and completes the sweep."""
+        import subprocess
+        import sys
+
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        victim_script = "\n".join([
+            "import sys, time",
+            "import repro.runner.engine as engine_mod",
+            "real = engine_mod.explore_platform",
+            "def stuck(workload_spec, tile_count, exploration_dir=None):",
+            "    time.sleep(600)",
+            "    return real(workload_spec, tile_count, exploration_dir)",
+            "engine_mod.explore_platform = stuck",
+            "from repro.runner import ApproachSpec, SweepEngine, SweepSpec",
+            "spec = SweepSpec(workloads=('multimedia',),",
+            "                 approaches=(ApproachSpec('run-time'),",
+            "                             ApproachSpec('no-prefetch')),",
+            f"                 tile_counts=(4, 5), seeds=(1,),",
+            f"                 iterations={ITERATIONS})",
+            "SweepEngine(cache_dir=sys.argv[1], distributed=True,",
+            "            worker_id='victim', claim_ttl=1.0,",
+            "            poll_interval=0.05, wait_timeout=600).run(spec)",
+        ])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        victim = subprocess.Popen(
+            [sys.executable, "-c", victim_script, str(tmp_path)], env=env
+        )
+        claim_dir = tmp_path / "claims"
+        try:
+            deadline = time.monotonic() + 60.0
+            while not list(claim_dir.glob("*.claim")):
+                assert victim.poll() is None, "victim died before claiming"
+                assert time.monotonic() < deadline, "victim never claimed"
+                time.sleep(0.05)
+        finally:
+            victim.kill()  # SIGKILL: heartbeats stop, mtime freezes
+            victim.wait(timeout=30)
+
+        killed_at = time.monotonic()
+        survivor = SweepEngine(cache_dir=tmp_path, distributed=True,
+                               worker_id="survivor", claim_ttl=1.0,
+                               poll_interval=0.05, wait_timeout=60)
+        result = survivor.run(spec)
+        elapsed = time.monotonic() - killed_at
+        # The victim was stuck before simulating anything, so the
+        # survivor computes the entire spec — including the group it had
+        # to take over from the corpse.
+        assert result.computed_count == spec.point_count
+        assert [o.metrics for o in result] == reference_metrics
+        claims = ClaimDirectory(claim_dir, worker_id="inspector", ttl=1.0)
+        takeover = json.loads(claims.path_for(
+            SweepEngine.group_claim_key(
+                SweepEngine._group(spec.expand())[0])).read_text())
+        assert takeover["worker"] == "survivor"
+        # Takeover latency is ~2x claim_ttl plus compute time, not the
+        # 600s the victim would have held the claim for; the generous
+        # bound only guards against the stale-wait pathology.
+        assert elapsed < 30.0

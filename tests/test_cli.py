@@ -107,3 +107,55 @@ class TestCommands:
         with pytest.raises(ConfigurationError, match="cache-dir"):
             main(["sweep", "--distributed", "--iterations", "5",
                   "--tiles", "4", "--approaches", "run-time"])
+
+
+class TestCacheGcCommand:
+    def test_parser_accepts_byte_suffixes(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["cache", "gc", "--cache-dir", "/tmp/x", "--max-bytes", "2M"]
+        )
+        assert args.command == "cache"
+        assert args.cache_command == "gc"
+        assert args.max_bytes == 2 * 1024 * 1024
+        assert parser.parse_args(
+            ["cache", "gc", "--cache-dir", "/tmp/x", "--max-bytes", "512"]
+        ).max_bytes == 512
+        assert parser.parse_args(
+            ["cache", "gc", "--cache-dir", "/tmp/x", "--max-bytes", "1g"]
+        ).max_bytes == 1024 ** 3
+
+    def test_parser_rejects_bad_sizes(self):
+        parser = build_parser()
+        for bad in ("twelve", "-5", "2T", ""):
+            with pytest.raises(SystemExit):
+                parser.parse_args(["cache", "gc", "--cache-dir", "/tmp/x",
+                                   "--max-bytes", bad])
+
+    def test_cache_dir_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "gc"])
+
+    def test_gc_end_to_end(self, capsys, tmp_path):
+        # Populate a real cache through a tiny sweep, then shrink it.
+        assert main(["sweep", "--approaches", "hybrid", "--tiles", "4",
+                     "--seeds", "1", "--iterations", "5",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--dry-run"]) == 0
+        dry = capsys.readouterr().out
+        assert "would free" in dry
+        assert "results" in dry
+        before = sorted(tmp_path.rglob("*.json"))
+        assert before  # dry run deleted nothing
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-bytes", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "retained: 0 bytes" in out
+        assert not list(tmp_path.glob("*.json"))
+        # A warm rerun after total eviction recomputes bit-identically.
+        assert main(["sweep", "--approaches", "hybrid", "--tiles", "4",
+                     "--seeds", "1", "--iterations", "5",
+                     "--cache-dir", str(tmp_path)]) == 0
+        assert "computed 1" in capsys.readouterr().out
