@@ -37,6 +37,15 @@ pin the memoized search's current frontier):
   not exceed the cold pass's wall time (plus a noise floor) — a warm
   engine that stops reusing, or quietly got slower than cold, fails.
 
+* a **robustness section** for the stochastic run-time layer: digests of
+  the full per-task record stream of a small simulation corpus run (a)
+  without a perturbation, (b) with a *null* :class:`PerturbationConfig`
+  and (c) with a fixed noisy one.  (a) and (b) must be identical to each
+  other **and** to the committed baseline — the zero-noise bit-identity
+  gate that keeps the perturbation layer from perturbing the
+  deterministic simulator — while (c) pins the noisy path's seeded
+  determinism across engine changes;
+
 * a **persisted-table (tt_store) comparison**: the same warm scenarios,
   once on a fresh persistent engine that flushes its certificates to a
   :class:`~repro.scheduling.ttstore.TranspositionStore` (the first run of
@@ -143,6 +152,16 @@ WARM_EXACT_COUNTERS = ("calls", "cold_operations", "warm_operations",
 #: timestamps in the payload), so the restored search is too.
 TT_STORE_EXACT_COUNTERS = ("calls", "cold_operations",
                            "restored_operations", "restored_warm_hits")
+
+#: Approaches exercised by the robustness corpus (the three strongest
+#: deterministic ones plus the feedback-controlled adaptive prefetcher).
+ROBUSTNESS_APPROACHES = ("design-time", "run-time+inter-task", "hybrid",
+                         "adaptive")
+
+#: Robustness digests that must match the baseline exactly (all three are
+#: fully seed-deterministic).
+ROBUSTNESS_EXACT = ("zero_noise_digest", "null_config_digest",
+                    "noisy_digest")
 
 
 def _random_load_graph(count: int, seed: int):
@@ -353,6 +372,68 @@ def measure_tt_store() -> Dict[str, Dict[str, object]]:
                                       for r in restored_results),
         }
     return entries
+
+
+def _robustness_digest(perturbation) -> str:
+    """Hash the full record stream of the robustness simulation corpus.
+
+    One small synthetic workload, every robustness approach, fault
+    injection on — the digest covers per-task timing and every stochastic
+    counter, so any behavioural drift in the simulator (noisy or not)
+    changes it.
+    """
+    from repro.platform.description import Platform
+    from repro.sim import SimulationConfig, SystemSimulator, make_approach
+    from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+    workload = SyntheticWorkload(spec=SyntheticSpec(
+        task_count=3, subtasks_per_task=6, seed=11))
+    platform = Platform(
+        tile_count=6,
+        reconfiguration_latency=workload.reconfiguration_latency)
+    payload = []
+    for name in ROBUSTNESS_APPROACHES:
+        config = SimulationConfig(iterations=20, seed=2005,
+                                  configuration_fault_rate=0.05,
+                                  perturbation=perturbation)
+        result = SystemSimulator(workload, platform, make_approach(name),
+                                 config=config).run()
+        for iteration in result.iterations:
+            payload.append([name, iteration.index,
+                            iteration.faults_injected])
+            for record in iteration.tasks:
+                payload.append([
+                    record.task_name,
+                    round(record.release_time, 9),
+                    round(record.finish_time, 9),
+                    round(record.overhead, 9),
+                    record.loads_performed, record.loads_reused,
+                    record.loads_cancelled, record.intertask_prefetches,
+                    record.loads_failed, record.loads_retried,
+                    record.prefetches_abandoned, record.fault_reloads,
+                ])
+    import hashlib
+
+    canonical = json.dumps(payload, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def measure_robustness() -> Dict[str, str]:
+    """Digest the corpus without noise, with a null config, and with noise.
+
+    The first two must always be equal: a null
+    :class:`~repro.sim.noise.PerturbationConfig` is required to take the
+    exact noise-free code path.
+    """
+    from repro.sim.noise import PerturbationConfig
+
+    noisy = PerturbationConfig(latency_sigma=0.2, latency_jitter=0.5,
+                               execution_sigma=0.15, load_failure_rate=0.2)
+    return {
+        "zero_noise_digest": _robustness_digest(None),
+        "null_config_digest": _robustness_digest(PerturbationConfig()),
+        "noisy_digest": _robustness_digest(noisy),
+    }
 
 
 def _warm_reuse_rate(entries: Dict[str, Dict[str, object]]) -> float:
@@ -571,6 +652,33 @@ def run_check(baseline_path: Path = BASELINE_PATH,
             "store-restored engines report zero tt_warm_hits: "
             "cross-process certificate reuse is dead"
         )
+
+    # ---------------- stochastic-layer (robustness) gates --------------- #
+    recorded_rb = baseline.get("robustness", {})
+    if not recorded_rb:
+        failures.append(
+            "baseline lacks the 'robustness' stochastic-layer section; "
+            "regenerate it (python benchmarks/check_regression.py)"
+        )
+        return failures
+    measured_rb = measure_robustness()
+    if measured_rb["zero_noise_digest"] != measured_rb["null_config_digest"]:
+        failures.append(
+            "zero-noise bit-identity broken: a null PerturbationConfig "
+            "diverged from the perturbation-free simulator"
+        )
+    for key in ROBUSTNESS_EXACT:
+        if key not in recorded_rb:
+            failures.append(
+                f"robustness: baseline lacks {key!r}; regenerate it"
+            )
+        elif measured_rb[key] != recorded_rb[key]:
+            failures.append(
+                f"robustness: {key} changed "
+                f"{recorded_rb[key]} -> {measured_rb[key]} "
+                "(simulation semantics drifted; regenerate the baseline "
+                "deliberately if intended)"
+            )
     return failures
 
 
@@ -593,7 +701,7 @@ def regenerate(baseline_path: Path = BASELINE_PATH,
         except (OSError, ValueError):
             previous_seed = {}
     baseline = {
-        "format": 3,
+        "format": 4,
         "description": (
             "Branch-and-bound corpus baseline: deterministic search and "
             "transposition-table counters plus wall times from the machine "
@@ -605,6 +713,10 @@ def regenerate(baseline_path: Path = BASELINE_PATH,
             "compares that first persistent run against a new engine "
             "restored from an on-disk TranspositionStore (the --tt-cache "
             "rerun/fresh-fleet case; all counters deterministic). "
+            "'robustness' pins digests of a small simulation corpus "
+            "without noise, with a null PerturbationConfig (must equal "
+            "the noise-free digest: the zero-noise bit-identity gate) and "
+            "with a fixed noisy config (seeded-determinism pin). "
             "Regenerate with 'python benchmarks/check_regression.py'."
         ),
         "latency_ms": LATENCY,
@@ -612,6 +724,7 @@ def regenerate(baseline_path: Path = BASELINE_PATH,
         "warm": measure_warm(repeats=repeats),
         "tt_store": measure_tt_store(),
         "seed_evaluations": previous_seed,
+        "robustness": measure_robustness(),
     }
     baseline_path.write_text(json.dumps(baseline, indent=1, sort_keys=True)
                              + "\n", encoding="utf-8")
@@ -695,6 +808,16 @@ def _main(argv=None) -> int:
     print(f"tt_store first-vs-restored: {tt_cold} -> {tt_restored} visited "
           f"nodes (x{tt_restored / max(1, tt_cold):.2f}), "
           f"{tt_hits} certificate hits from disk")
+    robustness = fresh["robustness"]
+    identity = (robustness["zero_noise_digest"]
+                == robustness["null_config_digest"])
+    print(f"robustness: zero-noise bit-identity "
+          f"{'holds' if identity else 'BROKEN'}, noisy digest "
+          f"{robustness['noisy_digest'][:12]}…")
+    if not identity:
+        print("FAIL: refusing to commit a baseline with broken zero-noise "
+              "bit-identity")
+        return 1
     return 0
 
 

@@ -29,13 +29,21 @@ certificates earlier runs proved, again without changing any result.
 
 ``repro-drhw sweep`` exposes the sweep engine directly: an arbitrary
 workloads x approaches x tiles x seeds grid, reported as mean ± 95 % CI
-per curve when several seeds are given, and — with ``--distributed`` — a
+per curve when several seeds are given, optionally perturbed by the
+stochastic run-time layer (``--fault-rate``, ``--latency-sigma``,
+``--latency-jitter``, ``--execution-sigma``, ``--load-failure-rate``,
+``--max-retries``), and — with ``--distributed`` — a
 cooperative multi-worker mode where any number of processes or machines
 pointed at one shared ``--cache-dir`` partition the grid through claim
 files without duplicating work (see :mod:`repro.runner.engine`).  Held
 claims are heartbeat-refreshed automatically, so ``--claim-ttl`` only
 sets how fast a *crashed* worker is detected and taken over — it does
 not need to cover group runtime.
+
+``repro-drhw robustness`` sweeps noise intensity x approaches x seeds and
+reports overhead-vs-noise degradation curves with 95 % confidence
+intervals, decomposed into planned and fault-induced work (see
+:mod:`repro.experiments.robustness`).
 
 ``repro-drhw cache gc`` keeps a long-lived shared cache directory
 bounded: ``--max-bytes`` evicts memoized entries (results, explorations,
@@ -61,6 +69,12 @@ from .experiments.ablation import (
 from .experiments.figure6 import FIGURE6_TILE_COUNTS, run_figure6
 from .experiments.figure7 import FIGURE7_TILE_COUNTS, run_figure7
 from .experiments.hide_rate import run_hide_rate
+from .experiments.robustness import (
+    DEFAULT_APPROACHES as DEFAULT_ROBUSTNESS_APPROACHES,
+    DEFAULT_NOISE_LEVELS,
+    DEFAULT_SEEDS as DEFAULT_ROBUSTNESS_SEEDS,
+    run_robustness,
+)
 from .experiments.scalability import run_scalability
 from .experiments.table1 import run_table1
 from .platform.description import Platform
@@ -181,6 +195,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metric", default="overhead_percent",
                        help="SimulationMetrics attribute to report "
                             "(default: overhead_percent)")
+    sweep.add_argument("--fault-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="probability that a resident configuration is "
+                            "lost between iterations (fault injection; "
+                            "default: 0)")
+    sweep.add_argument("--latency-sigma", type=float, default=0.0,
+                       metavar="S",
+                       help="lognormal sigma of multiplicative "
+                            "reconfiguration-latency noise (default: 0)")
+    sweep.add_argument("--latency-jitter", type=float, default=0.0,
+                       metavar="J",
+                       help="maximum additive latency jitter per load "
+                            "(default: 0)")
+    sweep.add_argument("--execution-sigma", type=float, default=0.0,
+                       metavar="S",
+                       help="lognormal sigma of per-subtask execution-time "
+                            "misestimation (default: 0)")
+    sweep.add_argument("--load-failure-rate", type=float, default=0.0,
+                       metavar="P",
+                       help="per-attempt probability that an in-flight "
+                            "configuration load fails and must be retried "
+                            "(default: 0)")
+    sweep.add_argument("--max-retries", type=int, default=3, metavar="N",
+                       help="failed load attempts before a prefetch is "
+                            "abandoned / an on-demand load is forced "
+                            "through (default: 3)")
     sweep.add_argument("--distributed", action="store_true",
                        help="cooperate with other workers sharing "
                             "--cache-dir: claim files partition the grid "
@@ -194,6 +234,39 @@ def build_parser() -> argparse.ArgumentParser:
                             "counts as abandoned and is taken over")
     add_jobs_flag(sweep)
     add_cache_flag(sweep)
+
+    robustness = subparsers.add_parser(
+        "robustness",
+        help="Overhead-vs-noise degradation curves (mean ± 95%% CI over "
+             "seeds) under the stochastic run-time layer",
+    )
+    robustness.add_argument("--workload", default="multimedia",
+                            metavar="NAME",
+                            help="workload registry name "
+                                 "(default: multimedia)")
+    robustness.add_argument("--tiles", type=int, default=8,
+                            help="tile count of the platform (default: 8)")
+    robustness.add_argument("--levels", type=float, nargs="+",
+                            default=list(DEFAULT_NOISE_LEVELS),
+                            metavar="I",
+                            help="noise intensities to sweep; 0 is the "
+                                 "noise-free simulator (default: "
+                                 "0 0.15 0.3 0.5)")
+    robustness.add_argument("--approaches", nargs="+",
+                            default=list(DEFAULT_ROBUSTNESS_APPROACHES),
+                            metavar="NAME",
+                            help="approach registry names (default: "
+                                 "design-time run-time+inter-task hybrid "
+                                 "adaptive)")
+    robustness.add_argument("--seeds", type=int, nargs="+",
+                            default=list(DEFAULT_ROBUSTNESS_SEEDS),
+                            help="simulation seeds per cell (default: 5 "
+                                 "seeds)")
+    robustness.add_argument("--iterations", type=int, default=60,
+                            help="simulated iterations per point "
+                                 "(default: 60)")
+    add_jobs_flag(robustness)
+    add_cache_flag(robustness)
 
     cache = subparsers.add_parser(
         "cache",
@@ -278,18 +351,30 @@ def _run_sweep(args, jobs: int, cache_dir: Optional[str]) -> str:
     from .errors import ConfigurationError
     from .runner import (DEFAULT_CLAIM_TTL, ApproachSpec, SeedEnsemble,
                          SweepEngine, SweepSpec)
+    from .sim.noise import PerturbationConfig
 
     if args.distributed and cache_dir is None:
         raise ConfigurationError(
             "--distributed needs --cache-dir: the shared directory is the "
             "bus workers exchange results and claims through"
         )
+    # Any non-zero noise knob engages the stochastic run-time layer; all
+    # zero keeps the sweep on the exact deterministic code path.
+    perturbation = PerturbationConfig(
+        latency_sigma=args.latency_sigma,
+        latency_jitter=args.latency_jitter,
+        execution_sigma=args.execution_sigma,
+        load_failure_rate=args.load_failure_rate,
+        max_retries=args.max_retries,
+    )
     spec = SweepSpec(
         workloads=tuple(args.workloads),
         approaches=tuple(ApproachSpec.of(name) for name in args.approaches),
         tile_counts=tuple(args.tiles),
         seeds=tuple(args.seeds),
         iterations=args.iterations,
+        configuration_fault_rate=args.fault_rate,
+        perturbations=(perturbation,),
     )
     engine = SweepEngine(
         max_workers=jobs,
@@ -394,6 +479,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("\n\n".join(outputs))
     elif args.command == "sweep":
         print(_run_sweep(args, jobs=jobs, cache_dir=cache_dir))
+    elif args.command == "robustness":
+        result = run_robustness(workload=args.workload,
+                                tile_count=args.tiles,
+                                levels=tuple(args.levels),
+                                approaches=tuple(args.approaches),
+                                seeds=tuple(args.seeds),
+                                iterations=args.iterations,
+                                jobs=jobs, cache_dir=cache_dir,
+                                tt_cache=tt_cache)
+        print(result.format_table())
     elif args.command == "cache":
         print(_run_cache_gc(args))
     elif args.command == "demo":

@@ -16,10 +16,18 @@ from .figure6 import FIGURE6_TILE_COUNTS, Figure6Result, run_figure6
 from .figure7 import FIGURE7_TILE_COUNTS, Figure7Result, run_figure7
 from .hide_rate import HideRateResult, PAPER_MINIMUM_HIDE_RATE, run_hide_rate
 from .latency_sweep import LatencySweepResult, run_latency_sweep
+from .robustness import (
+    DEFAULT_NOISE_LEVELS,
+    RobustnessCell,
+    RobustnessResult,
+    noise_profile,
+    run_robustness,
+)
 from .scalability import ScalabilityResult, run_scalability
 from .table1 import Table1Result, run_table1
 
 __all__ = [
+    "DEFAULT_NOISE_LEVELS",
     "EnergyStudyResult",
     "EngineAblationResult",
     "FIGURE6_TILE_COUNTS",
@@ -32,6 +40,8 @@ __all__ = [
     "PAPER_MINIMUM_HIDE_RATE",
     "PickMetricResult",
     "ReplacementAblationResult",
+    "RobustnessCell",
+    "RobustnessResult",
     "ScalabilityResult",
     "Series",
     "SeriesPoint",
@@ -43,9 +53,11 @@ __all__ = [
     "run_figure7",
     "run_hide_rate",
     "run_intertask_ablation",
+    "noise_profile",
     "run_latency_sweep",
     "run_pick_metric_ablation",
     "run_replacement_ablation",
+    "run_robustness",
     "run_scalability",
     "run_table1",
     "series_from_mapping",

@@ -68,8 +68,10 @@ from .spec import SPEC_FORMAT_VERSION, SweepPoint, WorkloadSpec
 #: 10–12-load graphs produce different metrics than version-1 entries;
 #: version 3: the limit rose again to 15 with the transposition-memoized
 #: exact search, shifting 13–15-load graphs from the heuristic to the
-#: optimum).
-CACHE_FORMAT_VERSION = 3
+#: optimum; version 4: the stochastic run-time layer added noise counters
+#: to :class:`~repro.sim.metrics.SimulationMetrics` and an optional
+#: ``perturbation`` block to point payloads).
+CACHE_FORMAT_VERSION = 4
 
 #: Bump when the on-disk representation of an exploration changes.
 EXPLORATION_FORMAT_VERSION = 1

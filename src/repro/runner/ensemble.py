@@ -116,8 +116,13 @@ class EnsembleResult:
         samples: Dict[CellKey, List[float]] = {}
         for outcome in sweep:
             point = outcome.point
-            key = (point.workload.label, point.approach.label,
-                   point.tile_count)
+            approach_label = point.approach.label
+            # A perturbation axis multiplies the grid: keep each noise
+            # level its own curve rather than pooling noise levels into
+            # one cell (noise-free sweeps keep their plain labels).
+            if point.perturbation is not None:
+                approach_label += f" {point.perturbation.label}"
+            key = (point.workload.label, approach_label, point.tile_count)
             samples.setdefault(key, []).append(
                 float(getattr(outcome.metrics, metric))
             )

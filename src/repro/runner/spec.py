@@ -1,8 +1,8 @@
 """Declarative sweep specifications.
 
 A sweep is the cross product **workloads x approaches x tile counts x
-seeds** under one set of :class:`~repro.sim.simulator.SimulationConfig`
-overrides — the shape of every headline experiment of the paper (Figures
+perturbations x seeds** under one set of
+:class:`~repro.sim.simulator.SimulationConfig` overrides — the shape of every headline experiment of the paper (Figures
 6/7, Table 1's aggregates, the ablations).  :class:`SweepSpec` describes
 that grid declaratively; :meth:`SweepSpec.expand` turns it into a
 deterministic, ordered list of :class:`SweepPoint` objects that the
@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..errors import ConfigurationError
 from ..reuse.replacement import ReplacementPolicy, make_replacement_policy
+from ..sim.noise import PerturbationConfig
 from ..sim.simulator import SimulationConfig
 from ..workloads.base import Workload
 from ..workloads.multimedia import MultimediaWorkload
@@ -215,6 +216,13 @@ class SweepPoint:
     deadline: Optional[float] = None
     keep_state_between_iterations: bool = True
     configuration_fault_rate: float = 0.0
+    perturbation: Optional[PerturbationConfig] = None
+
+    def __post_init__(self) -> None:
+        # A null perturbation runs the exact noise-free code path, so it is
+        # normalized to None here — the two spellings share one cache key.
+        if self.perturbation is not None and self.perturbation.is_null:
+            object.__setattr__(self, "perturbation", None)
 
     def config(self) -> SimulationConfig:
         """The simulation configuration of this point."""
@@ -225,6 +233,7 @@ class SweepPoint:
             deadline=self.deadline,
             keep_state_between_iterations=self.keep_state_between_iterations,
             configuration_fault_rate=self.configuration_fault_rate,
+            perturbation=self.perturbation,
         )
 
     @property
@@ -240,7 +249,7 @@ class SweepPoint:
 
     def payload(self) -> Dict[str, object]:
         """Canonical JSON-serializable description of the point."""
-        return {
+        payload: Dict[str, object] = {
             "format": SPEC_FORMAT_VERSION,
             "workload": {"name": self.workload.name,
                          "options": [list(pair)
@@ -258,6 +267,11 @@ class SweepPoint:
                 self.keep_state_between_iterations,
             "configuration_fault_rate": self.configuration_fault_rate,
         }
+        # Only a non-null perturbation enters the payload: noise-free points
+        # keep their pre-stochastic-layer cache keys (and cached results).
+        if self.perturbation is not None:
+            payload["perturbation"] = self.perturbation.payload()
+        return payload
 
     def cache_key(self) -> str:
         """Stable content hash identifying this point's result."""
@@ -268,8 +282,11 @@ class SweepPoint:
     @property
     def label(self) -> str:
         """Short description used in logs and error messages."""
-        return (f"{self.workload.label}/{self.approach.label}"
+        base = (f"{self.workload.label}/{self.approach.label}"
                 f"@{self.tile_count}t seed={self.seed}")
+        if self.perturbation is not None:
+            base += f" {self.perturbation.label}"
+        return base
 
 
 @dataclass(frozen=True)
@@ -278,10 +295,12 @@ class SweepSpec:
 
     ``workloads`` and ``approaches`` accept plain registry names, which are
     normalized to :class:`WorkloadSpec`/:class:`ApproachSpec`;
-    ``tile_counts`` and ``seeds`` are swept as full cross products.  Every
-    axis is deduplicated order-preservingly, so a repeated entry never
-    inflates ``point_count`` or the executed grid.  The remaining fields
-    are shared :class:`SimulationConfig` overrides.
+    ``tile_counts``, ``perturbations`` and ``seeds`` are swept as full
+    cross products (``perturbations`` defaults to the single noise-free
+    run; null configs normalize to ``None``).  Every axis is deduplicated
+    order-preservingly, so a repeated entry never inflates ``point_count``
+    or the executed grid.  The remaining fields are shared
+    :class:`SimulationConfig` overrides.
     """
 
     workloads: Tuple[WorkloadSpec, ...]
@@ -293,6 +312,7 @@ class SweepSpec:
     deadline: Optional[float] = None
     keep_state_between_iterations: bool = True
     configuration_fault_rate: float = 0.0
+    perturbations: Tuple[Optional[PerturbationConfig], ...] = (None,)
 
     def __post_init__(self) -> None:
         # Duplicate grid entries (a repeated seed, a tile count listed
@@ -308,6 +328,24 @@ class SweepSpec:
         object.__setattr__(self, "tile_counts",
                            tuple(dict.fromkeys(self.tile_counts)))
         object.__setattr__(self, "seeds", tuple(dict.fromkeys(self.seeds)))
+        for perturbation in self.perturbations:
+            if (perturbation is not None
+                    and not isinstance(perturbation, PerturbationConfig)):
+                raise ConfigurationError(
+                    "perturbations entries must be PerturbationConfig or "
+                    f"None, got {type(perturbation).__name__}"
+                )
+        # Null configs are the noise-free run; fold them into None before
+        # deduplicating so the axis never runs the same point twice.
+        object.__setattr__(self, "perturbations", tuple(dict.fromkeys(
+            None if p is not None and p.is_null else p
+            for p in self.perturbations
+        )))
+        if not self.perturbations:
+            raise ConfigurationError(
+                "a sweep needs at least one perturbations entry "
+                "(use (None,) for the noise-free run)"
+            )
         if not self.workloads:
             raise ConfigurationError("a sweep needs at least one workload")
         if not self.approaches:
@@ -335,31 +373,34 @@ class SweepSpec:
     def point_count(self) -> int:
         """Number of points the spec expands into."""
         return (len(self.workloads) * len(self.approaches)
-                * len(self.tile_counts) * len(self.seeds))
+                * len(self.tile_counts) * len(self.perturbations)
+                * len(self.seeds))
 
     def expand(self) -> List[SweepPoint]:
         """Expand the grid into points, in deterministic order.
 
-        The order (workload, approach, tile count, seed — slowest to
-        fastest varying) is part of the contract: results are reported in
-        expansion order no matter how execution was scheduled.
+        The order (workload, approach, tile count, perturbation, seed —
+        slowest to fastest varying) is part of the contract: results are
+        reported in expansion order no matter how execution was scheduled.
         """
         points: List[SweepPoint] = []
         for workload in self.workloads:
             for approach in self.approaches:
                 for tile_count in self.tile_counts:
-                    for seed in self.seeds:
-                        points.append(SweepPoint(
-                            workload=workload,
-                            approach=approach,
-                            tile_count=tile_count,
-                            seed=seed,
-                            iterations=self.iterations,
-                            point_selection=self.point_selection,
-                            deadline=self.deadline,
-                            keep_state_between_iterations=
-                                self.keep_state_between_iterations,
-                            configuration_fault_rate=
-                                self.configuration_fault_rate,
-                        ))
+                    for perturbation in self.perturbations:
+                        for seed in self.seeds:
+                            points.append(SweepPoint(
+                                workload=workload,
+                                approach=approach,
+                                tile_count=tile_count,
+                                seed=seed,
+                                iterations=self.iterations,
+                                point_selection=self.point_selection,
+                                deadline=self.deadline,
+                                keep_state_between_iterations=
+                                    self.keep_state_between_iterations,
+                                configuration_fault_rate=
+                                    self.configuration_fault_rate,
+                                perturbation=perturbation,
+                            ))
         return points

@@ -2,6 +2,7 @@
 
 from .approaches import (
     APPROACHES,
+    AdaptivePrefetchApproach,
     DesignTimePrefetchApproach,
     HybridApproach,
     NoPrefetchApproach,
@@ -18,6 +19,14 @@ from .metrics import (
     TaskExecutionRecord,
     aggregate_metrics,
 )
+from .noise import (
+    NoiseModel,
+    PerturbationConfig,
+    RealizedTask,
+    TaskPlan,
+    apply_realization,
+    realize_task,
+)
 from .simulator import (
     SimulationConfig,
     SimulationResult,
@@ -30,10 +39,14 @@ from .trace import SimulationTrace, render_gantt
 
 __all__ = [
     "APPROACHES",
+    "AdaptivePrefetchApproach",
     "DesignTimePrefetchApproach",
     "HybridApproach",
     "IterationRecord",
     "NoPrefetchApproach",
+    "NoiseModel",
+    "PerturbationConfig",
+    "RealizedTask",
     "RunTimeApproach",
     "RunTimeInterTaskApproach",
     "SchedulingApproach",
@@ -46,8 +59,11 @@ __all__ = [
     "TaskContext",
     "TaskExecutionRecord",
     "TaskOutcome",
+    "TaskPlan",
     "aggregate_metrics",
+    "apply_realization",
     "make_approach",
+    "realize_task",
     "render_gantt",
     "simulate",
     "sweep_tile_counts",

@@ -27,11 +27,25 @@ approaches; each is implemented here behind the common
     critical subtasks are loaded (initialization phase), reusable
     non-critical loads are cancelled, and the idle tail prefetches the next
     task's critical subtasks.
+``adaptive``
+    The run-time heuristic with a feedback-controlled inter-task prefetch
+    depth: a PI controller (:mod:`repro.sim.noise` documents the
+    kp/ki/headroom knobs) widens or narrows how many upcoming
+    configurations are prefetched based on the realized stall and waste of
+    a lookback window of task executions — the approach built to survive
+    the stochastic perturbation layer.
+
+Every approach hands the simulator a :class:`~repro.sim.noise.TaskPlan`
+alongside its planned record, so the perturbation layer can re-time the
+plan under noise; the :meth:`SchedulingApproach.observe` hook feeds the
+realized records back (the adaptive controller's input, a no-op for the
+paper's five approaches).
 """
 
 from __future__ import annotations
 
 import abc
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -56,6 +70,7 @@ from ..scheduling.schedule import ExecutionEntry, PlacedSchedule, ResourceId
 from ..tcm.design_time import TcmDesignTimeResult
 from ..tcm.run_time import ScheduledTask
 from .metrics import TaskExecutionRecord
+from .noise import TaskPlan
 from .state import SystemState
 
 
@@ -87,11 +102,18 @@ class TaskContext:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Result of executing one task instance."""
+    """Result of executing one task instance.
+
+    ``plan`` carries the planned execution (placement, loads, inter-task
+    prefetches) for the stochastic perturbation layer; it is required when
+    the simulator runs with a non-null
+    :class:`~repro.sim.noise.PerturbationConfig`.
+    """
 
     record: TaskExecutionRecord
     finish_time: float
     controller_free: float
+    plan: Optional[TaskPlan] = None
 
 
 class SchedulingApproach(abc.ABC):
@@ -125,6 +147,15 @@ class SchedulingApproach(abc.ABC):
     @abc.abstractmethod
     def execute_task(self, ctx: TaskContext) -> TaskOutcome:
         """Execute one task instance and update the shared platform state."""
+
+    def observe(self, record: TaskExecutionRecord) -> None:
+        """Feedback hook: the *realized* record of a finished task.
+
+        Called by the simulator after every task execution — with the
+        realized record under the perturbation layer, the planned one
+        otherwise.  The default is a no-op; feedback-controlled approaches
+        (``adaptive``) use it to drive their controllers.
+        """
 
     # ------------------------------------------------------------------ #
     # Shared helpers
@@ -296,8 +327,15 @@ class NoPrefetchApproach(SchedulingApproach):
         controller_free = max(ctx.state.controller_free,
                               max((load.finish for load in result.timed.loads),
                                   default=ctx.release_time))
+        plan = TaskPlan(
+            placed=placed,
+            tile_binding=dict(decision.tile_binding),
+            reused=frozenset(reused),
+            executions=dict(result.timed.executions),
+            loads=tuple(result.timed.loads),
+        )
         return TaskOutcome(record=record, finish_time=result.timed.makespan,
-                           controller_free=controller_free)
+                           controller_free=controller_free, plan=plan)
 
 
 class DesignTimePrefetchApproach(SchedulingApproach):
@@ -359,7 +397,23 @@ class DesignTimePrefetchApproach(SchedulingApproach):
             raise ConfigurationError(
                 f"design-time prefetch approach was not prepared for {key}"
             ) from exc
-        prefetched = self._pending_prefetched.pop(key, frozenset())
+        claimed = self._pending_prefetched.pop(key, frozenset())
+        if claimed:
+            # Tolerate stale static plans: a prefetch recorded last task may
+            # have been abandoned or faulted away under the perturbation
+            # layer, so only configurations actually resident count —
+            # anything else falls back to an on-demand load.  In the
+            # noise-free world every claimed configuration is resident and
+            # this filter is the identity.
+            resident = {tile.configuration for tile in ctx.state.tiles
+                        if tile.configuration is not None}
+            graph = placed.graph
+            prefetched = frozenset(
+                name for name in claimed
+                if graph.subtask(name).configuration in resident
+            )
+        else:
+            prefetched = claimed
         loads_needed = [name for name in placed.drhw_names
                         if name not in prefetched]
         decision = ctx.reuse_module.analyze(placed, ctx.state.tiles,
@@ -379,12 +433,13 @@ class DesignTimePrefetchApproach(SchedulingApproach):
         controller_free = max(ctx.state.controller_free,
                               max((load.finish for load in timed.loads),
                                   default=ctx.release_time))
-        intertask_count = 0
+        intertask_loads: Tuple = ()
         if (self.static_intertask and ctx.next_scheduled is not None
                 and not ctx.next_crosses_iteration):
-            intertask_count = self._statically_prefetch_next(
+            intertask_plan = self._statically_prefetch_next(
                 ctx, decision, timed, controller_free
             )
+            intertask_loads = intertask_plan.loads
             controller_free = max(ctx.state.controller_free, controller_free)
         record = self._make_record(
             ctx,
@@ -392,24 +447,34 @@ class DesignTimePrefetchApproach(SchedulingApproach):
             overhead=timed.overhead,
             loads_performed=timed.load_count,
             loads_reused=0,
-            intertask_prefetches=intertask_count,
+            intertask_prefetches=len(intertask_loads),
             scheduler_operations=0,
             reuse_operations=decision.operations,
         )
+        plan = TaskPlan(
+            placed=placed,
+            tile_binding=dict(decision.tile_binding),
+            reused=prefetched,
+            executions=dict(timed.executions),
+            loads=tuple(timed.loads),
+            intertask_loads=tuple(intertask_loads),
+        )
         return TaskOutcome(record=record, finish_time=timed.makespan,
                            controller_free=max(ctx.state.controller_free,
-                                               controller_free))
+                                               controller_free),
+                           plan=plan)
 
     # ------------------------------------------------------------------ #
     def _statically_prefetch_next(self, ctx: TaskContext, decision,
-                                  timed, controller_free: float) -> int:
+                                  timed, controller_free: float
+                                  ) -> InterTaskPlan:
         """Schedule loads of the next task into the current idle tail."""
         next_key = (ctx.next_scheduled.task_name,
                     ctx.next_scheduled.scenario_name,
                     ctx.next_scheduled.point_key)
         next_order = self._orders.get(next_key)
         if not next_order:
-            return 0
+            return InterTaskPlan(loads=(), controller_free=controller_free)
         next_graph = ctx.next_scheduled.point.placed.graph
         requests = [
             PrefetchRequest(subtask=name,
@@ -440,7 +505,7 @@ class DesignTimePrefetchApproach(SchedulingApproach):
         for load in plan.loads:
             ctx.state.record_load(load.tile, load.configuration, load.finish)
         self._pending_prefetched[next_key] = frozenset(plan.prefetched_subtasks)
-        return len(plan.loads)
+        return plan
 
 
 # ---------------------------------------------------------------------- #
@@ -479,23 +544,33 @@ class RunTimeApproach(SchedulingApproach):
         controller_free = max(ctx.state.controller_free,
                               max((load.finish for load in result.timed.loads),
                                   default=ctx.release_time))
-        intertask_count = 0
+        intertask_loads: Tuple = ()
         if self.uses_intertask and ctx.next_scheduled is not None:
-            plan = self._prefetch_next(ctx, decision, result, controller_free)
-            controller_free = max(controller_free, plan.controller_free)
-            intertask_count = len(plan.loads)
+            intertask_plan = self._prefetch_next(ctx, decision, result,
+                                                 controller_free)
+            controller_free = max(controller_free,
+                                  intertask_plan.controller_free)
+            intertask_loads = intertask_plan.loads
         record = self._make_record(
             ctx,
             finish_time=result.timed.makespan,
             overhead=result.overhead,
             loads_performed=result.load_count,
             loads_reused=len(decision.reused),
-            intertask_prefetches=intertask_count,
+            intertask_prefetches=len(intertask_loads),
             scheduler_operations=result.stats.operations,
             reuse_operations=decision.operations,
         )
+        plan = TaskPlan(
+            placed=placed,
+            tile_binding=dict(decision.tile_binding),
+            reused=frozenset(decision.reused),
+            executions=dict(result.timed.executions),
+            loads=tuple(result.timed.loads),
+            intertask_loads=tuple(intertask_loads),
+        )
         return TaskOutcome(record=record, finish_time=result.timed.makespan,
-                           controller_free=controller_free)
+                           controller_free=controller_free, plan=plan)
 
     # ------------------------------------------------------------------ #
     def _upcoming_configurations(self, ctx: TaskContext) -> Tuple[str, ...]:
@@ -537,6 +612,89 @@ class RunTimeInterTaskApproach(RunTimeApproach):
 
     name = "run-time+inter-task"
     uses_intertask = True
+
+
+class AdaptivePrefetchApproach(RunTimeApproach):
+    """Run-time heuristic with a PI-controlled inter-task prefetch depth.
+
+    The static approaches prefetch a fixed amount of upcoming work no
+    matter what the platform does; under the stochastic perturbation layer
+    that is exactly wrong — failed and abandoned prefetches are wasted
+    port time, while uncovered stalls are wasted compute time.  This
+    approach closes the loop in the ``PIPrefetcher`` idiom: after every
+    task the simulator feeds the *realized* record into :meth:`observe`,
+    which computes an error sample (stall above the setpoint pushes the
+    prefetch depth up, waste pushes it down) and applies a PI update
+
+    ``depth += max_depth * (kp * error + ki * sum(window))``
+
+    clamped to ``[headroom, max_depth]``.  The next task's inter-task
+    prefetch requests are truncated to the controlled depth.  See
+    :mod:`repro.sim.noise` for the knob semantics; everything is
+    deterministic, so the seed-reproducibility contract holds.
+    """
+
+    name = "adaptive"
+    uses_intertask = True
+
+    def __init__(self, priority: str = "ideal-start", kp: float = 0.6,
+                 ki: float = 0.15, headroom: int = 1, max_depth: int = 8,
+                 lookback: int = 12, target_overhead: float = 0.05,
+                 waste_weight: float = 0.5) -> None:
+        super().__init__(priority)
+        if kp < 0.0 or ki < 0.0:
+            raise ConfigurationError("controller gains must be >= 0")
+        if headroom < 0:
+            raise ConfigurationError("headroom must be >= 0")
+        if max_depth < max(1, headroom):
+            raise ConfigurationError(
+                "max_depth must be >= 1 and >= headroom"
+            )
+        if lookback < 1:
+            raise ConfigurationError("lookback must be >= 1")
+        if target_overhead < 0.0 or waste_weight < 0.0:
+            raise ConfigurationError(
+                "target_overhead and waste_weight must be >= 0"
+            )
+        self.kp = kp
+        self.ki = ki
+        self.headroom = headroom
+        self.max_depth = max_depth
+        self.lookback = lookback
+        self.target_overhead = target_overhead
+        self.waste_weight = waste_weight
+        self._errors: deque = deque(maxlen=lookback)
+        self._depth = float(max_depth)
+
+    @property
+    def depth(self) -> int:
+        """Current prefetch depth (how many upcoming loads to request)."""
+        return int(round(self._depth))
+
+    def prepare(self, design_result: TcmDesignTimeResult,
+                reconfiguration_latency: float) -> None:
+        # A fresh simulation run resets the controller: feedback from one
+        # run must never leak into another (seed determinism).
+        self._errors.clear()
+        self._depth = float(self.max_depth)
+
+    def observe(self, record: TaskExecutionRecord) -> None:
+        ideal = record.ideal_makespan
+        stall = record.overhead / ideal if ideal > 0.0 else 0.0
+        issued = record.loads_performed + record.intertask_prefetches
+        waste = (record.prefetches_abandoned + 0.5 * record.loads_retried)
+        waste_norm = waste / max(1.0, float(issued))
+        error = (stall - self.target_overhead
+                 - self.waste_weight * waste_norm)
+        self._errors.append(error)
+        update = self.kp * error + self.ki * sum(self._errors)
+        depth = self._depth + update * self.max_depth
+        self._depth = min(float(self.max_depth),
+                          max(float(self.headroom), depth))
+
+    def _next_task_requests(self, ctx: TaskContext) -> List[PrefetchRequest]:
+        requests = super()._next_task_requests(ctx)
+        return requests[:self.depth]
 
 
 # ---------------------------------------------------------------------- #
@@ -614,12 +772,12 @@ class HybridApproach(SchedulingApproach):
         )
         controller_free = max(ctx.state.controller_free,
                               execution.controller_free)
-        intertask_count = 0
+        intertask_loads: Tuple = ()
         if self.uses_intertask and ctx.next_scheduled is not None:
             tile_releases = self._tile_release_times(
                 placed, decision.tile_binding, execution.timed.executions
             )
-            plan = self._plan_intertask(
+            intertask_plan = self._plan_intertask(
                 ctx,
                 requests=self._next_critical_requests(ctx),
                 tile_releases=tile_releases,
@@ -627,8 +785,9 @@ class HybridApproach(SchedulingApproach):
                 task_finish=execution.makespan,
                 avoid_configurations=self._critical_configurations,
             )
-            controller_free = max(controller_free, plan.controller_free)
-            intertask_count = len(plan.loads)
+            controller_free = max(controller_free,
+                                  intertask_plan.controller_free)
+            intertask_loads = intertask_plan.loads
         record = self._make_record(
             ctx,
             finish_time=execution.makespan,
@@ -637,12 +796,21 @@ class HybridApproach(SchedulingApproach):
             loads_reused=len(decision.reused),
             loads_cancelled=execution.decision.cancelled_count,
             initialization_loads=execution.decision.initialization_count,
-            intertask_prefetches=intertask_count,
+            intertask_prefetches=len(intertask_loads),
             scheduler_operations=execution.runtime_operations,
             reuse_operations=decision.operations,
         )
+        plan = TaskPlan(
+            placed=placed,
+            tile_binding=dict(decision.tile_binding),
+            reused=frozenset(reused_now),
+            executions=dict(execution.timed.executions),
+            loads=tuple(execution.initialization_loads)
+                  + tuple(execution.timed.loads),
+            intertask_loads=tuple(intertask_loads),
+        )
         return TaskOutcome(record=record, finish_time=execution.makespan,
-                           controller_free=controller_free)
+                           controller_free=controller_free, plan=plan)
 
     # ------------------------------------------------------------------ #
     def _next_entry(self, ctx: TaskContext):
@@ -668,18 +836,20 @@ class HybridApproach(SchedulingApproach):
         return entry.critical_configurations
 
 
-#: Registry of the five approaches evaluated by the paper, keyed by name.
+#: Registry of the evaluated approaches, keyed by name: the paper's five
+#: plus the feedback-controlled ``adaptive`` prefetcher.
 APPROACHES = {
     NoPrefetchApproach.name: NoPrefetchApproach,
     DesignTimePrefetchApproach.name: DesignTimePrefetchApproach,
     RunTimeApproach.name: RunTimeApproach,
     RunTimeInterTaskApproach.name: RunTimeInterTaskApproach,
     HybridApproach.name: HybridApproach,
+    AdaptivePrefetchApproach.name: AdaptivePrefetchApproach,
 }
 
 
 def make_approach(name: str) -> SchedulingApproach:
-    """Instantiate one of the five evaluated approaches by name."""
+    """Instantiate one of the registered approaches by name."""
     try:
         factory = APPROACHES[name]
     except KeyError as exc:

@@ -34,6 +34,19 @@ class TaskExecutionRecord:
     scheduler_operations: int
     reuse_operations: int
     energy: float
+    # Stochastic-layer counters (all zero in the noise-free world, so the
+    # defaults keep zero-noise records identical to the seed simulator's).
+    #: Load attempts that failed mid-flight (fault injection).
+    loads_failed: int = 0
+    #: Failed attempts that were re-issued on the port.
+    loads_retried: int = 0
+    #: Inter-task prefetches given up after exhausted retries or a closed
+    #: idle window (their tile ends up invalidated).
+    prefetches_abandoned: int = 0
+    #: Loads re-fetching a configuration lost to fault injection between
+    #: iterations (``configuration_fault_rate``) — the fault-attributable
+    #: part of this task's load work.
+    fault_reloads: int = 0
 
     @property
     def span(self) -> float:
@@ -59,6 +72,9 @@ class IterationRecord:
 
     index: int
     tasks: Tuple[TaskExecutionRecord, ...]
+    #: Resident configurations invalidated by fault injection before this
+    #: iteration started (``configuration_fault_rate``).
+    faults_injected: int = 0
 
     @property
     def ideal_time(self) -> float:
@@ -96,6 +112,12 @@ class SimulationMetrics:
     total_scheduler_operations: int
     total_reuse_operations: int
     total_energy: float
+    # Stochastic-layer aggregates (zero without noise / fault injection).
+    total_faults_injected: int = 0
+    total_loads_failed: int = 0
+    total_loads_retried: int = 0
+    total_prefetches_abandoned: int = 0
+    total_fault_reloads: int = 0
 
     @property
     def overhead_percent(self) -> float:
@@ -128,6 +150,13 @@ class SimulationMetrics:
         if self.task_executions == 0:
             return 0.0
         return self.total_loads / self.task_executions
+
+    @property
+    def fault_reload_fraction(self) -> float:
+        """Share of performed loads attributable to injected faults."""
+        if self.total_loads == 0:
+            return 0.0
+        return self.total_fault_reloads / self.total_loads
 
     def hidden_fraction(self, baseline_overhead: float) -> float:
         """Share of a baseline overhead hidden by this approach.
@@ -167,4 +196,11 @@ def aggregate_metrics(approach: str, workload: str, tile_count: int,
                                        for task in tasks),
         total_reuse_operations=sum(task.reuse_operations for task in tasks),
         total_energy=sum(task.energy for task in tasks),
+        total_faults_injected=sum(iteration.faults_injected
+                                  for iteration in iterations),
+        total_loads_failed=sum(task.loads_failed for task in tasks),
+        total_loads_retried=sum(task.loads_retried for task in tasks),
+        total_prefetches_abandoned=sum(task.prefetches_abandoned
+                                       for task in tasks),
+        total_fault_reloads=sum(task.fault_reloads for task in tasks),
     )

@@ -13,8 +13,8 @@ whose ``overhead_percent`` is the quantity plotted in Figures 6 and 7.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ConfigurationError
 from ..platform.description import Platform
@@ -24,13 +24,14 @@ from ..scheduling.list_scheduler import ListSchedulerOptions
 from ..tcm.design_time import TcmDesignTimeResult, TcmDesignTimeScheduler
 from ..tcm.run_time import RunTimeSelection, ScheduledTask, TcmRunTimeScheduler
 from ..workloads.base import Workload
-from .approaches import SchedulingApproach, TaskContext
+from .approaches import SchedulingApproach, TaskContext, TaskOutcome
 from .metrics import (
     IterationRecord,
     SimulationMetrics,
     TaskExecutionRecord,
     aggregate_metrics,
 )
+from .noise import NoiseModel, PerturbationConfig, apply_realization, realize_task
 from .state import SystemState
 from .trace import SimulationTrace
 
@@ -64,6 +65,13 @@ class SimulationConfig:
     collect_trace:
         When true, a :class:`~repro.sim.trace.SimulationTrace` with
         per-task records is attached to the result.
+    perturbation:
+        Optional :class:`~repro.sim.noise.PerturbationConfig` enabling the
+        stochastic run-time layer: approaches plan against design-time
+        estimates while the simulator realizes the plans under noise
+        (latency noise, execution misestimation, mid-flight load
+        failures).  ``None`` — or a null config — runs the exact
+        noise-free code path, bit-identical to the seed simulator.
     """
 
     iterations: int = 1000
@@ -73,6 +81,7 @@ class SimulationConfig:
     keep_state_between_iterations: bool = True
     configuration_fault_rate: float = 0.0
     collect_trace: bool = False
+    perturbation: Optional[PerturbationConfig] = None
 
     def __post_init__(self) -> None:
         if self.iterations <= 0:
@@ -90,6 +99,12 @@ class SimulationConfig:
             raise ConfigurationError(
                 "configuration_fault_rate must lie in [0, 1], got "
                 f"{self.configuration_fault_rate!r}"
+            )
+        if (self.perturbation is not None
+                and not isinstance(self.perturbation, PerturbationConfig)):
+            raise ConfigurationError(
+                "perturbation must be a PerturbationConfig or None, got "
+                f"{type(self.perturbation).__name__}"
             )
 
 
@@ -157,6 +172,15 @@ class SystemSimulator:
         state = SystemState(platform=self.platform)
         trace = SimulationTrace() if self.config.collect_trace else None
         iteration_records: List[IterationRecord] = []
+        # The perturbation layer only engages for a non-null config; the
+        # null/None case runs the exact seed code path (bit-identity).
+        perturbation = self.config.perturbation
+        self._noise = (NoiseModel(perturbation, self.config.seed)
+                       if perturbation is not None
+                       and not perturbation.is_null else None)
+        # Configurations lost to fault injection, pending re-load
+        # attribution (the fault_reloads counter).
+        self._faulted: Set[str] = set()
 
         # The TCM run-time scheduler produces a continuous stream of
         # scheduled tasks, so the last task of one iteration already knows
@@ -170,8 +194,9 @@ class SystemSimulator:
                 state.reset()
                 state.time = preserved_time
                 state.controller_free = preserved_controller
+            faults = 0
             if self.config.configuration_fault_rate > 0.0:
-                self._inject_faults(state, fault_rng)
+                faults = self._inject_faults(state, fault_rng)
             scheduled = upcoming
             if iteration + 1 < self.config.iterations:
                 upcoming = self._select_points(self.workload.draw_instances(rng))
@@ -182,7 +207,8 @@ class SystemSimulator:
                          else None)
             records = self._run_iteration(scheduled, state, trace, follow_up)
             iteration_records.append(
-                IterationRecord(index=iteration, tasks=tuple(records))
+                IterationRecord(index=iteration, tasks=tuple(records),
+                                faults_injected=faults)
             )
 
         metrics = aggregate_metrics(
@@ -197,12 +223,21 @@ class SystemSimulator:
 
     # ------------------------------------------------------------------ #
     def _inject_faults(self, state: SystemState,
-                       fault_rng: random.Random) -> None:
-        """Invalidate resident configurations with the configured probability."""
+                       fault_rng: random.Random) -> int:
+        """Invalidate resident configurations with the configured probability.
+
+        Returns the number of configurations lost; each is remembered so a
+        later load of the same configuration is counted as a
+        fault-attributable reload.
+        """
+        count = 0
         for tile in state.tiles:
             if (tile.configuration is not None
                     and fault_rng.random() < self.config.configuration_fault_rate):
+                self._faulted.add(tile.configuration)
                 tile.invalidate()
+                count += 1
+        return count
 
     def _select_points(self, instances) -> List[ScheduledTask]:
         """Apply the configured Pareto-point selection policy."""
@@ -238,13 +273,54 @@ class SystemSimulator:
                 next_scheduled=next_item,
                 next_crosses_iteration=is_last and next_item is not None,
             )
+            controller_before = state.controller_free
             outcome = self.approach.execute_task(ctx)
-            state.advance_time(outcome.finish_time)
-            state.controller_free = max(state.controller_free,
-                                        outcome.controller_free)
-            records.append(outcome.record)
+            record = outcome.record
+            finish = outcome.finish_time
+            if self._noise is not None:
+                if outcome.plan is None:
+                    raise ConfigurationError(
+                        f"approach {self.approach.name!r} returned no task "
+                        "plan; plans are required under a non-null "
+                        "perturbation"
+                    )
+                realized = realize_task(
+                    outcome.plan, self._noise,
+                    self.workload.reconfiguration_latency,
+                    ctx.release_time, controller_before,
+                )
+                apply_realization(state, outcome.plan, realized)
+                span = realized.makespan - ctx.release_time
+                record = replace(
+                    record,
+                    finish_time=realized.makespan,
+                    overhead=max(0.0, span - record.ideal_makespan),
+                    loads_failed=realized.loads_failed,
+                    loads_retried=realized.loads_retried,
+                    prefetches_abandoned=len(realized.abandoned),
+                )
+                finish = realized.makespan
+            if self._faulted and outcome.plan is not None:
+                # Attribute loads that re-fetch a configuration lost to
+                # fault injection; each faulted configuration is charged
+                # at most once.
+                refetched = {entry.configuration
+                             for entry in outcome.plan.loads
+                             } & self._faulted
+                if refetched:
+                    self._faulted -= refetched
+                    record = replace(record,
+                                     fault_reloads=len(refetched))
+            state.advance_time(finish)
+            if self._noise is None:
+                state.controller_free = max(state.controller_free,
+                                            outcome.controller_free)
+            # (Under noise apply_realization already set controller_free
+            # from the realized port timeline.)
+            self.approach.observe(record)
+            records.append(record)
             if trace is not None:
-                trace.add(outcome.record)
+                trace.add(record)
         return records
 
 

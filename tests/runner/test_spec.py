@@ -5,6 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.runner import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
 from repro.runner.spec import workload_spec_for
+from repro.sim import PerturbationConfig
 from repro.workloads.multimedia import MultimediaWorkload
 from repro.workloads.pocketgl import PocketGLWorkload
 from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
@@ -178,6 +179,58 @@ class TestSweepSpec:
     def test_invalid_grids_rejected(self, kwargs):
         with pytest.raises(ConfigurationError):
             SweepSpec(**kwargs)
+
+
+class TestPerturbationAxis:
+    NOISE = PerturbationConfig(latency_sigma=0.2, load_failure_rate=0.1)
+
+    def test_null_config_normalizes_to_none_on_points(self):
+        point = make_point(perturbation=PerturbationConfig())
+        assert point.perturbation is None
+        assert point == make_point()
+
+    def test_point_config_carries_the_perturbation(self):
+        point = make_point(perturbation=self.NOISE)
+        assert point.config().perturbation == self.NOISE
+
+    def test_noise_changes_the_cache_key(self):
+        assert make_point(perturbation=self.NOISE).cache_key() \
+            != make_point().cache_key()
+        assert "noise[" in make_point(perturbation=self.NOISE).label
+
+    def test_noise_free_payload_is_unchanged(self):
+        """Old cache entries stay valid: no ``perturbation`` key when off."""
+        assert "perturbation" not in make_point().payload()
+        assert "perturbation" in make_point(perturbation=self.NOISE).payload()
+
+    def test_spec_null_entries_fold_and_deduplicate(self):
+        spec = SweepSpec(
+            workloads=("multimedia",), approaches=("hybrid",),
+            tile_counts=(8,),
+            perturbations=(None, PerturbationConfig(), self.NOISE, self.NOISE),
+        )
+        assert spec.perturbations == (None, self.NOISE)
+        assert spec.point_count == 2
+        assert [p.perturbation for p in spec.expand()] == [None, self.NOISE]
+
+    def test_expansion_varies_perturbation_before_seed(self):
+        spec = SweepSpec(
+            workloads=("multimedia",), approaches=("hybrid",),
+            tile_counts=(8,), seeds=(1, 2),
+            perturbations=(None, self.NOISE),
+        )
+        points = spec.expand()
+        assert [(p.perturbation, p.seed) for p in points] == [
+            (None, 1), (None, 2), (self.NOISE, 1), (self.NOISE, 2),
+        ]
+
+    @pytest.mark.parametrize("perturbations", [
+        (), ("noisy",), (0.3,),
+    ])
+    def test_invalid_perturbation_axis_rejected(self, perturbations):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(workloads=("multimedia",), approaches=("hybrid",),
+                      tile_counts=(8,), perturbations=perturbations)
 
 
 class TestCacheKey:

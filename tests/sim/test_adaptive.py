@@ -1,0 +1,140 @@
+"""Tests for the PI-controlled adaptive prefetch approach."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import (
+    AdaptivePrefetchApproach,
+    PerturbationConfig,
+    SimulationConfig,
+    make_approach,
+    simulate,
+)
+from repro.sim.metrics import TaskExecutionRecord
+from repro.workloads.synthetic import SyntheticSpec, SyntheticWorkload
+
+
+def make_record(overhead: float = 0.0, ideal: float = 10.0,
+                loads: int = 2, intertask: int = 2,
+                abandoned: int = 0, retried: int = 0) -> TaskExecutionRecord:
+    return TaskExecutionRecord(
+        task_name="t", scenario_name="s", point_key="p",
+        release_time=0.0, finish_time=ideal + overhead,
+        ideal_makespan=ideal, overhead=overhead,
+        loads_performed=loads, loads_reused=0, loads_cancelled=0,
+        initialization_loads=0, intertask_prefetches=intertask,
+        scheduler_operations=0, reuse_operations=0, energy=0.0,
+        loads_retried=retried, prefetches_abandoned=abandoned,
+    )
+
+
+class TestKnobs:
+    def test_registered(self):
+        assert isinstance(make_approach("adaptive"),
+                          AdaptivePrefetchApproach)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(kp=-0.1),
+        dict(ki=-0.1),
+        dict(headroom=-1),
+        dict(max_depth=0),
+        dict(headroom=5, max_depth=4),
+        dict(lookback=0),
+        dict(target_overhead=-0.01),
+        dict(waste_weight=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            AdaptivePrefetchApproach(**kwargs)
+
+    def test_depth_starts_at_max(self):
+        approach = AdaptivePrefetchApproach(max_depth=6)
+        assert approach.depth == 6
+
+
+class TestControllerDynamics:
+    def test_waste_throttles_depth_down_to_headroom(self):
+        approach = AdaptivePrefetchApproach(headroom=1, max_depth=8)
+        for _ in range(30):
+            approach.observe(make_record(overhead=0.0, abandoned=3,
+                                         retried=4))
+        assert approach.depth == approach.headroom
+
+    def test_stall_pushes_depth_back_up(self):
+        approach = AdaptivePrefetchApproach(headroom=1, max_depth=8)
+        for _ in range(30):
+            approach.observe(make_record(overhead=0.0, abandoned=3,
+                                         retried=4))
+        assert approach.depth == approach.headroom
+        for _ in range(30):
+            approach.observe(make_record(overhead=5.0))
+        assert approach.depth == approach.max_depth
+
+    def test_on_target_record_slowly_relaxes(self):
+        """Overhead at the setpoint with no waste leaves no strong push."""
+        approach = AdaptivePrefetchApproach(headroom=1, max_depth=8,
+                                            target_overhead=0.05)
+        approach.observe(make_record(overhead=0.5, ideal=10.0))
+        assert approach.depth == approach.max_depth
+
+    def test_depth_stays_clamped(self):
+        approach = AdaptivePrefetchApproach(headroom=2, max_depth=5)
+        for _ in range(50):
+            approach.observe(make_record(overhead=100.0))
+        assert approach.depth == 5
+        for _ in range(50):
+            approach.observe(make_record(abandoned=10))
+        assert approach.depth == 2
+
+    def test_error_window_is_bounded(self):
+        approach = AdaptivePrefetchApproach(lookback=4)
+        for _ in range(20):
+            approach.observe(make_record(overhead=1.0))
+        assert len(approach._errors) == 4
+
+    def test_prepare_resets_controller(self):
+        workload = SyntheticWorkload(spec=SyntheticSpec(
+            task_count=2, subtasks_per_task=4, seed=3))
+        approach = AdaptivePrefetchApproach()
+        noisy = SimulationConfig(
+            iterations=8, seed=7,
+            perturbation=PerturbationConfig(load_failure_rate=0.5),
+        )
+        first = simulate(workload, 4, approach, config=noisy)
+        # Re-running on the same (dirty) instance must reproduce the run:
+        # prepare() clears the feedback the first run accumulated.
+        second = simulate(workload, 4, approach, config=noisy)
+        assert first.metrics == second.metrics
+
+
+class TestEndToEnd:
+    def test_adaptive_no_worse_than_design_time_under_harsh_noise(self):
+        workload = SyntheticWorkload(spec=SyntheticSpec(
+            task_count=3, subtasks_per_task=6, seed=11))
+        harsh = SimulationConfig(
+            iterations=15, seed=2005,
+            perturbation=PerturbationConfig(
+                latency_sigma=0.3, latency_jitter=1.0,
+                execution_sigma=0.2, load_failure_rate=0.3,
+            ),
+        )
+        adaptive = simulate(workload, 6, make_approach("adaptive"),
+                            config=harsh)
+        design = simulate(workload, 6, make_approach("design-time"),
+                          config=harsh)
+        assert adaptive.metrics.overhead_percent \
+            <= design.metrics.overhead_percent + 1e-9
+
+    def test_zero_noise_matches_plain_run_time_ordering(self):
+        """Without noise the adaptive approach is still a sane scheduler."""
+        workload = SyntheticWorkload(spec=SyntheticSpec(
+            task_count=3, subtasks_per_task=6, seed=11))
+        config = SimulationConfig(iterations=15, seed=2005)
+        adaptive = simulate(workload, 6, make_approach("adaptive"),
+                            config=config)
+        no_prefetch = simulate(workload, 6, make_approach("no-prefetch"),
+                               config=config)
+        assert adaptive.metrics.total_overhead \
+            <= no_prefetch.metrics.total_overhead + 1e-9

@@ -57,9 +57,10 @@ def make_context(design_result, task_name="jpeg_decoder", next_task=None,
 
 
 class TestRegistry:
-    def test_all_five_approaches_registered(self):
+    def test_all_approaches_registered(self):
         assert set(APPROACHES) == {"no-prefetch", "design-time", "run-time",
-                                   "run-time+inter-task", "hybrid"}
+                                   "run-time+inter-task", "hybrid",
+                                   "adaptive"}
 
     def test_make_approach(self):
         assert isinstance(make_approach("hybrid"), HybridApproach)

@@ -13,7 +13,8 @@ class TestParser:
     def test_known_commands(self):
         parser = build_parser()
         for command in ("table1", "figure6", "figure7", "scalability",
-                        "hide-rate", "ablation", "sweep", "demo"):
+                        "hide-rate", "ablation", "sweep", "robustness",
+                        "demo"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -43,6 +44,32 @@ class TestParser:
         assert args.distributed is True
         assert args.worker_id == "w1"
         assert args.claim_ttl == 30.0
+
+    def test_sweep_noise_options(self):
+        args = build_parser().parse_args(
+            ["sweep", "--fault-rate", "0.05", "--latency-sigma", "0.3",
+             "--latency-jitter", "1.5", "--execution-sigma", "0.2",
+             "--load-failure-rate", "0.4", "--max-retries", "5"]
+        )
+        assert args.fault_rate == 0.05
+        assert args.latency_sigma == 0.3
+        assert args.latency_jitter == 1.5
+        assert args.execution_sigma == 0.2
+        assert args.load_failure_rate == 0.4
+        assert args.max_retries == 5
+
+    def test_robustness_options(self):
+        args = build_parser().parse_args(
+            ["robustness", "--workload", "synthetic", "--tiles", "6",
+             "--levels", "0", "0.3", "--approaches", "design-time",
+             "adaptive", "--seeds", "1", "2", "--iterations", "10"]
+        )
+        assert args.workload == "synthetic"
+        assert args.tiles == 6
+        assert args.levels == [0.0, 0.3]
+        assert args.approaches == ["design-time", "adaptive"]
+        assert args.seeds == [1, 2]
+        assert args.iterations == 10
 
 
 class TestCommands:
@@ -100,6 +127,22 @@ class TestCommands:
         # A second worker arriving later is served entirely by the cache.
         assert main(argv) == 0
         assert "cached 1" in capsys.readouterr().out
+
+    def test_sweep_with_noise_labels_points(self, capsys):
+        assert main(["sweep", "--approaches", "run-time", "--tiles", "4",
+                     "--seeds", "1", "2", "--iterations", "5",
+                     "--load-failure-rate", "0.3"]) == 0
+        assert "noise[" in capsys.readouterr().out
+
+    def test_robustness_tiny(self, capsys):
+        assert main(["robustness", "--workload", "synthetic", "--tiles", "6",
+                     "--levels", "0", "0.3", "--approaches", "design-time",
+                     "adaptive", "--seeds", "1", "2",
+                     "--iterations", "8"]) == 0
+        output = capsys.readouterr().out
+        assert "overhead (%)" in output
+        assert "design-time" in output and "adaptive" in output
+        assert "±" in output
 
     def test_sweep_distributed_requires_cache_dir(self):
         from repro.errors import ConfigurationError
