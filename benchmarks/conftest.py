@@ -11,6 +11,7 @@ paper's exact setup.
 from __future__ import annotations
 
 import os
+import threading
 
 import pytest
 
@@ -49,3 +50,26 @@ def iterations() -> int:
 def jobs() -> int:
     """Session-wide sweep-engine worker count."""
     return bench_jobs()
+
+
+@pytest.fixture()
+def service_endpoint():
+    """A live in-process scheduling service on an ephemeral port.
+
+    Yields ``(port, service)`` — the HTTP port to hit and the underlying
+    :class:`~repro.service.server.ReproService` for counter assertions.
+    The server is started (and torn down) per benchmark, so
+    ``bench_service.py`` collects and runs without any external daemon.
+    """
+    from repro.service import ReproService, ReproServiceServer, ServiceState
+
+    service = ReproService(ServiceState())
+    server = ReproServiceServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server.server_address[1], service
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)

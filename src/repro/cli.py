@@ -45,6 +45,12 @@ reports overhead-vs-noise degradation curves with 95 % confidence
 intervals, decomposed into planned and fault-induced work (see
 :mod:`repro.experiments.robustness`).
 
+``repro-drhw serve`` starts the online scheduling service: a long-lived
+HTTP daemon answering ``/schedule``, ``/simulate`` and ``/robustness``
+requests from one process-wide warm engine pool, with in-flight request
+deduplication and admission control — see :mod:`repro.service` for the
+protocol, flags and response schemas.
+
 ``repro-drhw cache gc`` keeps a long-lived shared cache directory
 bounded: ``--max-bytes`` evicts memoized entries (results, explorations,
 transposition tables) least-recently-used-first down to the budget —
@@ -83,22 +89,12 @@ from .scheduling.base import PrefetchProblem
 from .scheduling.list_scheduler import build_initial_schedule
 from .scheduling.noprefetch import OnDemandScheduler
 from .scheduling.prefetch_bb import OptimalPrefetchScheduler
+from .service.state import TASK_GRAPHS
 from .sim.trace import render_gantt
-from .workloads.multimedia import (
-    jpeg_decoder_graph,
-    mpeg_encoder_graph,
-    parallel_jpeg_graph,
-    pattern_recognition_graph,
-)
 
-_DEMO_GRAPHS = {
-    "pattern_recognition": pattern_recognition_graph,
-    "jpeg_decoder": jpeg_decoder_graph,
-    "parallel_jpeg": parallel_jpeg_graph,
-    "mpeg_encoder_b": lambda: mpeg_encoder_graph("B"),
-    "mpeg_encoder_p": lambda: mpeg_encoder_graph("P"),
-    "mpeg_encoder_i": lambda: mpeg_encoder_graph("I"),
-}
+#: The demo sub-command addresses the same benchmark graphs the service's
+#: ``/schedule`` endpoint does.
+_DEMO_GRAPHS = TASK_GRAPHS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -303,6 +299,33 @@ def build_parser() -> argparse.ArgumentParser:
                     help="report what would be freed without deleting "
                          "anything")
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="Run the online scheduling service: a long-lived daemon "
+             "answering schedule/simulate/robustness requests from one "
+             "process-wide warm engine pool (see repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1; the "
+                            "protocol is unauthenticated)")
+    serve.add_argument("--port", type=int, default=None, metavar="PORT",
+                       help="TCP port (default: 8642; 0 picks an "
+                            "ephemeral port, announced in the readiness "
+                            "line)")
+    serve.add_argument("--max-pending", type=int, default=None, metavar="N",
+                       help="computations queued or running before the "
+                            "admission gate sheds requests with 429 "
+                            "(default: 8)")
+    serve.add_argument("--max-explorations", type=int, default=None,
+                       metavar="N",
+                       help="resident (workload, platform, exploration) "
+                            "trios kept warm (default: 8)")
+    serve.add_argument("--shed-retry-after", type=float, default=None,
+                       metavar="SECONDS",
+                       help="retry hint attached to shed responses "
+                            "(default: 1.0)")
+    add_cache_flag(serve)
+
     demo = subparsers.add_parser(
         "demo", help="Show the prefetch schedules of one benchmark task"
     )
@@ -491,6 +514,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(result.format_table())
     elif args.command == "cache":
         print(_run_cache_gc(args))
+    elif args.command == "serve":
+        from .service import DEFAULT_PORT, serve as run_service
+        return run_service(
+            host=args.host,
+            port=args.port if args.port is not None else DEFAULT_PORT,
+            cache_dir=cache_dir,
+            tt_cache=tt_cache,
+            max_pending=args.max_pending,
+            max_explorations=args.max_explorations,
+            shed_retry_after=args.shed_retry_after,
+        )
     elif args.command == "demo":
         print(_run_demo(args.task, args.tiles, args.latency))
     else:  # pragma: no cover - argparse enforces the choices

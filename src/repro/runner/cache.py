@@ -365,8 +365,13 @@ class ResultCache:
                 stats.remove(stat)
 
         # Pass 1: age-based debris sweeps + inventory of live entries.
+        # The temp sweep runs once per *backend*, not once per store
+        # label: the claims backend backs two labels (claims +
+        # tombstones), and sweeping it twice double-counted its ``.tmp-*``
+        # debris (and, in dry runs, "removed" it twice).
         evictable: List[Tuple[float, EntryStat, Backend, str,
                               StoreGcStats]] = []
+        temp_swept_backends: set = set()
         for label, backend, pattern, lru in stores:
             stats = report.store(label)
             for name, stat in list_entries(backend, pattern):
@@ -377,18 +382,29 @@ class ResultCache:
                 elif lru:
                     evictable.append((stat.mtime, stat, backend, name,
                                       stats))
+            if id(backend) in temp_swept_backends:
+                continue
+            temp_swept_backends.add(id(backend))
             temp_stats = report.store("temp")
             for name, stat in list_entries(backend, TEMP_PATTERN):
                 temp_stats.count(stat)
                 if now - stat.mtime > temp_age:
                     sweep(backend, name, stat, temp_stats)
 
-        # Pass 2: LRU-by-mtime eviction down to the byte budget.
+        # Pass 2: LRU-by-mtime eviction down to the byte budget.  The
+        # inventory stats above are a *snapshot*: a concurrent warm hit
+        # may have refreshed an entry's mtime (and a concurrent gc may
+        # have deleted it) between the stat and this pass, so every
+        # candidate is re-statted immediately before deletion — an entry
+        # touched since the inventory is warm, not cold, and is skipped.
         if max_bytes is not None:
             evictable.sort(key=lambda item: item[0])
-            for _, stat, backend, name, stats in evictable:
+            for mtime, stat, backend, name, stats in evictable:
                 if report.retained_bytes <= max_bytes:
                     break
+                current = backend.stat(name)
+                if current is None or current.mtime > mtime:
+                    continue  # vanished, or refreshed by a warm hit
                 sweep(backend, name, stat, stats)
         return report
 

@@ -48,6 +48,27 @@ claim file is simply inert (and reaped by ``repro cache gc`` once its age
 exceeds the TTL).  The protocol needs nothing but atomic exclusive-create
 and rename from the backend, which NFS, every local filesystem and
 conditional-PUT object stores provide.
+
+**Clock-skew tolerance.**  Staleness compares the *local* clock against
+a *backend* mtime, and on a shared directory those are set by different
+machines (the claim writer stamps the mtime through the file server; the
+challenger reads it against its own ``time.time()``).  The contract:
+
+* An mtime in the observer's future (writer's clock ahead) clamps to age
+  **0** — perfectly fresh, never stale, never negative.  Negative ages
+  must not leak out of :meth:`ClaimDirectory._age`: arithmetic built on
+  them (age sorting, ``abs()``-style refactors, budget math) would turn
+  "fresher than fresh" into arbitrary behaviour.
+* In the other direction (observer's clock ahead of the writer's), a
+  live claim looks up to ``skew + ttl / HEARTBEAT_PER_TTL`` seconds old
+  — its heartbeat bumps the mtime every ``ttl / HEARTBEAT_PER_TTL``
+  seconds, all stamped by the lagging clock.  Takeover needs age >
+  ``ttl``, so the protocol tolerates absolute skew up to
+  ``ttl * (1 - 1 / HEARTBEAT_PER_TTL)`` (two thirds of the TTL at the
+  default cadence) before a *live* claim can be prematurely taken over.
+  Choose ``ttl`` well above ``max skew + heartbeat stall``; a premature
+  takeover duplicates work but never corrupts it (results are
+  content-addressed and recompute bit-identically).
 """
 
 from __future__ import annotations
@@ -136,11 +157,17 @@ class ClaimDirectory:
         return False
 
     def _age(self, name: str) -> Optional[float]:
-        """Seconds since the entry's last heartbeat; ``None`` when gone."""
+        """Seconds since the entry's last heartbeat; ``None`` when gone.
+
+        Clamped at 0: an mtime in the local future (the writer's clock
+        runs ahead of ours — see "Clock-skew tolerance" in the module
+        docstring) means *fresh*, and callers must never see a negative
+        age.
+        """
         stat = self.backend.stat(name)
         if stat is None:
             return None
-        return time.time() - stat.mtime
+        return max(0.0, time.time() - stat.mtime)
 
     def _is_stale(self, name: str) -> bool:
         """Whether an entry has outlived the TTL (``False`` when gone)."""
@@ -220,7 +247,10 @@ class ClaimDirectory:
         """
         removed = 0
         for name, stat in list_entries(self.backend, ".stale-*"):
-            if time.time() - stat.mtime <= self.ttl:
+            # Same clamp as _age: a future mtime (skewed writer clock)
+            # reads as age 0, so the tombstone survives until real time
+            # has passed on every observer's clock.
+            if max(0.0, time.time() - stat.mtime) <= self.ttl:
                 continue
             if self.backend.delete(name):
                 removed += 1

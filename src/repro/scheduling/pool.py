@@ -52,6 +52,7 @@ fresh worker fleets and reruns (see :mod:`repro.scheduling.ttstore`).
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
@@ -95,6 +96,14 @@ class SchedulerPool:
         self._engines: "OrderedDict[Tuple, Tuple[weakref.ref, BranchAndBoundScheduler]]" = (
             OrderedDict()
         )
+        #: Guards the engine table and the routing/stat counters so the
+        #: pool can be shared by a multi-threaded host (the
+        #: :mod:`repro.service` daemon routes every request through one
+        #: process-wide pool).  Reentrant because a GC-triggered weakref
+        #: drop can fire on the thread that already holds it.  The lock
+        #: covers bookkeeping only — never a search: engines themselves
+        #: stay single-threaded (the service serializes computation).
+        self._lock = threading.RLock()
         self.pool_hits = 0
         self.pool_misses = 0
         self.engines_evicted = 0
@@ -131,38 +140,44 @@ class SchedulerPool:
         if table_limit is _INHERIT:
             table_limit = self.table_limit
         key = (id(placed), reconfiguration_latency, exact_limit, table_limit)
-        entry = self._engines.get(key)
-        if entry is not None:
-            anchor, engine = entry
-            if anchor() is placed:
-                self._engines.move_to_end(key)
-                self.pool_hits += 1
-                return engine
-            # A recycled id() from a collected schedule: never reuse the
-            # stale engine (its table belongs to a dead replay core).
-            del self._engines[key]
-        engine = BranchAndBoundScheduler(
-            exact_limit=exact_limit,
-            table_limit=table_limit,
-            persistent_table=True,
-            tt_store=self.tt_store,
-        )
-        self_ref = weakref.ref(self)
+        evicted: Optional[BranchAndBoundScheduler] = None
+        with self._lock:
+            entry = self._engines.get(key)
+            if entry is not None:
+                anchor, engine = entry
+                if anchor() is placed:
+                    self._engines.move_to_end(key)
+                    self.pool_hits += 1
+                    return engine
+                # A recycled id() from a collected schedule: never reuse
+                # the stale engine (its table belongs to a dead replay
+                # core).
+                del self._engines[key]
+            engine = BranchAndBoundScheduler(
+                exact_limit=exact_limit,
+                table_limit=table_limit,
+                persistent_table=True,
+                tt_store=self.tt_store,
+            )
+            self_ref = weakref.ref(self)
 
-        def _drop(_reference, key=key, self_ref=self_ref, engine=engine):
-            pool = self_ref()
-            if pool is not None:
-                pool._engines.pop(key, None)
-            # The dying schedule's certificates outlive it on disk (the
-            # engine captured the content-addressed context up front).
-            engine.flush_table()
+            def _drop(_reference, key=key, self_ref=self_ref, engine=engine):
+                pool = self_ref()
+                if pool is not None:
+                    with pool._lock:
+                        pool._engines.pop(key, None)
+                # The dying schedule's certificates outlive it on disk
+                # (the engine captured the content-addressed context up
+                # front).
+                engine.flush_table()
 
-        self._engines[key] = (weakref.ref(placed, _drop), engine)
-        self.pool_misses += 1
-        if len(self._engines) > self.max_engines:
-            _, (_, evicted) = self._engines.popitem(last=False)
-            evicted.flush_table()
-            self.engines_evicted += 1
+            self._engines[key] = (weakref.ref(placed, _drop), engine)
+            self.pool_misses += 1
+            if len(self._engines) > self.max_engines:
+                _, (_, evicted) = self._engines.popitem(last=False)
+                self.engines_evicted += 1
+        if evicted is not None:
+            evicted.flush_table()  # IO: outside the bookkeeping lock
         return engine
 
     # ------------------------------------------------------------------ #
@@ -170,7 +185,8 @@ class SchedulerPool:
             problem: PrefetchProblem) -> PrefetchResult:
         """Solve ``problem`` on ``engine`` and aggregate its stats."""
         result = engine.schedule(problem)
-        self.total_stats = self.total_stats.merged(result.stats)
+        with self._lock:
+            self.total_stats = self.total_stats.merged(result.stats)
         return result
 
     def schedule(self, problem: PrefetchProblem) -> PrefetchResult:
@@ -187,9 +203,11 @@ class SchedulerPool:
         already retained in memory are unaffected — they were loaded under
         the old store's trust checks and stay valid certificates.
         """
-        self.tt_store = store
-        # Snapshot: a weakref drop can mutate the dict mid-iteration.
-        for _, engine in list(self._engines.values()):
+        with self._lock:
+            self.tt_store = store
+            # Snapshot: a weakref drop can mutate the dict mid-iteration.
+            engines = [engine for _, engine in self._engines.values()]
+        for engine in engines:
             engine.tt_store = store
 
     def flush(self) -> int:
@@ -202,7 +220,9 @@ class SchedulerPool:
         saved = 0
         # Snapshot: flushing allocates, which can run a GC whose weakref
         # callbacks mutate the dict mid-iteration.
-        for _, engine in list(self._engines.values()):
+        with self._lock:
+            engines = [engine for _, engine in self._engines.values()]
+        for engine in engines:
             if engine.flush_table() is not None:
                 saved += 1
         return saved
@@ -215,23 +235,28 @@ class SchedulerPool:
         """
         if self.tt_store is not None:
             self.flush()
-        self._engines.clear()
+        with self._lock:
+            self._engines.clear()
 
     # ------------------------------------------------------------------ #
     def __getstate__(self) -> Dict[str, object]:
-        """Pickle as an empty pool: engines hold weakrefs and warm state
-        that is only meaningful inside the process that built them."""
+        """Pickle as an empty pool: engines hold weakrefs, warm state and
+        a lock that are only meaningful inside the process that built
+        them."""
         state = self.__dict__.copy()
         state["_engines"] = OrderedDict()
+        del state["_lock"]
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
+        self._lock = threading.RLock()
 
 
 # --------------------------------------------------------------------- #
 #: Lazily created per-process pool shared by all sweep work in a worker.
 _PROCESS_POOL: Optional[SchedulerPool] = None
+_PROCESS_POOL_LOCK = threading.Lock()
 
 
 def process_scheduler_pool() -> SchedulerPool:
@@ -239,12 +264,15 @@ def process_scheduler_pool() -> SchedulerPool:
 
     ``run_group`` binds this pool to every approach it builds, so all the
     sweep points a worker executes — across groups — share warm engines for
-    whatever placed schedules stay alive between them.
+    whatever placed schedules stay alive between them.  Creation is
+    locked: concurrent first callers (service handler threads, distributed
+    workers sharing a process) must observe one pool, not race two.
     """
     global _PROCESS_POOL
-    if _PROCESS_POOL is None:
-        _PROCESS_POOL = SchedulerPool()
-    return _PROCESS_POOL
+    with _PROCESS_POOL_LOCK:
+        if _PROCESS_POOL is None:
+            _PROCESS_POOL = SchedulerPool()
+        return _PROCESS_POOL
 
 
 def reset_process_scheduler_pool() -> None:

@@ -1,0 +1,147 @@
+"""Online scheduling service: a long-lived daemon over the warm engines.
+
+The batch drivers (``repro sweep``, the experiment commands) pay the
+warm-up bill — TCM design-time exploration, branch-and-bound
+transposition tables, result memoization — once per *process* and then
+throw the warm state away.  ``repro serve`` turns that state into a
+**service**: one process-wide warm trio
+(:class:`~repro.scheduling.pool.SchedulerPool` +
+:class:`~repro.scheduling.ttstore.TranspositionStore` +
+exploration/result caches) lives across requests behind the
+lock-disciplined :class:`~repro.service.state.ServiceState`, so repeated
+and near-identical requests are answered at warm-engine speed instead of
+cold-process speed.
+
+Three throughput mechanisms stack in front of the (serialized) warm
+computation:
+
+* **deduplication** — identical in-flight requests collapse onto one
+  computation; followers await the leader and get a response marked
+  ``"deduplicated": true`` (:mod:`repro.service.dedup`);
+* **batching** — near-identical requests (same workload/platform,
+  different ``reused`` sets, seeds or approaches) share one *resident*
+  exploration and its warm pool engines (:mod:`repro.service.state`);
+* **admission control** — past ``--max-pending`` queued computations,
+  requests are shed with HTTP 429 + a ``Retry-After`` hint rather than
+  queueing without bound.
+
+Results are **byte-identical** to the CLI: the simulate path is step for
+step the sweep engine's group runner, and a ``--cache-dir`` is shared
+with CLI sweeps in both directions.
+
+``repro serve`` flags
+---------------------
+``--host HOST``
+    Bind address (default ``127.0.0.1``; the protocol is unauthenticated,
+    so binding non-loopback addresses is on the operator).
+``--port PORT``
+    TCP port (default 8642; ``0`` picks an ephemeral port, announced in
+    the readiness line).
+``--cache-dir PATH`` / ``--tt-cache / --no-tt-cache``
+    Same meaning as for the sweep commands: memoized results and
+    explorations under ``PATH``, transposition certificates under
+    ``PATH/ttables``.
+``--max-pending N``
+    Admission-gate depth: computations queued or running before shedding
+    starts (default 8).
+``--max-explorations N``
+    Resident (workload, platform, exploration) trios kept warm
+    (default 8).
+``--shed-retry-after SECONDS``
+    Retry hint attached to 429 responses (default 1.0).
+
+On start the daemon prints one readiness line —
+``repro service listening on http://HOST:PORT`` — and serves until
+SIGTERM/SIGINT, then flushes every warm table and exits 0.
+
+Protocol
+--------
+JSON over HTTP; every response body is a JSON object.  Errors are
+``{"error": "..."}`` with status 400 (bad request), 404 (unknown
+endpoint), 429 (shed; plus ``"retry_after"`` and a ``Retry-After``
+header) or 500.  Responses answered from another request's in-flight
+computation additionally carry ``"deduplicated": true``.
+
+``GET /healthz``
+    ``{"status": "ok", "pending": N}``.
+
+``GET /metrics``
+    Per-endpoint request/error/shed/dedup counters and nearest-rank
+    p50/p95/p99 latencies, warm-state counters (pool hits/misses,
+    warm-table answers, resident explorations, cache traffic) and the
+    admission gate's state.  See :mod:`repro.service.metrics`.
+
+``POST /schedule``
+    Solve one prefetch-scheduling problem on a warm engine.  Payload:
+    ``{"task": NAME, "tile_count": N, "latency": MS,
+    "reused": [SUBTASK, ...]}`` — ``task`` names a benchmark graph from
+    :data:`~repro.service.state.TASK_GRAPHS`; ``reused`` lists already
+    resident subtasks (the ``with_reused`` ladder).  Response carries
+    ``makespan``, ``ideal_makespan``, ``overhead``, ``overhead_percent``,
+    ``load_order``, ``load_count``, ``hidden_load_fraction``,
+    ``scheduler`` and the search's ``stats``.
+
+``POST /simulate``
+    Run (or replay from cache) one sweep point.  Payload fields mirror
+    :class:`~repro.runner.spec.SweepPoint`: ``workload`` / ``approach``
+    (registry name or ``{"name", "options", "replacement"}``),
+    ``tile_count`` (alias ``tiles``), ``seed``, ``iterations``,
+    ``point_selection``, ``deadline``, ``keep_state_between_iterations``,
+    ``configuration_fault_rate``, ``perturbation`` (``null`` or a
+    :class:`~repro.sim.noise.PerturbationConfig` field object).
+    Response: ``{"point": ..., "cache_key": ..., "from_cache": BOOL,
+    "metrics": {...}}`` with the full serialized
+    :class:`~repro.sim.metrics.SimulationMetrics`.
+
+``POST /robustness``
+    Overhead-vs-noise degradation curves.  Payload: ``workload``,
+    ``tile_count``/``tiles``, ``approaches`` (list), ``levels`` (noise
+    intensities; 0 = noise-free), ``seeds``, ``iterations``, ``metric``
+    (a metrics field, default ``overhead_percent``).  Response:
+    ``{"curves": {APPROACH_LABEL: [{"level", "mean", "ci_half_width",
+    "count", "minimum", "maximum", "std"}, ...]}}`` plus the echoed
+    parameters and computed/cached point counts.
+"""
+
+from .client import ServiceClient
+from .dedup import InFlightTable, request_key
+from .errors import (
+    BadRequest,
+    ServiceError,
+    ServiceOverloaded,
+    ServiceRequestError,
+)
+from .metrics import ServiceMetrics
+from .server import (
+    DEFAULT_PORT,
+    ReproService,
+    ReproServiceServer,
+    point_from_payload,
+    serve,
+)
+from .state import (
+    DEFAULT_MAX_EXPLORATIONS,
+    DEFAULT_MAX_PENDING,
+    TASK_GRAPHS,
+    ServiceState,
+)
+
+__all__ = [
+    "BadRequest",
+    "DEFAULT_MAX_EXPLORATIONS",
+    "DEFAULT_MAX_PENDING",
+    "DEFAULT_PORT",
+    "InFlightTable",
+    "ReproService",
+    "ReproServiceServer",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloaded",
+    "ServiceRequestError",
+    "ServiceState",
+    "TASK_GRAPHS",
+    "point_from_payload",
+    "request_key",
+    "serve",
+]

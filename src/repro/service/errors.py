@@ -1,0 +1,41 @@
+"""Errors of the online scheduling service.
+
+Shared by the server (which maps them onto HTTP statuses) and the client
+(which raises them back out of HTTP responses), so a caller embedding the
+service in-process and a caller talking to it over a socket handle the
+same exception types.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class ServiceError(ReproError):
+    """Base class of every service-layer failure."""
+
+
+class BadRequest(ServiceError):
+    """The request payload is malformed or names unknown entities (400)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The admission gate shed this request (429); retry after a delay.
+
+    ``retry_after`` is the server's hint in seconds — clients should wait
+    at least that long (the :class:`~repro.service.client.ServiceClient`
+    retry helpers do).
+    """
+
+    def __init__(self, retry_after: float,
+                 message: str = "service overloaded") -> None:
+        super().__init__(f"{message} (retry after {retry_after:.2f}s)")
+        self.retry_after = retry_after
+
+
+class ServiceRequestError(ServiceError):
+    """A non-429 HTTP error response, surfaced client-side."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status

@@ -140,6 +140,84 @@ class TestGcWithBudget:
         assert path.read_bytes() == original
 
 
+class TestTempSweepPerBackend:
+    """The claims backend backs two store labels (claims + tombstones);
+    its temp debris must still be swept — and counted — exactly once."""
+
+    def test_claims_temp_debris_counted_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "claims").mkdir()
+        temp = tmp_path / "claims" / f"{TEMP_PREFIX}crashed"
+        temp.write_text("partial")
+        backdate(temp, DEFAULT_TEMP_AGE * 2)
+
+        preview = ResultCache(tmp_path).gc(dry_run=True)
+        assert preview.stores["temp"].files == 1
+        assert preview.stores["temp"].removed_files == 1
+
+        real = ResultCache(tmp_path).gc()
+        assert real.stores["temp"].files == 1
+        assert real.stores["temp"].removed_files == 1
+        assert real.stores["temp"].removed_bytes == preview.stores[
+            "temp"].removed_bytes
+        assert not temp.exists()
+
+    def test_fresh_claims_temp_file_counted_once_and_kept(self, tmp_path):
+        (tmp_path / "claims").mkdir()
+        temp = tmp_path / "claims" / f"{TEMP_PREFIX}inflight"
+        temp.write_text("partial")
+        report = ResultCache(tmp_path).gc()
+        assert report.stores["temp"].files == 1
+        assert report.stores["temp"].removed_files == 0
+        assert temp.exists()
+
+
+class TestEvictionRestatsBeforeDelete:
+    """Pass-2 LRU eviction must not trust pass-1 stats: an entry whose
+    mtime was refreshed by a concurrent warm hit between the inventory
+    and the delete is no longer the cold entry pass 1 saw."""
+
+    def test_touched_entry_survives_eviction(self, tmp_path, monkeypatch):
+        import repro.runner.cache as cache_mod
+
+        paths = populate_results(tmp_path, 4)
+        real_list_entries = cache_mod.list_entries
+
+        def listing_then_touch(backend, pattern):
+            entries = real_list_entries(backend, pattern)
+            if pattern == "*.json" and paths[0].exists():
+                # A concurrent warm hit refreshes the oldest entry right
+                # after the inventory pass statted it.
+                os.utime(paths[0])
+            return entries
+
+        monkeypatch.setattr(cache_mod, "list_entries", listing_then_touch)
+        report = ResultCache(tmp_path).gc(max_bytes=0)
+        assert paths[0].exists(), "refreshed entry evicted off a stale stat"
+        assert not paths[1].exists()
+        assert not paths[2].exists()
+        assert report.stores["results"].removed_files == 3
+
+    def test_vanished_entry_is_skipped_not_counted(self, tmp_path,
+                                                   monkeypatch):
+        import repro.runner.cache as cache_mod
+
+        paths = populate_results(tmp_path, 3)
+        real_list_entries = cache_mod.list_entries
+
+        def listing_then_unlink(backend, pattern):
+            entries = real_list_entries(backend, pattern)
+            if pattern == "*.json" and paths[0].exists():
+                paths[0].unlink()  # another worker's gc got there first
+            return entries
+
+        monkeypatch.setattr(cache_mod, "list_entries", listing_then_unlink)
+        # dry_run pins the *accounting*: a vanished entry must not be
+        # reported as freeable (the wet pass would fail its delete anyway).
+        report = ResultCache(tmp_path).gc(max_bytes=0, dry_run=True)
+        assert report.stores["results"].removed_files == 2
+
+
 class TestGcDryRunAndReport:
     def test_dry_run_reports_without_deleting(self, tmp_path):
         paths = populate_results(tmp_path, 3)

@@ -355,6 +355,49 @@ class TestTombstoneSweeping:
         assert (tmp_path / ".stale-x-other-1").exists()
 
 
+class TestClockSkew:
+    """Shared directories mix the local clock with backend mtimes; the
+    staleness math must clamp negative ages to zero so a writer whose
+    clock runs ahead (an mtime in *our* future) reads as perfectly fresh
+    — never as negative-aged, never as stale."""
+
+    def _skew_forward(self, path, seconds=3600.0):
+        ahead = time.time() + seconds
+        os.utime(path, (ahead, ahead))
+
+    def test_future_mtime_claim_has_age_zero(self, tmp_path):
+        claims = ClaimDirectory(tmp_path, worker_id="w1", ttl=5.0)
+        assert claims.acquire("group")
+        self._skew_forward(claims.path_for("group"))
+        age = claims._age(claims.name_for("group"))
+        assert age == 0.0  # clamped: never negative
+        assert not claims._is_stale(claims.name_for("group"))
+
+    def test_future_mtime_claim_is_never_taken_over(self, tmp_path):
+        claims = ClaimDirectory(tmp_path, worker_id="w1", ttl=5.0)
+        assert claims.acquire("group")
+        self._skew_forward(claims.path_for("group"))
+        rival = ClaimDirectory(tmp_path, worker_id="w2", ttl=5.0)
+        assert not rival.acquire("group")
+        assert rival.takeovers == 0
+        assert rival.claims_lost == 1
+        assert rival.held_keys() == ["group"]
+
+    def test_future_mtime_tombstone_survives_the_sweep(self, tmp_path):
+        claims = ClaimDirectory(tmp_path, worker_id="w1", ttl=5.0)
+        tombstone = tmp_path / ".stale-group-other-1"
+        tombstone.write_text("{}")
+        self._skew_forward(tombstone)
+        assert claims.sweep_tombstones() == 0
+        assert tombstone.exists()
+
+    def test_skew_tolerance_is_documented(self):
+        """The contract the fix pins: the claims-protocol docstring must
+        spell out how much absolute clock skew the TTL absorbs."""
+        import repro.runner.claims as claims_mod
+        assert "skew" in claims_mod.__doc__.lower()
+
+
 class TestHeartbeat:
     @pytest.mark.parametrize("ttl", [0.5, 2.0, 30.0])
     def test_refresh_always_restores_freshness(self, tmp_path, ttl):

@@ -1,0 +1,267 @@
+"""Tests for the service endpoints, payload parsing and the HTTP layer."""
+
+import threading
+
+import pytest
+
+from repro.runner import ApproachSpec, WorkloadSpec
+from repro.service import (
+    BadRequest,
+    ReproService,
+    ReproServiceServer,
+    ServiceClient,
+    ServiceRequestError,
+    ServiceState,
+    point_from_payload,
+)
+from repro.service.server import approach_spec_from, workload_spec_from
+
+from .test_state import ITERATIONS, SYNTH_OPTIONS
+
+SYNTH_PAYLOAD = {"name": "synthetic", "options": dict(SYNTH_OPTIONS)}
+
+
+@pytest.fixture()
+def service() -> ReproService:
+    return ReproService(ServiceState())
+
+
+class TestPayloadParsing:
+    def test_workload_by_name(self):
+        assert workload_spec_from("multimedia") == WorkloadSpec.of(
+            "multimedia")
+
+    def test_workload_with_options(self):
+        spec = workload_spec_from(SYNTH_PAYLOAD)
+        assert spec == WorkloadSpec.of("synthetic", **SYNTH_OPTIONS)
+
+    def test_approach_with_replacement(self):
+        spec = approach_spec_from({"name": "hybrid", "replacement": "lru"})
+        assert spec == ApproachSpec.of("hybrid", replacement="lru")
+
+    def test_unknown_names_are_bad_requests(self):
+        with pytest.raises(BadRequest):
+            workload_spec_from({"options": {}})
+        with pytest.raises(BadRequest):
+            approach_spec_from({"name": "hybrid", "bogus": 1})
+
+    def test_point_round_trips_defaults(self):
+        point = point_from_payload({})
+        assert point.workload.name == "multimedia"
+        assert point.approach.name == "hybrid"
+        assert point.tile_count == 8
+        assert point.seed == 2005
+
+    def test_tiles_alias(self):
+        assert point_from_payload({"tiles": 6}).tile_count == 6
+        with pytest.raises(BadRequest, match="not both"):
+            point_from_payload({"tiles": 6, "tile_count": 6})
+
+    def test_unknown_field_is_rejected(self):
+        with pytest.raises(BadRequest, match="unknown simulate field"):
+            point_from_payload({"bogus": 1})
+
+    def test_perturbation_object(self):
+        point = point_from_payload(
+            {"perturbation": {"latency_sigma": 0.2}})
+        assert point.perturbation is not None
+        assert point.perturbation.latency_sigma == 0.2
+
+    def test_null_perturbation_normalizes_to_none(self):
+        point = point_from_payload(
+            {"perturbation": {"latency_sigma": 0.0}})
+        assert point.perturbation is None
+
+    def test_bad_perturbation_field(self):
+        with pytest.raises(BadRequest, match="bad perturbation"):
+            point_from_payload({"perturbation": {"bogus": 1}})
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        status, body = service.handle("/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+
+    def test_unknown_endpoint_is_404(self, service):
+        status, body = service.handle("/nope")
+        assert status == 404
+        assert "unknown endpoint" in body["error"]
+
+    def test_non_object_body_is_400(self, service):
+        status, body = service.handle("/simulate", [1, 2, 3])
+        assert status == 400
+
+    def test_schedule(self, service):
+        status, body = service.handle("/schedule",
+                                      {"task": "jpeg_decoder"})
+        assert status == 200
+        assert body["scheduler"] == "branch-and-bound"
+        assert body["makespan"] >= body["ideal_makespan"]
+        assert body["load_count"] == len(body["load_order"])
+        assert body["stats"]["operations"] > 0
+
+    def test_schedule_reused_ladder_hits_warm_engine(self, service):
+        status, first = service.handle("/schedule",
+                                       {"task": "jpeg_decoder"})
+        assert status == 200
+        pool = service.state.scheduler_pool
+        misses_before = pool.pool_misses
+        status, second = service.handle(
+            "/schedule",
+            {"task": "jpeg_decoder", "reused": first["load_order"][:1]},
+        )
+        assert status == 200
+        # Same placed schedule -> same warm engine, no new engine built.
+        assert pool.pool_misses == misses_before
+        assert pool.pool_hits >= 1
+        assert second["overhead"] <= first["overhead"]
+
+    def test_schedule_unknown_task_is_400(self, service):
+        status, body = service.handle("/schedule", {"task": "nope"})
+        assert status == 400
+        assert "unknown task" in body["error"]
+
+    def test_schedule_unknown_reused_subtask_is_400(self, service):
+        status, body = service.handle(
+            "/schedule", {"task": "jpeg_decoder", "reused": ["ghost"]})
+        assert status == 400
+
+    def test_schedule_requires_task(self, service):
+        status, body = service.handle("/schedule", {})
+        assert status == 400
+        assert "task" in body["error"]
+
+    def test_simulate(self, service):
+        status, body = service.handle(
+            "/simulate",
+            {"workload": SYNTH_PAYLOAD, "tiles": 4,
+             "iterations": ITERATIONS},
+        )
+        assert status == 200
+        assert body["from_cache"] is False
+        assert body["metrics"]["iterations"] == ITERATIONS
+        assert len(body["cache_key"]) == 64
+
+    def test_simulate_cache_hit_with_cache_dir(self, tmp_path):
+        service = ReproService(ServiceState(cache_dir=tmp_path))
+        payload = {"workload": SYNTH_PAYLOAD, "tiles": 4,
+                   "iterations": ITERATIONS}
+        _, first = service.handle("/simulate", payload)
+        _, second = service.handle("/simulate", payload)
+        assert first["from_cache"] is False
+        assert second["from_cache"] is True
+        assert second["metrics"] == first["metrics"]
+
+    def test_robustness(self, service):
+        status, body = service.handle(
+            "/robustness",
+            {"workload": SYNTH_PAYLOAD, "tiles": 4, "iterations": 5,
+             "levels": [0.0, 0.3], "seeds": [1, 2],
+             "approaches": ["hybrid"]},
+        )
+        assert status == 200
+        curve = body["curves"]["hybrid"]
+        assert [row["level"] for row in curve] == [0.0, 0.3]
+        assert all(row["count"] == 2 for row in curve)
+        assert body["computed_points"] == 4
+
+    def test_robustness_unknown_metric_is_400(self, service):
+        status, body = service.handle(
+            "/robustness", {"metric": "nope", "levels": [0.0],
+                            "seeds": [1]})
+        assert status == 400
+        assert "unknown metric" in body["error"]
+
+    def test_robustness_rejects_empty_axes(self, service):
+        status, body = service.handle("/robustness", {"levels": []})
+        assert status == 400
+
+    def test_metrics_snapshot_shape(self, service):
+        service.handle("/healthz")
+        status, body = service.handle("/metrics")
+        assert status == 200
+        assert body["totals"]["requests"] >= 1
+        assert "healthz" in body["endpoints"]
+        assert "warm" in body and "admission" in body
+
+    def test_latency_percentiles_appear_after_requests(self, service):
+        service.handle("/schedule", {"task": "jpeg_decoder"})
+        _, body = service.handle("/metrics")
+        schedule = body["endpoints"]["schedule"]
+        assert schedule["requests"] == 1
+        assert schedule["p99_ms"] >= schedule["p50_ms"] >= 0.0
+
+
+@pytest.fixture()
+def live_server():
+    """A real ThreadingHTTPServer on an ephemeral port."""
+    service = ReproService(ServiceState())
+    server = ReproServiceServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+class TestHttpLayer:
+    def test_client_round_trip(self, live_server):
+        client = ServiceClient(port=live_server.server_address[1])
+        assert client.healthz()["status"] == "ok"
+        body = client.schedule(task="jpeg_decoder", tiles=8, latency=4.0)
+        assert body["scheduler"] == "branch-and-bound"
+        snapshot = client.metrics()
+        assert snapshot["totals"]["requests"] >= 2
+
+    def test_client_raises_on_error_status(self, live_server):
+        client = ServiceClient(port=live_server.server_address[1])
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.request("nope")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.schedule(task="ghost")
+        assert excinfo.value.status == 400
+
+    def test_non_json_body_is_400(self, live_server):
+        import http.client
+
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", live_server.server_address[1], timeout=10)
+        try:
+            connection.request(
+                "POST", "/schedule", body=b"not json",
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            assert response.status == 400
+            response.read()
+        finally:
+            connection.close()
+
+
+class TestCliParser:
+    def test_serve_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--max-pending", "3",
+             "--max-explorations", "2", "--shed-retry-after", "0.5",
+             "--cache-dir", "/tmp/x", "--no-tt-cache"]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.max_pending == 3
+        assert args.max_explorations == 2
+        assert args.shed_retry_after == 0.5
+        assert args.cache_dir == "/tmp/x"
+        assert args.tt_cache is False
+
+    def test_demo_registry_is_service_registry(self):
+        from repro.cli import _DEMO_GRAPHS
+        from repro.service import TASK_GRAPHS
+
+        assert _DEMO_GRAPHS is TASK_GRAPHS
