@@ -4,6 +4,11 @@ These are not tied to a specific table or figure; they document the cost of
 the substrate operations (initial list scheduling, schedule replay, the
 optimal branch-and-bound search and the reuse analysis) so regressions in
 the simulator's throughput are visible.
+
+Run under ``pytest --benchmark-only`` for the timings; running the file
+directly with ``--profile`` instead prints per-corpus-problem ``cProfile``
+hotspot reports (shared with ``check_regression.py --profile``) — the tool
+for *finding* a regression these benchmarks surfaced.
 """
 
 from __future__ import annotations
@@ -224,3 +229,27 @@ def test_sweep_engine_group_throughput(benchmark):
     result = benchmark.pedantic(engine.run, args=(spec,),
                                 rounds=1, iterations=1)
     assert result.computed_count == 2
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    import check_regression
+
+    parser = argparse.ArgumentParser(
+        description="Profile the regression corpus (the timed benchmarks "
+                    "themselves run under 'pytest --benchmark-only')."
+    )
+    parser.add_argument(
+        "--profile", action="store_true", required=True,
+        help="run each corpus problem under cProfile and print the top "
+             "cumulative hotspots",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=20, metavar="N",
+        help="hotspot rows per corpus problem (default 20)",
+    )
+    arguments = parser.parse_args()
+    check_regression.profile_corpus(top=arguments.profile_top)
+    sys.exit(0)

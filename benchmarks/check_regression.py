@@ -3,8 +3,9 @@
 ``BENCH_schedulers.json`` (checked into ``benchmarks/``) records, for a
 fixed corpus of branch-and-bound problems (the Figure-6/7 workload graphs
 at small tile budgets plus 9-load random instances — the historical
-``DEFAULT_EXACT_LIMIT`` frontier — and 12/15-load random instances that
-pin the memoized search's current frontier):
+``DEFAULT_EXACT_LIMIT`` frontier — and 12/15/17-load random instances
+that pin the frontiers the memoized search and the flattened integer
+kernel opened):
 
 * the deterministic search counters (``evaluations`` — complete schedules
   reached, ``states_extended``, pruning and transposition counters) and
@@ -62,7 +63,13 @@ test in ``tests/test_bench_regression.py`` runs :func:`run_check` in the
 suite.  ``--counters-only`` (or the environment variable ``REPRO_CI=1``)
 drops the wall-clock gates while keeping every deterministic one — the
 mode CI uses, where shared-runner noise would otherwise fail builds that
-changed nothing.
+changed nothing.  ``--perf-smoke`` complements it there: a single-repeat
+pass over the search corpus with the exact counters *and* a deliberately
+generous wall budget (:data:`PERF_SMOKE_LIMIT` x the baseline machine
+plus a floor) that catches order-of-magnitude kernel collapses noise
+could never explain.  ``--profile`` runs each corpus problem under
+``cProfile`` and prints the top cumulative hotspots (see
+:func:`profile_corpus`).
 """
 
 from __future__ import annotations
@@ -102,6 +109,14 @@ SLOWDOWN_LIMIT = 1.20
 #: Absolute slack (ms) added to the wall-time budget: sub-second corpora
 #: otherwise fail on scheduler noise alone.
 WALL_FLOOR_MS = 250.0
+
+#: Wall budget of the CI perf smoke (``--perf-smoke``) relative to the
+#: baseline machine's corpus total.  Deliberately generous — shared CI
+#: runners are slower and noisier than the baseline machine — so this
+#: gate only trips on an order-of-magnitude collapse (the flattened
+#: kernel silently falling back to a quadratic path), never on noise.
+PERF_SMOKE_LIMIT = 2.0
+PERF_SMOKE_FLOOR_MS = 500.0
 
 #: Required reduction in evaluated leaves versus the seed engine.
 LEAF_REDUCTION_FACTOR = 5.0
@@ -168,9 +183,11 @@ def _random_load_graph(count: int, seed: int):
     """A ``count``-subtask random DAG at a ``DEFAULT_EXACT_LIMIT`` frontier.
 
     ``count=9`` is the historical (pre-kernel) frontier, 12 the PR-2
-    incremental-search frontier and 15 the memoized-search frontier.
+    incremental-search frontier, 15 the memoized-search frontier and 17
+    the flattened-kernel frontier.
     """
-    names = {9: "nine_loads", 12: "twelve_loads", 15: "fifteen_loads"}
+    names = {9: "nine_loads", 12: "twelve_loads", 15: "fifteen_loads",
+             17: "seventeen_loads"}
     return random_dag(
         names.get(count, f"{count}_loads"), count=count,
         edge_probability=0.3,
@@ -199,7 +216,11 @@ def _wide_load_graph(count: int, probability: float, seed: int):
 #: The corpus: (name, graph factory, tile count).  Multimedia graphs at the
 #: small tile budgets are where the Figure-6/7 exploration actually runs the
 #: exact engine hard (at 8 tiles the list seed is already optimal); the
-#: 12/15-load random instances pin the frontier the memoized search opened.
+#: 12/15-load random instances pin the frontier the memoized search opened
+#: and the 17-load ones the frontier the flattened integer kernel opened
+#: (dense graphs at 4 tiles, seeds picked for non-trivial dominance
+#: pruning: the *wide* many-tile shape at 17 loads would blow the node
+#: count past a quick regression run).
 CORPUS: List[Tuple[str, Callable, int]] = [
     ("pattern_recognition@1t", pattern_recognition_graph, 1),
     ("pattern_recognition@2t", pattern_recognition_graph, 2),
@@ -216,6 +237,8 @@ CORPUS: List[Tuple[str, Callable, int]] = [
     ("fifteen_loads_s0@2t", lambda: _random_load_graph(15, 0), 2),
     ("fifteen_loads_s1@3t", lambda: _random_load_graph(15, 1), 3),
     ("fifteen_loads_s2@4t", lambda: _random_load_graph(15, 2), 4),
+    ("seventeen_loads_s2@4t", lambda: _random_load_graph(17, 2), 4),
+    ("seventeen_loads_s6@4t", lambda: _random_load_graph(17, 6), 4),
     ("wide_ten_s0@5t", lambda: _wide_load_graph(10, 0.1, 0), 5),
     ("wide_ten_s1@5t", lambda: _wide_load_graph(10, 0.1, 1), 5),
     ("wide_fifteen_s5@8t", lambda: _wide_load_graph(15, 0.0, 5), 8),
@@ -264,6 +287,33 @@ def measure(repeats: int = 3) -> Dict[str, Dict[str, object]]:
             "wall_ms": round(best_wall, 3),
         }
     return entries
+
+
+def profile_corpus(top: int = 20, stream=None) -> None:
+    """Run each corpus problem under :mod:`cProfile`; print the hotspots.
+
+    One report per problem, sorted by *cumulative* time and truncated to
+    the ``top`` entries — the view that attributes cost to the replay
+    kernel's layers (``_advance``/``_execute``/``signature``/bound
+    evaluation) rather than to interpreter plumbing.  Development aid
+    only: the profiler's tracing makes these runs several times slower
+    than plain ones, so none of the printed times are comparable to the
+    committed baseline's ``wall_ms``.
+    """
+    import cProfile
+    import pstats
+
+    out = stream if stream is not None else sys.stdout
+    for name, problem in corpus_problems():
+        scheduler = BranchAndBoundScheduler()
+        profiler = cProfile.Profile()
+        profiler.enable()
+        result = scheduler.schedule(problem)
+        profiler.disable()
+        print(f"=== {name}: {problem.load_count} loads, "
+              f"{result.stats.operations} visited nodes ===", file=out)
+        stats = pstats.Stats(profiler, stream=out)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
 
 
 def warm_problem_sequence(problem: PrefetchProblem) -> List[PrefetchProblem]:
@@ -682,6 +732,62 @@ def run_check(baseline_path: Path = BASELINE_PATH,
     return failures
 
 
+def run_perf_smoke(baseline_path: Path = BASELINE_PATH) -> List[str]:
+    """Single-repeat performance smoke: exact counters + a generous wall gate.
+
+    ``--check --counters-only`` (the default CI gating, implied by
+    ``REPRO_CI=1``) deliberately drops every wall-clock gate, so a
+    kernel-level performance collapse would sail through CI with all
+    counters intact.  This mode closes that hole with a budget even a
+    noisy shared runner can meet: one repeat over the search corpus only
+    (no warm/tt_store/robustness sections — they have their own
+    deterministic gates), total wall within :data:`PERF_SMOKE_LIMIT` x
+    the baseline machine's total plus :data:`PERF_SMOKE_FLOOR_MS`.  The
+    per-entry counters and makespans still gate exactly — a smoke that
+    let semantics drift would misreport engine bugs as runner noise.
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"cannot read baseline {baseline_path}: {exc}"]
+    recorded = baseline.get("entries", {})
+    measured = measure(repeats=1)
+    failures: List[str] = []
+    if set(recorded) != set(measured):
+        return [
+            f"corpus drifted: baseline has {sorted(recorded)}, "
+            f"measured {sorted(measured)}; regenerate the baseline"
+        ]
+    for name, entry in measured.items():
+        reference = recorded[name]
+        for counter in EXACT_COUNTERS:
+            if entry[counter] != reference.get(counter):
+                failures.append(
+                    f"{name}: {counter} changed "
+                    f"{reference.get(counter)} -> {entry[counter]}"
+                )
+        if abs(entry["makespan"] - reference["makespan"]) > 1e-6:
+            failures.append(
+                f"{name}: optimal makespan changed "
+                f"{reference['makespan']} -> {entry['makespan']}"
+            )
+    baseline_wall = sum(e["wall_ms"] for e in recorded.values())
+    measured_wall = sum(e["wall_ms"] for e in measured.values())
+    budget = baseline_wall * PERF_SMOKE_LIMIT + PERF_SMOKE_FLOOR_MS
+    if measured_wall > budget:
+        failures.append(
+            f"perf smoke tripped: corpus wall {measured_wall:.1f} ms vs "
+            f"baseline {baseline_wall:.1f} ms "
+            f"(budget {budget:.1f} ms = x{PERF_SMOKE_LIMIT} + "
+            f"{PERF_SMOKE_FLOOR_MS:.0f} ms floor) — an order-of-magnitude "
+            "collapse, not runner noise"
+        )
+    else:
+        print(f"perf smoke: corpus wall {measured_wall:.1f} ms "
+              f"(budget {budget:.1f} ms)")
+    return failures
+
+
 def regenerate(baseline_path: Path = BASELINE_PATH,
                seed_evaluations: Dict[str, int] = None,
                repeats: int = 3) -> Dict[str, object]:
@@ -763,7 +869,35 @@ def _main(argv=None) -> int:
         help="wall-time measurement repeats, best-of (default 3); applies "
              "to both --check and baseline regeneration",
     )
+    parser.add_argument(
+        "--perf-smoke", action="store_true",
+        help="CI smoke mode: one repeat over the search corpus, exact "
+             "counters plus a generous wall budget (x2 the baseline "
+             "machine + floor); keeps a wall gate even under REPRO_CI=1",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each corpus problem under cProfile and print the top "
+             "cumulative hotspots instead of checking or regenerating",
+    )
+    parser.add_argument(
+        "--profile-top", type=int, default=20, metavar="N",
+        help="with --profile: hotspot rows per corpus problem (default 20)",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        profile_corpus(top=args.profile_top)
+        return 0
+
+    if args.perf_smoke:
+        failures = run_perf_smoke()
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}")
+            return 1
+        print("perf smoke passed")
+        return 0
 
     if args.check:
         failures = run_check(repeats=args.repeats,

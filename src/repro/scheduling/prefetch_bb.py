@@ -44,13 +44,29 @@ the tree small:
 * **incumbent seeding** with the list heuristic so pruning bites from the
   first node.
 
+The search itself runs on the kernel's *flat integer* representation:
+loads are interned ids, the pending set is the state's bitmask, child
+candidates come from :meth:`~repro.scheduling.replay.ReplayState.choice_ids`
+and are ordered by a precomputed static rank (the exploration key
+``(ideal start, -weight, name)`` is constant per load), bound inputs
+(descending weight lists, per-load enable floors) are cached per pending
+mask, and tree edges are :meth:`push_choice_id`/:meth:`pop` calls — names
+only reappear at leaves that improve the incumbent and in the returned
+:class:`~repro.scheduling.base.PrefetchResult`.
+
 Transposition safety
 --------------------
 Signature-equal states evolve through *identical absolute-time futures*
 (kernel invariant), so a completion makespan from such a state decomposes
 as ``max(realized, F)`` where ``F`` — the **future contribution**, the
 latest finish among executions performed after the state — depends only on
-the signature and the issue suffix.  Memoizing ``F`` would be trivial in
+the signature and the issue suffix.  Table keys are the kernel's *packed*
+signatures — flat tuples of machine ints and floats,
+``(pending_mask, controller_time, frontier…, None, live…, None,
+issued…)`` — which hash and compare as primitive scalars instead of
+nested name tuples; since interned ids are a fixed bijection with names
+per replay core, the packed layout has exactly the historical layout's
+equality classes, and every transposition/dominance counter is unchanged.  Memoizing ``F`` would be trivial in
 an exhaustive search; the subtlety is that subtrees are *cut* by the
 incumbent bound, so the table must not present a partially explored
 subtree as exhaustive.  Each entry therefore stores:
@@ -109,8 +125,14 @@ make this exact:
 * **Invalidation** — the table is keyed by replay signatures, which are
   only comparable while the static replay core, the reconfiguration
   latency and the release time are unchanged; the engine pins all three
-  (the placed schedule by identity) and discards the table whenever any
-  of them differs from the previous call.  A different ``reused`` set or
+  (the core directly, by identity) and discards the table whenever any
+  of them differs from the previous call.  Pinning the *core* rather
+  than the placed-schedule object composes with the kernel's
+  content-digest core cache: a service request that rebuilds an
+  identical schedule resolves to the same interned core, so a warm
+  engine keyed on content keeps its table across object identities —
+  packed ids stay comparable precisely because "same core" now means
+  "same content".  A different ``reused`` set or
   ``controller_available`` needs no invalidation: both are captured by
   the signature itself (the pending-load set and the port-free time), so
   states from different variants either collide *because* their futures
@@ -140,9 +162,11 @@ This is property-tested in ``tests/scheduling/test_scheduler_pool.py``.
 The table is LRU-bounded (``table_limit``): a pathological instance
 degrades to bound-plus-dominance pruning instead of exhausting memory,
 because losing an entry only ever costs a re-exploration, never
-correctness.  The undo-log walk plus memoized subtree floors are what
-allow :data:`DEFAULT_EXACT_LIMIT` to rise from 12 (PR 2's incremental
-search) to 15 loads.
+correctness.  The undo-log walk plus memoized subtree floors raised
+:data:`DEFAULT_EXACT_LIMIT` from 12 (PR 2's incremental search) to 15
+loads; the flattened integer kernel (~4-5x per-node cost reduction on
+the committed corpus) raises it to 17, pinned by differential optimality
+tests at the new frontier.
 
 Cross-process reuse (persisted tables)
 --------------------------------------
@@ -170,7 +194,7 @@ from ..graphs.analysis import subtask_weights
 from .base import PrefetchProblem, PrefetchResult, PrefetchScheduler, SchedulerStats
 from .evaluator import replay_schedule
 from .prefetch_list import ListPrefetchScheduler
-from .replay import ReplayState
+from .replay import ReplayState, _core_for
 from .schedule import TIME_EPSILON, TimedSchedule
 from .ttstore import TableContext, TranspositionStore
 
@@ -178,14 +202,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (pool imports us)
     from .pool import SchedulerPool
 
 #: Problem sizes (number of loads) up to which exhaustive search is attempted
-#: by default.  The undo-log replay kernel plus the memoizing transposition
-#: table keep 15-load searches affordable (random worst cases stay under the
-#: ~2 s the 12-load limit needed before memoization; see
-#: benchmarks/BENCH_schedulers.json).
-DEFAULT_EXACT_LIMIT = 15
+#: by default.  The flattened integer replay kernel plus the memoizing
+#: transposition table keep 17-load searches affordable (random worst cases
+#: stay in the range the 15-load limit needed on the tuple-based kernel;
+#: see benchmarks/BENCH_schedulers.json).
+DEFAULT_EXACT_LIMIT = 17
 
-#: Default LRU capacity of the transposition table (entries).  A 15-load
-#: problem has at most 2^15 pending-set classes, each with a handful of
+#: Default LRU capacity of the transposition table (entries).  A 17-load
+#: problem has at most 2^17 pending-set classes, each with a handful of
 #: timing contexts; one million entries covers every corpus instance with
 #: room to spare while bounding worst-case memory to a few hundred MB.
 DEFAULT_TABLE_LIMIT = 1 << 20
@@ -221,6 +245,7 @@ class BranchAndBoundScheduler(PrefetchScheduler):
         self.tt_store = tt_store
         self._table: "Optional[OrderedDict[Tuple, List]]" = None
         self._table_placed: Optional[weakref.ref] = None
+        self._table_core: Optional[object] = None
         self._table_token: Optional[Tuple[float, float]] = None
         self._table_context: Optional[TableContext] = None
         self._generation = 0
@@ -242,21 +267,23 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                        ) -> "OrderedDict[Tuple, List]":
         """The transposition table for this call (warm when still valid).
 
-        Replay signatures are only comparable while the static replay core
-        (pinned via the placed schedule's identity), the reconfiguration
-        latency and the release time are unchanged; any difference from the
-        previous call's context starts a fresh table.  ``reused`` and
-        ``controller_available`` are captured by the signatures themselves
-        and therefore never require invalidation.
+        Replay signatures are only comparable while the static replay core,
+        the reconfiguration latency and the release time are unchanged; any
+        difference from the previous call's context starts a fresh table.
+        The core is pinned *by identity* — which, through the kernel's
+        content-digest core cache, means tables survive across distinct
+        but content-identical placed-schedule objects (a service request
+        rebuilding the same graph warm-hits instead of starting cold).
+        ``reused`` and ``controller_available`` are captured by the
+        signatures themselves and therefore never require invalidation.
         """
         if not self.persistent_table:
             self._generation = 0
             return OrderedDict()
         placed = problem.placed
+        core = _core_for(placed)
         token = (problem.reconfiguration_latency, problem.release_time)
-        anchor = (self._table_placed()
-                  if self._table_placed is not None else None)
-        if self._table is None or anchor is not placed \
+        if self._table is None or self._table_core is not core \
                 or self._table_token != token:
             # The outgoing table's certificates are still true statements
             # about their own context: persist them before discarding.
@@ -275,7 +302,11 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 self._table = self.tt_store.load(self._table_context)
             if self._table is None:
                 self._table = OrderedDict()
+            # The weak placed reference is kept only so a late
+            # attach_tt_store() can still derive the table's content
+            # context while the schedule is alive; validity is the core's.
             self._table_placed = weakref.ref(placed)
+            self._table_core = core
             self._table_token = token
             self._generation = 0
         else:
@@ -316,6 +347,7 @@ class BranchAndBoundScheduler(PrefetchScheduler):
         self.flush_table()
         self._table = None
         self._table_placed = None
+        self._table_core = None
         self._table_token = None
         self._table_context = None
         self._generation = 0
@@ -373,20 +405,57 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 best_order: Tuple[str, ...],
                 best_timed: TimedSchedule
                 ) -> Tuple[Tuple[str, ...], TimedSchedule]:
-        """Depth-first undo-log walk of the dispatch tree with memoization."""
+        """Depth-first undo-log walk of the dispatch tree with memoization.
+
+        The walk runs entirely on the kernel's interned integer ids: the
+        pending set is the state's bitmask, bound inputs are id-indexed
+        columns cached per mask, children come from
+        :meth:`~repro.scheduling.replay.ReplayState.choice_ids` ordered by
+        a precomputed static rank, and edges are ``push_choice_id``/``pop``
+        calls.  Names reappear only at improving leaves (captured via
+        ``load_sequence``) and in the final result.
+        """
         placed = problem.placed
         latency = problem.reconfiguration_latency
         release = problem.release_time
         ideal_floor = release + placed.makespan
-        ideal_start = {name: placed.ideal_start(name) for name in loads}
+
+        root = ReplayState.start(
+            placed,
+            latency,
+            loads,
+            release_time=release,
+            controller_available=problem.controller_available,
+            weights=weights,
+        )
+        core = root._core
+        index = core.index
+        names = core.names
+        total = core.total
+        load_ids = [index[name] for name in loads]
+        weight_of = [0.0] * total
+        for name, weight in weights.items():
+            sid = index.get(name)
+            if sid is not None:
+                weight_of[sid] = weight
         # Earliest time each load's tile can possibly become reconfigurable:
         # the ideal finish of the subtask preceding it on the tile (eager
         # placed schedules never run earlier than their ideal times).
-        enable_floor: Dict[str, float] = {}
-        for name in loads:
-            previous = placed.previous_on_resource(name)
-            enable_floor[name] = release + (placed.ideal_finish(previous)
-                                            if previous is not None else 0.0)
+        enable_floor = [0.0] * total
+        for sid in load_ids:
+            previous = placed.previous_on_resource(names[sid])
+            enable_floor[sid] = release + (placed.ideal_finish(previous)
+                                           if previous is not None else 0.0)
+        # Explore the most promising loads first (earliest ideal start) so
+        # that good incumbents are found early and pruning bites.  The
+        # exploration key (ideal start, -weight, name) is constant per
+        # load, so it collapses to one static int rank per id.
+        order_rank = [0] * total
+        ideal_start = core.ideal_start
+        for position, sid in enumerate(sorted(
+                load_ids,
+                key=lambda s: (ideal_start[s], -weight_of[s], names[s]))):
+            order_rank[sid] = position
 
         best_makespan = best_timed.makespan
         best_sequence: Optional[Tuple[str, ...]] = None
@@ -398,11 +467,42 @@ class BranchAndBoundScheduler(PrefetchScheduler):
         table = self._acquire_table(problem)
         generation = self._generation
         table_limit = self.table_limit
+        table_get = table.get
+        move_to_end = table.move_to_end
+
+        # Counters live in locals for the duration of the walk (attribute
+        # stores per node are measurable at this call rate) and fold back
+        # into the engine's counters after the search returns.
+        operations = evaluations = states_extended = 0
+        pruned_bound = pruned_dominance = 0
+        tt_hits = tt_warm_hits = tt_evictions = 0
+        undo_peak = 0
         # A warm call starts with every retained entry live: tt_peak_size
         # reports the largest *live* table, not just this call's inserts.
-        self._tt_peak = len(table)
+        tt_peak = len(table)
 
-        def lower_bound(state: ReplayState, remaining: frozenset) -> float:
+        # Bound inputs depend only on the pending *set*, which the search
+        # revisits constantly across timing contexts: cache the descending
+        # weight list and the (enable floor, weight) pairs per mask.  The
+        # candidate arithmetic below is kept expression-identical to the
+        # historical per-name loops — reassociating these float sums could
+        # drift a bound by an ulp and flip a prune.
+        bound_inputs: Dict[int, Tuple[List[float], List[Tuple[float, float]]]] = {}
+
+        def inputs_for(mask: int) -> Tuple[List[float], List[Tuple[float, float]]]:
+            ids = []
+            bits = mask
+            while bits:
+                low = bits & -bits
+                ids.append(low.bit_length() - 1)
+                bits ^= low
+            ordered = sorted((weight_of[sid] for sid in ids), reverse=True)
+            pairs = [(enable_floor[sid], weight_of[sid]) for sid in ids]
+            cached = (ordered, pairs)
+            bound_inputs[mask] = cached
+            return cached
+
+        def lower_bound(state: ReplayState, mask: int) -> float:
             """Admissible bound on the absolute makespan of any completion.
 
             The k-th load still to be issued cannot finish before the
@@ -419,17 +519,18 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             if floor > bound:
                 bound = floor
             port = state.controller_time
-            ordered = sorted((weights[name] for name in remaining),
-                             reverse=True)
+            cached = bound_inputs.get(mask)
+            if cached is None:
+                cached = inputs_for(mask)
+            ordered, pairs = cached
             for position, weight in enumerate(ordered):
                 candidate = port + (position + 1) * latency + weight
                 if candidate > bound:
                     bound = candidate
-            for name in remaining:
-                start_floor = enable_floor[name]
+            for start_floor, weight in pairs:
                 if port > start_floor:
                     start_floor = port
-                candidate = start_floor + latency + weights[name]
+                candidate = start_floor + latency + weight
                 if candidate > bound:
                     bound = candidate
             return bound
@@ -445,33 +546,35 @@ class BranchAndBoundScheduler(PrefetchScheduler):
             docstring).  The incumbent is updated **only at leaves**, which
             is what keeps warm and cold searches bit-identical.
             """
-            nonlocal best_makespan, best_sequence
-            self._operations += 1
-            remaining = state.pending_loads
-            if not remaining:
+            nonlocal best_makespan, best_sequence, operations, evaluations, \
+                states_extended, pruned_bound, pruned_dominance, tt_hits, \
+                tt_warm_hits, tt_evictions, tt_peak, undo_peak
+            operations += 1
+            mask = state.pending_mask
+            if not mask:
                 # Complete schedule: the prefix *is* the evaluation — no
                 # replay from time zero happens here.
-                self._evaluations += 1
+                evaluations += 1
                 makespan = state.makespan
                 if makespan < best_makespan - TIME_EPSILON:
                     best_makespan = makespan
                     best_sequence = state.load_sequence
                 return _NEG_INF
-            if lower_bound(state, remaining) >= best_makespan - TIME_EPSILON:
-                self._pruned_bound += 1
+            if lower_bound(state, mask) >= best_makespan - TIME_EPSILON:
+                pruned_bound += 1
                 return _INF
             signature = state.signature()
             realized = state.makespan
-            entry = table.get(signature)
+            entry = table_get(signature)
             if entry is not None:
-                table.move_to_end(signature)
+                move_to_end(signature)
                 ref, barrier, future, written = entry
                 if written == generation and realized >= ref - TIME_EPSILON:
                     # Prefix dominance (same call only): the ref-visit
                     # already realized or validly cut every completion
                     # below against this call's incumbent history, and a
                     # no-better prefix cannot beat what it accounted for.
-                    self._pruned_dominance += 1
+                    pruned_dominance += 1
                     return (min(future, barrier)
                             if ref < barrier - TIME_EPSILON else _INF)
                 if ref < barrier - TIME_EPSILON:
@@ -483,9 +586,9 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                     certified = min(future, barrier)
                     if max(realized, certified) \
                             >= best_makespan - TIME_EPSILON:
-                        self._tt_hits += 1
+                        tt_hits += 1
                         if written != generation:
-                            self._tt_warm_hits += 1
+                            tt_warm_hits += 1
                         return certified
                 # Re-explore: either the premise is void (the incumbent
                 # overtook the reference prefix mid-subtree) or the
@@ -494,23 +597,21 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                 # realize it at a leaf; retained child entries answer the
                 # non-improving siblings).  The entry is overwritten below.
             best_future = _INF
-            # Explore the most promising loads first (earliest ideal start)
-            # so that good incumbents are found early and pruning bites.
-            choices = sorted(
-                state.choices(),
-                key=lambda item: (ideal_start[item[0]],
-                                  -weights[item[0]], item[0]),
-            )
+            choices = state.choice_ids()
             if not choices:
                 raise SchedulingError(
                     f"branch and bound stalled with pending loads "
-                    f"{sorted(remaining)} on graph {placed.graph.name!r}"
+                    f"{sorted(state.pending_loads)} on graph "
+                    f"{placed.graph.name!r}"
                 )
-            for name, enable in choices:
-                self._states_extended += 1
-                delta = state.push_choice(name, enable)
-                if state.undo_depth > self._undo_peak:
-                    self._undo_peak = state.undo_depth
+            if len(choices) > 1:
+                choices.sort(key=lambda item: order_rank[item[0]])
+            for sid, enable in choices:
+                states_extended += 1
+                delta = state.push_choice_id(sid, enable)
+                depth = state.undo_depth
+                if depth > undo_peak:
+                    undo_peak = depth
                 child_future = recurse(state)
                 state.pop()
                 through = delta if delta > child_future else child_future
@@ -518,23 +619,29 @@ class BranchAndBoundScheduler(PrefetchScheduler):
                     best_future = through
             table[signature] = [realized, best_makespan, best_future,
                                 generation]
-            table.move_to_end(signature)
-            if len(table) > self._tt_peak:
-                self._tt_peak = len(table)
+            move_to_end(signature)
+            if len(table) > tt_peak:
+                tt_peak = len(table)
             if table_limit is not None and len(table) > table_limit:
                 table.popitem(last=False)
-                self._tt_evictions += 1
+                tt_evictions += 1
             return best_future
 
-        root = ReplayState.start(
-            placed,
-            latency,
-            loads,
-            release_time=release,
-            controller_available=problem.controller_available,
-            weights=weights,
-        )
-        recurse(root)
+        try:
+            recurse(root)
+        finally:
+            self._operations += operations
+            self._evaluations += evaluations
+            self._states_extended += states_extended
+            self._pruned_bound += pruned_bound
+            self._pruned_dominance += pruned_dominance
+            self._tt_hits += tt_hits
+            self._tt_warm_hits += tt_warm_hits
+            self._tt_evictions += tt_evictions
+            if tt_peak > self._tt_peak:
+                self._tt_peak = tt_peak
+            if undo_peak > self._undo_peak:
+                self._undo_peak = undo_peak
         if best_sequence is None:
             return best_order, best_timed
         # Rebuild the winning schedule by replaying its dispatch sequence on

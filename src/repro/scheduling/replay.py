@@ -21,6 +21,35 @@ dispatcher of the paper as an explicit state machine:
   one the monolithic :func:`repro.scheduling.evaluator.replay_schedule`
   produces for the same issue sequence.
 
+Flat integer representation
+---------------------------
+Names and :class:`~repro.scheduling.schedule.ResourceId` objects exist
+only at the API boundary.  At core-build time every subtask is interned
+to a dense integer id (``graph.subtask_names`` order) and every resource
+to a dense index (sorted :attr:`PlacedSchedule.resources` order); all
+static context (predecessor/successor lists, execution times, ideal
+starts, per-tile sequences) becomes id-indexed tuples, and all mutable
+state becomes preallocated per-id/per-resource columns:
+
+* float columns (start/finish/load-finish times, port- and tile-free
+  times) are dense Python lists — unlike ``array('d')`` they hold the
+  float objects themselves, so the hot loops read them without re-boxing
+  a new float per access;
+* small-int columns (tile frontier indices, remaining-predecessor
+  counts) are ``array('l')``; flag columns (executed, load-issued,
+  binding constraint codes) are ``bytearray`` — one byte per subtask;
+* the pending-load *set* is a single arbitrary-precision int bitmask
+  (bit ``i`` set iff load ``i`` is still pending), so membership tests,
+  issue and undo are single integer ops and the whole set hashes as one
+  machine word per 64 loads.
+
+:meth:`push`/:meth:`pop` patch these columns in place: an undo frame
+records only the pre-push controller time, floors and the execution-log
+length; undoing replays the log tail backwards, restoring each touched
+tile's free time and frontier index.  Entry objects
+(:class:`~repro.scheduling.schedule.ExecutionEntry`/``LoadEntry``) are
+materialized once, in :meth:`finish` — never on the search path.
+
 Invariants the kernel maintains (and that its users rely on):
 
 * **Dispatch-space equivalence** — branching only over :meth:`choices`
@@ -43,55 +72,89 @@ Invariants the kernel maintains (and that its users rely on):
   start), which holds for every schedule the list scheduler builds.
 * **Exact undo** — :meth:`pop` restores, bit for bit, the state that
   existed before the matching :meth:`push`: the undo frame records the
-  previous controller time, floor, realized makespan and, per execution
-  the push triggered, the previous port-free time of its resource.  Any
-  interleaving of pushes and pops therefore leaves the state with the
-  same :meth:`signature`, makespan and :meth:`finish` output as a fresh
-  :meth:`start` replay of the surviving load sequence (property-tested).
+  previous controller time, floor, realized makespan and the length of
+  the execution log, whose tail carries the previous port-free time of
+  each affected resource.  Any interleaving of pushes and pops therefore
+  leaves the state with the same :meth:`signature`, makespan and
+  :meth:`finish` output as a fresh :meth:`start` replay of the surviving
+  load sequence (property-tested, including against a retained copy of
+  the tuple-based kernel in ``tests/scheduling/reference_kernel.py``).
   ``pop`` only undoes ``push``; mixing it with the in-place :meth:`run`
   driver is unsupported.
 * **Transposition safety** — :meth:`signature` captures *everything*
   that shapes the future, so two signature-equal states evolve through
   identical absolute-time futures: the same choice sets, the same
-  execution starts/finishes for the same issue suffix.  A search may
-  therefore memoize the best completion *suffix* found below one state
-  and replay it verbatim below any signature-equal state; the completion
-  makespan there is ``max(realized makespan, future contribution)`` with
-  the identical future contribution.  What signature equality does
-  **not** license is pruning against *pointwise-earlier* states: the
-  non-idling dispatcher restricts the choice set of an earlier state (an
-  earlier-enabled low-priority load can be forced ahead of a critical
-  one), so "earlier everywhere" does not imply "better completions" —
-  only future-identical states are interchangeable.  The memoizing
-  search in :mod:`repro.scheduling.prefetch_bb` documents how its table
-  stays exact in the presence of bound pruning.
+  execution starts/finishes for the same issue suffix.  The signature is
+  a single flat tuple of machine ints and floats::
+
+      (pending_mask, controller_time,
+       rid, index, free, ...,            # per-unfinished-resource frontier
+       None,                             # section separator
+       id, finish, ...,                  # live executions, ascending id
+       None,                             # section separator
+       id, finish, ...)                  # issued-pending loads, ascending id
+
+  ``pending_mask`` is the pending-load bitmask; the frontier section
+  lists, in ascending resource index, each unfinished resource's frontier
+  position and free time; *live* executions are those with an unexecuted
+  successor; *issued-pending* loads are issued but not yet consumed.
+  ``None`` separators make the layout prefix-unambiguous (no int or
+  float compares equal to ``None``), and because ids and resource
+  indices are a fixed bijection with names, two states collide under
+  this packed layout exactly when they collided under the historical
+  nested-name-tuple layout — the equality classes (and therefore every
+  transposition/dominance counter) are unchanged.  Finished history that
+  can no longer influence any future start is deliberately *forgotten*,
+  which is what makes prefix permutations that converge to the same
+  dispatcher state collide in a dominance table.
+
+  A search may memoize the best completion *suffix* found below one
+  state and replay it verbatim below any signature-equal state; the
+  completion makespan there is ``max(realized makespan, future
+  contribution)`` with the identical future contribution.  What
+  signature equality does **not** license is pruning against
+  *pointwise-earlier* states: the non-idling dispatcher restricts the
+  choice set of an earlier state (an earlier-enabled low-priority load
+  can be forced ahead of a critical one), so "earlier everywhere" does
+  not imply "better completions" — only future-identical states are
+  interchangeable.  The memoizing search in
+  :mod:`repro.scheduling.prefetch_bb` documents how its table stays
+  exact in the presence of bound pruning.
 
   Because the signature quantifies over the state's whole completion set,
   the interchangeability argument holds **across searches, not just
   within one**: a table entry derived below one state remains a true
   statement about every signature-equal state any *later* problem
-  reaches, provided signatures are comparable at all — which requires the
-  same static replay core (the same :class:`PlacedSchedule`), the same
-  reconfiguration latency and the same release time.  (The ``reused``
-  set and ``controller_available`` need no such guard: both are captured
-  *inside* the signature via the pending-load set and the port-free
-  time.)  What does **not** carry across searches is anything phrased in
-  terms of a search's incumbent — dominance against an earlier visit, or
-  a memoized suffix's optimality relative to a bound cut — which is why
-  the cross-call reuse in :mod:`repro.scheduling.prefetch_bb` demotes
-  retained entries to incumbent-free *floor certificates* (and the
+  reaches, provided signatures are comparable at all — which requires
+  the same static replay core (ids are core-relative!), the same
+  reconfiguration latency and the same release time.  Cores are interned
+  per placed-schedule *content* (see :func:`_core_for`), so "same core"
+  is implied by "same placed-schedule content" within one process.  (The
+  ``reused`` set and ``controller_available`` need no such guard: both
+  are captured *inside* the signature via the pending mask and the
+  port-free time.)  What does **not** carry across searches is anything
+  phrased in terms of a search's incumbent — dominance against an
+  earlier visit, or a memoized suffix's optimality relative to a bound
+  cut — which is why the cross-call reuse in
+  :mod:`repro.scheduling.prefetch_bb` demotes retained entries to
+  incumbent-free *floor certificates* (and the
   :class:`repro.scheduling.pool.SchedulerPool` keys warm engines by
   exactly the comparability context above).
 
-The per-schedule static context (resource sequences, predecessor lists,
-execution times) is precomputed once per :class:`PlacedSchedule` and
-cached weakly, which also speeds up plain monolithic replays — the
-simulator replays the same few placed schedules thousands of times.
+The per-schedule static context is precomputed once per
+:class:`PlacedSchedule` and cached twice over: weakly by schedule
+identity, and LRU-bounded by placed-schedule *content digest* — so a
+service request that rebuilds an identical graph (a fresh, content-equal
+``PlacedSchedule`` object) reuses the interned core instead of
+re-deriving it, and its replay signatures stay comparable with the
+original's.
 """
 
 from __future__ import annotations
 
 import weakref
+from array import array
+from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import InfeasibleScheduleError, SchedulingError
@@ -109,72 +172,149 @@ from .schedule import (
 #: ``(producer, consumer, producer_resource, consumer_resource) -> latency``.
 CommunicationFn = Callable[[str, str, ResourceId, ResourceId], float]
 
+#: Constraint-code decode table: the byte stored per execution indexes
+#: this tuple.  Order matters — it is the candidate priority order of the
+#: dispatcher's tie-break (see :meth:`ReplayState._execute`).
+_CONSTRAINTS = (StartConstraint.RELEASE, StartConstraint.PREDECESSOR,
+                StartConstraint.RESOURCE, StartConstraint.LOAD)
+
+_NEG_INF = float("-inf")
+
 
 class _ReplayCore:
     """Static, per-placed-schedule context shared by every replay state.
 
     Everything here is immutable once built; replay states only reference
-    it.  Building it hoists the repeated graph/placement lookups (networkx
-    predecessor queries, position scans) out of the hot dispatch loop.
+    it.  Building it interns every subtask name and resource to a dense
+    integer id and hoists the repeated graph/placement lookups (networkx
+    predecessor queries, position scans) out of the hot dispatch loop —
+    the state machine then runs entirely on int-indexed tuples.
 
-    The core deliberately does **not** reference the placed schedule it was
-    derived from: it is the value of a weak-keyed cache entry whose key is
-    that schedule, and a strong back-reference would pin the entry (and the
-    schedule) for the process lifetime.  States carry their own strong
-    reference to the schedule instead.
+    The core deliberately does **not** reference the placed schedule it
+    was derived from: it is the value of weak-keyed / digest-keyed cache
+    entries, and a strong back-reference would pin the schedule for the
+    process lifetime.  States carry their own strong reference to the
+    schedule instead.
     """
 
     __slots__ = (
-        "graph", "resources", "sequences", "predecessors",
-        "successors", "exec_time", "ideal_start", "position", "resource_of",
-        "configuration", "drhw_names", "total", "__weakref__",
+        "graph", "total", "names", "index", "sorted_rank",
+        "resources", "sequences", "seq_len", "preds", "succs", "pred_count",
+        "exec_time", "ideal_start", "position", "resource_of",
+        "configuration", "drhw_names", "drhw_mask", "__weakref__",
     )
 
     def __init__(self, placed: PlacedSchedule) -> None:
         graph = placed.graph
         self.graph = graph
+        names: Tuple[str, ...] = tuple(graph.subtask_names)
+        self.names = names
+        self.total = len(names)
+        index: Dict[str, int] = {name: i for i, name in enumerate(names)}
+        self.index = index
+        # Rank of each id under ascending-name order: any tie-break "by
+        # name" is equivalently (and much more cheaply) "by sorted_rank".
+        rank = array("l", [0] * self.total)
+        for position, name in enumerate(sorted(names)):
+            rank[index[name]] = position
+        self.sorted_rank = tuple(rank)
         self.resources: Tuple[ResourceId, ...] = tuple(placed.resources)
-        self.sequences: Dict[ResourceId, Tuple[str, ...]] = {
-            resource: tuple(placed.resource_order(resource))
+        resource_index = {resource: rid
+                          for rid, resource in enumerate(self.resources)}
+        self.sequences: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index[name] for name in placed.resource_order(resource))
             for resource in self.resources
-        }
-        self.predecessors: Dict[str, Tuple[str, ...]] = {
-            name: tuple(graph.predecessors(name))
-            for name in graph.subtask_names
-        }
-        self.successors: Dict[str, Tuple[str, ...]] = {
-            name: tuple(graph.successors(name))
-            for name in graph.subtask_names
-        }
-        self.exec_time: Dict[str, float] = {
-            name: graph.execution_time(name) for name in graph.subtask_names
-        }
-        self.ideal_start: Dict[str, float] = {
-            name: placed.ideal_start(name) for name in graph.subtask_names
-        }
-        self.position: Dict[str, int] = {}
-        self.resource_of: Dict[str, ResourceId] = {}
-        for resource, sequence in self.sequences.items():
-            for index, name in enumerate(sequence):
-                self.position[name] = index
-                self.resource_of[name] = resource
-        self.configuration: Dict[str, str] = {
+        )
+        self.seq_len = tuple(len(sequence) for sequence in self.sequences)
+        self.preds: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index[p] for p in graph.predecessors(name))
+            for name in names
+        )
+        self.succs: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(index[s] for s in graph.successors(name))
+            for name in names
+        )
+        self.pred_count = tuple(len(p) for p in self.preds)
+        self.exec_time: Tuple[float, ...] = tuple(
+            graph.execution_time(name) for name in names
+        )
+        self.ideal_start: Tuple[float, ...] = tuple(
+            placed.ideal_start(name) for name in names
+        )
+        position_col = array("l", [0] * self.total)
+        resource_col = array("l", [0] * self.total)
+        for rid, sequence in enumerate(self.sequences):
+            for slot, sid in enumerate(sequence):
+                position_col[sid] = slot
+                resource_col[sid] = rid
+        self.position = tuple(position_col)
+        self.resource_of = tuple(resource_col)
+        configuration_by_name = {
             subtask.name: subtask.configuration for subtask in graph
         }
+        self.configuration: Tuple[str, ...] = tuple(
+            configuration_by_name[name] for name in names
+        )
         self.drhw_names = frozenset(placed.drhw_names)
-        self.total = len(graph)
+        mask = 0
+        for name in self.drhw_names:
+            mask |= 1 << index[name]
+        self.drhw_mask = mask
+        del resource_index  # interning scratch
 
 
-#: Weak per-schedule cache of the static replay context.
+#: Weak per-schedule-identity cache of the static replay context.
 _CORE_CACHE: "weakref.WeakKeyDictionary[PlacedSchedule, _ReplayCore]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: Content-digest fallback cache: identical placed-schedule *content*
+#: (a service request rebuilding the same graph, a deserialized sweep
+#: point) maps to one shared core even when object identity misses.
+#: LRU-bounded — a core pins its graph, so this must not grow without
+#: limit in long-lived daemons.
+_CORE_DIGEST_CACHE: "OrderedDict[str, _ReplayCore]" = OrderedDict()
+_CORE_DIGEST_LIMIT = 64
+
+
+def _content_digest(placed: PlacedSchedule) -> str:
+    """Digest of everything the replay core derives from ``placed``.
+
+    Reuses the transposition store's canonical content payload (graph
+    structure, execution times, configurations, sorted placements), so
+    "same digest" is exactly the comparability context under which two
+    schedules share replay signatures.
+    """
+    import hashlib
+    import json
+
+    from .ttstore import placed_payload
+
+    canonical = json.dumps(placed_payload(placed), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 def _core_for(placed: PlacedSchedule) -> _ReplayCore:
+    """The interned replay core for ``placed``.
+
+    Identity hit first (free); on a miss the placed schedule's *content
+    digest* is consulted before building a fresh core, so content-equal
+    schedules — e.g. service requests rebuilding identical graphs —
+    share one core (and therefore comparable signatures) instead of
+    re-deriving it per object.
+    """
     core = _CORE_CACHE.get(placed)
     if core is None:
-        core = _ReplayCore(placed)
+        digest = _content_digest(placed)
+        core = _CORE_DIGEST_CACHE.get(digest)
+        if core is None:
+            core = _ReplayCore(placed)
+            _CORE_DIGEST_CACHE[digest] = core
+        else:
+            _CORE_DIGEST_CACHE.move_to_end(digest)
+        while len(_CORE_DIGEST_CACHE) > _CORE_DIGEST_LIMIT:
+            _CORE_DIGEST_CACHE.popitem(last=False)
         _CORE_CACHE[placed] = core
     return core
 
@@ -210,13 +350,21 @@ class ReplayState:
     :meth:`finish`.  ``extend`` never mutates its receiver: the parent
     state stays usable, which is what lets a depth-first search carry one
     state per tree node instead of replaying full orders at the leaves.
+
+    All mutable state lives in dense per-id/per-resource columns (see the
+    module docstring); ``pending_mask`` — the pending-load bitmask — and
+    ``controller_time`` are public attributes so the branch-and-bound
+    hot loop can read them without property indirection.
     """
 
     __slots__ = (
         "_core", "_placed", "latency", "on_demand", "release",
-        "communication", "_weights", "_tails", "controller_time", "_pending",
-        "_executions", "_loads", "_load_finish", "_next_index",
-        "_resource_free", "_floor", "_realized", "_undo", "_frame",
+        "communication", "_weights", "_w", "_tails",
+        "controller_time", "pending_mask",
+        "_done", "_constraint", "_starts", "_finishes", "_pred_left",
+        "_loaded", "_load_finish", "_next_index", "_resource_free",
+        "_exec_order", "_prev_free", "_load_ids", "_load_starts",
+        "_floor", "_realized", "_undo",
     )
 
     # ------------------------------------------------------------------ #
@@ -242,12 +390,16 @@ class ReplayState:
         if reconfiguration_latency < 0:
             raise SchedulingError("reconfiguration latency must be non-negative")
         core = _core_for(placed)
-        pending = set()
+        index = core.index
+        pending = 0
+        drhw_mask = core.drhw_mask
         for name in loads_needed:
             placed.placement(name)  # validates membership
-            if name in core.drhw_names:
-                pending.add(name)
+            bit = 1 << index[name]
+            if bit & drhw_mask:
+                pending |= bit
 
+        total = core.total
         state = object.__new__(cls)
         state._core = core
         state._placed = placed
@@ -257,28 +409,42 @@ class ReplayState:
         state.communication = communication
         state._weights = dict(weights) if weights is not None else None
         if state._weights is not None:
-            state._tails = {
-                name: max((state._weights[succ]
-                           for succ in core.successors[name]), default=0.0)
-                for name in core.exec_time
-            }
+            weight_col = [0.0] * total
+            for name, weight in state._weights.items():
+                sid = index.get(name)
+                if sid is not None:
+                    weight_col[sid] = weight
+            state._w = weight_col
+            state._tails = [
+                max((weight_col[succ] for succ in core.succs[sid]),
+                    default=0.0)
+                for sid in range(total)
+            ]
         else:
+            state._w = None
             state._tails = None
         state.controller_time = max(
             release_time,
             controller_available if controller_available is not None
             else release_time,
         )
-        state._pending = pending
-        state._executions = {}
-        state._loads = []
-        state._load_finish = {}
-        state._next_index = {r: 0 for r in core.resources}
-        state._resource_free = {r: release_time for r in core.resources}
+        state.pending_mask = pending
+        state._done = bytearray(total)
+        state._constraint = bytearray(total)
+        state._starts = [0.0] * total
+        state._finishes = [0.0] * total
+        state._pred_left = array("l", core.pred_count)
+        state._loaded = bytearray(total)
+        state._load_finish = [0.0] * total
+        state._next_index = array("l", [0] * len(core.resources))
+        state._resource_free = [release_time] * len(core.resources)
+        state._exec_order = []
+        state._prev_free = []
+        state._load_ids = []
+        state._load_starts = []
         state._floor = release_time
         state._realized = release_time
         state._undo = []
-        state._frame = None
         state._advance()
         return state
 
@@ -291,18 +457,26 @@ class ReplayState:
         child.release = self.release
         child.communication = self.communication
         child._weights = self._weights
+        child._w = self._w
         child._tails = self._tails
         child.controller_time = self.controller_time
-        child._pending = set(self._pending)
-        child._executions = dict(self._executions)
-        child._loads = list(self._loads)
-        child._load_finish = dict(self._load_finish)
-        child._next_index = dict(self._next_index)
-        child._resource_free = dict(self._resource_free)
+        child.pending_mask = self.pending_mask
+        child._done = self._done[:]
+        child._constraint = self._constraint[:]
+        child._starts = self._starts[:]
+        child._finishes = self._finishes[:]
+        child._pred_left = self._pred_left[:]
+        child._loaded = self._loaded[:]
+        child._load_finish = self._load_finish[:]
+        child._next_index = self._next_index[:]
+        child._resource_free = self._resource_free[:]
+        child._exec_order = self._exec_order[:]
+        child._prev_free = self._prev_free[:]
+        child._load_ids = self._load_ids[:]
+        child._load_starts = self._load_starts[:]
         child._floor = self._floor
         child._realized = self._realized
         child._undo = []  # undo frames are not inherited: pops stay local
-        child._frame = None
         return child
 
     # ------------------------------------------------------------------ #
@@ -315,13 +489,20 @@ class ReplayState:
 
     @property
     def pending_loads(self) -> frozenset:
-        """Loads not yet issued."""
-        return frozenset(self._pending)
+        """Loads not yet issued (as names; the hot path uses the mask)."""
+        names = self._core.names
+        mask = self.pending_mask
+        pending = []
+        while mask:
+            low = mask & -mask
+            pending.append(names[low.bit_length() - 1])
+            mask ^= low
+        return frozenset(pending)
 
     @property
     def is_complete(self) -> bool:
         """``True`` once every subtask has executed."""
-        return len(self._executions) >= self._core.total
+        return len(self._exec_order) >= self._core.total
 
     @property
     def makespan(self) -> float:
@@ -347,128 +528,193 @@ class ReplayState:
         completion of this prefix can beat.  Without weights this is just
         the realized makespan.
         """
-        if self._weights is None:
-            return self.makespan
+        if self._w is None:
+            return self._realized
         return self._floor
 
     @property
     def executions(self) -> Dict[str, ExecutionEntry]:
-        """Executed entries so far (do not mutate)."""
-        return self._executions
+        """Executed entries so far, in execution order (built on demand)."""
+        return self._materialize_executions()
 
     @property
     def load_sequence(self) -> Tuple[str, ...]:
         """Names of the loads issued so far, in issue order."""
-        return tuple(entry.subtask for entry in self._loads)
+        names = self._core.names
+        return tuple(names[lid] for lid in self._load_ids)
+
+    @property
+    def load_sequence_ids(self) -> Tuple[int, ...]:
+        """Interned ids of the loads issued so far, in issue order."""
+        return tuple(self._load_ids)
 
     # ------------------------------------------------------------------ #
     # Dispatch mechanics (mirrors the monolithic replay loop exactly)
     # ------------------------------------------------------------------ #
-    def _predecessor_ready_time(self, name: str, resource: ResourceId) -> float:
+    def _predecessor_ready_time(self, sid: int, rid: int) -> float:
         ready = self.release
-        executions = self._executions
+        finishes = self._finishes
         communication = self.communication
-        for predecessor in self._core.predecessors[name]:
-            finish = executions[predecessor].finish
-            if communication is not None:
-                finish += communication(predecessor, name,
-                                        executions[predecessor].resource,
-                                        resource)
-            if finish > ready:
-                ready = finish
+        if communication is None:
+            for pid in self._core.preds[sid]:
+                finish = finishes[pid]
+                if finish > ready:
+                    ready = finish
+        else:
+            core = self._core
+            names = core.names
+            resources = core.resources
+            consumer = names[sid]
+            consumer_resource = resources[rid]
+            for pid in core.preds[sid]:
+                finish = finishes[pid] + communication(
+                    names[pid], consumer,
+                    resources[core.resource_of[pid]], consumer_resource,
+                )
+                if finish > ready:
+                    ready = finish
         return ready
 
-    def _executable_head(self, resource: ResourceId) -> Optional[str]:
-        sequence = self._core.sequences[resource]
-        index = self._next_index[resource]
-        if index >= len(sequence):
-            return None
-        name = sequence[index]
-        executions = self._executions
-        if any(p not in executions for p in self._core.predecessors[name]):
-            return None
-        if name in self._pending:
-            return None
-        return name
-
-    def _execute(self, name: str, resource: ResourceId) -> None:
-        ready = self._predecessor_ready_time(name, resource)
-        free = self._resource_free[resource]
-        load_done = self._load_finish.get(name)
-        candidates: List[Tuple[StartConstraint, float]] = [
-            (StartConstraint.RELEASE, self.release),
-            (StartConstraint.PREDECESSOR, ready),
-            (StartConstraint.RESOURCE, free),
-        ]
-        if load_done is not None:
-            candidates.append((StartConstraint.LOAD, load_done))
-        start = max(value for _, value in candidates)
-        constraint = StartConstraint.RELEASE
-        for kind, value in candidates:
-            if value >= start - TIME_EPSILON:
-                constraint = kind
-                break
-        # Prefer reporting LOAD only when it is strictly the binding reason.
-        if constraint is not StartConstraint.LOAD and load_done is not None:
-            non_load_max = max(value for kind, value in candidates
-                               if kind is not StartConstraint.LOAD)
-            if load_done > non_load_max + TIME_EPSILON:
-                constraint = StartConstraint.LOAD
-        execution_time = self._core.exec_time[name]
-        entry = ExecutionEntry(
-            subtask=name,
-            resource=resource,
-            start=start,
-            finish=start + execution_time,
-            constraint=constraint,
-            ideal_start=self.release + self._core.ideal_start[name],
-        )
-        self._executions[name] = entry
-        if self._frame is not None:
-            self._frame.append((name, resource, free))
-        self._resource_free[resource] = entry.finish
-        self._next_index[resource] += 1
-        if entry.finish > self._realized:
-            self._realized = entry.finish
-        if self._weights is not None:
-            floor = entry.finish + self._tails[name]
+    def _execute(self, sid: int, rid: int) -> None:
+        ready = self._predecessor_ready_time(sid, rid)
+        free = self._resource_free[rid]
+        release = self.release
+        start = release
+        if ready > start:
+            start = ready
+        if free > start:
+            start = free
+        if self._loaded[sid]:
+            load_done = self._load_finish[sid]
+            if load_done > start:
+                start = load_done
+            # Binding constraint: first candidate (in RELEASE, PREDECESSOR,
+            # RESOURCE, LOAD order) within epsilon of the start...
+            eps_floor = start - TIME_EPSILON
+            if release >= eps_floor:
+                code = 0
+            elif ready >= eps_floor:
+                code = 1
+            elif free >= eps_floor:
+                code = 2
+            else:
+                code = 3
+            # ...but report LOAD only when it is strictly the binding
+            # reason (beyond every non-load candidate by more than eps).
+            if code != 3:
+                non_load = release
+                if ready > non_load:
+                    non_load = ready
+                if free > non_load:
+                    non_load = free
+                if load_done > non_load + TIME_EPSILON:
+                    code = 3
+        else:
+            eps_floor = start - TIME_EPSILON
+            if release >= eps_floor:
+                code = 0
+            elif ready >= eps_floor:
+                code = 1
+            else:
+                code = 2
+        finish = start + self._core.exec_time[sid]
+        self._starts[sid] = start
+        self._finishes[sid] = finish
+        self._constraint[sid] = code
+        self._done[sid] = 1
+        self._exec_order.append(sid)
+        self._prev_free.append(free)
+        self._resource_free[rid] = finish
+        self._next_index[rid] += 1
+        pred_left = self._pred_left
+        for succ in self._core.succs[sid]:
+            pred_left[succ] -= 1
+        if finish > self._realized:
+            self._realized = finish
+        if self._tails is not None:
+            floor = finish + self._tails[sid]
             if floor > self._floor:
                 self._floor = floor
 
     def _advance(self) -> None:
         """Execute everything executable (same batch order as the monolith)."""
-        resources = self._core.resources
+        core = self._core
+        sequences = core.sequences
+        seq_len = core.seq_len
+        next_index = self._next_index
+        pred_left = self._pred_left
+        resource_range = range(len(sequences))
+        execute = self._execute
         while True:
-            ready_names = []
-            for resource in resources:
-                head = self._executable_head(resource)
-                if head is not None:
-                    ready_names.append((head, resource))
-            if not ready_names:
+            pending = self.pending_mask
+            batch = None
+            for rid in resource_range:
+                index = next_index[rid]
+                if index >= seq_len[rid]:
+                    continue
+                head = sequences[rid][index]
+                if pred_left[head] or (pending >> head) & 1:
+                    continue
+                if batch is None:
+                    batch = [(head, rid)]
+                else:
+                    batch.append((head, rid))
+            if batch is None:
                 break
-            for name, resource in ready_names:
-                self._execute(name, resource)
+            for head, rid in batch:
+                execute(head, rid)
 
     # ------------------------------------------------------------------ #
     # Load issue
     # ------------------------------------------------------------------ #
+    def _issuable_ids(self) -> List[Tuple[int, float]]:
+        """Pending loads at the head of their tile queue: (id, enable)."""
+        found: List[Tuple[int, float]] = []
+        core = self._core
+        sequences = core.sequences
+        seq_len = core.seq_len
+        next_index = self._next_index
+        resource_free = self._resource_free
+        pending = self.pending_mask
+        on_demand = self.on_demand
+        pred_left = self._pred_left
+        for rid in range(len(sequences)):
+            index = next_index[rid]
+            if index >= seq_len[rid]:
+                continue
+            head = sequences[rid][index]
+            if not (pending >> head) & 1:
+                continue
+            enable = resource_free[rid]
+            if on_demand:
+                if pred_left[head]:
+                    continue
+                ready = self._predecessor_ready_time(head, rid)
+                if ready > enable:
+                    enable = ready
+            found.append((head, enable))
+        return found
+
     def issuable(self) -> List[Tuple[str, float]]:
         """Pending loads at the head of their tile queue: (name, enable)."""
-        found: List[Tuple[str, float]] = []
-        core = self._core
-        for name in self._pending:
-            resource = core.resource_of[name]
-            if core.position[name] != self._next_index[resource]:
-                continue
-            enable = self._resource_free[resource]
-            if self.on_demand:
-                if any(p not in self._executions
-                       for p in core.predecessors[name]):
-                    continue
-                enable = max(enable,
-                             self._predecessor_ready_time(name, resource))
-            found.append((name, enable))
-        return found
+        names = self._core.names
+        return [(names[sid], enable)
+                for sid, enable in self._issuable_ids()]
+
+    def choice_ids(self) -> List[Tuple[int, float]]:
+        """The horizon-enabled candidates as interned ids (hot path).
+
+        Same contract as :meth:`choices`, minus the name boundary: the
+        branch-and-bound search consumes ids directly.
+        """
+        candidates = self._issuable_ids()
+        if not candidates:
+            return candidates
+        horizon = min(enable for _, enable in candidates)
+        if self.controller_time > horizon:
+            horizon = self.controller_time
+        horizon += TIME_EPSILON
+        return [item for item in candidates if item[1] <= horizon]
 
     def choices(self) -> List[Tuple[str, float]]:
         """The horizon-enabled load candidates the dispatcher may issue next.
@@ -479,32 +725,22 @@ class ReplayState:
         priority order.  Branching over this set explores exactly the
         priority-order schedule space.
         """
-        candidates = self.issuable()
-        if not candidates:
-            return []
-        horizon = max(self.controller_time,
-                      min(enable for _, enable in candidates))
-        return [(name, enable) for name, enable in candidates
-                if enable <= horizon + TIME_EPSILON]
+        names = self._core.names
+        return [(names[sid], enable) for sid, enable in self.choice_ids()]
 
-    def _issue(self, name: str, enable: float) -> None:
-        start = max(self.controller_time, enable)
+    def _issue(self, sid: int, enable: float) -> None:
+        start = self.controller_time
+        if enable > start:
+            start = enable
         finish = start + self.latency
-        core = self._core
-        self._loads.append(
-            LoadEntry(
-                subtask=name,
-                configuration=core.configuration[name],
-                resource=core.resource_of[name],
-                start=start,
-                finish=finish,
-            )
-        )
-        self._load_finish[name] = finish
+        self._load_ids.append(sid)
+        self._load_starts.append(start)
+        self._loaded[sid] = 1
+        self._load_finish[sid] = finish
         self.controller_time = finish
-        self._pending.discard(name)
-        if self._weights is not None:
-            floor = finish + self._weights[name]
+        self.pending_mask &= ~(1 << sid)
+        if self._w is not None:
+            floor = finish + self._w[sid]
             if floor > self._floor:
                 self._floor = floor
         self._advance()
@@ -514,11 +750,15 @@ class ReplayState:
 
         ``name`` must be one of :meth:`choices`; the receiver is left
         untouched.  The cost is one dispatch step plus the executions the
-        load unblocks (the snapshot copy is linear in the frontier size).
+        load unblocks (the snapshot copy is linear in the subtask count).
         """
-        for candidate, enable in self.choices():
-            if candidate == name:
-                return self.extend_choice(candidate, enable)
+        sid = self._core.index.get(name)
+        if sid is not None:
+            for candidate, enable in self.choice_ids():
+                if candidate == sid:
+                    child = self._clone()
+                    child._issue(sid, enable)
+                    return child
         raise SchedulingError(
             f"load {name!r} cannot be issued next: not a horizon-enabled "
             f"candidate of this replay state"
@@ -533,7 +773,7 @@ class ReplayState:
         work on the branch-and-bound hot path.
         """
         child = self._clone()
-        child._issue(name, enable)
+        child._issue(self._core.index[name], enable)
         return child
 
     def push(self, name: str) -> float:
@@ -545,9 +785,11 @@ class ReplayState:
         dispatch step, which memoizing searches aggregate per subtree.  The
         matching :meth:`pop` restores the pre-push state exactly.
         """
-        for candidate, enable in self.choices():
-            if candidate == name:
-                return self.push_choice(candidate, enable)
+        sid = self._core.index.get(name)
+        if sid is not None:
+            for candidate, enable in self.choice_ids():
+                if candidate == sid:
+                    return self.push_choice_id(sid, enable)
         raise SchedulingError(
             f"load {name!r} cannot be pushed next: not a horizon-enabled "
             f"candidate of this replay state"
@@ -556,66 +798,104 @@ class ReplayState:
     def push_choice(self, name: str, enable: float) -> float:
         """Unchecked :meth:`push` for a ``(name, enable)`` pair from
         :meth:`choices` (same contract as :meth:`extend_choice`)."""
-        records: List[Tuple[str, ResourceId, float]] = []
-        self._undo.append((name, self.controller_time, self._floor,
-                           self._realized, records))
-        self._frame = records
-        try:
-            self._issue(name, enable)
-        finally:
-            self._frame = None
-        if not records:
-            return float("-inf")
-        executions = self._executions
-        return max(executions[executed].finish for executed, _, _ in records)
+        return self.push_choice_id(self._core.index[name], enable)
+
+    def push_choice_id(self, sid: int, enable: float) -> float:
+        """Unchecked in-place issue of interned id ``sid`` (hot path).
+
+        The ``(sid, enable)`` pair must come from :meth:`choice_ids`;
+        same undo/return contract as :meth:`push`.
+        """
+        exec_order = self._exec_order
+        mark = len(exec_order)
+        self._undo.append((sid, self.controller_time, self._floor,
+                           self._realized, mark))
+        self._issue(sid, enable)
+        if len(exec_order) == mark:
+            return _NEG_INF
+        finishes = self._finishes
+        best = finishes[exec_order[mark]]
+        for position in range(mark + 1, len(exec_order)):
+            finish = finishes[exec_order[position]]
+            if finish > best:
+                best = finish
+        return best
 
     def pop(self) -> str:
         """Undo the most recent :meth:`push` in place; returns its load.
 
         Every quantity a push touched is restored from its undo frame:
-        executions are deleted in reverse batch order, each affected
-        resource gets its pre-execution free time and frontier index back,
-        and the load entry, controller time, floors and realized makespan
-        revert to their recorded values.
+        the execution log's tail is replayed backwards (each affected
+        resource gets its pre-execution free time and frontier index
+        back), and the load entry, controller time, floors and realized
+        makespan revert to their recorded values.
         """
         if not self._undo:
             raise SchedulingError(
                 "pop() without a matching push() on this replay state"
             )
-        name, controller, floor, realized, records = self._undo.pop()
-        executions = self._executions
+        sid, controller, floor, realized, mark = self._undo.pop()
+        core = self._core
+        resource_of = core.resource_of
+        succs = core.succs
+        done = self._done
+        pred_left = self._pred_left
         resource_free = self._resource_free
         next_index = self._next_index
-        for executed, resource, previous_free in reversed(records):
-            del executions[executed]
-            resource_free[resource] = previous_free
-            next_index[resource] -= 1
-        load = self._loads.pop()
-        if load.subtask != name:
+        exec_order = self._exec_order
+        prev_free = self._prev_free
+        for position in range(len(exec_order) - 1, mark - 1, -1):
+            executed = exec_order[position]
+            done[executed] = 0
+            rid = resource_of[executed]
+            resource_free[rid] = prev_free[position]
+            next_index[rid] -= 1
+            for succ in succs[executed]:
+                pred_left[succ] += 1
+        del exec_order[mark:]
+        del prev_free[mark:]
+        if not self._load_ids or self._load_ids[-1] != sid:
+            latest = (self._core.names[self._load_ids[-1]]
+                      if self._load_ids else None)
             raise SchedulingError(
-                f"undo log out of sync: frame recorded {name!r} but the "
-                f"latest load is {load.subtask!r} (pop() cannot undo loads "
-                "issued by run()/extend_greedy())"
+                f"undo log out of sync: frame recorded "
+                f"{core.names[sid]!r} but the latest load is {latest!r} "
+                "(pop() cannot undo loads issued by run()/extend_greedy())"
             )
-        del self._load_finish[name]
-        self._pending.add(name)
+        self._load_ids.pop()
+        self._load_starts.pop()
+        self._loaded[sid] = 0
+        self.pending_mask |= 1 << sid
         self.controller_time = controller
         self._floor = floor
         self._realized = realized
-        return name
+        return core.names[sid]
+
+    def _rank_column(self, rank: Mapping[str, int]) -> Tuple[List[int], int]:
+        """Per-id rank column for a name-keyed priority map."""
+        fallback = len(rank)
+        column = [fallback] * self._core.total
+        index = self._core.index
+        for name, value in rank.items():
+            sid = index.get(name)
+            if sid is not None:
+                column[sid] = value
+        return column, fallback
 
     def extend_greedy(self, rank: Mapping[str, int]) -> "ReplayState":
         """Issue the highest-priority enabled load (the dispatcher's pick)."""
-        enabled = self.choices()
+        enabled = self.choice_ids()
         if not enabled:
             raise self._stall_error()
-        fallback = len(rank)
-        name, enable = min(
+        column, _ = self._rank_column(rank)
+        sorted_rank = self._core.sorted_rank
+        sid, enable = min(
             enabled,
-            key=lambda item: (rank.get(item[0], fallback), item[1], item[0]),
+            key=lambda item: (column[item[0]], item[1],
+                              sorted_rank[item[0]]),
         )
         child = self._clone()
-        child._issue(name, enable)
+        child._issue(sid, enable)
         return child
 
     def run(self, rank: Mapping[str, int]) -> "ReplayState":
@@ -625,22 +905,31 @@ class ReplayState:
         advance.  It mutates and returns ``self`` — callers that need to
         branch must use :meth:`extend` instead.
         """
-        fallback = len(rank)
-        while not self.is_complete:
-            enabled = self.choices()
+        column, _ = self._rank_column(rank)
+        sorted_rank = self._core.sorted_rank
+        total = self._core.total
+        exec_order = self._exec_order
+        while len(exec_order) < total:
+            enabled = self.choice_ids()
             if not enabled:
                 raise self._stall_error()
-            name, enable = min(
-                enabled,
-                key=lambda item: (rank.get(item[0], fallback),
-                                  item[1], item[0]),
-            )
-            self._issue(name, enable)
+            if len(enabled) == 1:
+                sid, enable = enabled[0]
+            else:
+                sid, enable = min(
+                    enabled,
+                    key=lambda item: (column[item[0]], item[1],
+                                      sorted_rank[item[0]]),
+                )
+            self._issue(sid, enable)
         return self
 
     def _stall_error(self) -> InfeasibleScheduleError:
         graph = self._core.graph
-        blocked = sorted(set(graph.subtask_names) - set(self._executions))
+        done = self._done
+        index = self._core.index
+        blocked = sorted(name for name in graph.subtask_names
+                         if not done[index[name]])
         return InfeasibleScheduleError(
             f"schedule replay for graph {graph.name!r} stalled; blocked "
             f"subtasks: {blocked}"
@@ -649,14 +938,50 @@ class ReplayState:
     # ------------------------------------------------------------------ #
     # Materialization & search support
     # ------------------------------------------------------------------ #
+    def _materialize_executions(self) -> Dict[str, ExecutionEntry]:
+        core = self._core
+        names = core.names
+        resources = core.resources
+        resource_of = core.resource_of
+        ideal_start = core.ideal_start
+        starts = self._starts
+        finishes = self._finishes
+        constraint = self._constraint
+        release = self.release
+        entries: Dict[str, ExecutionEntry] = {}
+        for sid in self._exec_order:
+            name = names[sid]
+            entries[name] = ExecutionEntry(
+                subtask=name,
+                resource=resources[resource_of[sid]],
+                start=starts[sid],
+                finish=finishes[sid],
+                constraint=_CONSTRAINTS[constraint[sid]],
+                ideal_start=release + ideal_start[sid],
+            )
+        return entries
+
     def finish(self) -> TimedSchedule:
         """Materialize the completed replay as a :class:`TimedSchedule`."""
         if not self.is_complete:
             raise self._stall_error()
-        loads = tuple(self._loads)
+        core = self._core
+        names = core.names
+        resources = core.resources
+        latency = self.latency
+        loads = tuple(
+            LoadEntry(
+                subtask=names[lid],
+                configuration=core.configuration[lid],
+                resource=resources[core.resource_of[lid]],
+                start=start,
+                finish=start + latency,
+            )
+            for lid, start in zip(self._load_ids, self._load_starts)
+        )
         return TimedSchedule(
             placed=self._placed,
-            executions=dict(self._executions),
+            executions=self._materialize_executions(),
             loads=loads,
             release_time=self.release,
             controller_start=(loads[0].start if loads
@@ -666,35 +991,49 @@ class ReplayState:
     def signature(self) -> Tuple:
         """Canonical description of everything that shapes the future.
 
-        Two states with equal signatures evolve identically from here on:
-        the signature captures the pending-load set, the port-free time,
-        the frontier of every unfinished resource, the finish times of
-        executed subtasks that still have unexecuted successors and the
-        completion times of issued-but-not-yet-consumed loads.  Finished
-        history that can no longer influence any future start is deliberately
-        *forgotten*, which is what makes prefix permutations that converge
-        to the same dispatcher state collide in a dominance table.
+        Two states with equal signatures evolve identically from here on.
+        The packed layout — one flat tuple of machine ints and floats,
+        ``None``-separated sections (see the module docstring) — captures
+        the pending-load bitmask, the port-free time, the frontier of
+        every unfinished resource, the finish times of executed subtasks
+        that still have unexecuted successors and the completion times of
+        issued-but-not-yet-consumed loads.  Finished history that can no
+        longer influence any future start is deliberately *forgotten*,
+        which is what makes prefix permutations that converge to the same
+        dispatcher state collide in a dominance table.
 
         The realized makespan is **not** part of the signature — it feeds
         the final result only through a ``max``, so among equal signatures
         the one with the smaller realized makespan dominates.
         """
-        executions = self._executions
         core = self._core
-        live_finishes = []
-        for name, entry in executions.items():
-            if any(succ not in executions for succ in core.successors[name]):
-                live_finishes.append((name, entry.finish))
-        live_finishes.sort()
-        frontier = []
-        for resource in core.resources:
-            index = self._next_index[resource]
-            if index < len(core.sequences[resource]):
-                frontier.append((resource, index,
-                                 self._resource_free[resource]))
-        issued_pending = sorted(
-            (name, finish) for name, finish in self._load_finish.items()
-            if name not in executions
-        )
-        return (frozenset(self._pending), self.controller_time,
-                tuple(frontier), tuple(live_finishes), tuple(issued_pending))
+        seq_len = core.seq_len
+        next_index = self._next_index
+        resource_free = self._resource_free
+        parts: List = [self.pending_mask, self.controller_time]
+        for rid in range(len(seq_len)):
+            index = next_index[rid]
+            if index < seq_len[rid]:
+                parts.append(rid)
+                parts.append(index)
+                parts.append(resource_free[rid])
+        parts.append(None)
+        done = self._done
+        succs = core.succs
+        finishes = self._finishes
+        loaded = self._loaded
+        load_finish = self._load_finish
+        issued: List = []
+        for sid in range(core.total):
+            if done[sid]:
+                for succ in succs[sid]:
+                    if not done[succ]:
+                        parts.append(sid)
+                        parts.append(finishes[sid])
+                        break
+            elif loaded[sid]:
+                issued.append(sid)
+                issued.append(load_finish[sid])
+        parts.append(None)
+        parts.extend(issued)
+        return tuple(parts)

@@ -27,6 +27,17 @@ recording the full request payload inside the file, and by refusing any
 entry whose recorded payload does not match the request — the same trust
 model as :class:`repro.runner.cache.ResultCache`.
 
+Entries are keyed by the replay kernel's *packed* signatures — flat
+tuples of machine ints and floats with ``None`` section separators
+(``(pending_mask, controller_time, frontier…, None, live…, None,
+issued…)``; see :meth:`repro.scheduling.replay.ReplayState.signature`).
+Every element is a native JSON scalar that Python round-trips exactly and
+type-faithfully, so a persisted key deserializes to a tuple that compares
+and hashes equal to a live signature — no name interning or structural
+rebuild on load.  The packed ids are core-relative, which is safe
+precisely because the table file is keyed on placed-schedule content:
+identical content produces an identical interning order.
+
 Loaded entries are tagged with :data:`LOADED_GENERATION`, which can never
 equal a live search generation, so they behave exactly like PR 4's
 cross-call entries: prefix dominance (incumbent-relative, call-local)
@@ -68,12 +79,19 @@ from ..storage import (
     backend_root,
     list_entries,
 )
-from .schedule import PlacedSchedule, ResourceId, ResourceKind, TIME_EPSILON
+from .schedule import PlacedSchedule, TIME_EPSILON
 
 #: Bump when the on-disk representation of a table (or the semantics of
 #: the entries, e.g. the signature layout in
 #: :meth:`repro.scheduling.replay.ReplayState.signature`) changes.
-TTSTORE_FORMAT_VERSION = 1
+#:
+#: * 1 — nested name-tuple signatures
+#:   ``(pending names, controller, frontier, live, issued)``.
+#: * 2 — packed flat signatures: one list of machine ints/floats with
+#:   ``None`` section separators, mirroring the in-memory layout of the
+#:   flattened replay kernel (see below).  Format-1 tables are skipped
+#:   cleanly by the version check and healed on the next flush.
+TTSTORE_FORMAT_VERSION = 2
 
 #: Generation tag of entries restored from disk.  Live searches use
 #: generations >= 0, so a restored entry can never satisfy the same-call
@@ -122,21 +140,17 @@ def placed_payload(placed: PlacedSchedule) -> Dict[str, object]:
 # Signature (de)serialization
 # --------------------------------------------------------------------- #
 def _signature_to_json(signature: Tuple) -> List[object]:
-    """Flatten one replay signature into JSON-compatible lists.
+    """One packed replay signature as a JSON list.
 
-    JSON floats round-trip exactly through Python's serializer, so the
-    reconstructed tuple compares equal to a live
-    :meth:`~repro.scheduling.replay.ReplayState.signature`.
+    The packed signature is already a flat tuple of machine ints, floats
+    and two ``None`` section separators (see
+    :meth:`~repro.scheduling.replay.ReplayState.signature`), all of which
+    JSON represents natively and round-trips exactly — Python serializes
+    ints (including the arbitrary-precision pending mask) and floats
+    losslessly and type-faithfully, so the reconstructed tuple compares
+    (and hashes) equal to a live signature.
     """
-    pending, controller, frontier, live, issued = signature
-    return [
-        sorted(pending),
-        controller,
-        [[resource.kind.value, resource.index, index, free]
-         for resource, index, free in frontier],
-        [[name, finish] for name, finish in live],
-        [[name, finish] for name, finish in issued],
-    ]
+    return list(signature)
 
 
 def _number(value: object) -> float:
@@ -147,28 +161,30 @@ def _number(value: object) -> float:
 
 
 def _signature_from_json(data: object) -> Tuple:
-    """Rebuild a replay signature tuple; raises ``ValueError`` on damage."""
-    if not isinstance(data, (list, tuple)) or len(data) != 5:
+    """Rebuild a packed replay signature; raises ``ValueError`` on damage.
+
+    Every element must be a JSON number or one of exactly two ``None``
+    section separators; the leading element (the pending-load bitmask)
+    must be a non-negative int.  Element types are preserved as parsed —
+    ints stay ints (the mask may exceed float precision), floats stay
+    floats — so the rebuilt tuple is bit-identical to what was saved.
+    """
+    if not isinstance(data, (list, tuple)) or len(data) < 4:
         raise ValueError("signature payload has wrong shape")
-    pending, controller, frontier, live, issued = data
-    if not isinstance(pending, list) \
-            or not all(isinstance(name, str) for name in pending):
-        raise ValueError("pending-load set is not a list of names")
-    frontier_items = []
-    for item in frontier:
-        kind, index, position, free = item
-        frontier_items.append((ResourceId(ResourceKind(kind), int(index)),
-                               int(position), _number(free)))
-    def pairs(items: object) -> Tuple[Tuple[str, float], ...]:
-        result = []
-        for item in items:
-            name, finish = item
-            if not isinstance(name, str):
-                raise ValueError("entry name is not a string")
-            result.append((name, _number(finish)))
-        return tuple(result)
-    return (frozenset(pending), _number(controller),
-            tuple(frontier_items), pairs(live), pairs(issued))
+    mask = data[0]
+    if isinstance(mask, bool) or not isinstance(mask, int) or mask < 0:
+        raise ValueError("pending-load mask is not a non-negative int")
+    separators = 0
+    for element in data:
+        if element is None:
+            separators += 1
+        elif isinstance(element, bool) \
+                or not isinstance(element, (int, float)):
+            raise ValueError(f"expected a number, got {element!r}")
+    if separators != 2:
+        raise ValueError("signature payload must contain exactly two "
+                         "section separators")
+    return tuple(data)
 
 
 @dataclass(frozen=True)

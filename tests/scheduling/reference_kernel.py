@@ -1,0 +1,622 @@
+"""Frozen tuple-based replay kernel (pre-flattening reference copy).
+
+This is the PR-8 ``repro.scheduling.replay`` kernel, verbatim except for
+this preamble and absolute imports: dict-of-name state columns, nested
+name-tuple signatures, per-frame undo records.  It is retained purely as
+a *differential oracle* for the flattened integer kernel — the property
+tests in ``test_replay_flat_reference.py`` drive both kernels through
+identical push/pop interleavings and assert bit-identical observable
+behavior and signature-equality classes.  Never import it from product
+code; it shares nothing (caches included) with the live kernel.
+"""
+
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import InfeasibleScheduleError, SchedulingError
+from repro.scheduling.schedule import (
+    ExecutionEntry,
+    LoadEntry,
+    PlacedSchedule,
+    ResourceId,
+    StartConstraint,
+    TIME_EPSILON,
+    TimedSchedule,
+)
+
+#: Signature of an optional communication-latency callback:
+#: ``(producer, consumer, producer_resource, consumer_resource) -> latency``.
+CommunicationFn = Callable[[str, str, ResourceId, ResourceId], float]
+
+
+class _ReplayCore:
+    """Static, per-placed-schedule context shared by every replay state.
+
+    Everything here is immutable once built; replay states only reference
+    it.  Building it hoists the repeated graph/placement lookups (networkx
+    predecessor queries, position scans) out of the hot dispatch loop.
+
+    The core deliberately does **not** reference the placed schedule it was
+    derived from: it is the value of a weak-keyed cache entry whose key is
+    that schedule, and a strong back-reference would pin the entry (and the
+    schedule) for the process lifetime.  States carry their own strong
+    reference to the schedule instead.
+    """
+
+    __slots__ = (
+        "graph", "resources", "sequences", "predecessors",
+        "successors", "exec_time", "ideal_start", "position", "resource_of",
+        "configuration", "drhw_names", "total", "__weakref__",
+    )
+
+    def __init__(self, placed: PlacedSchedule) -> None:
+        graph = placed.graph
+        self.graph = graph
+        self.resources: Tuple[ResourceId, ...] = tuple(placed.resources)
+        self.sequences: Dict[ResourceId, Tuple[str, ...]] = {
+            resource: tuple(placed.resource_order(resource))
+            for resource in self.resources
+        }
+        self.predecessors: Dict[str, Tuple[str, ...]] = {
+            name: tuple(graph.predecessors(name))
+            for name in graph.subtask_names
+        }
+        self.successors: Dict[str, Tuple[str, ...]] = {
+            name: tuple(graph.successors(name))
+            for name in graph.subtask_names
+        }
+        self.exec_time: Dict[str, float] = {
+            name: graph.execution_time(name) for name in graph.subtask_names
+        }
+        self.ideal_start: Dict[str, float] = {
+            name: placed.ideal_start(name) for name in graph.subtask_names
+        }
+        self.position: Dict[str, int] = {}
+        self.resource_of: Dict[str, ResourceId] = {}
+        for resource, sequence in self.sequences.items():
+            for index, name in enumerate(sequence):
+                self.position[name] = index
+                self.resource_of[name] = resource
+        self.configuration: Dict[str, str] = {
+            subtask.name: subtask.configuration for subtask in graph
+        }
+        self.drhw_names = frozenset(placed.drhw_names)
+        self.total = len(graph)
+
+
+#: Weak per-schedule cache of the static replay context.
+_CORE_CACHE: "weakref.WeakKeyDictionary[PlacedSchedule, _ReplayCore]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _core_for(placed: PlacedSchedule) -> _ReplayCore:
+    core = _CORE_CACHE.get(placed)
+    if core is None:
+        core = _ReplayCore(placed)
+        _CORE_CACHE[placed] = core
+    return core
+
+
+def priority_rank(placed: PlacedSchedule, pending: Iterable[str],
+                  priority_order: Optional[Sequence[str]]) -> Dict[str, int]:
+    """Rank map of the greedy dispatcher for a given priority order.
+
+    Loads named by ``priority_order`` keep their position; pending loads
+    missing from it are ordered after it by ideal start time.  This is the
+    exact tie-breaking contract of the monolithic replay.
+    """
+    explicit_rank: Dict[str, int] = {}
+    if priority_order is not None:
+        for index, name in enumerate(priority_order):
+            explicit_rank.setdefault(name, index)
+    fallback_base = len(explicit_rank)
+    fallback_order = sorted(
+        (name for name in pending if name not in explicit_rank),
+        key=lambda n: (placed.ideal_start(n), n),
+    )
+    rank = dict(explicit_rank)
+    for offset, name in enumerate(fallback_order):
+        rank[name] = fallback_base + offset
+    return rank
+
+
+class ReplayState:
+    """One snapshot of the greedy dispatcher replaying a placed schedule.
+
+    States are created with :meth:`start`, grown with :meth:`extend` (or
+    driven to completion with :meth:`run`) and materialized with
+    :meth:`finish`.  ``extend`` never mutates its receiver: the parent
+    state stays usable, which is what lets a depth-first search carry one
+    state per tree node instead of replaying full orders at the leaves.
+    """
+
+    __slots__ = (
+        "_core", "_placed", "latency", "on_demand", "release",
+        "communication", "_weights", "_tails", "controller_time", "_pending",
+        "_executions", "_loads", "_load_finish", "_next_index",
+        "_resource_free", "_floor", "_realized", "_undo", "_frame",
+    )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def start(cls, placed: PlacedSchedule,
+              reconfiguration_latency: float,
+              loads_needed: Iterable[str],
+              *,
+              on_demand: bool = False,
+              release_time: float = 0.0,
+              controller_available: Optional[float] = None,
+              communication: Optional[CommunicationFn] = None,
+              weights: Optional[Mapping[str, float]] = None
+              ) -> "ReplayState":
+        """Initial state: no load issued, executions advanced to quiescence.
+
+        Parameters mirror :func:`repro.scheduling.evaluator.replay_schedule`;
+        ``weights`` optionally enables the realized makespan floor used by
+        branch-and-bound bounds (see the module docstring).
+        """
+        if reconfiguration_latency < 0:
+            raise SchedulingError("reconfiguration latency must be non-negative")
+        core = _core_for(placed)
+        pending = set()
+        for name in loads_needed:
+            placed.placement(name)  # validates membership
+            if name in core.drhw_names:
+                pending.add(name)
+
+        state = object.__new__(cls)
+        state._core = core
+        state._placed = placed
+        state.latency = reconfiguration_latency
+        state.on_demand = on_demand
+        state.release = release_time
+        state.communication = communication
+        state._weights = dict(weights) if weights is not None else None
+        if state._weights is not None:
+            state._tails = {
+                name: max((state._weights[succ]
+                           for succ in core.successors[name]), default=0.0)
+                for name in core.exec_time
+            }
+        else:
+            state._tails = None
+        state.controller_time = max(
+            release_time,
+            controller_available if controller_available is not None
+            else release_time,
+        )
+        state._pending = pending
+        state._executions = {}
+        state._loads = []
+        state._load_finish = {}
+        state._next_index = {r: 0 for r in core.resources}
+        state._resource_free = {r: release_time for r in core.resources}
+        state._floor = release_time
+        state._realized = release_time
+        state._undo = []
+        state._frame = None
+        state._advance()
+        return state
+
+    def _clone(self) -> "ReplayState":
+        child = object.__new__(ReplayState)
+        child._core = self._core
+        child._placed = self._placed
+        child.latency = self.latency
+        child.on_demand = self.on_demand
+        child.release = self.release
+        child.communication = self.communication
+        child._weights = self._weights
+        child._tails = self._tails
+        child.controller_time = self.controller_time
+        child._pending = set(self._pending)
+        child._executions = dict(self._executions)
+        child._loads = list(self._loads)
+        child._load_finish = dict(self._load_finish)
+        child._next_index = dict(self._next_index)
+        child._resource_free = dict(self._resource_free)
+        child._floor = self._floor
+        child._realized = self._realized
+        child._undo = []  # undo frames are not inherited: pops stay local
+        child._frame = None
+        return child
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def placed(self) -> PlacedSchedule:
+        """The placed schedule this state replays."""
+        return self._placed
+
+    @property
+    def pending_loads(self) -> frozenset:
+        """Loads not yet issued."""
+        return frozenset(self._pending)
+
+    @property
+    def is_complete(self) -> bool:
+        """``True`` once every subtask has executed."""
+        return len(self._executions) >= self._core.total
+
+    @property
+    def makespan(self) -> float:
+        """Finish time of the latest execution so far (absolute time).
+
+        Tracked incrementally (and restored by :meth:`pop`), so reading it
+        per search node costs O(1) instead of a scan over the executions.
+        """
+        return self._realized
+
+    @property
+    def undo_depth(self) -> int:
+        """Number of pushed loads that :meth:`pop` could currently undo."""
+        return len(self._undo)
+
+    @property
+    def critical_floor(self) -> float:
+        """Realized lower bound on any completion's makespan.
+
+        Only meaningful when the state was started with ``weights``: every
+        executed entry contributes ``finish + longest successor chain`` and
+        every issued load ``load finish + weight`` — both are times no
+        completion of this prefix can beat.  Without weights this is just
+        the realized makespan.
+        """
+        if self._weights is None:
+            return self.makespan
+        return self._floor
+
+    @property
+    def executions(self) -> Dict[str, ExecutionEntry]:
+        """Executed entries so far (do not mutate)."""
+        return self._executions
+
+    @property
+    def load_sequence(self) -> Tuple[str, ...]:
+        """Names of the loads issued so far, in issue order."""
+        return tuple(entry.subtask for entry in self._loads)
+
+    # ------------------------------------------------------------------ #
+    # Dispatch mechanics (mirrors the monolithic replay loop exactly)
+    # ------------------------------------------------------------------ #
+    def _predecessor_ready_time(self, name: str, resource: ResourceId) -> float:
+        ready = self.release
+        executions = self._executions
+        communication = self.communication
+        for predecessor in self._core.predecessors[name]:
+            finish = executions[predecessor].finish
+            if communication is not None:
+                finish += communication(predecessor, name,
+                                        executions[predecessor].resource,
+                                        resource)
+            if finish > ready:
+                ready = finish
+        return ready
+
+    def _executable_head(self, resource: ResourceId) -> Optional[str]:
+        sequence = self._core.sequences[resource]
+        index = self._next_index[resource]
+        if index >= len(sequence):
+            return None
+        name = sequence[index]
+        executions = self._executions
+        if any(p not in executions for p in self._core.predecessors[name]):
+            return None
+        if name in self._pending:
+            return None
+        return name
+
+    def _execute(self, name: str, resource: ResourceId) -> None:
+        ready = self._predecessor_ready_time(name, resource)
+        free = self._resource_free[resource]
+        load_done = self._load_finish.get(name)
+        candidates: List[Tuple[StartConstraint, float]] = [
+            (StartConstraint.RELEASE, self.release),
+            (StartConstraint.PREDECESSOR, ready),
+            (StartConstraint.RESOURCE, free),
+        ]
+        if load_done is not None:
+            candidates.append((StartConstraint.LOAD, load_done))
+        start = max(value for _, value in candidates)
+        constraint = StartConstraint.RELEASE
+        for kind, value in candidates:
+            if value >= start - TIME_EPSILON:
+                constraint = kind
+                break
+        # Prefer reporting LOAD only when it is strictly the binding reason.
+        if constraint is not StartConstraint.LOAD and load_done is not None:
+            non_load_max = max(value for kind, value in candidates
+                               if kind is not StartConstraint.LOAD)
+            if load_done > non_load_max + TIME_EPSILON:
+                constraint = StartConstraint.LOAD
+        execution_time = self._core.exec_time[name]
+        entry = ExecutionEntry(
+            subtask=name,
+            resource=resource,
+            start=start,
+            finish=start + execution_time,
+            constraint=constraint,
+            ideal_start=self.release + self._core.ideal_start[name],
+        )
+        self._executions[name] = entry
+        if self._frame is not None:
+            self._frame.append((name, resource, free))
+        self._resource_free[resource] = entry.finish
+        self._next_index[resource] += 1
+        if entry.finish > self._realized:
+            self._realized = entry.finish
+        if self._weights is not None:
+            floor = entry.finish + self._tails[name]
+            if floor > self._floor:
+                self._floor = floor
+
+    def _advance(self) -> None:
+        """Execute everything executable (same batch order as the monolith)."""
+        resources = self._core.resources
+        while True:
+            ready_names = []
+            for resource in resources:
+                head = self._executable_head(resource)
+                if head is not None:
+                    ready_names.append((head, resource))
+            if not ready_names:
+                break
+            for name, resource in ready_names:
+                self._execute(name, resource)
+
+    # ------------------------------------------------------------------ #
+    # Load issue
+    # ------------------------------------------------------------------ #
+    def issuable(self) -> List[Tuple[str, float]]:
+        """Pending loads at the head of their tile queue: (name, enable)."""
+        found: List[Tuple[str, float]] = []
+        core = self._core
+        for name in self._pending:
+            resource = core.resource_of[name]
+            if core.position[name] != self._next_index[resource]:
+                continue
+            enable = self._resource_free[resource]
+            if self.on_demand:
+                if any(p not in self._executions
+                       for p in core.predecessors[name]):
+                    continue
+                enable = max(enable,
+                             self._predecessor_ready_time(name, resource))
+            found.append((name, enable))
+        return found
+
+    def choices(self) -> List[Tuple[str, float]]:
+        """The horizon-enabled load candidates the dispatcher may issue next.
+
+        The greedy dispatcher never idles the port past the earliest enable
+        time of an issuable load, so only candidates enabled by
+        ``max(port-free time, earliest enable)`` can be issued next — by any
+        priority order.  Branching over this set explores exactly the
+        priority-order schedule space.
+        """
+        candidates = self.issuable()
+        if not candidates:
+            return []
+        horizon = max(self.controller_time,
+                      min(enable for _, enable in candidates))
+        return [(name, enable) for name, enable in candidates
+                if enable <= horizon + TIME_EPSILON]
+
+    def _issue(self, name: str, enable: float) -> None:
+        start = max(self.controller_time, enable)
+        finish = start + self.latency
+        core = self._core
+        self._loads.append(
+            LoadEntry(
+                subtask=name,
+                configuration=core.configuration[name],
+                resource=core.resource_of[name],
+                start=start,
+                finish=finish,
+            )
+        )
+        self._load_finish[name] = finish
+        self.controller_time = finish
+        self._pending.discard(name)
+        if self._weights is not None:
+            floor = finish + self._weights[name]
+            if floor > self._floor:
+                self._floor = floor
+        self._advance()
+
+    def extend(self, name: str) -> "ReplayState":
+        """Issue ``name`` next and return the resulting state.
+
+        ``name`` must be one of :meth:`choices`; the receiver is left
+        untouched.  The cost is one dispatch step plus the executions the
+        load unblocks (the snapshot copy is linear in the frontier size).
+        """
+        for candidate, enable in self.choices():
+            if candidate == name:
+                return self.extend_choice(candidate, enable)
+        raise SchedulingError(
+            f"load {name!r} cannot be issued next: not a horizon-enabled "
+            f"candidate of this replay state"
+        )
+
+    def extend_choice(self, name: str, enable: float) -> "ReplayState":
+        """Unchecked :meth:`extend` for a ``(name, enable)`` pair.
+
+        The pair must come from this state's :meth:`choices` — the search
+        loop already holds that list, so re-deriving it per child edge
+        (as the validating :meth:`extend` does) would double the dispatch
+        work on the branch-and-bound hot path.
+        """
+        child = self._clone()
+        child._issue(name, enable)
+        return child
+
+    def push(self, name: str) -> float:
+        """Issue ``name`` next **in place**, recording an undo frame.
+
+        ``name`` must be one of :meth:`choices`.  Returns the latest finish
+        time among the executions this push triggered (``-inf`` when the
+        load unblocked nothing yet) — the *future contribution* of this
+        dispatch step, which memoizing searches aggregate per subtree.  The
+        matching :meth:`pop` restores the pre-push state exactly.
+        """
+        for candidate, enable in self.choices():
+            if candidate == name:
+                return self.push_choice(candidate, enable)
+        raise SchedulingError(
+            f"load {name!r} cannot be pushed next: not a horizon-enabled "
+            f"candidate of this replay state"
+        )
+
+    def push_choice(self, name: str, enable: float) -> float:
+        """Unchecked :meth:`push` for a ``(name, enable)`` pair from
+        :meth:`choices` (same contract as :meth:`extend_choice`)."""
+        records: List[Tuple[str, ResourceId, float]] = []
+        self._undo.append((name, self.controller_time, self._floor,
+                           self._realized, records))
+        self._frame = records
+        try:
+            self._issue(name, enable)
+        finally:
+            self._frame = None
+        if not records:
+            return float("-inf")
+        executions = self._executions
+        return max(executions[executed].finish for executed, _, _ in records)
+
+    def pop(self) -> str:
+        """Undo the most recent :meth:`push` in place; returns its load.
+
+        Every quantity a push touched is restored from its undo frame:
+        executions are deleted in reverse batch order, each affected
+        resource gets its pre-execution free time and frontier index back,
+        and the load entry, controller time, floors and realized makespan
+        revert to their recorded values.
+        """
+        if not self._undo:
+            raise SchedulingError(
+                "pop() without a matching push() on this replay state"
+            )
+        name, controller, floor, realized, records = self._undo.pop()
+        executions = self._executions
+        resource_free = self._resource_free
+        next_index = self._next_index
+        for executed, resource, previous_free in reversed(records):
+            del executions[executed]
+            resource_free[resource] = previous_free
+            next_index[resource] -= 1
+        load = self._loads.pop()
+        if load.subtask != name:
+            raise SchedulingError(
+                f"undo log out of sync: frame recorded {name!r} but the "
+                f"latest load is {load.subtask!r} (pop() cannot undo loads "
+                "issued by run()/extend_greedy())"
+            )
+        del self._load_finish[name]
+        self._pending.add(name)
+        self.controller_time = controller
+        self._floor = floor
+        self._realized = realized
+        return name
+
+    def extend_greedy(self, rank: Mapping[str, int]) -> "ReplayState":
+        """Issue the highest-priority enabled load (the dispatcher's pick)."""
+        enabled = self.choices()
+        if not enabled:
+            raise self._stall_error()
+        fallback = len(rank)
+        name, enable = min(
+            enabled,
+            key=lambda item: (rank.get(item[0], fallback), item[1], item[0]),
+        )
+        child = self._clone()
+        child._issue(name, enable)
+        return child
+
+    def run(self, rank: Mapping[str, int]) -> "ReplayState":
+        """Drive this state to completion under one priority rank (in place).
+
+        This is the monolithic replay: repeatedly issue the greedy pick and
+        advance.  It mutates and returns ``self`` — callers that need to
+        branch must use :meth:`extend` instead.
+        """
+        fallback = len(rank)
+        while not self.is_complete:
+            enabled = self.choices()
+            if not enabled:
+                raise self._stall_error()
+            name, enable = min(
+                enabled,
+                key=lambda item: (rank.get(item[0], fallback),
+                                  item[1], item[0]),
+            )
+            self._issue(name, enable)
+        return self
+
+    def _stall_error(self) -> InfeasibleScheduleError:
+        graph = self._core.graph
+        blocked = sorted(set(graph.subtask_names) - set(self._executions))
+        return InfeasibleScheduleError(
+            f"schedule replay for graph {graph.name!r} stalled; blocked "
+            f"subtasks: {blocked}"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Materialization & search support
+    # ------------------------------------------------------------------ #
+    def finish(self) -> TimedSchedule:
+        """Materialize the completed replay as a :class:`TimedSchedule`."""
+        if not self.is_complete:
+            raise self._stall_error()
+        loads = tuple(self._loads)
+        return TimedSchedule(
+            placed=self._placed,
+            executions=dict(self._executions),
+            loads=loads,
+            release_time=self.release,
+            controller_start=(loads[0].start if loads
+                              else self.controller_time),
+        )
+
+    def signature(self) -> Tuple:
+        """Canonical description of everything that shapes the future.
+
+        Two states with equal signatures evolve identically from here on:
+        the signature captures the pending-load set, the port-free time,
+        the frontier of every unfinished resource, the finish times of
+        executed subtasks that still have unexecuted successors and the
+        completion times of issued-but-not-yet-consumed loads.  Finished
+        history that can no longer influence any future start is deliberately
+        *forgotten*, which is what makes prefix permutations that converge
+        to the same dispatcher state collide in a dominance table.
+
+        The realized makespan is **not** part of the signature — it feeds
+        the final result only through a ``max``, so among equal signatures
+        the one with the smaller realized makespan dominates.
+        """
+        executions = self._executions
+        core = self._core
+        live_finishes = []
+        for name, entry in executions.items():
+            if any(succ not in executions for succ in core.successors[name]):
+                live_finishes.append((name, entry.finish))
+        live_finishes.sort()
+        frontier = []
+        for resource in core.resources:
+            index = self._next_index[resource]
+            if index < len(core.sequences[resource]):
+                frontier.append((resource, index,
+                                 self._resource_free[resource]))
+        issued_pending = sorted(
+            (name, finish) for name, finish in self._load_finish.items()
+            if name not in executions
+        )
+        return (frozenset(self._pending), self.controller_time,
+                tuple(frontier), tuple(live_finishes), tuple(issued_pending))

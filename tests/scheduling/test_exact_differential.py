@@ -218,3 +218,51 @@ class TestExactDifferential:
             priority_order=result.load_order,
         )
         assert_bit_identical(result.timed, replayed)
+
+
+#: Fixed pins at the raised :data:`DEFAULT_EXACT_LIMIT` frontier (16–17
+#: loads).  Brute force is unenumerable here (17! permutations), so the
+#: independent oracle is the PR-2 reference search — exhaustive over the
+#: dispatch tree with duplicate pruning only, sharing neither the bound
+#: nor the memoization code with the production engine.  Instances are
+#: pinned (not hypothesis-drawn) because the clone-based reference
+#: explodes on wide many-tile graphs; these seeds were picked to span
+#: easy to ~20k-node searches while the reference stays in seconds.
+FRONTIER_PINS = [
+    (16, 0.1, 3, 5),
+    (16, 0.15, 23, 4),
+    (17, 0.1, 4, 4),
+    (17, 0.25, 21, 5),
+    (17, 0.15, 8, 5),
+]
+
+
+@pytest.mark.slow
+class TestSeventeenLoadFrontier:
+    @pytest.mark.parametrize("params", FRONTIER_PINS,
+                             ids=lambda p: f"{p[0]}loads-s{p[2]}@{p[3]}t")
+    def test_production_matches_reference_at_the_new_frontier(self, params):
+        """16–17-load optimality, differentially pinned."""
+        problem = build_problem(params)
+        assert problem.load_count == params[0]
+        result = BranchAndBoundScheduler().schedule(problem)
+        _, reference_makespan = pr2_reference_search(problem)
+        assert result.makespan == pytest.approx(reference_makespan, abs=1e-9)
+        replayed = replay_schedule(
+            problem.placed, LATENCY, result.load_order,
+            priority_order=result.load_order,
+        )
+        assert_bit_identical(result.timed, replayed)
+
+    def test_default_gate_routes_seventeen_loads_to_exact_search(self):
+        """OptimalPrefetchScheduler's default now covers the 17-load pins."""
+        from repro.scheduling.prefetch_bb import (
+            DEFAULT_EXACT_LIMIT,
+            OptimalPrefetchScheduler,
+        )
+        problem = build_problem(FRONTIER_PINS[2])
+        assert problem.load_count == 17 <= DEFAULT_EXACT_LIMIT
+        routed = OptimalPrefetchScheduler().schedule(problem)
+        exact = BranchAndBoundScheduler().schedule(problem)
+        assert routed.load_order == exact.load_order
+        assert_bit_identical(routed.timed, exact.timed)

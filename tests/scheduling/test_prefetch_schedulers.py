@@ -257,11 +257,11 @@ class TestOptimalPrefetchScheduler:
         assert result.scheduler_name == "optimal-prefetch"
         assert result.overhead == pytest.approx(4.0)
 
-    def test_default_exact_limit_covers_fifteen_loads(self):
-        """The memoizing undo-log search affords exact search to 15 loads."""
-        assert DEFAULT_EXACT_LIMIT >= 15
-        graph = chain_graph("fifteen", [6.0] * 15)
-        placed = build_initial_schedule(graph, Platform(tile_count=15))
+    def test_default_exact_limit_covers_seventeen_loads(self):
+        """The flattened kernel affords exact search to 17 loads."""
+        assert DEFAULT_EXACT_LIMIT >= 17
+        graph = chain_graph("seventeen", [6.0] * 17)
+        placed = build_initial_schedule(graph, Platform(tile_count=17))
         result = OptimalPrefetchScheduler().schedule(
             PrefetchProblem(placed, LATENCY)
         )
@@ -271,7 +271,7 @@ class TestOptimalPrefetchScheduler:
         # fallback keeps every search counter at zero.
         stats = result.stats
         assert stats.states_extended + stats.nodes_pruned_bound > 0
-        assert result.load_count == 15
+        assert result.load_count == 17
 
     def test_large_problems_fall_back_to_heuristic(self):
         graph = chain_graph("long", [6.0] * 15)

@@ -1,0 +1,160 @@
+"""Differential tests: flattened kernel vs the frozen tuple-based kernel.
+
+The flattened integer kernel (``repro.scheduling.replay``) must be
+observably indistinguishable from the PR-8 tuple-based kernel retained in
+:mod:`tests.scheduling.reference_kernel`: same choice sets with the same
+enable times, same push return values (future contributions), same pop
+behavior, same makespans/floors along arbitrary push/pop interleavings,
+bit-identical :meth:`finish` output — and, although the packed signature
+*layout* is entirely different (flat machine ints vs nested name tuples),
+the same signature **equality classes**: two states collide under the
+packed layout exactly when they collided under the historical one, which
+is what keeps every transposition and dominance counter unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.analysis import subtask_weights
+from repro.graphs.generators import ExecutionTimeModel, random_dag
+from repro.platform.description import Platform
+from repro.scheduling.list_scheduler import build_initial_schedule
+from repro.scheduling.replay import ReplayState
+
+from .reference_kernel import ReplayState as ReferenceReplayState
+from .test_replay_state import assert_bit_identical
+
+#: Instances stay at <= 10 loads (the count bounds the load set from
+#: above): deep enough for interesting interleavings, small enough for
+#: hundreds of hypothesis examples.
+instance_params = st.tuples(
+    st.integers(min_value=1, max_value=10),
+    st.floats(min_value=0.0, max_value=0.7),
+    st.integers(min_value=0, max_value=5000),
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=0.0, max_value=8.0),
+)
+
+
+def build_placed(params):
+    count, probability, seed, tiles, latency = params
+    graph = random_dag("flatref", count=count, edge_probability=probability,
+                       time_model=ExecutionTimeModel(minimum=0.5, maximum=20.0),
+                       seed=seed)
+    placed = build_initial_schedule(graph, Platform(tile_count=tiles))
+    return placed, latency
+
+
+def paired_states(placed, latency, *, release=0.0, with_weights=False):
+    weights = subtask_weights(placed.graph) if with_weights else None
+    new = ReplayState.start(placed, latency, placed.drhw_names,
+                            release_time=release, weights=weights)
+    old = ReferenceReplayState.start(placed, latency, placed.drhw_names,
+                                     release_time=release, weights=weights)
+    return new, old
+
+
+def assert_observably_equal(new, old):
+    """Every public observable of the two kernels must coincide.
+
+    ``choices()`` may enumerate in a different order (resource order vs
+    set order) — the *set* of (name, enable) pairs is the contract.
+    """
+    assert new.pending_loads == old.pending_loads
+    assert new.controller_time == old.controller_time
+    assert new.makespan == old.makespan
+    assert new.critical_floor == old.critical_floor
+    assert new.undo_depth == old.undo_depth
+    assert new.load_sequence == old.load_sequence
+    assert new.is_complete == old.is_complete
+    assert sorted(new.choices()) == sorted(old.choices())
+    assert sorted(new.issuable()) == sorted(old.issuable())
+
+
+class TestLockstepInterleavings:
+    @settings(max_examples=80, deadline=None)
+    @given(params=instance_params, walk_seed=st.integers(0, 10_000),
+           with_weights=st.booleans(),
+           release=st.floats(min_value=0.0, max_value=30.0))
+    def test_random_push_pop_walk_is_indistinguishable(
+            self, params, walk_seed, with_weights, release):
+        """Arbitrary push/pop interleavings observe identical kernels."""
+        placed, latency = build_placed(params)
+        new, old = paired_states(placed, latency, release=release,
+                                 with_weights=with_weights)
+        rng = random.Random(walk_seed)
+        new_signatures = [new.signature()]
+        old_signatures = [old.signature()]
+        for _ in range(60):
+            assert_observably_equal(new, old)
+            choices = sorted(new.choices())
+            can_push = bool(choices)
+            can_pop = new.undo_depth > 0
+            if not can_push and not can_pop:
+                break
+            if can_push and (not can_pop or rng.random() < 0.65):
+                name, enable = rng.choice(choices)
+                assert new.push_choice(name, enable) \
+                    == old.push_choice(name, enable)
+            else:
+                assert new.pop() == old.pop()
+            new_signatures.append(new.signature())
+            old_signatures.append(old.signature())
+        assert_observably_equal(new, old)
+        # Same equality classes despite entirely different layouts: state i
+        # collides with state j under the packed signature exactly when it
+        # does under the historical nested-name signature.
+        for i in range(len(new_signatures)):
+            for j in range(i + 1, len(new_signatures)):
+                assert (new_signatures[i] == new_signatures[j]) \
+                    == (old_signatures[i] == old_signatures[j])
+
+    @settings(max_examples=60, deadline=None)
+    @given(params=instance_params, order_seed=st.integers(0, 10_000))
+    def test_pushed_to_completion_finish_is_bit_identical(
+            self, params, order_seed):
+        """A full random dispatch sequence materializes identically."""
+        placed, latency = build_placed(params)
+        new, old = paired_states(placed, latency)
+        rng = random.Random(order_seed)
+        while not new.is_complete:
+            choices = sorted(new.choices())
+            assert choices and sorted(old.choices()) == choices
+            name, enable = rng.choice(choices)
+            new.push_choice(name, enable)
+            old.push_choice(name, enable)
+        assert old.is_complete
+        assert_bit_identical(new.finish(), old.finish())
+
+    @settings(max_examples=40, deadline=None)
+    @given(params=instance_params, walk_seed=st.integers(0, 10_000))
+    def test_unwound_state_replays_like_a_fresh_one(self, params, walk_seed):
+        """Push/pop churn followed by completion equals a fresh replay."""
+        placed, latency = build_placed(params)
+        new, old = paired_states(placed, latency)
+        rng = random.Random(walk_seed)
+        for _ in range(30):
+            choices = sorted(new.choices())
+            if choices and (new.undo_depth == 0 or rng.random() < 0.5):
+                name, enable = rng.choice(choices)
+                new.push_choice(name, enable)
+                old.push_choice(name, enable)
+            elif new.undo_depth:
+                new.pop()
+                old.pop()
+        while new.undo_depth:
+            new.pop()
+            old.pop()
+        # The fully unwound states must still agree with a *fresh* pair
+        # (exact-undo invariant), then complete identically.
+        fresh_new, fresh_old = paired_states(placed, latency)
+        assert new.signature() == fresh_new.signature()
+        assert old.signature() == fresh_old.signature()
+        while not new.is_complete:
+            name, enable = min(sorted(new.choices()))
+            new.push_choice(name, enable)
+            old.push_choice(name, enable)
+        assert_bit_identical(new.finish(), old.finish())
