@@ -1,0 +1,118 @@
+"""Benchmark of trace-driven workload streams at scale.
+
+The trace layer exists so thousands of task graphs can arrive in
+realistic multi-tenant order and still hit warm state — the resident
+scheduler pool, the exploration LRU, the persisted transposition tables —
+instead of re-exploring per arrival.  This benchmark quantifies that on a
+1000-record mixed-pattern stream (sequential runs, short jumps, long
+random jumps, four interleaved tenants):
+
+* **Cold vs warm** — the stream runs through a cache-backed
+  :class:`~repro.runner.engine.SweepEngine` twice: the cold pass computes
+  every distinct graph, the warm pass must answer every arrival from the
+  result cache, bit-identically.
+* **Engine vs service** — the same stream replayed through a live
+  ``repro serve`` daemon (one ``/simulate`` per arrival, real HTTP) must
+  agree with the in-process engine on every per-graph metrics dict, while
+  the daemon's exploration LRU and warm pool absorb the repeats.
+
+Set ``REPRO_BENCH_TRACE_RECORDS`` to change the stream length.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.runner import (
+    SweepEngine,
+    TraceStreamConfig,
+    run_trace_stream,
+    run_trace_stream_via_service,
+)
+from repro.service import ServiceClient
+from repro.workloads.traces import MixedPatternConfig, generate_mixed_trace
+
+
+def _record_count(default: int = 1000) -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_TRACE_RECORDS",
+                                         default)))
+    except ValueError:
+        return default
+
+
+#: The interleaved multi-tenant access pattern every benchmark replays.
+PATTERN = MixedPatternConfig(records=_record_count(), universe=48,
+                             seed=2005, tenants=4)
+
+#: Small graphs and few iterations: the point is stream overhead and warm
+#: reuse, not single-simulation runtime.
+STREAM = TraceStreamConfig(iterations=3, tile_count=4, subtasks=4)
+
+
+def _print_report(title: str, result) -> None:
+    print()
+    print(title)
+    for line in result.stats.lines():
+        print(f"  {line}")
+
+
+@pytest.mark.benchmark(group="traces")
+def test_trace_stream_cold_vs_warm(benchmark, tmp_path):
+    records = generate_mixed_trace(PATTERN)
+
+    start = time.perf_counter()
+    cold = run_trace_stream(records, STREAM,
+                            engine=SweepEngine(cache_dir=str(tmp_path)))
+    cold_seconds = time.perf_counter() - start
+
+    def warm_pass():
+        return run_trace_stream(
+            records, STREAM, engine=SweepEngine(cache_dir=str(tmp_path)))
+
+    warm = benchmark.pedantic(warm_pass, rounds=1, iterations=1)
+
+    _print_report(
+        f"cold engine pass ({len(records)} arrivals, {cold_seconds:.2f} s):",
+        cold)
+    _print_report("warm engine pass (result cache):", warm)
+
+    # The mixed pattern guarantees repeats: warm arrivals must exist.
+    assert cold.stats.warm_arrival_rate > 0.0
+    # Warm reuse engaged during the cold pass already — repeats of a graph
+    # share the resident scheduler pool instead of re-exploring.
+    assert cold.stats.warm.get("pool_hits", 0) > 0
+    # The warm pass answers every arrival from the cache, bit-identically.
+    assert warm.stats.cached == len(records)
+    assert warm.metrics == cold.metrics
+
+
+@pytest.mark.benchmark(group="traces")
+def test_trace_stream_service_matches_engine(benchmark, service_endpoint):
+    port, _service = service_endpoint
+    records = generate_mixed_trace(PATTERN)
+    engine_result = run_trace_stream(records, STREAM)
+
+    client = ServiceClient(port=port)
+
+    def service_pass():
+        return run_trace_stream_via_service(records, STREAM, client)
+
+    service_result = benchmark.pedantic(service_pass, rounds=1,
+                                        iterations=1)
+
+    _print_report(
+        f"service stream ({len(records)} sequential /simulate requests):",
+        service_result)
+
+    # Identical per-graph results, in identical multi-tenant arrival order.
+    assert service_result.metrics == engine_result.metrics
+    # The daemon's warm state must absorb the repeats: the stream has far
+    # fewer distinct graphs than arrivals.
+    warm = service_result.stats.warm
+    assert service_result.stats.warm_arrival_rate > 0.0
+    assert warm["exploration_lru_hits"] > 0
+    assert warm["pool_hits"] > 0

@@ -51,6 +51,16 @@ requests from one process-wide warm engine pool, with in-flight request
 deduplication and admission control — see :mod:`repro.service` for the
 protocol, flags and response schemas.
 
+``repro-drhw trace generate`` synthesizes a seed-deterministic
+mixed-pattern access log (sequential runs, short jumps, long random
+jumps over a configuration universe, interleaved across tenants) and
+``repro-drhw trace run`` replays such a log — or a fresh synthetic one —
+through the cached sweep engine or, with ``--service HOST:PORT``, through
+a live daemon, preserving the multi-tenant arrival order and reporting
+per-stream warm-pool / exploration-LRU / transposition-store hit rates
+(``--min-warm-rate`` turns the report into a CI gate); see
+:mod:`repro.workloads.traces` for the log format.
+
 ``repro-drhw cache gc`` keeps a long-lived shared cache directory
 bounded: ``--max-bytes`` evicts memoized entries (results, explorations,
 transposition tables) least-recently-used-first down to the budget —
@@ -92,8 +102,9 @@ from .scheduling.prefetch_bb import OptimalPrefetchScheduler
 from .service.state import TASK_GRAPHS
 from .sim.trace import render_gantt
 
-#: The demo sub-command addresses the same benchmark graphs the service's
-#: ``/schedule`` endpoint does.
+#: Deprecated alias: the demo sub-command addresses the same benchmark
+#: graphs the service's ``/schedule`` endpoint does — both are views of
+#: the unified registry (:mod:`repro.workloads.registry`).
 _DEMO_GRAPHS = TASK_GRAPHS
 
 
@@ -333,6 +344,119 @@ def build_parser() -> argparse.ArgumentParser:
                       default="jpeg_decoder")
     demo.add_argument("--tiles", type=int, default=8)
     demo.add_argument("--latency", type=float, default=4.0)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="Generate and replay trace-driven workload streams: access "
+             "logs of task-graph arrivals fed through the cached sweep "
+             "engine or a live daemon (see repro.workloads.traces)",
+    )
+    trace_commands = trace.add_subparsers(dest="trace_command",
+                                          required=True)
+
+    def add_pattern_flags(subparser) -> None:
+        subparser.add_argument("--records", type=int, default=1000,
+                               metavar="N",
+                               help="arrivals to synthesize (default: 1000)")
+        subparser.add_argument("--universe", type=int, default=64,
+                               metavar="M",
+                               help="distinct graph ids the patterns walk "
+                                    "over (default: 64)")
+        subparser.add_argument("--gen-seed", type=int, default=2005,
+                               metavar="S",
+                               help="generator seed; the same seed and "
+                                    "knobs yield the byte-identical log "
+                                    "(default: 2005)")
+        subparser.add_argument("--tenants", type=int, default=1, metavar="T",
+                               help="independent tenant streams merged by "
+                                    "timestamp (default: 1)")
+        subparser.add_argument("--run-length", type=int, nargs=2,
+                               default=[4, 12], metavar=("MIN", "MAX"),
+                               help="sequential-run length bounds "
+                                    "(default: 4 12)")
+        subparser.add_argument("--short-span", type=int, default=4,
+                               metavar="K",
+                               help="maximum short-jump distance "
+                                    "(default: 4)")
+        subparser.add_argument("--p-sequential", type=float, default=0.6,
+                               metavar="P",
+                               help="weight of sequential runs "
+                                    "(default: 0.6)")
+        subparser.add_argument("--p-short", type=float, default=0.25,
+                               metavar="P",
+                               help="weight of short jumps (default: 0.25)")
+        subparser.add_argument("--p-long", type=float, default=0.15,
+                               metavar="P",
+                               help="weight of long random jumps "
+                                    "(default: 0.15)")
+        subparser.add_argument("--mean-interarrival", type=float,
+                               default=1.0, metavar="MS",
+                               help="mean exponential inter-arrival time "
+                                    "per tenant (default: 1.0)")
+        subparser.add_argument("--sizes", type=int, nargs=2, default=None,
+                               metavar=("MIN", "MAX"),
+                               help="emit a deterministic per-id graph "
+                                    "size in this range (default: none; "
+                                    "the stream default applies)")
+
+    generate = trace_commands.add_parser(
+        "generate",
+        help="Synthesize a seed-deterministic mixed-pattern access log "
+             "(sequential runs, short jumps, long random jumps, "
+             "interleaved across tenants)",
+    )
+    add_pattern_flags(generate)
+    generate.add_argument("--out", default="-", metavar="PATH",
+                          help="write the JSON-lines log here "
+                               "('-' = stdout, the default)")
+
+    trace_run = trace_commands.add_parser(
+        "run",
+        help="Stream an access log (or a freshly synthesized one) through "
+             "the sweep engine — or through a live `repro serve` daemon "
+             "with --service — and report per-stream warm hit rates",
+    )
+    trace_run.add_argument("--log", default=None, metavar="PATH",
+                           help="JSON-lines access log to replay; omitted: "
+                                "synthesize one from the pattern flags")
+    add_pattern_flags(trace_run)
+    trace_run.add_argument("--limit", type=int, default=None, metavar="N",
+                           help="replay only the first N records")
+    trace_run.add_argument("--approach", default="hybrid", metavar="NAME",
+                           help="approach registry name (default: hybrid)")
+    trace_run.add_argument("--tiles", type=int, default=6,
+                           help="tile count of the platform (default: 6)")
+    trace_run.add_argument("--iterations", type=int, default=5,
+                           help="simulated iterations per graph "
+                                "(default: 5; streams are long)")
+    trace_run.add_argument("--sim-seed", type=int, default=2005,
+                           metavar="S",
+                           help="simulation seed (default: 2005)")
+    trace_run.add_argument("--trace-seed", type=int, default=0, metavar="S",
+                           help="seed deriving each graph id's structure "
+                                "(default: 0)")
+    trace_run.add_argument("--subtasks", type=int, default=6, metavar="N",
+                           help="graph size when a record has no 'size' "
+                                "(default: 6)")
+    trace_run.add_argument("--scenarios", type=int, default=2, metavar="N",
+                           help="scenario variants per graph (default: 2)")
+    trace_run.add_argument("--granularity", type=float, default=3.0,
+                           metavar="G",
+                           help="mean subtask time as a multiple of the "
+                                "reconfiguration latency (default: 3.0)")
+    trace_run.add_argument("--latency", type=float, default=4.0,
+                           metavar="MS",
+                           help="reconfiguration latency (default: 4.0)")
+    trace_run.add_argument("--service", default=None, metavar="HOST:PORT",
+                           help="stream through a live `repro serve` "
+                                "daemon (one /simulate per arrival) "
+                                "instead of an in-process engine")
+    trace_run.add_argument("--min-warm-rate", type=float, default=None,
+                           metavar="R",
+                           help="exit non-zero unless the stream's warm "
+                                "arrival rate reaches R (CI smoke gate)")
+    add_jobs_flag(trace_run)
+    add_cache_flag(trace_run)
     return parser
 
 
@@ -416,6 +540,100 @@ def _run_sweep(args, jobs: int, cache_dir: Optional[str]) -> str:
                  f"(computed {sweep.computed_count}, "
                  f"cached {sweep.cached_count})")
     return "\n".join(lines)
+
+
+def _pattern_config(args):
+    """Build a :class:`MixedPatternConfig` from the shared pattern flags."""
+    from .workloads.traces import MixedPatternConfig
+
+    return MixedPatternConfig(
+        records=args.records,
+        universe=args.universe,
+        seed=args.gen_seed,
+        tenants=args.tenants,
+        run_length=tuple(args.run_length),
+        short_jump_span=args.short_span,
+        sequential_weight=args.p_sequential,
+        short_jump_weight=args.p_short,
+        long_jump_weight=args.p_long,
+        mean_interarrival=args.mean_interarrival,
+        size_range=tuple(args.sizes) if args.sizes is not None else None,
+    )
+
+
+def _run_trace_generate(args) -> int:
+    """Execute ``trace generate``: synthesize and emit an access log."""
+    from .workloads.traces import format_trace, generate_mixed_trace
+
+    records = generate_mixed_trace(_pattern_config(args))
+    text = format_trace(records)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        tenants = len({record.tenant for record in records})
+        print(f"wrote {len(records)} records "
+              f"({len({r.graph_id for r in records})} distinct graphs, "
+              f"{tenants} tenants) to {args.out}")
+    return 0
+
+
+def _run_trace_run(args, jobs: int, cache_dir: Optional[str]) -> int:
+    """Execute ``trace run``: replay a stream, report warm hit rates."""
+    from .runner import (SweepEngine, TraceStreamConfig, run_trace_stream,
+                        run_trace_stream_via_service)
+    from .workloads.traces import generate_mixed_trace, read_trace
+
+    if args.log is not None:
+        records = read_trace(args.log)
+        source = args.log
+    else:
+        records = generate_mixed_trace(_pattern_config(args))
+        source = f"synthetic (seed {args.gen_seed})"
+    if args.limit is not None:
+        records = records[:args.limit]
+
+    config = TraceStreamConfig(
+        approach=args.approach,
+        tile_count=args.tiles,
+        seed=args.sim_seed,
+        iterations=args.iterations,
+        trace_seed=args.trace_seed,
+        subtasks=args.subtasks,
+        scenarios=args.scenarios,
+        granularity=args.granularity,
+        reconfiguration_latency=args.latency,
+    )
+    if args.service is not None:
+        from .errors import ConfigurationError
+        from .service.client import ServiceClient
+
+        host, _, port = args.service.rpartition(":")
+        if not host or not port.isdigit():
+            raise ConfigurationError(
+                f"--service wants HOST:PORT, got {args.service!r}"
+            )
+        client = ServiceClient(host=host, port=int(port))
+        result = run_trace_stream_via_service(records, config, client)
+        transport = f"service {args.service}"
+    else:
+        engine = SweepEngine(max_workers=jobs, cache_dir=cache_dir,
+                             tt_cache=args.tt_cache)
+        result = run_trace_stream(records, config, engine)
+        transport = f"engine (jobs={jobs})"
+
+    print(f"trace stream: {source} via {transport}")
+    for line in result.stats.lines():
+        print(line)
+    if args.min_warm_rate is not None:
+        rate = result.stats.warm_arrival_rate
+        if rate < args.min_warm_rate:
+            print(f"FAIL: warm arrival rate {rate:.3f} below required "
+                  f"{args.min_warm_rate:.3f}")
+            return 1
+        print(f"warm arrival rate {rate:.3f} >= {args.min_warm_rate:.3f}")
+    return 0
 
 
 def _run_demo(task: str, tiles: int, latency: float) -> str:
@@ -527,6 +745,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.command == "demo":
         print(_run_demo(args.task, args.tiles, args.latency))
+    elif args.command == "trace":
+        if args.trace_command == "generate":
+            return _run_trace_generate(args)
+        return _run_trace_run(args, jobs=jobs, cache_dir=cache_dir)
     else:  # pragma: no cover - argparse enforces the choices
         parser.error(f"unknown command {args.command!r}")
     return 0

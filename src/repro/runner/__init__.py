@@ -64,6 +64,15 @@ from .spec import (
     WORKLOAD_FACTORIES,
     WorkloadSpec,
 )
+from .tracestream import (
+    TraceStreamConfig,
+    TraceStreamResult,
+    TraceStreamStats,
+    run_trace_stream,
+    run_trace_stream_via_service,
+    trace_points,
+    trace_sweep_spec,
+)
 
 __all__ = [
     "ApproachSpec",
@@ -84,6 +93,9 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "SweepSpec",
+    "TraceStreamConfig",
+    "TraceStreamResult",
+    "TraceStreamStats",
     "WORKLOAD_FACTORIES",
     "WorkloadSpec",
     "aggregate",
@@ -94,5 +106,9 @@ __all__ = [
     "metrics_to_dict",
     "parallel_map",
     "run_group",
+    "run_trace_stream",
+    "run_trace_stream_via_service",
     "t_quantile_95",
+    "trace_points",
+    "trace_sweep_spec",
 ]

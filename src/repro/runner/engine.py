@@ -341,10 +341,21 @@ class SweepOutcome:
 
 
 class SweepResult:
-    """Outcomes of a sweep, reported in spec expansion order."""
+    """Outcomes of a sweep, reported in spec expansion order.
 
-    def __init__(self, outcomes: Sequence[SweepOutcome]) -> None:
+    ``warm_stats``, when present, is the delta of the in-process
+    :func:`~repro.scheduling.pool.process_scheduler_pool` counters over
+    this run (``pool_hits``/``pool_misses``/``tt_warm_hits``) — the
+    warm-reuse telemetry trace streams report.  It is only captured for
+    ``max_workers=1`` engines: with worker processes the warm activity
+    happens in *their* pools, and a zero here would misread as "no
+    reuse".
+    """
+
+    def __init__(self, outcomes: Sequence[SweepOutcome],
+                 warm_stats: Optional[Dict[str, int]] = None) -> None:
         self.outcomes: Tuple[SweepOutcome, ...] = tuple(outcomes)
+        self.warm_stats = warm_stats
 
     def __len__(self) -> int:
         return len(self.outcomes)
@@ -509,6 +520,7 @@ class SweepEngine:
                 pending.append(point)
                 queued.add(point)
 
+        warm_before = self._warm_counters()
         for group, metrics_list in self._run_groups(self._group(pending)):
             for point, metrics in zip(group, metrics_list):
                 resolved[point] = SweepOutcome(point=point, metrics=metrics,
@@ -516,7 +528,31 @@ class SweepEngine:
                 if self.cache is not None:
                     self.cache.store(point, metrics)
 
-        return SweepResult([resolved[point] for point in points])
+        return SweepResult([resolved[point] for point in points],
+                           warm_stats=self._warm_delta(warm_before))
+
+    def _warm_counters(self) -> Optional[Dict[str, int]]:
+        """Snapshot of the in-process pool counters (``max_workers=1``).
+
+        With worker processes the warm activity happens in their pools,
+        so no snapshot is taken and :attr:`SweepResult.warm_stats` stays
+        ``None`` rather than reading as zero reuse.
+        """
+        if self.max_workers != 1:
+            return None
+        pool = process_scheduler_pool()
+        return {
+            "pool_hits": pool.pool_hits,
+            "pool_misses": pool.pool_misses,
+            "tt_warm_hits": pool.tt_warm_hits,
+        }
+
+    def _warm_delta(self, before: Optional[Dict[str, int]]
+                    ) -> Optional[Dict[str, int]]:
+        after = self._warm_counters()
+        if before is None or after is None:
+            return None
+        return {key: after[key] - before[key] for key in after}
 
     # ------------------------------------------------------------------ #
     @staticmethod

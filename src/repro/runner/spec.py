@@ -12,9 +12,11 @@ any number of worker processes) without changing the results.
 Workloads and approaches are referenced *by name* plus a frozen mapping of
 scalar options, not by live objects: a point must be picklable, hashable
 and stable so it can cross a process boundary and serve as a cache key.
-:data:`WORKLOAD_FACTORIES` maps workload names to constructors; approaches
-resolve through :data:`repro.sim.approaches.APPROACHES` and replacement
-policies through :data:`repro.reuse.replacement.REPLACEMENT_POLICIES`.
+Workload names resolve through the unified registry of
+:mod:`repro.workloads.registry` (worker processes re-resolve them after
+importing the package afresh); approaches resolve through
+:data:`repro.sim.approaches.APPROACHES` and replacement policies through
+:data:`repro.reuse.replacement.REPLACEMENT_POLICIES`.
 """
 
 from __future__ import annotations
@@ -28,10 +30,8 @@ from ..errors import ConfigurationError
 from ..reuse.replacement import ReplacementPolicy, make_replacement_policy
 from ..sim.noise import PerturbationConfig
 from ..sim.simulator import SimulationConfig
+from ..workloads import registry as workload_registry
 from ..workloads.base import Workload
-from ..workloads.multimedia import MultimediaWorkload
-from ..workloads.pocketgl import PocketGLWorkload
-from ..workloads.synthetic import SyntheticSpec, SyntheticWorkload
 
 #: Frozen, order-independent representation of scalar keyword options.
 Options = Tuple[Tuple[str, object], ...]
@@ -39,20 +39,10 @@ Options = Tuple[Tuple[str, object], ...]
 #: Bump when the meaning of a point (and therefore of a cache key) changes.
 SPEC_FORMAT_VERSION = 1
 
-
-def _build_synthetic(**options) -> SyntheticWorkload:
-    """Build a synthetic workload from flat :class:`SyntheticSpec` fields."""
-    return SyntheticWorkload(spec=SyntheticSpec(**options))
-
-
-#: Workload constructors usable from a sweep point, keyed by workload name.
-#: Only module-level factories belong here: worker processes resolve the
-#: name through this table after importing the module afresh.
-WORKLOAD_FACTORIES = {
-    MultimediaWorkload.name: MultimediaWorkload,
-    PocketGLWorkload.name: PocketGLWorkload,
-    SyntheticWorkload.name: _build_synthetic,
-}
+#: Deprecated alias of the registry's live name -> factory view; kept so
+#: existing imports keep resolving.  Register new families with
+#: :func:`repro.workloads.registry.register_workload` instead.
+WORKLOAD_FACTORIES = workload_registry.WORKLOAD_FACTORIES
 
 
 def _freeze_options(options: Mapping[str, object]) -> Options:
@@ -100,11 +90,15 @@ class WorkloadSpec:
         return cls(name=workload, options=_freeze_options(options))
 
     def __post_init__(self) -> None:
-        if self.name not in WORKLOAD_FACTORIES:
+        if not workload_registry.has_workload(self.name):
             raise ConfigurationError(
                 f"unknown workload {self.name!r}; available: "
-                f"{sorted(WORKLOAD_FACTORIES)}"
+                f"{workload_registry.workload_names()}"
             )
+        # Families registered with an options schema fail fast here —
+        # before a bad option name or type can become a cache key or
+        # reach a worker process.
+        workload_registry.validate_options(self.name, dict(self.options))
 
     @property
     def label(self) -> str:
@@ -113,34 +107,25 @@ class WorkloadSpec:
 
     def build(self) -> Workload:
         """Instantiate the workload (in whatever process this runs in)."""
-        return WORKLOAD_FACTORIES[self.name](**dict(self.options))
+        return workload_registry.build_workload(self.name,
+                                                **dict(self.options))
 
 
 def workload_spec_for(workload: Workload) -> Optional[WorkloadSpec]:
     """Reconstruct the spec of a live workload instance, if representable.
 
-    Only exact instances of the registered classes can round-trip (a
-    subclass may override behaviour the spec cannot name); anything else
-    returns ``None`` and callers fall back to direct execution.
+    The registry round-trip: an exact instance of a registered family's
+    class reports its constructor options through
+    :meth:`~repro.workloads.base.Workload.spec_options`, and those become
+    the spec (and therefore the cache key).  Subclasses — which may
+    override behaviour the options cannot name — and unregistered classes
+    return ``None``, and callers fall back to direct execution.
     """
-    import dataclasses
-
-    if type(workload) is MultimediaWorkload:
-        return WorkloadSpec.of(
-            MultimediaWorkload.name,
-            reconfiguration_latency=workload.reconfiguration_latency,
-            min_tasks_per_iteration=workload.min_tasks_per_iteration,
-        )
-    if type(workload) is PocketGLWorkload:
-        return WorkloadSpec.of(
-            PocketGLWorkload.name,
-            reconfiguration_latency=workload.reconfiguration_latency,
-            inter_task_scenarios=len(workload.inter_task_scenarios),
-        )
-    if type(workload) is SyntheticWorkload:
-        return WorkloadSpec.of(SyntheticWorkload.name,
-                               **dataclasses.asdict(workload.spec))
-    return None
+    resolved = workload_registry.spec_for_instance(workload)
+    if resolved is None:
+        return None
+    name, options = resolved
+    return WorkloadSpec.of(name, **options)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,288 @@
+"""Stream trace records through the sweep engine or a live service.
+
+The bridge between the trace layer (:mod:`repro.workloads.traces` — pure
+records, no runner knowledge) and the execution layer: every
+:class:`~repro.workloads.traces.TraceRecord` becomes one
+:class:`~repro.runner.spec.SweepPoint` over the registered ``"trace"``
+workload family, **in arrival order** — repeats of a graph id map to the
+identical point, so the engine computes each distinct graph once and
+replays the repeats, exactly the warm-path behaviour a real multi-tenant
+stream would exercise.
+
+Two transports run the same stream:
+
+* :func:`run_trace_stream` — through a (cached)
+  :class:`~repro.runner.engine.SweepEngine` in this process;
+* :func:`run_trace_stream_via_service` — through a live ``repro serve``
+  daemon, one ``/simulate`` request per arrival, with the warm-state
+  counters (exploration LRU, scheduler pool, transposition store) read
+  off ``/metrics`` as a before/after delta.
+
+Both return a :class:`TraceStreamResult` whose per-record metric dicts
+are directly comparable — the service's simulate path mirrors the
+engine's group runner step for step, so the two transports must agree
+bit-for-bit on every graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
+from ..workloads.traces import DEFAULT_TRACE_SUBTASKS, TraceRecord
+from .cache import metrics_to_dict
+from .engine import SweepEngine
+from .spec import ApproachSpec, SweepPoint, SweepSpec, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class TraceStreamConfig:
+    """How trace records become sweep points.
+
+    ``subtasks`` is the graph size used when a record carries no ``size``
+    field; the remaining trace knobs (``trace_seed``, ``scenarios``,
+    ``granularity``, ``reconfiguration_latency``) shape every graph of
+    the stream, and the sweep knobs (``approach``, ``tile_count``,
+    ``seed``, ``iterations``) shape every simulation.
+    """
+
+    approach: str = "hybrid"
+    tile_count: int = 6
+    seed: int = 2005
+    iterations: int = 5
+    trace_seed: int = 0
+    subtasks: int = DEFAULT_TRACE_SUBTASKS
+    scenarios: int = 2
+    granularity: float = 3.0
+    reconfiguration_latency: float = DEFAULT_RECONFIGURATION_LATENCY_MS
+
+
+def workload_spec_for_record(record: TraceRecord,
+                             config: TraceStreamConfig) -> WorkloadSpec:
+    """The (cacheable) workload spec of one arrival."""
+    return WorkloadSpec.of(
+        "trace",
+        graph_id=record.graph_id,
+        trace_seed=config.trace_seed,
+        subtasks=record.size if record.size is not None else config.subtasks,
+        scenarios=config.scenarios,
+        granularity=config.granularity,
+        reconfiguration_latency=config.reconfiguration_latency,
+    )
+
+
+def point_for_record(record: TraceRecord,
+                     config: TraceStreamConfig) -> SweepPoint:
+    """The fully specified simulation run of one arrival."""
+    return SweepPoint(
+        workload=workload_spec_for_record(record, config),
+        approach=ApproachSpec.of(config.approach),
+        tile_count=config.tile_count,
+        seed=config.seed,
+        iterations=config.iterations,
+    )
+
+
+def trace_points(records: Sequence[TraceRecord],
+                 config: TraceStreamConfig) -> List[SweepPoint]:
+    """One point per record, preserving multi-tenant arrival order."""
+    return [point_for_record(record, config) for record in records]
+
+
+def trace_sweep_spec(records: Sequence[TraceRecord],
+                     config: TraceStreamConfig) -> SweepSpec:
+    """The stream's *distinct* graphs as a declarative sweep axis.
+
+    :class:`~repro.runner.spec.SweepSpec` axes deduplicate, so this is
+    the batch view of a trace (every graph once, arrival order of first
+    appearance) — use :func:`trace_points` when repeats matter.
+    """
+    return SweepSpec(
+        workloads=tuple(dict.fromkeys(
+            workload_spec_for_record(record, config) for record in records
+        )),
+        approaches=(ApproachSpec.of(config.approach),),
+        tile_counts=(config.tile_count,),
+        seeds=(config.seed,),
+        iterations=config.iterations,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Stream results
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TraceStreamStats:
+    """Per-stream warm-path telemetry.
+
+    ``stream_warm_arrivals`` counts records whose (workload, tile count)
+    group already appeared earlier in the stream — the arrivals a warm
+    scheduler answers without new exploration work.  ``warm`` carries the
+    transport's warm counters: the engine's in-process pool delta, or
+    the service's ``/metrics`` warm-section delta (exploration-LRU,
+    pool and transposition-store hits).
+    """
+
+    records: int
+    distinct_graphs: int
+    tenants: int
+    stream_warm_arrivals: int
+    computed: int
+    cached: int
+    warm: Dict[str, object]
+
+    @property
+    def warm_arrival_rate(self) -> float:
+        """Fraction of arrivals landing on an already-seen graph."""
+        if not self.records:
+            return 0.0
+        return self.stream_warm_arrivals / self.records
+
+    def lines(self) -> List[str]:
+        """Human-readable report lines (CLI and bench output)."""
+        width = max([25] + [len(key) + 2 for key in self.warm])
+        lines = [
+            f"{'records':<{width}}{self.records}",
+            f"{'distinct graphs':<{width}}{self.distinct_graphs}",
+            f"{'tenants':<{width}}{self.tenants}",
+            f"{'warm arrivals':<{width}}{self.stream_warm_arrivals} "
+            f"({self.warm_arrival_rate:.1%})",
+            f"{'computed/cached':<{width}}{self.computed}/{self.cached}",
+        ]
+        for key in sorted(self.warm):
+            value = self.warm[key]
+            if isinstance(value, float):
+                value = f"{value:.3f}"
+            lines.append(f"{key:<{width}}{value}")
+        return lines
+
+
+@dataclass(frozen=True)
+class TraceStreamResult:
+    """One trace stream's outcomes, in arrival order."""
+
+    records: Tuple[TraceRecord, ...]
+    points: Tuple[SweepPoint, ...]
+    metrics: Tuple[Dict[str, object], ...]
+    cached_flags: Tuple[bool, ...]
+    stats: TraceStreamStats
+
+
+def _stream_warm_arrivals(points: Sequence[SweepPoint]) -> int:
+    seen: Set[Tuple[WorkloadSpec, int]] = set()
+    warm = 0
+    for point in points:
+        if point.group_key in seen:
+            warm += 1
+        else:
+            seen.add(point.group_key)
+    return warm
+
+
+def _build_stats(records: Sequence[TraceRecord],
+                 points: Sequence[SweepPoint],
+                 cached_flags: Sequence[bool],
+                 warm: Dict[str, object]) -> TraceStreamStats:
+    return TraceStreamStats(
+        records=len(records),
+        distinct_graphs=len({point.workload for point in points}),
+        tenants=len({record.tenant for record in records}),
+        stream_warm_arrivals=_stream_warm_arrivals(points),
+        computed=sum(1 for cached in cached_flags if not cached),
+        cached=sum(1 for cached in cached_flags if cached),
+        warm=dict(warm),
+    )
+
+
+# --------------------------------------------------------------------- #
+# Transports
+# --------------------------------------------------------------------- #
+def run_trace_stream(records: Sequence[TraceRecord],
+                     config: Optional[TraceStreamConfig] = None,
+                     engine: Optional[SweepEngine] = None
+                     ) -> TraceStreamResult:
+    """Run the whole stream through a :class:`SweepEngine`.
+
+    Repeated arrivals of one graph resolve to one computation (the
+    engine deduplicates identical points) but still report one outcome
+    per record, so arrival-order semantics — and the warm-arrival rate —
+    survive the batching.
+    """
+    if config is None:
+        config = TraceStreamConfig()
+    if engine is None:
+        engine = SweepEngine()
+    points = trace_points(records, config)
+    result = engine.run(points)
+    cached_flags = [outcome.from_cache for outcome in result.outcomes]
+    warm: Dict[str, object] = dict(result.warm_stats or {})
+    return TraceStreamResult(
+        records=tuple(records),
+        points=tuple(points),
+        metrics=tuple(metrics_to_dict(outcome.metrics)
+                      for outcome in result.outcomes),
+        cached_flags=tuple(cached_flags),
+        stats=_build_stats(records, points, cached_flags, warm),
+    )
+
+
+#: Warm-section counters whose before/after delta a service stream reports.
+_SERVICE_WARM_KEYS = (
+    "exploration_lru_hits",
+    "exploration_builds",
+    "pool_hits",
+    "pool_misses",
+    "tt_warm_hits",
+    "result_cache_hits",
+    "simulations",
+)
+
+
+def run_trace_stream_via_service(records: Sequence[TraceRecord],
+                                 config: Optional[TraceStreamConfig] = None,
+                                 client=None) -> TraceStreamResult:
+    """Run the stream against a live daemon, one ``/simulate`` per arrival.
+
+    ``client`` is a :class:`~repro.service.client.ServiceClient` (kept
+    duck-typed here: the runner layer does not import the service
+    layer).  Arrival order is preserved exactly — requests are issued
+    sequentially, so the daemon sees the interleaved multi-tenant order
+    the trace encodes.  The warm delta comes from ``/metrics`` around
+    the stream, plus the daemon's exploration-LRU hit rate over it.
+    """
+    if config is None:
+        config = TraceStreamConfig()
+    if client is None:
+        raise TypeError("run_trace_stream_via_service needs a ServiceClient")
+    points = trace_points(records, config)
+    before = client.metrics().get("warm", {})
+    metrics: List[Dict[str, object]] = []
+    cached_flags: List[bool] = []
+    for point in points:
+        body = client.request_with_retry("simulate", {
+            "workload": {"name": point.workload.name,
+                         "options": dict(point.workload.options)},
+            "approach": point.approach.name,
+            "tile_count": point.tile_count,
+            "seed": point.seed,
+            "iterations": point.iterations,
+        })
+        metrics.append(dict(body["metrics"]))
+        cached_flags.append(bool(body["from_cache"]))
+    after = client.metrics().get("warm", {})
+    warm: Dict[str, object] = {
+        key: after.get(key, 0) - before.get(key, 0)
+        for key in _SERVICE_WARM_KEYS
+    }
+    lookups = warm["exploration_lru_hits"] + warm["exploration_builds"]
+    warm["exploration_lru_hit_rate"] = (
+        warm["exploration_lru_hits"] / lookups if lookups else 0.0
+    )
+    return TraceStreamResult(
+        records=tuple(records),
+        points=tuple(points),
+        metrics=tuple(metrics),
+        cached_flags=tuple(cached_flags),
+        stats=_build_stats(records, points, cached_flags, warm),
+    )

@@ -64,7 +64,9 @@ class ServiceClient:
                 )
             if response.status != 200:
                 raise ServiceRequestError(
-                    response.status, str(data.get("error", "request failed"))
+                    response.status,
+                    str(data.get("error", "request failed")),
+                    body=data if isinstance(data, dict) else None,
                 )
             return data
         finally:

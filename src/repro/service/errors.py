@@ -8,6 +8,8 @@ same exception types.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from ..errors import ReproError
 
 
@@ -16,7 +18,18 @@ class ServiceError(ReproError):
 
 
 class BadRequest(ServiceError):
-    """The request payload is malformed or names unknown entities (400)."""
+    """The request payload is malformed or names unknown entities (400).
+
+    ``detail`` optionally carries a structured, JSON-serializable
+    description of the failure (e.g. the unknown name and the list of
+    valid ones); the server merges it into the 400 response body so
+    clients can react programmatically instead of parsing the message.
+    """
+
+    def __init__(self, message: str,
+                 detail: Optional[Dict[str, object]] = None) -> None:
+        super().__init__(message)
+        self.detail = dict(detail) if detail else {}
 
 
 class ServiceOverloaded(ServiceError):
@@ -34,8 +47,15 @@ class ServiceOverloaded(ServiceError):
 
 
 class ServiceRequestError(ServiceError):
-    """A non-429 HTTP error response, surfaced client-side."""
+    """A non-429 HTTP error response, surfaced client-side.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``body`` is the decoded JSON response body, so the structured detail
+    a :class:`BadRequest` attached server-side (e.g. ``unknown_task`` and
+    ``available_tasks``) survives the wire.
+    """
+
+    def __init__(self, status: int, message: str,
+                 body: Optional[Dict[str, object]] = None) -> None:
         super().__init__(f"HTTP {status}: {message}")
         self.status = status
+        self.body = dict(body) if body else {}

@@ -223,9 +223,12 @@ class ReproService:
                          "retry_after": exc.retry_after}
         except ReproError as exc:
             # BadRequest, spec/scheduling validation errors, ...: the
-            # request was wrong, not the service.
+            # request was wrong, not the service.  A BadRequest's
+            # structured detail fields join the body next to the message.
             self.metrics.count_error(name)
-            return 400, {"error": str(exc)}
+            body: Dict[str, object] = {"error": str(exc)}
+            body.update(getattr(exc, "detail", None) or {})
+            return 400, body
         except Exception as exc:  # noqa: BLE001 - daemon must not die
             self.metrics.count_error(name)
             return 500, {"error": f"internal error: "

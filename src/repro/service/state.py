@@ -57,25 +57,15 @@ from ..scheduling.pool import SchedulerPool
 from ..scheduling.schedule import PlacedSchedule
 from ..scheduling.ttstore import TranspositionStore
 from ..tcm.design_time import TcmDesignTimeResult
+from ..workloads import registry as workload_registry
 from ..workloads.base import Workload
-from ..workloads.multimedia import (
-    jpeg_decoder_graph,
-    mpeg_encoder_graph,
-    parallel_jpeg_graph,
-    pattern_recognition_graph,
-)
 from .errors import BadRequest, ServiceOverloaded
 
-#: Benchmark task graphs addressable by name from ``/schedule`` requests
-#: (and from the ``repro demo`` sub-command, which shares this registry).
-TASK_GRAPHS = {
-    "pattern_recognition": pattern_recognition_graph,
-    "jpeg_decoder": jpeg_decoder_graph,
-    "parallel_jpeg": parallel_jpeg_graph,
-    "mpeg_encoder_b": lambda: mpeg_encoder_graph("B"),
-    "mpeg_encoder_p": lambda: mpeg_encoder_graph("P"),
-    "mpeg_encoder_i": lambda: mpeg_encoder_graph("I"),
-}
+#: Deprecated alias of the unified workload registry's task-graph view
+#: (``/schedule`` requests and the ``repro demo`` sub-command resolve
+#: names through it).  Register new graphs with
+#: :func:`repro.workloads.registry.register_task_graph` instead.
+TASK_GRAPHS = workload_registry.TASK_GRAPHS
 
 #: Requests allowed to wait on the compute lock before shedding starts.
 DEFAULT_MAX_PENDING = 8
@@ -139,8 +129,15 @@ class ServiceState:
 
         self._pending = 0
         self.shed_count = 0
+        #: Sum of every resident-LRU hit (back-compat aggregate of the
+        #: two split counters below).
         self.batch_hits = 0
+        #: Resident-exploration LRU hits/builds, split out so per-stream
+        #: trace runs can report an exploration-LRU hit rate.
+        self.exploration_lru_hits = 0
         self.exploration_builds = 0
+        #: Resident placed-schedule LRU hits (the ``/schedule`` path).
+        self.schedule_lru_hits = 0
         self.result_cache_hits = 0
         self.result_cache_stores = 0
         self.simulations = 0
@@ -195,6 +192,7 @@ class ServiceState:
             if trio is not None:
                 self._explorations.move_to_end(key)
                 self.batch_hits += 1
+                self.exploration_lru_hits += 1
                 return trio
         built = explore_platform(workload_spec, tile_count,
                                  self.exploration_dir)
@@ -220,9 +218,16 @@ class ServiceState:
         consecutive solves (the ``with_reused`` ladder) onto one warm
         pool engine.  Callers must hold :attr:`compute_lock`.
         """
-        if task not in TASK_GRAPHS:
+        if not workload_registry.has_task_graph(task):
+            # Structured 400: the unknown name and the registry's current
+            # universe travel as payload fields, not a repr inside the
+            # message.
             raise BadRequest(
-                f"unknown task {task!r}; available: {sorted(TASK_GRAPHS)}"
+                f"unknown task {task!r}",
+                detail={
+                    "unknown_task": task,
+                    "available_tasks": workload_registry.task_graph_names(),
+                },
             )
         key = (task, tile_count, reconfiguration_latency)
         with self._lock:
@@ -230,8 +235,9 @@ class ServiceState:
             if placed is not None:
                 self._schedules.move_to_end(key)
                 self.batch_hits += 1
+                self.schedule_lru_hits += 1
                 return placed
-        graph = TASK_GRAPHS[task]()
+        graph = workload_registry.build_task_graph(task)
         platform = Platform(
             tile_count=tile_count,
             reconfiguration_latency=reconfiguration_latency,
@@ -296,9 +302,17 @@ class ServiceState:
         with self._lock:
             resident = len(self._explorations)
             schedules = len(self._schedules)
+            exploration_lookups = (self.exploration_lru_hits
+                                   + self.exploration_builds)
             snapshot = {
                 "batch_hits": self.batch_hits,
+                "exploration_lru_hits": self.exploration_lru_hits,
                 "exploration_builds": self.exploration_builds,
+                "exploration_lru_hit_rate": (
+                    self.exploration_lru_hits / exploration_lookups
+                    if exploration_lookups else 0.0
+                ),
+                "schedule_lru_hits": self.schedule_lru_hits,
                 "resident_explorations": resident,
                 "resident_schedules": schedules,
                 "result_cache_hits": self.result_cache_hits,

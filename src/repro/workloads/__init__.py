@@ -1,4 +1,43 @@
-"""Benchmarks and synthetic workloads used by the experiments."""
+"""Workload families, their registry, and trace-driven streams.
+
+A *workload* (:class:`~repro.workloads.base.Workload`) bundles a task set
+with the dynamic behaviour the simulator exercises.  Four families ship
+with the package, all registered by name in the **unified workload
+registry** (:mod:`repro.workloads.registry`):
+
+* ``"multimedia"`` — the Table 1 / Figure 6 benchmark mix;
+* ``"pocketgl"`` — the Figure 7 3D-rendering pipeline;
+* ``"synthetic"`` — seeded generators for scalability and ablations;
+* ``"trace"`` — one access-log arrival, its graph derived
+  deterministically from ``(trace seed, graph id)``
+  (:mod:`repro.workloads.traces`).
+
+The registry is the single source of truth for workload identity: it
+backs :meth:`repro.runner.spec.WorkloadSpec.build` (sweep points), the
+inverse :func:`repro.runner.spec.workload_spec_for` round-trip (via the
+:meth:`~repro.workloads.base.Workload.spec_options` hook), the service's
+``/schedule`` task-graph lookup and the CLI demo listing.  A new family
+plugs in with one decorator::
+
+    from repro.workloads.registry import register_workload
+
+    @register_workload("myfamily", options_schema={"knob": int})
+    class MyWorkload(Workload):
+        def spec_options(self):
+            return {"knob": self.knob}
+
+and immediately works everywhere specs do — cache keys, sweeps, the
+service, the CLI — without editing ``runner/spec.py``.
+
+**Traces.**  :mod:`repro.workloads.traces` turns access logs (JSON lines
+of ``{"timestamp": ..., "task": id, "size"?, "deps"?, "tenant"?}``) into
+deterministic streams of :class:`~repro.workloads.traces.TraceWorkload`
+instances, and synthesizes such logs with a seed-deterministic
+mixed-pattern generator (sequential runs, short jumps, long random jumps
+over a configuration universe, interleaved across tenants).  See
+:mod:`repro.runner.tracestream` for streaming them through the sweep
+engine or a live service, and ``repro trace`` for the CLI surface.
+"""
 
 from .base import Workload
 from .multimedia import (
@@ -24,6 +63,14 @@ from .pocketgl import (
     pocketgl_task,
     pocketgl_task_set,
 )
+from .registry import (
+    build_task_graph,
+    build_workload,
+    register_task_graph,
+    register_workload,
+    task_graph_names,
+    workload_names,
+)
 from .synthetic import (
     SyntheticSpec,
     SyntheticWorkload,
@@ -31,8 +78,20 @@ from .synthetic import (
     synthetic_task,
     synthetic_task_set,
 )
+from .traces import (
+    MixedPatternConfig,
+    TraceFormatError,
+    TraceRecord,
+    TraceWorkload,
+    format_trace,
+    generate_mixed_trace,
+    parse_trace,
+    read_trace,
+    write_trace,
+)
 
 __all__ = [
+    "MixedPatternConfig",
     "MultimediaWorkload",
     "POCKETGL_REFERENCE",
     "PocketGLWorkload",
@@ -41,8 +100,15 @@ __all__ = [
     "SyntheticWorkload",
     "TABLE1_REFERENCE",
     "Table1Row",
+    "TraceFormatError",
+    "TraceRecord",
+    "TraceWorkload",
     "Workload",
+    "build_task_graph",
+    "build_workload",
     "feasible_intertask_scenarios",
+    "format_trace",
+    "generate_mixed_trace",
     "jpeg_decoder_graph",
     "jpeg_decoder_task",
     "mpeg_encoder_graph",
@@ -50,12 +116,19 @@ __all__ = [
     "multimedia_task_set",
     "parallel_jpeg_graph",
     "parallel_jpeg_task",
+    "parse_trace",
     "pattern_recognition_graph",
     "pattern_recognition_task",
     "pocketgl_scenario_graph",
     "pocketgl_task",
     "pocketgl_task_set",
+    "read_trace",
+    "register_task_graph",
+    "register_workload",
     "scalability_graphs",
     "synthetic_task",
     "synthetic_task_set",
+    "task_graph_names",
+    "workload_names",
+    "write_trace",
 ]

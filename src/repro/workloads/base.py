@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import abc
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
 from ..tcm.scenario import TaskInstance, TaskSet
@@ -48,6 +48,20 @@ class Workload(abc.ABC):
         applications executed during each iteration vary randomly"); given
         the same :class:`random.Random` state the result is deterministic.
         """
+
+    def spec_options(self) -> Optional[Dict[str, object]]:
+        """Scalar constructor options that rebuild this exact workload.
+
+        The registry round-trip hook: when this instance's exact class is
+        registered (:func:`repro.workloads.registry.register_workload`
+        with a matching ``instance_class``), the returned options let
+        :func:`repro.runner.spec.workload_spec_for` serialize the
+        instance into a :class:`~repro.runner.spec.WorkloadSpec` — and
+        therefore into sweep cache keys — without ``spec.py`` knowing the
+        class.  Return ``None`` (the default) to declare the instance
+        unrepresentable; callers then fall back to direct execution.
+        """
+        return None
 
     # ------------------------------------------------------------------ #
     @property

@@ -29,6 +29,7 @@ from ..graphs.taskgraph import TaskGraph
 from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
 from ..tcm.scenario import DynamicTask, Scenario, TaskInstance, TaskSet
 from .base import Workload
+from .registry import register_task_graph, register_workload
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,7 @@ SECTION7_REFERENCE = {
 # ---------------------------------------------------------------------- #
 # Task graphs
 # ---------------------------------------------------------------------- #
+@register_task_graph("pattern_recognition")
 def pattern_recognition_graph() -> TaskGraph:
     """Hough-transform pattern recognition: 6 subtasks, 94 ms ideal.
 
@@ -85,6 +87,7 @@ def pattern_recognition_graph() -> TaskGraph:
     return graph
 
 
+@register_task_graph("jpeg_decoder")
 def jpeg_decoder_graph() -> TaskGraph:
     """Sequential JPEG decoder: 4 subtasks, 81 ms ideal."""
     graph = TaskGraph("jpeg_decoder")
@@ -98,6 +101,7 @@ def jpeg_decoder_graph() -> TaskGraph:
     return graph
 
 
+@register_task_graph("parallel_jpeg")
 def parallel_jpeg_graph() -> TaskGraph:
     """Parallel JPEG decoder: 8 subtasks, 57 ms ideal.
 
@@ -155,6 +159,11 @@ def mpeg_encoder_graph(frame_type: str) -> TaskGraph:
     return graph
 
 
+register_task_graph("mpeg_encoder_b")(lambda: mpeg_encoder_graph("B"))
+register_task_graph("mpeg_encoder_p")(lambda: mpeg_encoder_graph("P"))
+register_task_graph("mpeg_encoder_i")(lambda: mpeg_encoder_graph("I"))
+
+
 # ---------------------------------------------------------------------- #
 # Tasks and workload
 # ---------------------------------------------------------------------- #
@@ -200,6 +209,10 @@ def multimedia_task_set() -> TaskSet:
     ])
 
 
+@register_workload("multimedia", options_schema={
+    "reconfiguration_latency": float,
+    "min_tasks_per_iteration": int,
+})
 class MultimediaWorkload(Workload):
     """Dynamic multimedia mix used for Figure 6.
 
@@ -222,6 +235,12 @@ class MultimediaWorkload(Workload):
             raise ValueError("min_tasks_per_iteration must be at least 1")
         self.min_tasks_per_iteration = min(min_tasks_per_iteration,
                                            len(self.task_set))
+
+    def spec_options(self) -> Dict[str, object]:
+        return {
+            "reconfiguration_latency": self.reconfiguration_latency,
+            "min_tasks_per_iteration": self.min_tasks_per_iteration,
+        }
 
     def draw_instances(self, rng: random.Random) -> List[TaskInstance]:
         tasks = self.task_set.tasks

@@ -35,6 +35,7 @@ from ..graphs.taskgraph import TaskGraph
 from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
 from ..tcm.scenario import DynamicTask, Scenario, TaskInstance, TaskSet
 from .base import Workload
+from .registry import register_workload
 
 #: Published characteristics of the Pocket GL experiment.
 POCKETGL_REFERENCE = {
@@ -173,6 +174,10 @@ def feasible_intertask_scenarios(count: int = 20,
     return combos
 
 
+@register_workload("pocketgl", options_schema={
+    "reconfiguration_latency": float,
+    "inter_task_scenarios": int,
+})
 class PocketGLWorkload(Workload):
     """The Figure 7 workload: 3D rendering with 20 inter-task scenarios."""
 
@@ -193,6 +198,12 @@ class PocketGLWorkload(Workload):
         self.inter_task_scenarios = feasible_intertask_scenarios(
             inter_task_scenarios
         )
+
+    def spec_options(self) -> Dict[str, object]:
+        return {
+            "reconfiguration_latency": self.reconfiguration_latency,
+            "inter_task_scenarios": len(self.inter_task_scenarios),
+        }
 
     def draw_instances(self, rng: random.Random) -> List[TaskInstance]:
         combo = rng.choice(self.inter_task_scenarios)

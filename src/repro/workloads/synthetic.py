@@ -11,9 +11,10 @@ diverse-but-valid inputs.
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import WorkloadError
 from ..graphs.generators import ExecutionTimeModel, multimedia_like, random_dag
@@ -21,6 +22,7 @@ from ..graphs.taskgraph import TaskGraph
 from ..platform.description import DEFAULT_RECONFIGURATION_LATENCY_MS
 from ..tcm.scenario import DynamicTask, Scenario, TaskInstance, TaskSet
 from .base import Workload
+from .registry import register_workload
 
 
 @dataclass(frozen=True)
@@ -133,6 +135,9 @@ class SyntheticWorkload(Workload):
             tile_counts=tile_counts,
         )
 
+    def spec_options(self) -> Dict[str, object]:
+        return dataclasses.asdict(self.spec)
+
     def draw_instances(self, rng: random.Random) -> List[TaskInstance]:
         tasks = list(self.task_set.tasks)
         if self.spec.tasks_per_iteration is None:
@@ -143,6 +148,20 @@ class SyntheticWorkload(Workload):
         rng.shuffle(selected)
         return [TaskInstance(task=task, scenario=task.draw_scenario(rng))
                 for task in selected]
+
+
+@register_workload("synthetic", options_schema={
+    "task_count": int,
+    "subtasks_per_task": int,
+    "scenarios_per_task": int,
+    "granularity": float,
+    "reconfiguration_latency": float,
+    "tasks_per_iteration": (int, None),
+    "seed": int,
+}, instance_class=SyntheticWorkload)
+def build_synthetic(**options) -> SyntheticWorkload:
+    """Build a synthetic workload from flat :class:`SyntheticSpec` fields."""
+    return SyntheticWorkload(spec=SyntheticSpec(**options))
 
 
 def scalability_graphs(sizes: Sequence[int], seed: int = 11,

@@ -1,0 +1,98 @@
+"""Tests for streaming trace records through the sweep engine."""
+
+import pytest
+
+from repro.runner import (
+    SweepEngine,
+    TraceStreamConfig,
+    run_trace_stream,
+    run_trace_stream_via_service,
+    trace_points,
+    trace_sweep_spec,
+)
+from repro.runner.tracestream import point_for_record
+from repro.workloads.traces import (
+    MixedPatternConfig,
+    TraceRecord,
+    generate_mixed_trace,
+)
+
+CONFIG = TraceStreamConfig(iterations=3, tile_count=4, subtasks=4)
+
+
+def small_records():
+    return [
+        TraceRecord(timestamp=0.0, graph_id=0),
+        TraceRecord(timestamp=1.0, graph_id=1, tenant="t1"),
+        TraceRecord(timestamp=2.0, graph_id=0),
+        TraceRecord(timestamp=3.0, graph_id=1, tenant="t1"),
+        TraceRecord(timestamp=4.0, graph_id=2),
+    ]
+
+
+class TestPoints:
+    def test_one_point_per_record_in_arrival_order(self):
+        points = trace_points(small_records(), CONFIG)
+        assert len(points) == 5
+        assert [dict(p.workload.options)["graph_id"] for p in points] == \
+            [0, 1, 0, 1, 2]
+
+    def test_repeats_map_to_identical_points(self):
+        points = trace_points(small_records(), CONFIG)
+        assert points[0] == points[2]
+        assert points[1] == points[3]
+
+    def test_record_size_overrides_stream_default(self):
+        record = TraceRecord(timestamp=0.0, graph_id=9, size=7)
+        point = point_for_record(record, CONFIG)
+        assert dict(point.workload.options)["subtasks"] == 7
+
+    def test_sweep_spec_deduplicates(self):
+        spec = trace_sweep_spec(small_records(), CONFIG)
+        assert len(spec.workloads) == 3
+        assert [dict(w.options)["graph_id"] for w in spec.workloads] == \
+            [0, 1, 2]
+
+
+class TestEngineStream:
+    def test_stream_reports_every_arrival(self):
+        result = run_trace_stream(small_records(), CONFIG)
+        assert len(result.metrics) == 5
+        assert result.stats.records == 5
+        assert result.stats.distinct_graphs == 3
+        assert result.stats.tenants == 2
+        assert result.stats.stream_warm_arrivals == 2
+        assert result.stats.warm_arrival_rate == pytest.approx(0.4)
+
+    def test_repeated_arrivals_get_identical_metrics(self):
+        result = run_trace_stream(small_records(), CONFIG)
+        assert result.metrics[0] == result.metrics[2]
+        assert result.metrics[1] == result.metrics[3]
+        assert result.metrics[0] != result.metrics[4]
+
+    def test_stream_is_deterministic(self):
+        records = generate_mixed_trace(
+            MixedPatternConfig(records=12, universe=4, seed=3, tenants=2))
+        first = run_trace_stream(records, CONFIG)
+        second = run_trace_stream(records, CONFIG)
+        assert first.metrics == second.metrics
+
+    def test_warm_stats_captured_in_process(self):
+        result = run_trace_stream(small_records(), CONFIG,
+                                  engine=SweepEngine(max_workers=1))
+        assert "pool_hits" in result.stats.warm
+        assert result.stats.warm["pool_hits"] >= 0
+
+    def test_result_cache_turns_arrivals_cached(self, tmp_path):
+        engine = SweepEngine(cache_dir=str(tmp_path))
+        cold = run_trace_stream(small_records(), CONFIG, engine=engine)
+        assert cold.stats.cached == 0
+        warm = run_trace_stream(
+            small_records(), CONFIG,
+            engine=SweepEngine(cache_dir=str(tmp_path)))
+        assert warm.stats.cached == 5
+        assert warm.metrics == cold.metrics
+
+    def test_service_transport_requires_client(self):
+        with pytest.raises(TypeError, match="ServiceClient"):
+            run_trace_stream_via_service(small_records(), CONFIG)

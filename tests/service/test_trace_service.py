@@ -1,0 +1,116 @@
+"""Trace workloads through the live service: registry-backed end to end.
+
+The tentpole acceptance path: a registered ``"trace"`` workload must flow
+through ``/simulate`` over real HTTP exactly like the built-in families,
+and a trace stream replayed through the daemon must agree bit-for-bit
+with the in-process sweep engine on every graph, while the daemon's warm
+state (exploration LRU, scheduler pool) actually absorbs the repeats.
+"""
+
+import threading
+
+import pytest
+
+from repro.runner import (
+    TraceStreamConfig,
+    run_trace_stream,
+    run_trace_stream_via_service,
+)
+from repro.service import (
+    ReproService,
+    ReproServiceServer,
+    ServiceClient,
+    ServiceRequestError,
+    ServiceState,
+)
+from repro.workloads.traces import MixedPatternConfig, generate_mixed_trace
+
+CONFIG = TraceStreamConfig(iterations=3, tile_count=4, subtasks=4)
+
+
+@pytest.fixture()
+def live_server():
+    service = ReproService(ServiceState())
+    server = ReproServiceServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture()
+def client(live_server):
+    return ServiceClient(port=live_server.server_address[1])
+
+
+class TestTraceOverHttp:
+    def test_simulate_trace_workload(self, client):
+        body = client.simulate(
+            workload={"name": "trace",
+                      "options": {"graph_id": 3, "subtasks": 4}},
+            approach="hybrid", tile_count=4, seed=2005, iterations=3,
+        )
+        assert body["from_cache"] is False
+        assert body["metrics"]["iterations"] == 3
+        # Without a cache directory repeats recompute (warm, not cached),
+        # but determinism still pins the result bit-for-bit.
+        repeat = client.simulate(
+            workload={"name": "trace",
+                      "options": {"graph_id": 3, "subtasks": 4}},
+            approach="hybrid", tile_count=4, seed=2005, iterations=3,
+        )
+        assert repeat["metrics"] == body["metrics"]
+
+    def test_unknown_workload_is_structured_400(self, client):
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.simulate(workload={"name": "ghost", "options": {}})
+        assert excinfo.value.status == 400
+
+    def test_unknown_task_is_structured_400(self, client):
+        with pytest.raises(ServiceRequestError) as excinfo:
+            client.schedule(task="ghost")
+        assert excinfo.value.status == 400
+        body = excinfo.value.body
+        assert body["unknown_task"] == "ghost"
+        assert "jpeg_decoder" in body["available_tasks"]
+
+
+class TestStreamParity:
+    def test_service_stream_matches_engine_stream(self, client):
+        records = generate_mixed_trace(
+            MixedPatternConfig(records=16, universe=5, seed=42, tenants=3))
+        engine_result = run_trace_stream(records, CONFIG)
+        service_result = run_trace_stream_via_service(records, CONFIG,
+                                                      client)
+        # Identical per-graph results, in identical arrival order.
+        assert service_result.metrics == engine_result.metrics
+        assert service_result.stats.records == 16
+        assert service_result.stats.tenants == 3
+
+    def test_daemon_warm_state_absorbs_repeats(self, client):
+        records = generate_mixed_trace(
+            MixedPatternConfig(records=16, universe=4, seed=7, tenants=2))
+        result = run_trace_stream_via_service(records, CONFIG, client)
+        warm = result.stats.warm
+        assert warm["simulations"] > 0
+        # Repeats of a graph id hit the daemon's exploration LRU instead
+        # of re-exploring: the stream has far fewer distinct graphs than
+        # arrivals, so warm hits must appear.
+        assert warm["exploration_lru_hits"] > 0
+        assert warm["exploration_lru_hit_rate"] > 0.0
+        assert warm["pool_hits"] > 0
+
+    def test_metrics_snapshot_exposes_lru_counters(self, client):
+        client.simulate(
+            workload={"name": "trace",
+                      "options": {"graph_id": 0, "subtasks": 4}},
+            approach="hybrid", tile_count=4, seed=2005, iterations=2,
+        )
+        warm = client.metrics()["warm"]
+        for key in ("exploration_lru_hits", "exploration_lru_hit_rate",
+                    "schedule_lru_hits", "pool_hits", "tt_warm_hits"):
+            assert key in warm

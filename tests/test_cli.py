@@ -202,3 +202,62 @@ class TestCacheGcCommand:
                      "--seeds", "1", "--iterations", "5",
                      "--cache-dir", str(tmp_path)]) == 0
         assert "computed 1" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_parser_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["trace", "generate"])
+        assert args.command == "trace"
+        assert args.trace_command == "generate"
+        assert args.records == 1000
+        assert args.universe == 64
+        assert args.out == "-"
+        args = parser.parse_args(["trace", "run", "--service",
+                                  "127.0.0.1:8642", "--min-warm-rate",
+                                  "0.3"])
+        assert args.trace_command == "run"
+        assert args.service == "127.0.0.1:8642"
+        assert args.min_warm_rate == 0.3
+        assert args.tt_cache is True
+
+    def test_subcommand_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_generate_to_stdout_is_deterministic(self, capsys):
+        argv = ["trace", "generate", "--records", "12", "--universe", "6",
+                "--gen-seed", "3", "--tenants", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert first.count("\n") == 12
+        assert '"task":' in first and '"tenant":' in first
+
+    def test_generate_to_file_then_run(self, capsys, tmp_path):
+        log = tmp_path / "trace.jsonl"
+        assert main(["trace", "generate", "--records", "15", "--universe",
+                     "4", "--gen-seed", "5", "--out", str(log)]) == 0
+        assert "wrote 15 records" in capsys.readouterr().out
+        assert main(["trace", "run", "--log", str(log), "--iterations",
+                     "2", "--tiles", "4", "--subtasks", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "records" in output
+        assert "warm arrivals" in output
+
+    def test_run_synthesizes_and_gates_on_warm_rate(self, capsys):
+        argv = ["trace", "run", "--records", "15", "--universe", "4",
+                "--gen-seed", "5", "--iterations", "2", "--tiles", "4",
+                "--subtasks", "4"]
+        assert main(argv + ["--min-warm-rate", "0.1"]) == 0
+        assert ">= 0.100" in capsys.readouterr().out
+        assert main(argv + ["--min-warm-rate", "0.99"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_run_rejects_malformed_service_endpoint(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="HOST:PORT"):
+            main(["trace", "run", "--records", "5", "--universe", "2",
+                  "--service", "nonsense"])

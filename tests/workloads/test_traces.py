@@ -1,0 +1,222 @@
+"""Tests for the trace format, the mixed-pattern generator and TraceWorkload."""
+
+import random
+
+import pytest
+
+from repro.workloads.traces import (
+    DEFAULT_TRACE_SUBTASKS,
+    MAX_TRACE_SUBTASKS,
+    MixedPatternConfig,
+    TraceFormatError,
+    TraceRecord,
+    TraceWorkload,
+    format_trace,
+    generate_mixed_trace,
+    parse_trace,
+    parse_trace_line,
+    read_trace,
+    write_trace,
+)
+from repro.errors import WorkloadError
+
+
+class TestParser:
+    def test_minimal_record(self):
+        record = parse_trace_line('{"timestamp": 1.5, "task": 3}')
+        assert record == TraceRecord(timestamp=1.5, graph_id=3)
+        assert record.tenant == "default"
+
+    def test_full_record(self):
+        record = parse_trace_line(
+            '{"timestamp": 2, "task": "7", "size": 5, "deps": [3],'
+            ' "tenant": "t1"}'
+        )
+        assert record.graph_id == 7
+        assert record.size == 5
+        assert record.deps == (3,)
+        assert record.tenant == "t1"
+        assert isinstance(record.timestamp, float)
+
+    @pytest.mark.parametrize("line,fragment", [
+        ("not json", "not valid JSON"),
+        ("[1, 2]", "must be a JSON object"),
+        ('{"timestamp": 1}', "missing required fields"),
+        ('{"task": 1}', "missing required fields"),
+        ('{"timestamp": 1, "task": 1, "bogus": 2}', "unknown fields"),
+        ('{"timestamp": -1, "task": 1}', "non-negative"),
+        ('{"timestamp": true, "task": 1}', "must be a number"),
+        ('{"timestamp": 1, "task": -2}', "non-negative"),
+        ('{"timestamp": 1, "task": "x"}', "non-negative integer"),
+        ('{"timestamp": 1, "task": true}', "non-negative integer"),
+        ('{"timestamp": 1, "task": 1, "size": 0}', "size must lie"),
+        ('{"timestamp": 1, "task": 1, "size": 999}', "size must lie"),
+        ('{"timestamp": 1, "task": 1, "size": 2.5}', "size must be"),
+        ('{"timestamp": 1, "task": 1, "deps": 3}', "deps must be a list"),
+        ('{"timestamp": 1, "task": 1, "tenant": ""}', "non-empty string"),
+    ])
+    def test_malformed_records_are_rejected(self, line, fragment):
+        with pytest.raises(TraceFormatError, match=fragment):
+            parse_trace_line(line)
+
+    def test_errors_carry_line_numbers(self):
+        lines = ['{"timestamp": 1, "task": 1}', "garbage"]
+        with pytest.raises(TraceFormatError, match="trace line 2"):
+            parse_trace(lines)
+
+    def test_blank_lines_are_skipped(self):
+        lines = ["", '{"timestamp": 1, "task": 1}', "   ", ""]
+        assert len(parse_trace(lines)) == 1
+
+    def test_decreasing_timestamps_are_rejected(self):
+        lines = ['{"timestamp": 2, "task": 1}',
+                 '{"timestamp": 1, "task": 2}']
+        with pytest.raises(TraceFormatError, match="non-decreasing"):
+            parse_trace(lines)
+
+    def test_unseen_dep_is_rejected(self):
+        with pytest.raises(TraceFormatError, match="not seen earlier"):
+            parse_trace(['{"timestamp": 1, "task": 1, "deps": [9]}'])
+
+    def test_one_id_one_size(self):
+        lines = ['{"timestamp": 1, "task": 1, "size": 4}',
+                 '{"timestamp": 2, "task": 1, "size": 5}']
+        with pytest.raises(TraceFormatError, match="changed size"):
+            parse_trace(lines)
+
+    def test_size_can_be_filled_in_later(self):
+        lines = ['{"timestamp": 1, "task": 1}',
+                 '{"timestamp": 2, "task": 1, "size": 5}',
+                 '{"timestamp": 3, "task": 1, "size": 5}']
+        assert len(parse_trace(lines)) == 3
+
+
+class TestRoundTrip:
+    def test_format_parse_round_trip(self):
+        records = [
+            TraceRecord(timestamp=0.5, graph_id=1),
+            TraceRecord(timestamp=1.0, graph_id=2, size=7, deps=(1,),
+                        tenant="t3"),
+        ]
+        text = format_trace(records)
+        assert parse_trace(text.splitlines()) == records
+
+    def test_file_round_trip(self, tmp_path):
+        records = generate_mixed_trace(
+            MixedPatternConfig(records=25, universe=8, seed=3, tenants=2))
+        path = tmp_path / "trace.jsonl"
+        write_trace(records, path)
+        assert read_trace(path) == records
+
+    def test_defaults_are_omitted_from_payload(self):
+        payload = TraceRecord(timestamp=1.0, graph_id=2).payload()
+        assert payload == {"timestamp": 1.0, "task": 2}
+
+
+class TestGenerator:
+    def test_same_config_same_bytes(self):
+        config = MixedPatternConfig(records=60, universe=16, seed=11,
+                                    tenants=3, size_range=(3, 8))
+        first = format_trace(generate_mixed_trace(config))
+        second = format_trace(generate_mixed_trace(config))
+        assert first == second
+
+    def test_different_seed_different_stream(self):
+        base = MixedPatternConfig(records=60, universe=16, seed=11)
+        other = MixedPatternConfig(records=60, universe=16, seed=12)
+        assert generate_mixed_trace(base) != generate_mixed_trace(other)
+
+    def test_output_satisfies_stream_invariants(self):
+        config = MixedPatternConfig(records=120, universe=10, seed=5,
+                                    tenants=4, size_range=(2, 6),
+                                    dep_probability=0.5)
+        records = generate_mixed_trace(config)
+        assert len(records) == 120
+        # Re-parsing its own serialization exercises every invariant:
+        # timestamps non-decreasing, deps seen earlier, one id one size.
+        assert parse_trace(format_trace(records).splitlines()) == records
+
+    def test_tenants_interleave(self):
+        config = MixedPatternConfig(records=80, universe=12, seed=9,
+                                    tenants=4)
+        records = generate_mixed_trace(config)
+        tenants = [record.tenant for record in records]
+        assert set(tenants) == {"t0", "t1", "t2", "t3"}
+        # The merge interleaves: the stream is not sorted by tenant.
+        assert tenants != sorted(tenants)
+
+    def test_single_tenant_uses_default_label(self):
+        records = generate_mixed_trace(
+            MixedPatternConfig(records=10, universe=4, seed=1))
+        assert {record.tenant for record in records} == {"default"}
+
+    def test_ids_stay_inside_universe(self):
+        records = generate_mixed_trace(
+            MixedPatternConfig(records=200, universe=7, seed=2))
+        assert all(0 <= record.graph_id < 7 for record in records)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"records": 0},
+        {"universe": 0},
+        {"tenants": 0},
+        {"run_length": (5, 2)},
+        {"short_jump_span": 0},
+        {"sequential_weight": -1.0},
+        {"sequential_weight": 0.0, "short_jump_weight": 0.0,
+         "long_jump_weight": 0.0},
+        {"mean_interarrival": 0.0},
+        {"dep_probability": 1.5},
+        {"size_range": (0, 4)},
+        {"size_range": (4, MAX_TRACE_SUBTASKS + 1)},
+    ])
+    def test_bad_config_is_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            MixedPatternConfig(**kwargs)
+
+
+class TestTraceWorkload:
+    def test_same_id_same_graph(self):
+        first = TraceWorkload(graph_id=3, trace_seed=7)
+        second = TraceWorkload(graph_id=3, trace_seed=7)
+        graph_a = first.task_set.tasks[0].scenarios[0].graph
+        graph_b = second.task_set.tasks[0].scenarios[0].graph
+        assert [s.name for s in graph_a] == [s.name for s in graph_b]
+        assert [s.execution_time for s in graph_a] == \
+            [s.execution_time for s in graph_b]
+
+    def test_different_id_different_graph(self):
+        first = TraceWorkload(graph_id=3)
+        second = TraceWorkload(graph_id=4)
+        times_a = [s.execution_time
+                   for s in first.task_set.tasks[0].scenarios[0].graph]
+        times_b = [s.execution_time
+                   for s in second.task_set.tasks[0].scenarios[0].graph]
+        assert times_a != times_b
+
+    def test_instance_name_carries_graph_id(self):
+        assert TraceWorkload(graph_id=17).name == "trace_g17"
+
+    def test_default_size(self):
+        workload = TraceWorkload(graph_id=0)
+        graph = workload.task_set.tasks[0].scenarios[0].graph
+        assert len(graph) == DEFAULT_TRACE_SUBTASKS
+
+    def test_draw_instances_is_deterministic(self):
+        workload = TraceWorkload(graph_id=1, scenarios=3)
+        names_a = [instance.scenario.name for instance
+                   in workload.draw_instances(random.Random(5))]
+        names_b = [instance.scenario.name for instance
+                   in workload.draw_instances(random.Random(5))]
+        assert names_a == names_b
+        assert len(names_a) == 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"graph_id": -1},
+        {"graph_id": 0, "subtasks": 0},
+        {"graph_id": 0, "subtasks": MAX_TRACE_SUBTASKS + 1},
+        {"graph_id": 0, "scenarios": 0},
+        {"graph_id": 0, "granularity": 0.0},
+    ])
+    def test_bad_options_are_rejected(self, kwargs):
+        with pytest.raises(WorkloadError):
+            TraceWorkload(**kwargs)
